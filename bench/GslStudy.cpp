@@ -1,0 +1,47 @@
+//===--- GslStudy.cpp - Shared GSL overflow study ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "GslStudy.h"
+
+using namespace wdm;
+using namespace wdm::analyses;
+using namespace wdm::bench;
+
+GslStudyResult wdm::bench::runGslStudy(
+    ir::Module &M, const gsl::SfFunction &Fn, const std::string &Name,
+    uint64_t Seed, const std::vector<std::vector<double>> &ExtraProbes) {
+  GslStudyResult Out;
+  Out.Name = Name;
+
+  // Paper-faithful Algorithm 3 (MAX - |a|); the ULP-gap improvement is
+  // quantified separately in bench/ablation_overflow_metric.
+  OverflowDetector Detector(M, *Fn.F, instr::OverflowMetric::AbsGap);
+  OverflowDetector::Options Opts;
+  Opts.Seed = Seed;
+  Out.Overflows = Detector.run(Opts);
+
+  InconsistencyChecker Checker(M, Fn);
+  for (const OverflowFinding &F : Out.Overflows.Findings)
+    if (F.Found)
+      Out.Replays.push_back(Checker.check(F.Input));
+  for (const std::vector<double> &Probe : ExtraProbes)
+    Out.Replays.push_back(Checker.check(Probe));
+
+  // Dedupe inconsistencies by their origin instruction (the paper's
+  // Table 5 lists one row per problematic location).
+  for (const InconsistencyFinding &F : Out.Replays) {
+    if (!F.Inconsistent)
+      continue;
+    bool Seen = false;
+    for (const InconsistencyFinding *D : Out.Distinct)
+      Seen |= D->Origin == F.Origin;
+    if (!Seen)
+      Out.Distinct.push_back(&F);
+  }
+  for (const InconsistencyFinding *D : Out.Distinct)
+    Out.NumBugs += D->LooksLikeBug;
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===--- GslStudy.h - Shared GSL overflow study ----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6.3 experiment, shared by the Table 3/4/5 benches: run
+/// Algorithm 3 (fpod) on one GSL special-function model, replay every
+/// overflow input through the inconsistency checker, and classify root
+/// causes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_BENCH_GSLSTUDY_H
+#define WDM_BENCH_GSLSTUDY_H
+
+#include "analyses/Inconsistency.h"
+#include "analyses/OverflowDetector.h"
+#include "gsl/GslCommon.h"
+
+#include <memory>
+#include <vector>
+
+namespace wdm::bench {
+
+struct GslStudyResult {
+  std::string Name;
+  analyses::OverflowReport Overflows;
+  /// One replay outcome per *found* overflow input, in site order.
+  std::vector<analyses::InconsistencyFinding> Replays;
+  /// Distinct inconsistencies (deduped by origin instruction).
+  std::vector<const analyses::InconsistencyFinding *> Distinct;
+  unsigned NumBugs = 0; ///< Distinct findings with LooksLikeBug.
+};
+
+/// Runs fpod + replay on one model. Extra probe inputs (e.g. the airy
+/// bug inputs that need exact hits) are replayed in addition to the
+/// detector's findings.
+GslStudyResult runGslStudy(ir::Module &M, const gsl::SfFunction &Fn,
+                           const std::string &Name, uint64_t Seed,
+                           const std::vector<std::vector<double>> &
+                               ExtraProbes = {});
+
+} // namespace wdm::bench
+
+#endif // WDM_BENCH_GSLSTUDY_H

@@ -1,0 +1,101 @@
+//===--- SinStudy.cpp - Shared GNU-sin boundary study ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "SinStudy.h"
+
+#include "opt/BasinHopping.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::bench;
+
+namespace {
+
+/// Recorder that verifies zeros on the fly and tracks group statistics.
+class StudyRecorder : public opt::SampleRecorder {
+public:
+  StudyRecorder(analyses::BoundaryAnalysis &BVA,
+                const subjects::SinModel &Sin, SinStudyResult &Out)
+      : BVA(BVA), Sin(Sin), Out(Out) {}
+
+  void record(const std::vector<double> &X, double F) override {
+    ++Out.TotalSamples;
+    if (F != 0.0)
+      return;
+    ++Out.ZeroSamples;
+    // Verify on the original and classify which condition was hit.
+    std::set<int> Hits = BVA.hitsFor(X);
+    if (Hits.empty()) {
+      ++Out.UnsoundZeros;
+      return;
+    }
+    for (int SiteId : Hits) {
+      unsigned Branch = 0;
+      for (unsigned I = 0; I < 5; ++I)
+        if (BVA.sites()[I].Id == SiteId)
+          Branch = I;
+      bool Positive = !std::signbit(X[0]);
+      auto Key = std::make_pair(Branch, Positive);
+      auto [It, Fresh] = Out.Groups.try_emplace(Key);
+      SinStudyResult::Group &G = It->second;
+      if (Fresh) {
+        G.Min = G.Max = X[0];
+        Out.Progress.emplace_back(Out.TotalSamples,
+                                  static_cast<unsigned>(Out.Groups.size()));
+      }
+      G.Min = std::min(G.Min, X[0]);
+      G.Max = std::max(G.Max, X[0]);
+      ++G.Hits;
+    }
+  }
+
+private:
+  analyses::BoundaryAnalysis &BVA;
+  const subjects::SinModel &Sin;
+  SinStudyResult &Out;
+};
+
+} // namespace
+
+SinStudyResult wdm::bench::runSinStudy(uint64_t MaxEvals, uint64_t Seed) {
+  auto Clock0 = std::chrono::steady_clock::now();
+  SinStudyResult Out;
+
+  ir::Module M("sin-study");
+  subjects::SinModel Sin = subjects::buildSinModel(M);
+  analyses::BoundaryAnalysis BVA(M, *Sin.F);
+
+  StudyRecorder Recorder(BVA, Sin, Out);
+  opt::BasinHopping Backend;
+  opt::MinimizeOptions MinOpts;
+  // Keep sampling after each zero: the study wants *all* reachable
+  // boundary conditions, not one witness (paper Fig. 9), so this drives
+  // the backend directly instead of using Algorithm 2's early return.
+  MinOpts.StopAtTarget = false;
+
+  RNG Rand(Seed);
+  uint64_t PerStart = 6'000;
+  while (Out.TotalSamples < MaxEvals) {
+    opt::Objective Obj(
+        [&BVA](const std::vector<double> &X) { return BVA.weak()(X); }, 1);
+    Obj.MaxEvals = std::min(PerStart, MaxEvals - Out.TotalSamples);
+    Obj.StopAtTarget = false;
+    Obj.setRecorder(&Recorder);
+    // Starting points across all magnitudes: the 1.05e8 boundary needs
+    // wild draws.
+    std::vector<double> Start{Rand.chance(0.5) ? Rand.anyFiniteDouble()
+                                               : Rand.uniform(-10, 10)};
+    RNG Child = Rand.split();
+    Backend.minimize(Obj, Start, Child, MinOpts);
+  }
+
+  Out.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Clock0)
+                    .count();
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===--- SinStudy.h - Shared GNU-sin boundary study ------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6.2 case study, shared by bench/fig9_sin_progress and
+/// bench/table2_sin_boundaries: run boundary value analysis on the Glibc
+/// sin model with a sampling recorder, verify every zero sample against
+/// the original program, and group the confirmed boundary values by
+/// (branch, sign of x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_BENCH_SINSTUDY_H
+#define WDM_BENCH_SINSTUDY_H
+
+#include "analyses/BoundaryAnalysis.h"
+#include "subjects/SinModel.h"
+
+#include <map>
+#include <vector>
+
+namespace wdm::bench {
+
+struct SinStudyResult {
+  /// Total samples drawn by the MO backend.
+  uint64_t TotalSamples = 0;
+  /// Samples whose weak distance was exactly 0 (the BV set of §6.2).
+  uint64_t ZeroSamples = 0;
+  /// Verified boundary values, keyed by (site index 0..4, positive x?).
+  struct Group {
+    uint64_t Hits = 0;
+    double Min = 0;
+    double Max = 0;
+  };
+  std::map<std::pair<unsigned, bool>, Group> Groups;
+  /// Cumulative progress: (sample index, #conditions triggered so far).
+  std::vector<std::pair<uint64_t, unsigned>> Progress;
+  /// Verified-zero count whose replay failed (soundness violations; the
+  /// §6.2 check expects 0).
+  uint64_t UnsoundZeros = 0;
+  double Seconds = 0;
+};
+
+/// Runs the study with the given sampling budget.
+SinStudyResult runSinStudy(uint64_t MaxEvals, uint64_t Seed);
+
+} // namespace wdm::bench
+
+#endif // WDM_BENCH_SINSTUDY_H

@@ -1,0 +1,70 @@
+//===--- ablation_distance_metric.cpp - Absolute vs ULP atoms -------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Ablation (DESIGN.md §3): XSat's ULP metric vs the naive absolute
+// metric for the satisfiability weak distance (the paper's Section 7
+// credits ULP with mitigating Limitation 2). The benchmark set spans
+// rounding-sensitive, transcendental, and multi-clause constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/SExprParser.h"
+#include "sat/Solver.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+using namespace wdm::sat;
+
+int main() {
+  std::cout << "== Ablation: atom distance metric (absolute vs ULP) ==\n\n";
+
+  const char *Formulas[] = {
+      "(and (< x 1.0) (>= (+ x 1.0) 2.0))",
+      "(= (* x x) 4.0)",
+      "(and (<= 0.0 x) (<= x 10.0) (= (sin x) 0.0))",
+      "(and (or (< x -5.0) (> x 5.0)) (= (* x x) 49.0))",
+      "(and (< x 1.0) (>= (+ x (tan x)) 2.0))",
+      "(= (exp x) 2.0)",
+      "(and (= (+ x y) 10.0) (= (- x y) 4.0))",
+  };
+
+  Table T({"formula", "abs.sat", "abs.evals", "ulp.sat", "ulp.evals"});
+  unsigned AbsSolved = 0, UlpSolved = 0;
+  for (const char *Text : Formulas) {
+    Expected<CNF> C = parseConstraint(Text);
+    if (!C) {
+      std::cerr << "parse error: " << C.error() << "\n";
+      return 2;
+    }
+    std::string Cells[2][2];
+    for (int MetricIdx = 0; MetricIdx < 2; ++MetricIdx) {
+      XSatSolver Solver;
+      XSatSolver::Options Opts;
+      Opts.Metric = MetricIdx ? DistanceMetric::Ulp
+                              : DistanceMetric::Absolute;
+      Opts.Reduce.Seed = 0xd157;
+      Opts.Reduce.MaxEvals = 150'000;
+      SatResult R = Solver.solve(*C, Opts);
+      Cells[MetricIdx][0] = R.Sat ? "sat" : "not found";
+      Cells[MetricIdx][1] =
+          formatf("%llu", static_cast<unsigned long long>(R.Evals));
+      if (R.Sat)
+        (MetricIdx ? UlpSolved : AbsSolved) += 1;
+    }
+    std::string Shown = Text;
+    if (Shown.size() > 44)
+      Shown = Shown.substr(0, 41) + "...";
+    T.addRow({Shown, Cells[0][0], Cells[0][1], Cells[1][0], Cells[1][1]});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nSolved: absolute " << AbsSolved << "/7, ULP " << UlpSolved
+            << "/7.\nExpected shape: the ULP metric solves at least as "
+               "many formulas; its integer\nlattice keeps gradients "
+               "meaningful at every magnitude.\n";
+  return UlpSolved >= AbsSolved ? 0 : 1;
+}

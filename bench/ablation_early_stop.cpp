@@ -1,0 +1,85 @@
+//===--- ablation_early_stop.cpp - The weak-distance stop rule ------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Ablation (DESIGN.md §3): Section 4.4's Remark observes that unlike
+// general MO, weak-distance minimization may stop the moment it reaches
+// 0, because Def. 3.1(a) guarantees no smaller value exists. This bench
+// measures the saved evaluations on the three single-witness analyses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "analyses/PathReachability.h"
+#include "opt/BasinHopping.h"
+#include "subjects/Fig2.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+namespace {
+
+uint64_t meanEvals(core::WeakDistance &W, core::AnalysisProblem &Problem,
+                   bool EarlyStop, unsigned Trials) {
+  uint64_t Total = 0;
+  opt::BasinHopping Backend;
+  for (unsigned T = 0; T < Trials; ++T) {
+    opt::Objective Obj(
+        [&W](const std::vector<double> &X) { return W(X); }, W.dim());
+    Obj.MaxEvals = 20'000;
+    Obj.StopAtTarget = EarlyStop;
+    RNG Rand(0xea57 + T);
+    opt::MinimizeOptions MinOpts;
+    MinOpts.StopAtTarget = EarlyStop;
+    std::vector<double> Start{Rand.uniform(-20, 20)};
+    RNG Child = Rand.split();
+    opt::MinimizeResult R = Backend.minimize(Obj, Start, Child, MinOpts);
+    (void)Problem;
+    Total += R.Evals;
+  }
+  return Total / Trials;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Ablation: early stop at W = 0 (Section 4.4 Remark) "
+               "==\n\n";
+
+  ir::Module M1;
+  subjects::Fig2 P1 = subjects::buildFig2(M1);
+  analyses::BoundaryAnalysis BVA(M1, *P1.F);
+
+  ir::Module M2;
+  subjects::Fig2 P2 = subjects::buildFig2(M2);
+  instr::PathSpec Spec;
+  Spec.Legs.push_back({P2.Branch1, true});
+  Spec.Legs.push_back({P2.Branch2, true});
+  analyses::PathReachability Path(M2, *P2.F, Spec);
+
+  constexpr unsigned Trials = 12;
+  Table T({"analysis", "mean.evals (stop at 0)", "mean.evals (no stop)",
+           "speedup"});
+  struct Case {
+    const char *Name;
+    core::WeakDistance *W;
+    core::AnalysisProblem *P;
+  } Cases[] = {{"boundary values (fig2)", &BVA.weak(), &BVA.problem()},
+               {"path reachability (fig2)", &Path.weak(), &Path.problem()}};
+  for (const Case &C : Cases) {
+    uint64_t With = meanEvals(*C.W, *C.P, true, Trials);
+    uint64_t Without = meanEvals(*C.W, *C.P, false, Trials);
+    T.addRow({C.Name, formatf("%llu", (unsigned long long)With),
+              formatf("%llu", (unsigned long long)Without),
+              formatf("%.1fx", double(Without) / double(With ? With : 1))});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: stopping at zero saves a large constant "
+               "factor; without the\nrule every run burns its full "
+               "budget (traditional MO cannot know it is done).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===--- ablation_overflow_metric.cpp - MAX-|a| vs ULP gap ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Ablation: the paper's Algorithm 3 measures distance-to-overflow as
+// w = MAX - |a|, which *absorbs* — the subtraction rounds back to MAX
+// for every |a| below ~2e292, leaving the weak distance flat over 99.9%
+// of the float range. The Section 7 ULP-ization (w = ulps between |a|
+// and MAX) is monotone at every magnitude. On GSL's Bessel both work
+// (wild starting points land in the responsive band); on a guarded
+// kernel like the Hermite interpolator — where the instrumented
+// operations sit behind clamping branches and the operands need
+// coordinated magnitudes — the plateau becomes fatal for the paper's
+// form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/OverflowDetector.h"
+#include "gsl/Bessel.h"
+#include "subjects/NumericKernels.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+using namespace wdm::analyses;
+
+namespace {
+
+OverflowReport run(bool Bessel, instr::OverflowMetric Metric,
+                   uint64_t Seed) {
+  ir::Module M;
+  ir::Function *F = Bessel
+                        ? gsl::buildBesselKnuScaledAsympx(M).F
+                        : subjects::buildHermite(M);
+  OverflowDetector Det(M, *F, Metric);
+  OverflowDetector::Options Opts;
+  Opts.Seed = Seed;
+  return Det.run(Opts);
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Ablation: overflow gap metric (paper's MAX-|a| vs ULP "
+               "gap) ==\n\n";
+
+  Table T({"subject", "metric", "overflows.found", "ops", "T(sec)"});
+  unsigned HermiteUlp = 0, HermiteAbs = 0;
+  for (bool Bessel : {true, false}) {
+    for (instr::OverflowMetric Metric :
+         {instr::OverflowMetric::AbsGap, instr::OverflowMetric::UlpGap}) {
+      OverflowReport R = run(Bessel, Metric, 0xab1e);
+      if (!Bessel && Metric == instr::OverflowMetric::UlpGap)
+        HermiteUlp = R.numOverflows();
+      if (!Bessel && Metric == instr::OverflowMetric::AbsGap)
+        HermiteAbs = R.numOverflows();
+      T.addRow({Bessel ? "bessel (GSL)" : "hermite (guarded kernel)",
+                Metric == instr::OverflowMetric::AbsGap
+                    ? "MAX - |a|  (paper Algo 3)"
+                    : "ulp(|a|, MAX)  [Section 7]",
+                formatf("%u", R.numOverflows()),
+                formatf("%u", R.NumOps),
+                formatf("%.1f", R.Seconds)});
+    }
+  }
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: comparable on bessel (its operands reach "
+               "the responsive band\nfrom wild starts); the ULP gap "
+               "dominates on the guarded kernel, where the\npaper's form "
+               "is blind until |a| ~ 2e292.\n";
+  return HermiteUlp >= HermiteAbs ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+//===--- ablation_weak_distance_form.cpp - Product vs Min accumulation ----------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Ablation (DESIGN.md §3): the paper's boundary weak distance multiplies
+// |a-b| across comparisons (Fig. 3); an alternative with the identical
+// zero set keeps the minimum instead. The forms differ in conditioning:
+// the product compounds slopes (steeper basins, risk of overflow-
+// clamping), the min keeps the landscape piecewise-|a-b|.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "opt/BasinHopping.h"
+#include "subjects/Fig2.h"
+#include "subjects/SinModel.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+namespace {
+
+struct Outcome {
+  unsigned Solved = 0;
+  uint64_t EvalsOnSuccess = 0;
+};
+
+template <typename BuildFn>
+Outcome trial(BuildFn Build, instr::BoundaryForm Form, unsigned Trials) {
+  Outcome Out;
+  opt::BasinHopping Backend;
+  for (unsigned T = 0; T < Trials; ++T) {
+    ir::Module M;
+    ir::Function *F = Build(M);
+    analyses::BoundaryAnalysis BVA(M, *F, Form);
+    core::Reduction Red(BVA.weak(), &BVA.problem());
+    core::ReductionOptions Opts;
+    Opts.Seed = 0xf02a + T;
+    Opts.MaxEvals = 60'000;
+    Opts.Starts = 10;
+    core::ReductionResult R = Red.solve(Backend, Opts);
+    if (R.Found) {
+      ++Out.Solved;
+      Out.EvalsOnSuccess += R.Evals;
+    }
+  }
+  return Out;
+}
+
+std::string mean(const Outcome &O) {
+  return O.Solved
+             ? formatf("%.0f", double(O.EvalsOnSuccess) / double(O.Solved))
+             : std::string("-");
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Ablation: boundary weak-distance accumulation form "
+               "==\n\n";
+
+  auto BuildFig2 = [](ir::Module &M) {
+    return subjects::buildFig2(M).F;
+  };
+  auto BuildSin = [](ir::Module &M) {
+    return subjects::buildSinModel(M).F;
+  };
+
+  constexpr unsigned Trials = 10;
+  Table T({"form", "fig2.solved", "fig2.mean.evals", "sin.solved",
+           "sin.mean.evals"});
+  for (instr::BoundaryForm Form :
+       {instr::BoundaryForm::Product, instr::BoundaryForm::Min,
+        instr::BoundaryForm::MinUlp}) {
+    Outcome F2 = trial(BuildFig2, Form, Trials);
+    Outcome Sn = trial(BuildSin, Form, Trials);
+    const char *Label = Form == instr::BoundaryForm::Product
+                            ? "w *= |a-b| (paper)"
+                            : Form == instr::BoundaryForm::Min
+                                  ? "w = min(w, |a-b|)"
+                                  : "w = min(w, ulp(a,b))  [Section 7]";
+    T.addRow({Label, formatf("%u/%u", F2.Solved, Trials), mean(F2),
+              formatf("%u/%u", Sn.Solved, Trials), mean(Sn)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nBoth forms share the zero set (tested in "
+               "InstrumentTests); differences here\nare pure optimization "
+               "conditioning.\n";
+  return 0;
+}

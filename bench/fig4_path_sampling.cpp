@@ -1,0 +1,81 @@
+//===--- fig4_path_sampling.cpp - Paper Fig. 4 ----------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Reproduces Fig. 4: the path-reachability weak distance of the Fig. 2
+// program (both true branches). (b) the graph of W(x) — zero exactly on
+// [-3, 1]; (c) the MO sampling, with "noticeably more samples reaching
+// inside than outside" the solution region.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/PathReachability.h"
+#include "opt/BasinHopping.h"
+#include "subjects/Fig2.h"
+#include "support/StringUtils.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+int main() {
+  std::cout << "== Fig. 4: weak-distance minimization for path "
+               "reachability ==\n\n";
+
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  instr::PathSpec Spec;
+  Spec.Legs.push_back({P.Branch1, true});
+  Spec.Legs.push_back({P.Branch2, true});
+  analyses::PathReachability Path(M, *P.F, Spec);
+
+  std::cout << "-- Fig. 4(b): graph of W(x) (CSV: x,W) --\n";
+  for (double X = -6.0; X <= 4.0 + 1e-9; X += 0.5)
+    std::cout << formatDouble(X) << "," << formatDouble(Path.weak()({X}))
+              << "\n";
+  std::cout << "\n";
+
+  std::cout << "-- Fig. 4(c): Basinhopping sampling --\n";
+  // Drive the backend directly: the figure plots the *whole* sampling
+  // sequence across starts, so Algorithm 2's early return is disabled.
+  opt::VectorRecorder Rec;
+  opt::BasinHopping Backend;
+  opt::MinimizeOptions MinOpts;
+  MinOpts.StopAtTarget = false;
+  RNG Rand(44);
+  for (unsigned Start = 0; Start < 8; ++Start) {
+    opt::Objective Obj(
+        [&](const std::vector<double> &X) { return Path.weak()(X); }, 1);
+    Obj.MaxEvals = 2'500;
+    Obj.StopAtTarget = false;
+    Obj.setRecorder(&Rec);
+    std::vector<double> S{Rand.uniform(-20.0, 20.0)};
+    RNG Child = Rand.split();
+    Backend.minimize(Obj, S, Child, MinOpts);
+  }
+
+  uint64_t Inside = 0, NearOutside = 0, FarOutside = 0, Zeros = 0;
+  for (const auto &S : Rec.Samples) {
+    double X = S.X[0];
+    if (S.F == 0.0)
+      ++Zeros;
+    if (X >= -3.0 && X <= 1.0)
+      ++Inside;
+    else if (X >= -7.0 && X <= 5.0)
+      ++NearOutside;
+    else
+      ++FarOutside;
+  }
+
+  std::cout << "samples total:               " << Rec.Samples.size() << "\n"
+            << "inside solution space [-3,1]: " << Inside << "\n"
+            << "nearby outside [-7,5]\\[-3,1]: " << NearOutside << "\n"
+            << "far outside:                  " << FarOutside << "\n"
+            << "samples with W = 0:           " << Zeros << "\n\n";
+
+  bool Shape = Inside > NearOutside && Zeros > 0;
+  std::cout << "Expected shape (paper Fig. 4(c)): noticeably more samples "
+               "inside [-3, 1] than\nin the comparable band outside — "
+            << (Shape ? "HOLDS" : "VIOLATED") << ".\n";
+  return Shape ? 0 : 1;
+}

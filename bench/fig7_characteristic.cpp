@@ -1,0 +1,100 @@
+//===--- fig7_characteristic.cpp - Paper Fig. 7 ---------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Reproduces the Fig. 7 discussion: a characteristic function (0 on S,
+// 1 elsewhere) is a perfectly valid weak distance, but it is flat almost
+// everywhere, so minimizing it degenerates into pure random testing.
+// This bench pits the graded boundary weak distance against the
+// characteristic one on the Fig. 2 program under equal budgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "opt/BasinHopping.h"
+#include "subjects/Fig2.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+namespace {
+
+/// The Fig. 7 weak distance: w = (boundary hit) ? 0 : 1, computed by
+/// replaying the original program — decidable S makes this legal
+/// (Section 3.2's generic construction).
+class CharacteristicWeak : public core::WeakDistance {
+public:
+  explicit CharacteristicWeak(analyses::BoundaryAnalysis &BVA) : BVA(BVA) {}
+  unsigned dim() const override { return 1; }
+  double operator()(const std::vector<double> &X) override {
+    return BVA.hitsFor(X).empty() ? 1.0 : 0.0;
+  }
+  std::string name() const override { return "characteristic"; }
+
+private:
+  analyses::BoundaryAnalysis &BVA;
+};
+
+struct Outcome {
+  unsigned Successes = 0;
+  uint64_t TotalEvalsToZero = 0;
+};
+
+Outcome trial(core::WeakDistance &W, unsigned Trials, uint64_t Budget) {
+  Outcome Out;
+  opt::BasinHopping Backend;
+  for (unsigned T = 0; T < Trials; ++T) {
+    opt::Objective Obj([&W](const std::vector<double> &X) { return W(X); },
+                       1);
+    Obj.MaxEvals = Budget;
+    RNG Rand(1000 + T);
+    opt::MinimizeOptions MinOpts;
+    std::vector<double> Start{Rand.uniform(-50.0, 50.0)};
+    RNG Child = Rand.split();
+    opt::MinimizeResult R = Backend.minimize(Obj, Start, Child, MinOpts);
+    if (R.ReachedTarget) {
+      ++Out.Successes;
+      Out.TotalEvalsToZero += R.Evals;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Fig. 7: characteristic function as a weak distance ==\n"
+            << "Both functions below satisfy Def. 3.1; only the graded one "
+               "guides the search.\n\n";
+
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  analyses::BoundaryAnalysis BVA(M, *P.F);
+  CharacteristicWeak CharW(BVA);
+
+  constexpr unsigned Trials = 20;
+  constexpr uint64_t Budget = 3'000;
+
+  Outcome Graded = trial(BVA.weak(), Trials, Budget);
+  Outcome Flat = trial(CharW, Trials, Budget);
+
+  Table T({"weak.distance", "solved", "trials", "mean.evals.to.zero"});
+  auto AddRow = [&](const char *Name, const Outcome &O) {
+    T.addRow({Name, formatf("%u", O.Successes), formatf("%u", Trials),
+              O.Successes ? formatf("%.0f", double(O.TotalEvalsToZero) /
+                                                double(O.Successes))
+                          : std::string("-")});
+  };
+  AddRow("graded |a-b| product (Fig. 3)", Graded);
+  AddRow("characteristic 0/1 (Fig. 7)", Flat);
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: the graded weak distance solves "
+               "(nearly) every trial quickly;\nthe characteristic one "
+               "degenerates into random testing and rarely hits the\n"
+               "measure-zero boundary set.\n";
+  return Graded.Successes > Flat.Successes ? 0 : 1;
+}

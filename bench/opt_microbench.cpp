@@ -1,0 +1,137 @@
+//===--- opt_microbench.cpp - google-benchmark hot paths ------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Microbenchmarks of the infrastructure hot paths: interpreter
+// throughput on the subject programs, weak-distance evaluation, the
+// optimizers' per-evaluation overhead, instrumentation passes, and the
+// IR printer/parser. These are the costs every experiment in Section 6
+// pays per sample.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "gsl/Bessel.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/BasinHopping.h"
+#include "sat/SExprParser.h"
+#include "sat/Solver.h"
+#include "subjects/Fig2.h"
+#include "subjects/SinModel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wdm;
+
+namespace {
+
+void BM_InterpretFig2(benchmark::State &State) {
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  exec::Engine E(M);
+  exec::ExecContext Ctx(M);
+  double X = 0.25;
+  for (auto _ : State) {
+    exec::ExecResult R = E.run(P.F, {exec::RTValue::ofDouble(X)}, Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_InterpretFig2);
+
+void BM_InterpretSinModel(benchmark::State &State) {
+  ir::Module M;
+  subjects::SinModel P = subjects::buildSinModel(M);
+  exec::Engine E(M);
+  exec::ExecContext Ctx(M);
+  double X = 1.5;
+  for (auto _ : State) {
+    exec::ExecResult R = E.run(P.F, {exec::RTValue::ofDouble(X)}, Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_InterpretSinModel);
+
+void BM_InterpretBessel(benchmark::State &State) {
+  ir::Module M;
+  gsl::SfFunction F = gsl::buildBesselKnuScaledAsympx(M);
+  exec::Engine E(M);
+  exec::ExecContext Ctx(M);
+  for (auto _ : State) {
+    exec::ExecResult R = E.run(
+        F.F, {exec::RTValue::ofDouble(1.5), exec::RTValue::ofDouble(2.0)},
+        Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+}
+BENCHMARK(BM_InterpretBessel);
+
+void BM_BoundaryWeakDistanceEval(benchmark::State &State) {
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  analyses::BoundaryAnalysis BVA(M, *P.F);
+  double X = 0.25;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(BVA.weak()({X}));
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_BoundaryWeakDistanceEval);
+
+void BM_BasinHoppingPerEval(benchmark::State &State) {
+  // Amortized optimizer overhead per objective evaluation on a trivial
+  // objective.
+  for (auto _ : State) {
+    opt::Objective Obj(
+        [](const std::vector<double> &X) {
+          return X[0] * X[0] + 1.0;
+        },
+        1);
+    Obj.MaxEvals = 1'000;
+    opt::BasinHopping BH;
+    RNG R(1);
+    opt::MinimizeOptions Opts;
+    opt::MinimizeResult MR = BH.minimize(Obj, {3.0}, R, Opts);
+    benchmark::DoNotOptimize(MR.F);
+  }
+}
+BENCHMARK(BM_BasinHoppingPerEval)->Unit(benchmark::kMicrosecond);
+
+void BM_InstrumentBoundaryPass(benchmark::State &State) {
+  for (auto _ : State) {
+    ir::Module M;
+    subjects::SinModel P = subjects::buildSinModel(M);
+    instr::BoundaryInstrumentation BI = instr::instrumentBoundary(*P.F);
+    benchmark::DoNotOptimize(BI.Wrapped);
+  }
+}
+BENCHMARK(BM_InstrumentBoundaryPass)->Unit(benchmark::kMicrosecond);
+
+void BM_PrintParseRoundTrip(benchmark::State &State) {
+  ir::Module M;
+  gsl::buildBesselKnuScaledAsympx(M);
+  for (auto _ : State) {
+    std::string Text = ir::toString(M);
+    auto Parsed = ir::parseModule(Text);
+    benchmark::DoNotOptimize(Parsed.hasValue());
+  }
+}
+BENCHMARK(BM_PrintParseRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_CnfDistanceEval(benchmark::State &State) {
+  auto C = sat::parseConstraint(
+      "(and (< x 1.0) (>= (+ x (tan x)) 2.0) (or (= y 0.0) (> y x)))");
+  sat::CNFWeakDistance W(C.take(), sat::DistanceMetric::Ulp);
+  std::vector<double> X{0.5, 1.0};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(W(X));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_CnfDistanceEval);
+
+} // namespace
+
+BENCHMARK_MAIN();

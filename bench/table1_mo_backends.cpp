@@ -1,0 +1,154 @@
+//===--- table1_mo_backends.cpp - Paper Table 1 ---------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Reproduces Table 1: three MO backends (Basinhopping, Differential
+// Evolution, Powell) applied to the two weak distances of the Fig. 2
+// program — boundary value analysis and path reachability. Reports the
+// minimum W* each backend reached and the solutions x* it found.
+//
+// Paper reference:
+//   Basinhopping: BVA W*=0 at {1.0, 2.0, -3.0, 0.9999999999999999};
+//                 path W*=0 over [-3, 1]
+//   Differential Evolution: BVA W*=4.43e-18, "not found"; path solved
+//   Powell: BVA W*=0 at {1.0, 2.0} (missed -3.0); path solved
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "analyses/PathReachability.h"
+#include "opt/BasinHopping.h"
+#include "opt/DifferentialEvolution.h"
+#include "opt/Powell.h"
+#include "subjects/Fig2.h"
+#include "support/FPUtils.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+using namespace wdm;
+
+namespace {
+
+/// Collects distinct verified solutions across a multi-start sweep.
+class SolutionRecorder : public opt::SampleRecorder {
+public:
+  explicit SolutionRecorder(std::function<bool(double)> Verify)
+      : Verify(std::move(Verify)) {}
+
+  void record(const std::vector<double> &X, double F) override {
+    BestW = std::min(BestW, F);
+    if (F == 0.0 && Solutions.size() < 4096 && Verify(X[0]))
+      Solutions.insert(bitsOf(X[0]));
+  }
+
+  std::vector<double> solutions() const {
+    std::vector<double> Out;
+    for (uint64_t Bits : Solutions)
+      Out.push_back(fromBits(Bits));
+    std::sort(Out.begin(), Out.end());
+    return Out;
+  }
+
+  double BestW = std::numeric_limits<double>::infinity();
+
+private:
+  std::function<bool(double)> Verify;
+  std::set<uint64_t> Solutions;
+};
+
+struct Row {
+  double WStar;
+  std::vector<double> Found;
+};
+
+Row runBackend(opt::Optimizer &Backend, core::WeakDistance &W,
+               std::function<bool(double)> Verify, uint64_t Seed) {
+  SolutionRecorder Rec(std::move(Verify));
+  RNG Rand(Seed);
+  opt::MinimizeOptions MinOpts;
+  MinOpts.StopAtTarget = false; // collect many solutions, not one
+  MinOpts.Lo = -100.0;          // DE box
+  MinOpts.Hi = 100.0;
+
+  for (unsigned Start = 0; Start < 12; ++Start) {
+    opt::Objective Obj(
+        [&W](const std::vector<double> &X) { return W(X); }, 1);
+    Obj.MaxEvals = 5'000;
+    Obj.StopAtTarget = false;
+    Obj.setRecorder(&Rec);
+    std::vector<double> S{Rand.uniform(-10.0, 10.0)};
+    RNG Child = Rand.split();
+    Backend.minimize(Obj, S, Child, MinOpts);
+  }
+  return {Rec.BestW, Rec.solutions()};
+}
+
+std::string summarizeSet(const std::vector<double> &Xs, size_t MaxShown) {
+  if (Xs.empty())
+    return "NA";
+  std::string Out;
+  for (size_t I = 0; I < Xs.size() && I < MaxShown; ++I) {
+    if (I)
+      Out += ", ";
+    Out += formatDouble(Xs[I]);
+  }
+  if (Xs.size() > MaxShown)
+    Out += formatf(", ... (%zu total)", Xs.size());
+  return Out;
+}
+
+std::string summarizeInterval(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return "NA";
+  return formatf("%zu solutions in [%s, %s]", Xs.size(),
+                 formatDouble(Xs.front()).c_str(),
+                 formatDouble(Xs.back()).c_str());
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Table 1: different MO backends applied on two weak "
+               "distances ==\n\n";
+
+  // Boundary value analysis on Fig. 2.
+  ir::Module M1;
+  subjects::Fig2 P1 = subjects::buildFig2(M1);
+  analyses::BoundaryAnalysis BVA(M1, *P1.F);
+
+  // Path reachability through both true-branches of Fig. 2.
+  ir::Module M2;
+  subjects::Fig2 P2 = subjects::buildFig2(M2);
+  instr::PathSpec Spec;
+  Spec.Legs.push_back({P2.Branch1, true});
+  Spec.Legs.push_back({P2.Branch2, true});
+  analyses::PathReachability Path(M2, *P2.F, Spec);
+
+  opt::BasinHopping BH;
+  opt::DifferentialEvolution DE;
+  opt::Powell PW;
+  opt::Optimizer *Backends[] = {&BH, &DE, &PW};
+
+  Table T({"backend", "bva.W*", "bva.x*", "path.W*", "path.x*"});
+  for (opt::Optimizer *Backend : Backends) {
+    Row B = runBackend(*Backend, BVA.weak(),
+                       [&](double X) { return !BVA.hitsFor({X}).empty(); },
+                       0x7ab1);
+    Row P = runBackend(*Backend, Path.weak(),
+                       [&](double X) { return Path.follows({X}); }, 77);
+    T.addRow({Backend->name(), formatDouble(B.WStar),
+              summarizeSet(B.Found, 5), formatDouble(P.WStar),
+              summarizeInterval(P.Found)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): Basinhopping finds all four "
+               "boundary values including\n0.9999999999999999; Powell "
+               "finds a subset; every backend solves path\nreachability "
+               "with solutions inside [-3, 1].\n";
+  return 0;
+}

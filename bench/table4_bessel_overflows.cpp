@@ -1,0 +1,54 @@
+//===--- table4_bessel_overflows.cpp - Paper Table 4 ----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Reproduces Table 4: per-instruction overflow results for the Bessel
+// function — every elementary FP operation with the (nu, x) input fpod
+// found for it, or "missed". The paper found 21/23, with the division
+// M_PI/(2.0*x) and the constant product 2.0*EPSILON missed; the latter
+// is structurally impossible (two constants), as in our model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/OverflowDetector.h"
+#include "gsl/Bessel.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+using namespace wdm::analyses;
+
+int main() {
+  std::cout << "== Table 4: floating-point overflow detected in Bessel "
+               "==\n\n";
+
+  ir::Module M;
+  gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
+  // Paper-faithful Algorithm 3 (MAX - |a|); with the ULP-gap metric the
+  // count rises to 22/23 (bench/ablation_overflow_metric).
+  OverflowDetector Detector(M, *Bessel.F, instr::OverflowMetric::AbsGap);
+  OverflowDetector::Options Opts;
+  Opts.Seed = 0xbe55e1;
+  OverflowReport R = Detector.run(Opts);
+
+  Table T({"floating-point operation", "nu*", "x*"});
+  for (const OverflowFinding &F : R.Findings) {
+    if (F.Found)
+      T.addRow({F.Description, formatDoubleCompact(F.Input[0]),
+                formatDoubleCompact(F.Input[1])});
+    else
+      T.addRow({F.Description, "missed", ""});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nFound " << R.numOverflows() << " of " << R.NumOps
+            << " operations (paper: 21 of 23) in "
+            << formatf("%.1f s, %llu weak-distance evaluations.\n",
+                       R.Seconds, (unsigned long long)R.Evals);
+  std::cout << "Every reported input is verified by replaying the "
+               "original, uninstrumented\nfunction under an overflow "
+               "observer.\n";
+  return R.numOverflows() >= 18 ? 0 : 1;
+}

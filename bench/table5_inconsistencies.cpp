@@ -1,0 +1,91 @@
+//===--- table5_inconsistencies.cpp - Paper Table 5 -----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Reproduces Table 5: inconsistencies detected in the three GSL special
+// functions and their root causes — runs where the status says
+// GSL_SUCCESS yet result.val or result.err is non-finite. The paper
+// found 8 (4 bessel, 2 hyperg, 2 airy) and root-caused them with gdb;
+// here the trace classifier does the forensics automatically, and the
+// two airy rows must carry the confirmed-bug signatures (division by
+// zero; inaccurate cosine).
+//
+//===----------------------------------------------------------------------===//
+
+#include "GslStudy.h"
+#include "gsl/Airy.h"
+#include "gsl/Bessel.h"
+#include "gsl/Hyperg.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace wdm;
+using namespace wdm::analyses;
+using namespace wdm::bench;
+
+namespace {
+
+void addRows(Table &T, const GslStudyResult &R) {
+  for (const InconsistencyFinding *F : R.Distinct) {
+    std::string Inputs;
+    for (size_t I = 0; I < F->Input.size(); ++I) {
+      if (I)
+        Inputs += ", ";
+      Inputs += formatDoubleCompact(F->Input[I]);
+    }
+    T.addRow({R.Name, Inputs, F->OriginText,
+              formatf("%lld", static_cast<long long>(F->Status)),
+              formatDoubleCompact(F->Val), formatDoubleCompact(F->Err),
+              F->RootCause + (F->LooksLikeBug ? "  [BUG]" : "")});
+  }
+  T.addSeparator();
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Table 5: inconsistencies detected in three GSL special "
+               "functions and root causes ==\n\n";
+
+  Table T({"fn", "x*", "problematic location", "status", "val", "err",
+           "root cause"});
+  unsigned Bugs = 0;
+  size_t Total = 0;
+
+  {
+    ir::Module M;
+    gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
+    GslStudyResult R = runGslStudy(M, Bessel, "bessel", 0xbe55e1);
+    addRows(T, R);
+    Bugs += R.NumBugs;
+    Total += R.Distinct.size();
+  }
+  {
+    ir::Module M;
+    gsl::SfFunction Hyperg = gsl::buildHyperg2F0(M);
+    GslStudyResult R = runGslStudy(M, Hyperg, "hyperg", 0x472c);
+    addRows(T, R);
+    Bugs += R.NumBugs;
+    Total += R.Distinct.size();
+  }
+  {
+    ir::Module M;
+    gsl::AiryModel Airy = gsl::buildAiryAi(M);
+    GslStudyResult R = runGslStudy(M, Airy.Airy, "airy", 0xa1e9,
+                                   {{gsl::AiryBug1Input}, {-1.14e57}});
+    addRows(T, R);
+    Bugs += R.NumBugs;
+    Total += R.Distinct.size();
+  }
+  T.print(std::cout);
+
+  std::cout << "\nDistinct inconsistencies: " << Total
+            << " (paper: 8); confirmed-bug signatures: " << Bugs
+            << " (paper: 2, both in airy).\n";
+  std::cout << "Root-cause vocabulary follows the paper: large inputs / "
+               "large operands are\nbenign; division by zero and "
+               "inaccurate cosine are the developer-confirmed bugs.\n";
+  return Bugs == 2 ? 0 : 1;
+}

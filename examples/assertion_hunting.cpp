@@ -1,0 +1,79 @@
+//===--- assertion_hunting.cpp - Finding Fig. 1's assertion failure -------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// The paper's motivating example (Fig. 1): does assert(x < 2) hold in
+//
+//   void Prog(double x) { if (x < 1) { x = x + 1; assert(x < 2); } }
+//
+// Real-arithmetic intuition says yes; IEEE-754 round-to-nearest says no.
+// This example frames "can the assertion fail?" as path reachability to
+// the trap and lets weak-distance minimization find the witness — then
+// shows the same program is safe under round-toward-zero, and repeats
+// the hunt on the tan variant that defeats SMT solvers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/PathReachability.h"
+#include "opt/BasinHopping.h"
+#include "subjects/Fig1.h"
+#include "support/StringUtils.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+namespace {
+
+void hunt(const char *Label, ir::Module &M, const subjects::Fig1 &Prog) {
+  std::cout << "-- " << Label << " --\n";
+  instr::PathSpec Spec;
+  Spec.Legs.push_back({Prog.GuardBranch, true});   // take if (x < 1)
+  Spec.Legs.push_back({Prog.AssertBranch, false}); // violate x < 2
+  analyses::PathReachability PR(M, *Prog.F, Spec);
+
+  opt::BasinHopping Backend;
+  core::ReductionOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxEvals = 80'000;
+  core::ReductionResult R = PR.findOne(Backend, Opts);
+  if (R.Found) {
+    double X = R.Witness[0];
+    std::cout << "assertion FAILS at x = " << formatDouble(X) << "\n";
+    // Demonstrate with the interpreter, under both rounding modes.
+    exec::Engine E(M);
+    exec::ExecContext Ctx(M);
+    exec::ExecOptions Near, Zero;
+    Zero.Rounding = exec::RoundingMode::TowardZero;
+    bool TrapNear =
+        E.run(Prog.F, {exec::RTValue::ofDouble(X)}, Ctx, Near).trapped();
+    bool TrapZero =
+        E.run(Prog.F, {exec::RTValue::ofDouble(X)}, Ctx, Zero).trapped();
+    std::cout << "  round-to-nearest:  " << (TrapNear ? "TRAP" : "ok")
+              << "\n  round-toward-zero: " << (TrapZero ? "TRAP" : "ok")
+              << "   (the paper's Section 1 observation)\n";
+  } else {
+    std::cout << "no violation found (W* = " << formatDouble(R.WStar)
+              << " after " << R.Evals << " evaluations)\n";
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== Hunting the Fig. 1 assertion failures ==\n\n";
+  {
+    ir::Module M("fig1a");
+    subjects::Fig1 P = subjects::buildFig1a(M);
+    hunt("Fig. 1(a): x = x + 1", M, P);
+  }
+  {
+    ir::Module M("fig1b");
+    subjects::Fig1 P = subjects::buildFig1b(M);
+    hunt("Fig. 1(b): x = x + tan(x)   [system-dependent tan; no SMT "
+         "theory needed]",
+         M, P);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===--- branch_coverage.cpp - CoverMe-style test generation --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Instance 4: generate a test suite covering every branch direction of a
+// program, including an equality guard (x == 42.0) that random testing
+// essentially never hits. Each generated input is a concrete test case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BranchCoverage.h"
+#include "opt/BasinHopping.h"
+#include "subjects/TestPrograms.h"
+#include "support/StringUtils.h"
+
+#include <iostream>
+
+using namespace wdm;
+
+int main() {
+  std::cout << "== Branch-coverage-based testing (Instance 4) ==\n\n"
+            << "Subject: classifier(x)\n"
+            << "  x < 0    : (x < -100 ? -2 : -1)\n"
+            << "  x > 100  : 2\n"
+            << "  x == 42  : 99\n"
+            << "  otherwise: 1\n\n";
+
+  ir::Module M;
+  ir::Function *F = subjects::buildClassifier(M);
+  analyses::BranchCoverage Cov(M, *F);
+
+  opt::BasinHopping Backend;
+  analyses::BranchCoverage::Options Opts;
+  Opts.Reduce.Seed = 0xc0;
+  Opts.Reduce.MaxEvals = 30'000;
+  analyses::CoverageReport R = Cov.run(Backend, Opts);
+
+  std::cout << "coverage: " << R.Covered << "/" << R.Total
+            << " branch directions ("
+            << formatf("%.0f%%", 100.0 * R.ratio()) << ") with "
+            << R.TestInputs.size() << " generated tests, " << R.Evals
+            << " weak-distance evaluations\n\ntest suite:\n";
+  for (const auto &Input : R.TestInputs)
+    std::cout << "  classifier(" << formatDouble(Input[0]) << ")\n";
+
+  std::cout << "\nNote the generated x = 42 test: the equality branch has "
+               "a single-point\nsolution set that fuzzing cannot find, "
+               "but |x - 42| guides minimization\nstraight to it (the "
+               "CoverMe effect the paper reports as Instance 4).\n";
+  return R.Covered == R.Total ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+//===--- Inconsistency.cpp - GSL inconsistency check + root cause ------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/Inconsistency.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::analyses;
+using namespace wdm::exec;
+using namespace wdm::ir;
+
+std::string analyses::classifyRootCause(const Instruction *Origin,
+                                        const std::vector<double> &Operands,
+                                        bool *LooksLikeBug) {
+  if (LooksLikeBug)
+    *LooksLikeBug = false;
+  if (!Origin)
+    return "no finite-to-nonfinite origin (input already exceptional)";
+
+  const std::string &Ann = Origin->annotation();
+
+  // The two confirmed-bug signatures of Section 6.3.2.
+  if (Origin->opcode() == Opcode::FDiv && Operands.size() == 2 &&
+      Operands[1] == 0.0) {
+    if (LooksLikeBug)
+      *LooksLikeBug = true;
+    return "division by zero";
+  }
+  if (Ann.find("cos_err") != std::string::npos) {
+    if (LooksLikeBug)
+      *LooksLikeBug = true;
+    return "Inaccurate cosine";
+  }
+
+  if (Origin->opcode() == Opcode::Sqrt && !Operands.empty() &&
+      Operands[0] < 0.0)
+    return "negative in sqrt";
+  if (Origin->opcode() == Opcode::Pow)
+    return "Large exponent of pow";
+
+  // Benign magnitude overflows: distinguish "the raw input was already
+  // huge" from "large intermediate operands".
+  bool HasArgOperand = false;
+  for (const Value *Op : Origin->operands())
+    if (isa<Argument>(Op))
+      HasArgOperand = true;
+  if (HasArgOperand)
+    return "Large input";
+  const char *OpName = opcodeInfo(Origin->opcode()).Name;
+  return formatf("Large operands of %s", OpName);
+}
+
+InconsistencyChecker::InconsistencyChecker(Module &M,
+                                           const gsl::SfFunction &Fn)
+    : M(M), Fn(Fn) {
+  Eng = std::make_unique<Engine>(M);
+  Ctx = std::make_unique<ExecContext>(M);
+}
+
+InconsistencyFinding
+InconsistencyChecker::check(const std::vector<double> &X) {
+  InconsistencyFinding Out;
+  Out.Input = X;
+
+  instr::NonFiniteOriginObserver Obs;
+  Ctx->resetGlobals();
+  Ctx->setObserver(&Obs);
+  std::vector<RTValue> Args;
+  for (double V : X)
+    Args.push_back(RTValue::ofDouble(V));
+  ExecResult R = Eng->run(Fn.F, Args, *Ctx);
+  Ctx->setObserver(nullptr);
+
+  if (!R.ok())
+    return Out; // trap/step-limit: not the POSIX-status contract
+  Out.Status = R.ReturnValue.asInt();
+  Out.Val = Ctx->getGlobal(Fn.Result.Val).asDouble();
+  Out.Err = Ctx->getGlobal(Fn.Result.Err).asDouble();
+  Out.Inconsistent = Out.Status == gsl::GSL_SUCCESS &&
+                     (!std::isfinite(Out.Val) || !std::isfinite(Out.Err));
+
+  if (Obs.found()) {
+    Out.Origin = Obs.origin();
+    Out.OriginText = Obs.origin()->annotation().empty()
+                         ? opcodeInfo(Obs.origin()->opcode()).Name
+                         : Obs.origin()->annotation();
+    Out.RootCause =
+        classifyRootCause(Obs.origin(), Obs.operands(), &Out.LooksLikeBug);
+  }
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===--- Inconsistency.h - GSL inconsistency check + root cause *- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.3.2: an *inconsistency* is a run where a GSL special
+/// function returns GSL_SUCCESS yet result.val or result.err is ±inf or
+/// NaN. The paper root-caused each inconsistency manually with gdb; here
+/// a trace observer captures the first instruction that produced a
+/// non-finite value from finite operands, and a classifier maps it onto
+/// the paper's root-cause vocabulary (Table 5): "Large input …",
+/// "Large operands of *", "negative in sqrt", "Large exponent of pow",
+/// "division by zero", "Inaccurate cosine".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_ANALYSES_INCONSISTENCY_H
+#define WDM_ANALYSES_INCONSISTENCY_H
+
+#include "gsl/GslCommon.h"
+#include "instrument/IRWeakDistance.h"
+#include "instrument/Observers.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::analyses {
+
+struct InconsistencyFinding {
+  std::vector<double> Input;
+  int64_t Status = 0;
+  double Val = 0;
+  double Err = 0;
+  bool Inconsistent = false;
+  /// The first non-finite-producing instruction (may be null).
+  const ir::Instruction *Origin = nullptr;
+  std::string OriginText; ///< Its source annotation.
+  std::string RootCause;  ///< Table 5 vocabulary.
+  /// True for the root causes the paper's developers confirmed as bugs
+  /// (division by zero, inaccurate cosine) as opposed to benign
+  /// large-input overflows.
+  bool LooksLikeBug = false;
+};
+
+class InconsistencyChecker {
+public:
+  InconsistencyChecker(ir::Module &M, const gsl::SfFunction &Fn);
+
+  /// Replays the function on \p X and classifies the outcome.
+  InconsistencyFinding check(const std::vector<double> &X);
+
+private:
+  ir::Module &M;
+  const gsl::SfFunction &Fn;
+  std::unique_ptr<exec::Engine> Eng;
+  std::unique_ptr<exec::ExecContext> Ctx;
+};
+
+/// Maps a non-finite origin onto the paper's root-cause strings.
+std::string classifyRootCause(const ir::Instruction *Origin,
+                              const std::vector<double> &Operands,
+                              bool *LooksLikeBug = nullptr);
+
+} // namespace wdm::analyses
+
+#endif // WDM_ANALYSES_INCONSISTENCY_H

@@ -1,0 +1,123 @@
+//===--- OverflowDetector.cpp - Instance 3 driver (fpod) ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/OverflowDetector.h"
+
+#include "opt/BasinHopping.h"
+
+#include <chrono>
+#include <unordered_set>
+
+using namespace wdm;
+using namespace wdm::analyses;
+using namespace wdm::exec;
+
+OverflowDetector::OverflowDetector(ir::Module &M, ir::Function &F,
+                                   instr::OverflowMetric Metric)
+    : M(M), Orig(F) {
+  Instr = instr::instrumentOverflow(F, Metric);
+  Eng = std::make_unique<Engine>(M);
+  WeakCtx = std::make_unique<ExecContext>(M);
+  ProbeCtx = std::make_unique<ExecContext>(M);
+  Weak = std::make_unique<instr::IRWeakDistance>(
+      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+}
+
+bool OverflowDetector::overflowsAt(int SiteId,
+                                   const std::vector<double> &X) {
+  instr::OverflowObserver Obs;
+  ProbeCtx->resetGlobals();
+  ProbeCtx->setObserver(&Obs);
+  std::vector<RTValue> Args;
+  for (double V : X)
+    Args.push_back(RTValue::ofDouble(V));
+  Eng->run(&Orig, Args, *ProbeCtx);
+  ProbeCtx->setObserver(nullptr);
+  return Obs.overflowedAt(SiteId);
+}
+
+OverflowReport OverflowDetector::run(const Options &Opts) {
+  auto Clock0 = std::chrono::steady_clock::now();
+  OverflowReport Report;
+  Report.NumOps = static_cast<unsigned>(Instr.Sites.size());
+
+  RNG Rand(Opts.Seed);
+  opt::BasinHopping Backend;
+  opt::MinimizeOptions MinOpts = Opts.MinOpts;
+
+  unsigned Dim = Orig.numArgs();
+  std::unordered_set<int> L; // sites already targeted (Algorithm 3's L)
+  std::unordered_map<int, OverflowFinding> BySite;
+  for (const instr::Site &S : Instr.Sites) {
+    // Sites start enabled (not in L).
+    WeakCtx->setSiteEnabled(S.Id, true);
+    BySite[S.Id] = {S.Id, false, {}, S.Description};
+  }
+
+  auto AddToL = [&](int SiteId) {
+    L.insert(SiteId);
+    WeakCtx->setSiteEnabled(SiteId, false);
+  };
+
+  // Step (8): |L| grows by one per round, so at most nFP rounds.
+  while (L.size() < Instr.Sites.size()) {
+    // Step (4): random starting point.
+    std::vector<double> Start(Dim);
+    for (double &S : Start)
+      S = Rand.chance(Opts.WildStartProb)
+              ? Rand.anyFiniteDouble()
+              : Rand.uniform(Opts.StartLo, Opts.StartHi);
+
+    // Step (5): Basinhopping from s.
+    opt::Objective Obj(
+        [this](const std::vector<double> &X) { return (*Weak)(X); }, Dim);
+    Obj.MaxEvals = Opts.EvalsPerRound;
+    RNG Child = Rand.split();
+    opt::MinimizeResult MR = Backend.minimize(Obj, Start, Child, MinOpts);
+    Report.Evals += MR.Evals;
+
+    // Re-evaluate at the minimum point so last_site reflects this run.
+    double WStar = (*Weak)(MR.X);
+    ++Report.Evals;
+    int Target = static_cast<int>(Weak->readIntGlobal(Instr.LastSite));
+
+    if (WStar == 0.0 && Target >= 0 && !L.count(Target)) {
+      // Step (6): a zero — verify on the original before recording.
+      if (overflowsAt(Target, MR.X)) {
+        OverflowFinding &F = BySite[Target];
+        F.Found = true;
+        F.Input = MR.X;
+      }
+      // Step (7): track the instruction either way.
+      AddToL(Target);
+      continue;
+    }
+
+    // Nonzero minimum: the targeted instruction cannot be triggered (or
+    // the backend failed — Limitation 3). Retire it to guarantee
+    // termination.
+    if (Target >= 0 && !L.count(Target)) {
+      AddToL(Target);
+      continue;
+    }
+    // No enabled site executed on this input (e.g. the run never reached
+    // an enabled instruction): retire the first still-enabled site.
+    for (const instr::Site &S : Instr.Sites) {
+      if (!L.count(S.Id)) {
+        AddToL(S.Id);
+        break;
+      }
+    }
+  }
+
+  for (const instr::Site &S : Instr.Sites)
+    Report.Findings.push_back(BySite[S.Id]);
+
+  Report.Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Clock0)
+                       .count();
+  return Report;
+}

@@ -1,0 +1,98 @@
+//===--- OverflowDetector.h - Instance 3 driver (fpod) ---------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Floating-point overflow detection — the paper's fpod, Algorithm 3:
+///
+///  (1-3) instrument Prog into Prog_w / W  [OverflowPass + IRWeakDistance]
+///  (4)   pick a random starting point,
+///  (5)   x* = Basinhopping(W, s),
+///  (6)   if W(x*) = 0, record the input,
+///  (7)   target = last instruction executed in the round; L += {target},
+///  (8)   repeat while |L| <= nFP,
+///  (9)   return X.
+///
+/// L lives in the execution context's site-enabled table. Every found
+/// overflow is verified by replaying the *original* function under an
+/// OverflowObserver before it is reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_ANALYSES_OVERFLOWDETECTOR_H
+#define WDM_ANALYSES_OVERFLOWDETECTOR_H
+
+#include "instrument/IRWeakDistance.h"
+#include "instrument/Observers.h"
+#include "instrument/OverflowPass.h"
+#include "opt/Optimizer.h"
+
+#include <memory>
+#include <vector>
+
+namespace wdm::analyses {
+
+struct OverflowFinding {
+  int SiteId = -1;
+  bool Found = false;
+  std::vector<double> Input;      ///< Valid when Found.
+  std::string Description;        ///< Source text of the instruction.
+};
+
+struct OverflowReport {
+  std::vector<OverflowFinding> Findings; ///< One per site, site order.
+  uint64_t Evals = 0;
+  double Seconds = 0;
+  unsigned NumOps = 0;
+
+  unsigned numOverflows() const {
+    unsigned N = 0;
+    for (const OverflowFinding &F : Findings)
+      N += F.Found;
+    return N;
+  }
+};
+
+class OverflowDetector {
+public:
+  struct Options {
+    uint64_t EvalsPerRound = 12'000;
+    uint64_t Seed = 0xf70d;
+    /// Starting points: mostly wild draws over all of F — overflow
+    /// inputs live at 1e150..1e308 magnitudes.
+    double StartLo = -1.0e3;
+    double StartHi = 1.0e3;
+    double WildStartProb = 0.7;
+    opt::MinimizeOptions MinOpts;
+  };
+
+  OverflowDetector(ir::Module &M, ir::Function &F,
+                   instr::OverflowMetric Metric =
+                       instr::OverflowMetric::UlpGap);
+
+  /// Runs Algorithm 3 to completion (one round per site, as the paper's
+  /// termination argument requires).
+  OverflowReport run(const Options &Opts);
+
+  const instr::SiteTable &sites() const { return Instr.Sites; }
+  instr::IRWeakDistance &weak() { return *Weak; }
+
+  /// Replays the original function and reports whether the operation at
+  /// \p SiteId overflows on \p X.
+  bool overflowsAt(int SiteId, const std::vector<double> &X);
+
+private:
+  ir::Module &M;
+  ir::Function &Orig;
+  instr::OverflowInstrumentation Instr;
+  std::unique_ptr<exec::Engine> Eng;
+  std::unique_ptr<exec::ExecContext> WeakCtx;
+  std::unique_ptr<exec::ExecContext> ProbeCtx;
+  std::unique_ptr<instr::IRWeakDistance> Weak;
+};
+
+} // namespace wdm::analyses
+
+#endif // WDM_ANALYSES_OVERFLOWDETECTOR_H

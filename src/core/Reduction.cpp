@@ -1,0 +1,72 @@
+//===--- Reduction.cpp - Algorithm 2: weak-distance minimization -----------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Reduction.h"
+
+using namespace wdm;
+using namespace wdm::core;
+
+WeakDistance::~WeakDistance() = default;
+AnalysisProblem::~AnalysisProblem() = default;
+
+ReductionResult Reduction::solve(opt::Optimizer &Backend,
+                                 const ReductionOptions &Opts,
+                                 opt::SampleRecorder *Recorder) {
+  ReductionResult Result;
+  RNG Rand(Opts.Seed);
+  unsigned Dim = W.dim();
+
+  uint64_t BudgetPerStart =
+      Opts.MaxEvals / (Opts.Starts ? Opts.Starts : 1);
+  if (BudgetPerStart == 0)
+    BudgetPerStart = Opts.MaxEvals;
+
+  bool First = true;
+  for (unsigned StartIdx = 0;
+       StartIdx < Opts.Starts && Result.Evals < Opts.MaxEvals;
+       ++StartIdx) {
+    ++Result.StartsUsed;
+
+    // Fresh objective per start so a rejected (unsound) zero does not
+    // freeze the best-so-far at 0 and halt all further exploration.
+    opt::Objective Obj([this](const std::vector<double> &X) { return W(X); },
+                       Dim);
+    Obj.MaxEvals = std::min<uint64_t>(BudgetPerStart,
+                                      Opts.MaxEvals - Result.Evals);
+    Obj.setRecorder(Recorder);
+
+    std::vector<double> Start(Dim);
+    for (double &S : Start)
+      S = Rand.chance(Opts.WildStartProb)
+              ? Rand.anyFiniteDouble()
+              : Rand.uniform(Opts.StartLo, Opts.StartHi);
+
+    RNG ChildRand = Rand.split();
+    opt::MinimizeResult MR =
+        Backend.minimize(Obj, Start, ChildRand, Opts.MinOpts);
+    Result.Evals += MR.Evals;
+
+    if (First || MR.F < Result.WStar) {
+      Result.WStar = MR.F;
+      Result.WStarAt = MR.X;
+      First = false;
+    }
+
+    if (!MR.ReachedTarget)
+      continue;
+
+    // Candidate zero: Algorithm 2 step (3), optionally hardened by the
+    // Section 5.2 soundness check.
+    if (Opts.VerifySolutions && Problem && !Problem->contains(MR.X)) {
+      ++Result.UnsoundCandidates;
+      continue;
+    }
+    Result.Found = true;
+    Result.Witness = MR.X;
+    return Result;
+  }
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===--- Reduction.h - Algorithm 2: weak-distance minimization -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2 (Weak-Distance Minimization):
+///   (1) construct a weak distance W for ⟨Prog; S⟩  [caller's job],
+///   (2) minimize W; let x* be the minimum point,
+///   (3) return x* if W(x*) = 0, otherwise "not found".
+/// Theorem 3.3 guarantees this solves the analysis problem exactly —
+/// modulo Limitation 3 (the MO backend may fail to reach a true minimum,
+/// giving incompleteness, never unsoundness once candidate verification
+/// is on).
+///
+/// The driver runs the backend from multiple random starting points, the
+/// multi-start scheme of Section 4.1 ("local MO is then applied over a
+/// set of starting points SP").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_CORE_REDUCTION_H
+#define WDM_CORE_REDUCTION_H
+
+#include "core/WeakDistance.h"
+#include "opt/Optimizer.h"
+
+#include <cstdint>
+
+namespace wdm::core {
+
+struct ReductionOptions {
+  /// Total objective-evaluation budget across all starts.
+  uint64_t MaxEvals = 200'000;
+  /// Number of optimizer launches from fresh random starting points.
+  unsigned Starts = 24;
+  /// Seed for starting points and backend randomness.
+  uint64_t Seed = 0x5eed'f00d;
+  /// Starting points: drawn from [StartLo, StartHi] with probability
+  /// (1 - WildStartProb), otherwise uniform over finite double bit
+  /// patterns (reaching 1e308-scale regions, as the overflow study
+  /// requires).
+  double StartLo = -100.0;
+  double StartHi = 100.0;
+  double WildStartProb = 0.3;
+  /// Validate candidate zeros with AnalysisProblem::contains before
+  /// reporting (Section 5.2 Remark). Rejected candidates are counted and
+  /// the search continues from the next start.
+  bool VerifySolutions = true;
+  /// Backend configuration.
+  opt::MinimizeOptions MinOpts;
+};
+
+struct ReductionResult {
+  bool Found = false;
+  std::vector<double> Witness;   ///< Valid only when Found.
+  double WStar = 0;              ///< Smallest weak-distance value seen.
+  std::vector<double> WStarAt;   ///< Where WStar was attained.
+  uint64_t Evals = 0;            ///< Objective evaluations consumed.
+  unsigned StartsUsed = 0;
+  /// Candidate zeros rejected by verification — each one is a concrete
+  /// manifestation of Limitation 2 (FP-inaccurate weak distance).
+  unsigned UnsoundCandidates = 0;
+};
+
+class Reduction {
+public:
+  /// \p Problem may be null; then candidate verification is skipped and
+  /// the caller owns soundness (pure Theorem 3.3 mode).
+  Reduction(WeakDistance &W, AnalysisProblem *Problem)
+      : W(W), Problem(Problem) {}
+
+  /// Runs Algorithm 2 with \p Backend. An optional recorder sees every
+  /// sample (the Figs. 3/4/9 benches plot these).
+  ReductionResult solve(opt::Optimizer &Backend,
+                        const ReductionOptions &Opts,
+                        opt::SampleRecorder *Recorder = nullptr);
+
+private:
+  WeakDistance &W;
+  AnalysisProblem *Problem;
+};
+
+} // namespace wdm::core
+
+#endif // WDM_CORE_REDUCTION_H

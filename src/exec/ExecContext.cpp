@@ -1,0 +1,55 @@
+//===--- ExecContext.cpp - Cross-call interpreter state --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecContext.h"
+
+using namespace wdm::exec;
+using namespace wdm::ir;
+
+ExecContext::ExecContext(const Module &M) : M(M) {
+  resetGlobals();
+  SiteDisabled.assign(static_cast<size_t>(M.numSiteIds()), 0);
+}
+
+void ExecContext::resetGlobals() {
+  Globals.clear();
+  for (size_t I = 0; I < M.numGlobals(); ++I) {
+    const GlobalVar *G = M.global(I);
+    if (G->type() == Type::Double)
+      Globals[G] = RTValue::ofDouble(G->initDouble());
+    else
+      Globals[G] = RTValue::ofInt(G->initInt());
+  }
+}
+
+RTValue ExecContext::getGlobal(const GlobalVar *G) const {
+  auto It = Globals.find(G);
+  assert(It != Globals.end() && "global from another module");
+  return It->second;
+}
+
+void ExecContext::setGlobal(const GlobalVar *G, RTValue V) {
+  assert(V.type() == G->type() && "type-mismatched global store");
+  Globals[G] = V;
+}
+
+bool ExecContext::isSiteEnabled(int Id) const {
+  if (Id < 0 || static_cast<size_t>(Id) >= SiteDisabled.size())
+    return true;
+  return !SiteDisabled[static_cast<size_t>(Id)];
+}
+
+void ExecContext::setSiteEnabled(int Id, bool Enabled) {
+  if (Id < 0)
+    return;
+  if (static_cast<size_t>(Id) >= SiteDisabled.size())
+    SiteDisabled.resize(static_cast<size_t>(Id) + 1, 0);
+  SiteDisabled[static_cast<size_t>(Id)] = Enabled ? 0 : 1;
+}
+
+void ExecContext::enableAllSites() {
+  SiteDisabled.assign(SiteDisabled.size(), 0);
+}

@@ -1,0 +1,59 @@
+//===--- ExecContext.h - Cross-call interpreter state ----------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecContext holds the state that outlives a single function invocation:
+/// global-variable values (the instrumented `w` and mini-GSL result slots)
+/// and the per-site enabled bits that realize Algorithm 3's evolving set L
+/// ("if (l is not in L)") without re-instrumenting between rounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_EXEC_EXECCONTEXT_H
+#define WDM_EXEC_EXECCONTEXT_H
+
+#include "exec/RuntimeValue.h"
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace wdm::exec {
+
+class ExecObserver;
+
+class ExecContext {
+public:
+  explicit ExecContext(const ir::Module &M);
+
+  /// Resets every global to its initializer. Site bits are left alone.
+  void resetGlobals();
+
+  RTValue getGlobal(const ir::GlobalVar *G) const;
+  void setGlobal(const ir::GlobalVar *G, RTValue V);
+
+  /// Sites default to enabled; ids beyond the tracked range read enabled.
+  bool isSiteEnabled(int Id) const;
+  void setSiteEnabled(int Id, bool Enabled);
+  /// Re-enables every site.
+  void enableAllSites();
+
+  /// Optional execution observer; not owned.
+  ExecObserver *observer() const { return Observer; }
+  void setObserver(ExecObserver *O) { Observer = O; }
+
+  const ir::Module &module() const { return M; }
+
+private:
+  const ir::Module &M;
+  std::unordered_map<const ir::GlobalVar *, RTValue> Globals;
+  std::vector<uint8_t> SiteDisabled; // indexed by site id; 1 = disabled
+  ExecObserver *Observer = nullptr;
+};
+
+} // namespace wdm::exec
+
+#endif // WDM_EXEC_EXECCONTEXT_H

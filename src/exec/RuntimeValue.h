@@ -1,0 +1,68 @@
+//===--- RuntimeValue.h - Interpreter runtime values -----------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_EXEC_RUNTIMEVALUE_H
+#define WDM_EXEC_RUNTIMEVALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace wdm::exec {
+
+/// A dynamically-typed runtime value flowing through the interpreter.
+class RTValue {
+public:
+  RTValue() : Ty(ir::Type::Void), I(0) {}
+
+  static RTValue ofDouble(double V) {
+    RTValue R;
+    R.Ty = ir::Type::Double;
+    R.D = V;
+    return R;
+  }
+  static RTValue ofInt(int64_t V) {
+    RTValue R;
+    R.Ty = ir::Type::Int;
+    R.I = V;
+    return R;
+  }
+  static RTValue ofBool(bool V) {
+    RTValue R;
+    R.Ty = ir::Type::Bool;
+    R.B = V;
+    return R;
+  }
+
+  ir::Type type() const { return Ty; }
+  bool isVoid() const { return Ty == ir::Type::Void; }
+
+  double asDouble() const {
+    assert(Ty == ir::Type::Double && "not a double");
+    return D;
+  }
+  int64_t asInt() const {
+    assert(Ty == ir::Type::Int && "not an int");
+    return I;
+  }
+  bool asBool() const {
+    assert(Ty == ir::Type::Bool && "not a bool");
+    return B;
+  }
+
+private:
+  ir::Type Ty;
+  union {
+    double D;
+    int64_t I;
+    bool B;
+  };
+};
+
+} // namespace wdm::exec
+
+#endif // WDM_EXEC_RUNTIMEVALUE_H

@@ -1,0 +1,166 @@
+//===--- Airy.cpp - gsl_sf_airy_Ai_e --------------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gsl/Airy.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::gsl;
+using namespace wdm::ir;
+
+/// gsl_sf_cos_err_e(theta, dtheta): cosine with propagated error. The
+/// Taylor-corrected value cos(theta + dtheta) ~ c - s*dtheta - c*dtheta^2/2
+/// overflows for huge dtheta, and for theta = inf the cosine itself is
+/// NaN — yet the function *always returns GSL_SUCCESS* (the latent bug).
+static SfFunction buildCosErr(Module &M) {
+  SfFunction Out;
+  Out.Result = makeResultSlots(M, "gsl_cos");
+
+  Function *F = M.addFunction("gsl_sf_cos_err_e", Type::Int);
+  Out.F = F;
+  Argument *Theta = F->addArg(Type::Double, "theta");
+  Argument *DTheta = F->addArg(Type::Double, "dtheta");
+
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  auto Ann = [](Instruction *I, const char *Text) {
+    I->setAnnotation(Text);
+    return I;
+  };
+
+  Instruction *C = B.cos(Theta, "c");
+  C->setAnnotation("cos(theta)");
+  Value *S = B.sin(Theta, "s");
+  Value *Corr = Ann(B.fmul(DTheta, DTheta, "corr"),
+                    "cos_err: dtheta*dtheta");
+  Value *HalfCorr = Ann(B.fmul(Corr, B.lit(0.5)), "cos_err: *0.5");
+  Value *T1 = Ann(B.fmul(C, HalfCorr), "cos_err: c*dtheta^2/2");
+  Value *T2 = Ann(B.fmul(S, DTheta), "cos_err: s*dtheta");
+  Value *V1 = Ann(B.fsub(C, T2), "cos_err: c - s*dtheta");
+  Value *Val = Ann(B.fsub(V1, T1), "cos_err: ... - c*dtheta^2/2");
+  B.storeg(Out.Result.Val, Val);
+  Value *E1 = Ann(B.fmul(B.fabs(S), DTheta), "cos_err: |s|*dtheta");
+  Value *E2 = Ann(B.fmul(B.fabs(C), HalfCorr), "cos_err: |c|*corr");
+  Value *Err = Ann(B.fadd(E1, E2), "cos_err: err sum");
+  B.storeg(Out.Result.Err, Err);
+  // The bug: exceptional values escape without an error status.
+  B.ret(B.litInt(GSL_SUCCESS));
+  return Out;
+}
+
+AiryModel gsl::buildAiryAi(Module &M) {
+  AiryModel Out;
+  Out.CosErr = buildCosErr(M);
+  Out.Airy.Result = makeResultSlots(M, "airy");
+
+  Function *F = M.addFunction("gsl_sf_airy_Ai_e", Type::Int);
+  Out.Airy.F = F;
+  Argument *X = F->addArg(Type::Double, "x");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Osc = F->addBlock("oscillatory");
+  BasicBlock *Chk2 = F->addBlock("chk.mid");
+  BasicBlock *Mid = F->addBlock("mid");
+  BasicBlock *Decay = F->addBlock("decay");
+
+  IRBuilder B(M);
+  auto Ann = [](Instruction *I, const char *Text) {
+    I->setAnnotation(Text);
+    return I;
+  };
+
+  B.setInsertAppend(Entry);
+  Instruction *IsOsc = B.fcmp(CmpPred::LT, X, B.lit(-1.0), "x.osc");
+  IsOsc->setAnnotation("x < -1.0");
+  B.condbr(IsOsc, Osc, Chk2);
+
+  // --- Oscillatory region: airy_mod_phase + cos_err (16 FP-op sites). ---
+  B.setInsertAppend(Osc);
+  // Chebyshev argument z = 1 + 8/x^3 maps (-inf, -2] into [0, 1) and the
+  // bug window (-2, -1) below 0.                                (ops 1-4)
+  Value *XX = Ann(B.fmul(X, X, "xx"), "airy_mod_phase: x*x");
+  Value *X3 = Ann(B.fmul(XX, X, "x3"), "airy_mod_phase: x*x*x");
+  Value *ZR = Ann(B.fdiv(B.lit(8.0), X3, "zr"),
+                  "airy_mod_phase: 8.0/(x*x*x)");
+  Value *Z = Ann(B.fadd(B.lit(1.0), ZR, "z"), "airy_mod_phase: z = 1 + ...");
+  // cheb_eval_mode_e (GSL's Lines 26-30 loop, unrolled Horner): the
+  // modulus series 0.1 z^2 + 0.3 z + 0.04 vanishes at
+  // z0 = (-0.3 + sqrt(0.074)) / 0.2 ~ -0.13985.                  (ops 5-8)
+  Value *H1 = Ann(B.fmul(B.lit(0.1), Z), "cheb_eval_mode_e: c2*z");
+  Value *H2 = Ann(B.fadd(H1, B.lit(0.3)), "cheb_eval_mode_e: + c1");
+  Value *H3 = Ann(B.fmul(H2, Z), "cheb_eval_mode_e: * z");
+  Value *ResultM = Ann(B.fadd(H3, B.lit(AiryChebC0), "result_m"),
+                       "cheb_eval_mode_e: result_m");
+  // Phase theta = (2/3)(-x)^{3/2} + (pi/4)/result_m — Bug 1's division
+  // by the vanished modulus.                                    (ops 9-11)
+  Value *NX = B.fneg(X, "nx");
+  Value *P = B.pow(NX, B.lit(1.5), "p15");
+  Value *Th1 = Ann(B.fmul(B.lit(2.0 / 3.0), P), "theta = (2/3)*(-x)^1.5");
+  Value *PhCorr =
+      Ann(B.fdiv(B.lit(0.7853981633974483), ResultM, "ph.corr"),
+          "int stat_mp = airy_mod_phase(..., &theta)  [pi/4 / result_m]");
+  Value *Theta = Ann(B.fadd(Th1, PhCorr, "theta"), "theta sum");
+  // Synthetic quadratic phase-error model dtheta = EPS*theta^2.
+  //                                                           (ops 12-13)
+  Value *TEps = Ann(B.fmul(Theta, B.lit(GslDblEpsilon)),
+                    "dtheta = EPS*theta*theta  [theta*EPS]");
+  Value *DTheta = Ann(B.fmul(TEps, Theta, "dtheta"),
+                      "dtheta = EPS*theta*theta  [*theta]");
+  // Modulus m = sqrt(result_m / sqrt(-x)).                       (op 14)
+  Value *SqX = B.sqrt(NX, "sqx");
+  Value *SM = Ann(B.fdiv(ResultM, SqX, "sm"),
+                  "m = sqrt(result_m / sqrt(-x))");
+  Value *Mmod = B.sqrt(B.fabs(SM), "m");
+  // cos with error estimate; statuses are *not* combined (the bug).
+  B.call(Out.CosErr.F, {Theta, DTheta});
+  Value *CV = B.loadg(Out.CosErr.Result.Val, "cos.val");
+  Value *CE = B.loadg(Out.CosErr.Result.Err, "cos.err");
+  Value *OscVal =
+      Ann(B.fmul(Mmod, CV, "ai.osc"),
+          "int stat_cos = gsl_sf_cos_err_e(..., &cos_result)  [m*cos]");
+  B.storeg(Out.Airy.Result.Val, OscVal);                      // (op 15)
+  Value *OscErr = Ann(B.fmul(Mmod, CE), "err = m * cos_err"); // (op 16)
+  B.storeg(Out.Airy.Result.Err, OscErr);
+  B.ret(B.litInt(GSL_SUCCESS));
+
+  // --- Middle region [-1, 1): Taylor cubic (7 FP-op sites). ---
+  B.setInsertAppend(Chk2);
+  Instruction *IsMid = B.fcmp(CmpPred::LT, X, B.lit(1.0), "x.mid");
+  IsMid->setAnnotation("x < 1.0");
+  B.condbr(IsMid, Mid, Decay);
+
+  B.setInsertAppend(Mid);
+  // Ai(x) ~ C0 + C1 x + C3 x^3 (Ai''(0) = 0).                 (ops 17-22)
+  Value *Q1 = Ann(B.fmul(B.lit(0.05917134231463620), X), "taylor: C3*x");
+  Value *Q2 = Ann(B.fadd(Q1, B.lit(0.0)), "taylor: + C2");
+  Value *Q3 = Ann(B.fmul(Q2, X), "taylor: *x");
+  Value *Q4 = Ann(B.fadd(Q3, B.lit(-0.2588194037928068)), "taylor: + C1");
+  Value *Q5 = Ann(B.fmul(Q4, X), "taylor: *x");
+  Value *MidVal =
+      Ann(B.fadd(Q5, B.lit(0.3550280538878172), "ai.mid"), "taylor: + C0");
+  B.storeg(Out.Airy.Result.Val, MidVal);
+  Value *MidErr =
+      Ann(B.fmul(B.fabs(MidVal), B.lit(GslDblEpsilon)), "err");  // (op 23)
+  B.storeg(Out.Airy.Result.Err, MidErr);
+  B.ret(B.litInt(GSL_SUCCESS));
+
+  // --- Decay region x >= 1: Ai(x) ~ exp(-2/3 x^1.5)/(2 sqrt(pi) x^.25).
+  //                                                          (ops 24-27)
+  B.setInsertAppend(Decay);
+  Value *S15 = B.pow(X, B.lit(1.5), "x15");
+  Value *T = Ann(B.fmul(B.lit(-2.0 / 3.0), S15), "decay: -2/3*x^1.5");
+  Value *Ex = B.exp(T, "ex");
+  Value *Rt = B.pow(X, B.lit(0.25), "x25");
+  Value *Den = Ann(B.fmul(B.lit(3.5449077018110318), Rt),
+                   "decay: 2*sqrt(pi)*x^0.25");
+  Value *DecVal = Ann(B.fdiv(Ex, Den, "ai.decay"), "decay: val");
+  B.storeg(Out.Airy.Result.Val, DecVal);
+  Value *DecErr = Ann(B.fmul(B.fabs(DecVal), B.lit(GslDblEpsilon)), "err");
+  B.storeg(Out.Airy.Result.Err, DecErr);
+  B.ret(B.litInt(GSL_SUCCESS));
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===--- Airy.h - gsl_sf_airy_Ai_e ------------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of gsl_sf_airy_Ai_e(x) preserving the two *confirmed bugs* of
+/// Section 6.3.2:
+///
+///  Bug 1 (division by zero): for oscillatory x the modulus is computed
+///  by a Chebyshev-style polynomial (GSL's cheb_eval_mode_e loop) and
+///  then *divided* into the phase correction. The polynomial crosses
+///  zero near x ~ -1.9146 (GSL: x = -1.8427611519777442), so the phase
+///  becomes inf and the result NaN while the status stays GSL_SUCCESS.
+///
+///  Bug 2 (inaccurate cosine for huge phases): the phase error estimate
+///  dtheta = EPS * theta^2 is squared inside gsl_sf_cos_err_e's Taylor
+///  correction; for |x| >~ 5e56 that correction overflows and
+///  cos_result.val becomes ±inf — "clearly beyond its expected [-1,1]
+///  bound" — still with GSL_SUCCESS. (GSL's own threshold was ~1e34; our
+///  synthetic quadratic error model shifts the magnitude, documented in
+///  DESIGN.md.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_GSL_AIRY_H
+#define WDM_GSL_AIRY_H
+
+#include "gsl/GslCommon.h"
+
+namespace wdm::gsl {
+
+struct AiryModel {
+  SfFunction Airy;   ///< (x) -> status.
+  SfFunction CosErr; ///< (theta, dtheta) -> status; the buggy helper.
+};
+
+AiryModel buildAiryAi(ir::Module &M);
+
+/// Constant term of the modeled Chebyshev modulus series. Chosen so the
+/// series cancels to *exactly* 0.0 in binary64 at AiryBug1Input — the
+/// same last-ulp sensitivity GSL's cheb_eval_mode_e exhibits at
+/// x = -1.8427611519777442.
+inline constexpr double AiryChebC0 = 0.04000000000000002;
+
+/// The input triggering Bug 1 (division by a vanished modulus): the
+/// computed result_m is exactly 0.0 here and nonzero one ulp away.
+inline constexpr double AiryBug1Input = -1.9146102807898733;
+
+/// Elementary FP ops in the airy body (GSL's implementation has 26; this
+/// model has 27 — the delta is documented in EXPERIMENTS.md).
+inline constexpr unsigned AiryNumFPOps = 27;
+
+} // namespace wdm::gsl
+
+#endif // WDM_GSL_AIRY_H

@@ -1,0 +1,90 @@
+//===--- Bessel.cpp - gsl_sf_bessel_Knu_scaled_asympx_e ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gsl/Bessel.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::gsl;
+using namespace wdm::ir;
+
+SfFunction gsl::buildBesselKnuScaledAsympx(Module &M) {
+  SfFunction Out;
+  Out.Result = makeResultSlots(M, "bessel");
+
+  Function *F = M.addFunction("gsl_sf_bessel_Knu_scaled_asympx_e", Type::Int);
+  Out.F = F;
+  Argument *Nu = F->addArg(Type::Double, "nu");
+  Argument *X = F->addArg(Type::Double, "x");
+
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  auto Ann = [](Instruction *I, const char *Text) {
+    I->setAnnotation(Text);
+    return I;
+  };
+
+  // double mu = 4.0 * nu * nu;                              (ops 1-2)
+  Value *T1 = Ann(B.fmul(B.lit(4.0), Nu, "t"), "double mu = 4.0 * nu*nu");
+  Value *Mu = Ann(B.fmul(T1, Nu, "mu"), "double mu = 4.0*nu * nu");
+  // double mum1 = mu - 1.0;                                 (op 3)
+  Value *Mum1 =
+      Ann(B.fsub(Mu, B.lit(1.0), "mum1"), "double mum1 = mu - 1.0");
+  // double mum9 = mu - 9.0;                                 (op 4)
+  Value *Mum9 =
+      Ann(B.fsub(Mu, B.lit(9.0), "mum9"), "double mum9 = mu - 9.0");
+  // double pre = sqrt(M_PI / (2.0 * x));                    (ops 5-6)
+  Value *TwoX = Ann(B.fmul(B.lit(2.0), X, "twox"),
+                    "double pre = sqrt(M_PI/(2.0 * x))");
+  Value *PiOver = Ann(B.fdiv(B.lit(M_PI), TwoX, "pidiv"),
+                      "double pre = sqrt(M_PI / (2.0*x))");
+  Value *Pre = B.sqrt(PiOver, "pre");
+  // double r = nu / x;                                      (op 7)
+  Value *R = Ann(B.fdiv(Nu, X, "r"), "double r = nu / x");
+
+  // result->val = pre * (1.0 + mum1/(8.0*x) + mum1*mum9/(128.0*x*x));
+  //                                                         (ops 8-16)
+  Value *EightX = Ann(B.fmul(B.lit(8.0), X),
+                      "val = pre*(1.0 + mum1/(8.0 * x) + ...)");
+  Value *Term1 = Ann(B.fdiv(Mum1, EightX),
+                     "val = pre*(1.0 + mum1 / (8.0*x) + ...)");
+  Value *MM = Ann(B.fmul(Mum1, Mum9),
+                  "val = pre*(... + mum1 * mum9/(128.0*x*x))");
+  Value *C128X = Ann(B.fmul(B.lit(128.0), X),
+                     "val = pre*(... + mum1*mum9/(128.0 * x*x))");
+  Value *C128XX = Ann(B.fmul(C128X, X),
+                      "val = pre*(... + mum1*mum9/(128.0*x * x))");
+  Value *Term2 = Ann(B.fdiv(MM, C128XX),
+                     "val = pre*(... + mum1*mum9 / (128.0*x*x))");
+  Value *Sum1 = Ann(B.fadd(B.lit(1.0), Term1),
+                    "val = pre*(1.0 + mum1/(8.0*x) + ...)  [first +]");
+  Value *Sum2 = Ann(B.fadd(Sum1, Term2),
+                    "val = pre*(... + mum1*mum9/(128.0*x*x))  [second +]");
+  Value *Val = Ann(B.fmul(Pre, Sum2, "val"), "val = pre * (...)");
+  B.storeg(Out.Result.Val, Val);
+
+  // result->err = 2.0*EPSILON*fabs(val) + pre*fabs(0.1*r*r*r);
+  //                                                         (ops 17-23)
+  Value *E1 = Ann(B.fmul(B.lit(2.0), B.lit(GslDblEpsilon)),
+                  "err = 2.0 * EPSILON*fabs(val) + ...");
+  Value *E2 = Ann(B.fmul(E1, B.fabs(Val)),
+                  "err = 2.0*EPSILON * fabs(val) + ...");
+  Value *R1 = Ann(B.fmul(B.lit(0.1), R),
+                  "err = ... + pre*fabs(0.1 * r*r*r)");
+  Value *R2 = Ann(B.fmul(R1, R), "err = ... + pre*fabs(0.1*r * r*r)");
+  Value *R3 = Ann(B.fmul(R2, R), "err = ... + pre*fabs(0.1*r*r * r)");
+  Value *E3 = Ann(B.fmul(Pre, B.fabs(R3)),
+                  "err = ... + pre * fabs(0.1*r*r*r)");
+  Value *Err = Ann(B.fadd(E2, E3), "err = ... + ...  [final +]");
+  B.storeg(Out.Result.Err, Err);
+
+  // return GSL_SUCCESS;  — unconditionally, like the original.
+  B.ret(B.litInt(GSL_SUCCESS));
+  return Out;
+}

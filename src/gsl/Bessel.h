@@ -1,0 +1,45 @@
+//===--- Bessel.h - gsl_sf_bessel_Knu_scaled_asympx_e ----------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transcribes paper Fig. 5 (GSL bessel.c) instruction-for-instruction:
+/// \code
+///   int gsl_sf_bessel_Knu_scaled_asympx_e(const double nu,
+///       const double x, gsl_sf_result* result) {
+///     double mu   = 4.0 * nu * nu;
+///     double mum1 = mu - 1.0;
+///     double mum9 = mu - 9.0;
+///     double pre  = sqrt(M_PI / (2.0 * x));
+///     double r    = nu / x;
+///     result->val = pre * (1.0 + mum1 / (8.0 * x)
+///                              + mum1 * mum9 / (128.0 * x * x));
+///     result->err = 2.0 * GSL_DBL_EPSILON * fabs(result->val)
+///                 + pre * fabs(0.1 * r * r * r);
+///     return GSL_SUCCESS;
+///   }
+/// \endcode
+/// Exactly 23 elementary FP operations (+ - * /), each annotated with the
+/// Table 4 row label. The sqrt is not elementary and not a site, matching
+/// the paper's count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_GSL_BESSEL_H
+#define WDM_GSL_BESSEL_H
+
+#include "gsl/GslCommon.h"
+
+namespace wdm::gsl {
+
+/// Builds the Bessel model: (nu, x) -> status, results in globals.
+SfFunction buildBesselKnuScaledAsympx(ir::Module &M);
+
+/// The number of elementary FP operations in the model (paper: |Op|=23).
+inline constexpr unsigned BesselNumFPOps = 23;
+
+} // namespace wdm::gsl
+
+#endif // WDM_GSL_BESSEL_H

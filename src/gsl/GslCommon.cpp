@@ -1,0 +1,17 @@
+//===--- GslCommon.cpp - Mini-GSL conventions --------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gsl/GslCommon.h"
+
+using namespace wdm::gsl;
+
+SfResultSlots wdm::gsl::makeResultSlots(wdm::ir::Module &M,
+                                   const std::string &Prefix) {
+  SfResultSlots Slots;
+  Slots.Val = M.addGlobalDouble(Prefix + "_val", 0.0);
+  Slots.Err = M.addGlobalDouble(Prefix + "_err", 0.0);
+  return Slots;
+}

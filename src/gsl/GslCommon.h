@@ -1,0 +1,57 @@
+//===--- GslCommon.h - Mini-GSL conventions --------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slice of GSL the Section 6.3 experiment needs, rebuilt over the
+/// mini-IR. GSL special functions follow the POSIX error convention:
+/// they return an int status and write a `gsl_sf_result { double val;
+/// double err; }` through a pointer. Definition 2.1 requires
+/// dom(Prog) = F^N, so — exactly the trick the paper describes for the
+/// Bessel function ("the function inputs can be easily adapted to F^2 if
+/// a global variable is used to hold the results") — each model returns
+/// the status and writes val/err to two globals.
+///
+/// An *inconsistency* (Section 6.3.2) is a run where the returned status
+/// is GSL_SUCCESS but val or err is ±inf or NaN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_GSL_GSLCOMMON_H
+#define WDM_GSL_GSLCOMMON_H
+
+#include "ir/Module.h"
+
+namespace wdm::gsl {
+
+/// GSL status codes (the subset our models return).
+enum GslStatus : int64_t {
+  GSL_SUCCESS = 0,
+  GSL_EDOM = 1,    ///< Domain error.
+  GSL_EOVRFLW = 16 ///< Overflow (our models, like GSL's buggy paths,
+                   ///< often fail to return this — that is the bug).
+};
+
+/// GSL_DBL_EPSILON.
+inline constexpr double GslDblEpsilon = 2.2204460492503131e-16;
+
+/// The val/err out-parameter globals of one special function.
+struct SfResultSlots {
+  ir::GlobalVar *Val = nullptr;
+  ir::GlobalVar *Err = nullptr;
+};
+
+/// Creates `@<prefix>_val` and `@<prefix>_err` globals initialized to 0.
+SfResultSlots makeResultSlots(ir::Module &M, const std::string &Prefix);
+
+/// A built special-function model.
+struct SfFunction {
+  ir::Function *F = nullptr; ///< (double...) -> int status.
+  SfResultSlots Result;
+};
+
+} // namespace wdm::gsl
+
+#endif // WDM_GSL_GSLCOMMON_H

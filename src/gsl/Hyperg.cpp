@@ -1,0 +1,70 @@
+//===--- Hyperg.cpp - gsl_sf_hyperg_2F0_e --------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gsl/Hyperg.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::gsl;
+using namespace wdm::ir;
+
+SfFunction gsl::buildHyperg2F0(Module &M) {
+  SfFunction Out;
+  Out.Result = makeResultSlots(M, "hyperg");
+
+  Function *F = M.addFunction("gsl_sf_hyperg_2F0_e", Type::Int);
+  Out.F = F;
+  Argument *A = F->addArg(Type::Double, "a");
+  Argument *Bb = F->addArg(Type::Double, "b");
+  Argument *X = F->addArg(Type::Double, "x");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Compute = F->addBlock("compute");
+  BasicBlock *DomErr = F->addBlock("dom.err");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *Neg = B.fcmp(CmpPred::LT, X, B.lit(0.0), "x.neg");
+  Neg->setAnnotation("x < 0.0");
+  B.condbr(Neg, Compute, DomErr);
+
+  B.setInsertAppend(Compute);
+  auto Ann = [](Instruction *I, const char *Text) {
+    I->setAnnotation(Text);
+    return I;
+  };
+  // Op 1: the reciprocal feeding both pow and the U series.
+  Value *Z = Ann(B.fdiv(B.lit(-1.0), X, "z"),
+                 "double pre = pow(-1.0/x, a)  [-1.0/x]");
+  // pow is not an elementary op (no site) — Table 5's "large exponent".
+  Instruction *Pre = B.pow(Z, A, "pre");
+  Pre->setAnnotation("double pre = pow(-1.0/x, a)");
+  // Ops 2-4: truncated U series U = 1 + a*b*z.
+  Value *Ab = Ann(B.fmul(A, Bb, "ab"), "U.val = 1.0 + a*b*z  [a*b]");
+  Value *T1 = Ann(B.fmul(Ab, Z, "abz"), "U.val = 1.0 + a*b*z  [*z]");
+  Value *U = Ann(B.fadd(B.lit(1.0), T1, "U"), "U.val = 1.0 + a*b*z  [1+]");
+  // Op 5: the headline inconsistency of Table 5.
+  Value *Val = Ann(B.fmul(Pre, U, "val"), "result->val = pre * U.val");
+  B.storeg(Out.Result.Val, Val);
+  // Ops 6-8: error estimate err = (|a|+|b|) * EPS * |val|.
+  Value *SAb = Ann(B.fadd(B.fabs(A), B.fabs(Bb)),
+                   "err = (|a|+|b|) * EPS * |val|  [|a|+|b|]");
+  Value *E1 = Ann(B.fmul(SAb, B.lit(GslDblEpsilon)),
+                  "err = (|a|+|b|) * EPS * |val|  [*EPS]");
+  Value *Err = Ann(B.fmul(E1, B.fabs(Val)),
+                   "err = (|a|+|b|) * EPS * |val|  [*|val|]");
+  B.storeg(Out.Result.Err, Err);
+  B.ret(B.litInt(GSL_SUCCESS));
+
+  B.setInsertAppend(DomErr);
+  B.storeg(Out.Result.Val, B.lit(std::nan("")));
+  B.storeg(Out.Result.Err, B.lit(std::nan("")));
+  B.ret(B.litInt(GSL_EDOM));
+  return Out;
+}

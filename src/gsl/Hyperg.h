@@ -1,0 +1,32 @@
+//===--- Hyperg.h - gsl_sf_hyperg_2F0_e ------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of gsl_sf_hyperg_2F0_e(a, b, x): for x < 0 GSL evaluates
+/// 2F0(a,b;x) = pre * U(a, 1+a-b, -1/x) with pre = pow(-1.0/x, a); for
+/// x >= 0 it is a domain error. The model keeps the two failure surfaces
+/// Table 5 reports — `pre = pow(-1.0/x, a)` overflowing for large
+/// exponents and `result->val = pre * U.val` overflowing for large
+/// operands — over a truncated U series. Exactly 8 elementary FP
+/// operations (paper |Op| = 8); the pow is not elementary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_GSL_HYPERG_H
+#define WDM_GSL_HYPERG_H
+
+#include "gsl/GslCommon.h"
+
+namespace wdm::gsl {
+
+/// Builds the model: (a, b, x) -> status, results in globals.
+SfFunction buildHyperg2F0(ir::Module &M);
+
+inline constexpr unsigned HypergNumFPOps = 8;
+
+} // namespace wdm::gsl
+
+#endif // WDM_GSL_HYPERG_H

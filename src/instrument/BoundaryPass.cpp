@@ -1,0 +1,70 @@
+//===--- BoundaryPass.cpp - Boundary value analysis pass --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/BoundaryPass.h"
+
+#include "instrument/BranchDistance.h"
+#include "instrument/Cloner.h"
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+// Clamps keep the running product finite so that a late zero factor can
+// never meet an accumulated inf (0 * inf = NaN would destroy the zero —
+// a Limitation 2 hazard the paper's abs-instead-of-square advice hints
+// at). Zeros are unaffected, so the Def. 3.1 zero set is preserved.
+static constexpr double FactorClamp = 1e30;
+static constexpr double ProductClamp = 1e250;
+
+BoundaryInstrumentation instr::instrumentBoundary(Function &F,
+                                                  BoundaryForm Form) {
+  BoundaryInstrumentation Result;
+  Result.Sites = assignComparisonSites(F);
+
+  Module *M = F.parent();
+  Result.WInit = Form == BoundaryForm::Product ? 1.0 : 1e308;
+
+  Result.W = M->addGlobalDouble("__w_bva_" + F.name(), Result.WInit);
+  Result.Wrapped = cloneFunction(F, "__bva_" + F.name());
+
+  IRBuilder B(*M);
+  // Collect tagged comparisons per block, then instrument back-to-front
+  // so earlier insertion indices stay valid.
+  for (const auto &BB : *Result.Wrapped) {
+    std::vector<size_t> CmpIdx;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction *Inst = BB->inst(I);
+      if ((Inst->opcode() == Opcode::FCmp ||
+           Inst->opcode() == Opcode::ICmp) &&
+          Inst->id() >= 0)
+        CmpIdx.push_back(I);
+    }
+    for (size_t K = CmpIdx.size(); K-- > 0;) {
+      Instruction *Cmp = BB->inst(CmpIdx[K]);
+      B.setInsertAt(BB.get(), CmpIdx[K]);
+      Value *Dist;
+      if (Form == BoundaryForm::MinUlp && Cmp->opcode() == Opcode::FCmp) {
+        // ULP metric: |a - b| measured on the float lattice. Integer
+        // comparisons keep the exact integer difference (already an
+        // exact count).
+        Dist = B.ulpdiff(Cmp->operand(0), Cmp->operand(1));
+      } else {
+        Dist = emitBoundaryDistance(B, Cmp);
+      }
+      Value *WCur = B.loadg(Result.W);
+      if (Form == BoundaryForm::Product) {
+        Value *Factor = B.fmin(Dist, B.lit(FactorClamp));
+        Value *WClamped = B.fmin(WCur, B.lit(ProductClamp));
+        B.storeg(Result.W, B.fmul(WClamped, Factor));
+      } else {
+        B.storeg(Result.W, B.fmin(WCur, Dist));
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===--- BoundaryPass.h - Boundary value analysis pass ---------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructs the boundary-value weak distance of Section 4.2: a global
+/// `w` starts at 1 and is multiplied by |a - b| before every comparison
+/// a ~ b, so W(x) = 0 exactly when execution reaches some comparison with
+/// equal operands — a boundary condition. The Min form (w = min(w,|a-b|))
+/// is an ablation alternative with identical zero set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_BOUNDARYPASS_H
+#define WDM_INSTRUMENT_BOUNDARYPASS_H
+
+#include "instrument/Sites.h"
+
+namespace wdm::instr {
+
+enum class BoundaryForm : uint8_t {
+  Product, ///< w *= |a-b| (the paper's Fig. 3 construction).
+  Min,     ///< w = min(w, |a-b|).
+  MinUlp,  ///< w = min(w, ulp(a, b)) — the Section 7 ULP-metric variant;
+           ///< scale-free gradients at every magnitude.
+};
+
+struct BoundaryInstrumentation {
+  ir::Function *Wrapped = nullptr; ///< The instrumented clone (Prog_w).
+  ir::GlobalVar *W = nullptr;      ///< The weak-distance accumulator.
+  double WInit = 1.0;              ///< Initial w (the w_init of §5.2).
+  SiteTable Sites;                 ///< Comparison sites on the original.
+};
+
+/// Tags comparison sites on \p F, clones it, and injects the boundary
+/// weak-distance updates into the clone. \p F itself is unchanged except
+/// for site-id tags.
+BoundaryInstrumentation
+instrumentBoundary(ir::Function &F, BoundaryForm Form = BoundaryForm::Product);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_BOUNDARYPASS_H

@@ -1,0 +1,140 @@
+//===--- BranchDistance.cpp - Comparison distance emitters ------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/BranchDistance.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+CmpPred instr::negatePred(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ:
+    return CmpPred::NE;
+  case CmpPred::NE:
+    return CmpPred::EQ;
+  case CmpPred::LT:
+    return CmpPred::GE;
+  case CmpPred::LE:
+    return CmpPred::GT;
+  case CmpPred::GT:
+    return CmpPred::LE;
+  case CmpPred::GE:
+    return CmpPred::LT;
+  }
+  assert(false && "unknown predicate");
+  return CmpPred::EQ;
+}
+
+namespace {
+
+/// Fetches \p Cmp's operands as doubles (ICmp operands go through
+/// sitofp), plus a comparison re-evaluation helper in the operands'
+/// native type.
+struct CmpView {
+  Value *A = nullptr; ///< lhs as double
+  Value *B = nullptr; ///< rhs as double
+  Instruction *Cmp = nullptr;
+
+  /// Emits a fresh comparison `pred(lhs, rhs)` in the native type.
+  Value *test(IRBuilder &Bld, CmpPred P) const {
+    if (Cmp->opcode() == Opcode::ICmp)
+      return Bld.icmp(P, Cmp->operand(0), Cmp->operand(1));
+    return Bld.fcmp(P, Cmp->operand(0), Cmp->operand(1));
+  }
+};
+
+CmpView makeView(IRBuilder &B, Instruction *Cmp) {
+  assert((Cmp->opcode() == Opcode::FCmp || Cmp->opcode() == Opcode::ICmp) &&
+         "distance emitters require a comparison");
+  CmpView V;
+  V.Cmp = Cmp;
+  if (Cmp->opcode() == Opcode::ICmp) {
+    V.A = B.sitofp(Cmp->operand(0));
+    V.B = B.sitofp(Cmp->operand(1));
+  } else {
+    V.A = Cmp->operand(0);
+    V.B = Cmp->operand(1);
+  }
+  return V;
+}
+
+} // namespace
+
+Value *instr::emitBoundaryDistance(IRBuilder &B, Instruction *Cmp) {
+  CmpView V = makeView(B, Cmp);
+  return B.fabs(B.fsub(V.A, V.B));
+}
+
+Value *instr::emitDistanceToCondition(IRBuilder &B, Value *Cond,
+                                      bool Desired) {
+  auto *I = dyn_cast<Instruction>(Cond);
+  if (I) {
+    switch (I->opcode()) {
+    case Opcode::FCmp:
+    case Opcode::ICmp:
+      return emitDistanceToOutcome(B, I, Desired);
+    case Opcode::BAnd: {
+      Value *DA = emitDistanceToCondition(B, I->operand(0), Desired);
+      Value *DB = emitDistanceToCondition(B, I->operand(1), Desired);
+      // Both must hold to make the conjunction true; either suffices to
+      // make it false.
+      return Desired ? B.fadd(DA, DB) : B.fmin(DA, DB);
+    }
+    case Opcode::BOr: {
+      Value *DA = emitDistanceToCondition(B, I->operand(0), Desired);
+      Value *DB = emitDistanceToCondition(B, I->operand(1), Desired);
+      return Desired ? B.fmin(DA, DB) : B.fadd(DA, DB);
+    }
+    case Opcode::BNot:
+      return emitDistanceToCondition(B, I->operand(0), !Desired);
+    default:
+      break;
+    }
+  }
+  // Characteristic fallback for opaque conditions.
+  Value *Zero = B.lit(0.0);
+  Value *One = B.lit(1.0);
+  return Desired ? B.select(Cond, Zero, One) : B.select(Cond, One, Zero);
+}
+
+Value *instr::emitDistanceToOutcome(IRBuilder &B, Instruction *Cmp,
+                                    bool Desired) {
+  CmpView V = makeView(B, Cmp);
+  CmpPred P = Desired ? Cmp->pred() : negatePred(Cmp->pred());
+
+  ConstantDouble *Zero = B.lit(0.0);
+  ConstantDouble *One = B.lit(1.0);
+
+  switch (P) {
+  case CmpPred::EQ:
+    return B.fabs(B.fsub(V.A, V.B));
+  case CmpPred::NE:
+    return B.select(V.test(B, CmpPred::NE), Zero, One);
+  case CmpPred::LT: {
+    Value *Gap = B.fadd(B.fsub(V.A, V.B), One);
+    return B.select(V.test(B, CmpPred::LT), Zero, Gap);
+  }
+  case CmpPred::LE: {
+    Value *Gap = B.fsub(V.A, V.B);
+    return B.select(V.test(B, CmpPred::LE), Zero, Gap);
+  }
+  case CmpPred::GT: {
+    Value *Gap = B.fadd(B.fsub(V.B, V.A), One);
+    return B.select(V.test(B, CmpPred::GT), Zero, Gap);
+  }
+  case CmpPred::GE: {
+    Value *Gap = B.fsub(V.B, V.A);
+    return B.select(V.test(B, CmpPred::GE), Zero, Gap);
+  }
+  }
+  assert(false && "unknown predicate");
+  return Zero;
+}

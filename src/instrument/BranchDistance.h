@@ -1,0 +1,51 @@
+//===--- BranchDistance.h - Comparison distance emitters -------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits IR that measures how far a comparison is from holding (or from
+/// failing). These are the `update_w` building blocks of the Analysis
+/// Designer layer (Section 5.2):
+///   boundary distance  |a - b|                     (Fig. 3's abs(x-1.0))
+///   branch distance    a <= b ? 0 : a - b           (Fig. 4's injection)
+/// Strict predicates add +1 when violated so the distance is zero exactly
+/// when the predicate holds (Def. 3.1(b) in real arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_BRANCHDISTANCE_H
+#define WDM_INSTRUMENT_BRANCHDISTANCE_H
+
+#include "ir/IRBuilder.h"
+
+namespace wdm::instr {
+
+/// Negation of a predicate (lt <-> ge, etc.).
+ir::CmpPred negatePred(ir::CmpPred P);
+
+/// Emits |a - b| as a double for comparison \p Cmp (FCmp or ICmp). The
+/// builder must be positioned where \p Cmp's operands are in scope.
+ir::Value *emitBoundaryDistance(ir::IRBuilder &B, ir::Instruction *Cmp);
+
+/// Emits the branch distance: 0 iff \p Cmp evaluates to \p Desired, else
+/// a positive magnitude that shrinks as the operands approach making the
+/// outcome \p Desired.
+ir::Value *emitDistanceToOutcome(ir::IRBuilder &B, ir::Instruction *Cmp,
+                                 bool Desired);
+
+/// Generalizes emitDistanceToOutcome to arbitrary boolean conditions by
+/// structural recursion (the XSat clause construction, Instance 5):
+///   band: d(a && b, true) = d(a) + d(b);   false: min of negations
+///   bor:  d(a || b, true) = min(d(a), d(b)); false: sum of negations
+///   bnot: flip the desired outcome
+/// Conditions that are not comparisons or connectives fall back to the
+/// 0/1 characteristic distance — still a weak distance (Fig. 7), just
+/// without gradient guidance.
+ir::Value *emitDistanceToCondition(ir::IRBuilder &B, ir::Value *Cond,
+                                   bool Desired);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_BRANCHDISTANCE_H

@@ -1,0 +1,68 @@
+//===--- Cloner.cpp - Function cloning --------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Cloner.h"
+
+#include "support/Casting.h"
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+Function *instr::cloneFunction(
+    const Function &F, const std::string &NewName,
+    std::unordered_map<const Instruction *, Instruction *> *InstMap) {
+  Module *M = F.parent();
+  Function *Clone = M->addFunction(NewName, F.returnType());
+
+  std::unordered_map<const Value *, Value *> ValueMap;
+  for (unsigned I = 0; I < F.numArgs(); ++I) {
+    Argument *A = F.arg(I);
+    ValueMap[A] = Clone->addArg(A->type(), A->name());
+  }
+
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &BB : F)
+    BlockMap[BB.get()] = Clone->addBlock(BB->name());
+
+  auto MapOperand = [&](const Value *V) -> Value * {
+    // Constants and globals are module-owned and shared.
+    if (V->kind() != Value::Kind::Argument &&
+        V->kind() != Value::Kind::Instruction)
+      return const_cast<Value *>(V);
+    auto It = ValueMap.find(V);
+    assert(It != ValueMap.end() &&
+           "operand used before definition in layout order");
+    return It->second;
+  };
+
+  for (const auto &BB : F) {
+    BasicBlock *NewBB = BlockMap[BB.get()];
+    for (const auto &Inst : *BB) {
+      std::vector<Value *> Ops;
+      Ops.reserve(Inst->numOperands());
+      for (Value *Op : Inst->operands())
+        Ops.push_back(MapOperand(Op));
+      auto NewInst = std::make_unique<Instruction>(
+          Inst->opcode(), Inst->type(), std::move(Ops), Inst->name());
+      NewInst->setPred(Inst->opcode() == Opcode::FCmp ||
+                               Inst->opcode() == Opcode::ICmp
+                           ? Inst->pred()
+                           : CmpPred::EQ);
+      if (Inst->opcode() == Opcode::Call)
+        NewInst->setCallee(Inst->callee());
+      NewInst->setId(Inst->id());
+      NewInst->setAnnotation(Inst->annotation());
+      for (unsigned S = 0; S < Inst->numSuccessors(); ++S)
+        NewInst->setSuccessor(S, BlockMap.at(Inst->successor(S)));
+      Instruction *Raw = NewBB->append(std::move(NewInst));
+      ValueMap[Inst.get()] = Raw;
+      if (InstMap)
+        (*InstMap)[Inst.get()] = Raw;
+    }
+  }
+  return Clone;
+}

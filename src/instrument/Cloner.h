@@ -1,0 +1,38 @@
+//===--- Cloner.h - Function cloning ---------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clones a function inside its module. Instrumentation passes transform
+/// the clone (the paper's Prog_w) while the pristine original stays
+/// available for candidate verification and replay — exactly the split
+/// the Section 5.2 Remark needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_CLONER_H
+#define WDM_INSTRUMENT_CLONER_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+namespace wdm::instr {
+
+/// Clones \p F under \p NewName in the same module. Site ids,
+/// annotations, predicates, and callees are preserved; calls still target
+/// the original callees. If \p InstMap is non-null it receives the
+/// original-instruction -> clone-instruction correspondence.
+///
+/// Requires defs to precede uses in layout order (true for all IR built
+/// by IRBuilder in this project; asserted).
+ir::Function *cloneFunction(
+    const ir::Function &F, const std::string &NewName,
+    std::unordered_map<const ir::Instruction *, ir::Instruction *>
+        *InstMap = nullptr);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_CLONER_H

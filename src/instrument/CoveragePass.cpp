@@ -1,0 +1,55 @@
+//===--- CoveragePass.cpp - Branch coverage pass -----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/CoveragePass.h"
+
+#include "instrument/BranchDistance.h"
+#include "instrument/Cloner.h"
+#include "ir/IRBuilder.h"
+#include "support/Casting.h"
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+CoverageInstrumentation instr::instrumentCoverage(Function &F) {
+  CoverageInstrumentation Result;
+  Result.Sites = assignBranchSites(F);
+
+  Module *M = F.parent();
+  Result.W = M->addGlobalDouble("__w_cov_" + F.name(), Result.WInit);
+  Result.Wrapped = cloneFunction(F, "__cov_" + F.name());
+
+  IRBuilder B(*M);
+  for (const auto &BB : *Result.Wrapped) {
+    Instruction *Term = BB->terminator();
+    if (!Term || Term->opcode() != Opcode::CondBr || Term->id() < 0)
+      continue;
+    int TrueId = Term->id();
+    int FalseId = TrueId + 1;
+
+    size_t Pos = BB->indexOf(Term);
+    B.setInsertAt(BB.get(), Pos);
+
+    // Distances toward each direction; boolean conditions decompose
+    // recursively, opaque ones degrade to the 0/1 characteristic
+    // distance (still a valid weak distance, Fig. 7).
+    Value *DistTrue =
+        emitDistanceToCondition(B, Term->operand(0), /*Desired=*/true);
+    Value *DistFalse =
+        emitDistanceToCondition(B, Term->operand(0), /*Desired=*/false);
+
+    Value *WCur = B.loadg(Result.W);
+    Value *EnTrue = B.siteEnabled(TrueId);
+    Value *CandTrue = B.select(EnTrue, DistTrue, WCur);
+    Value *W1 = B.fmin(WCur, CandTrue);
+    Value *EnFalse = B.siteEnabled(FalseId);
+    Value *CandFalse = B.select(EnFalse, DistFalse, W1);
+    Value *W2 = B.fmin(W1, CandFalse);
+    B.storeg(Result.W, W2);
+  }
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===--- CoveragePass.h - Branch coverage pass -----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructs the CoverMe-style branch-coverage weak distance (the
+/// paper's Instance 4, proved as FOO_R in [Fu & Su PLDI'17] and obtained
+/// "for free" from Theorem 3.3 here): with B the set of already-covered
+/// branch directions, W(x) = 0 iff executing x takes some direction
+/// outside B. Covered directions are disabled at runtime through the
+/// site-enabled table, so one instrumented artifact serves the whole
+/// coverage loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_COVERAGEPASS_H
+#define WDM_INSTRUMENT_COVERAGEPASS_H
+
+#include "instrument/Sites.h"
+
+namespace wdm::instr {
+
+struct CoverageInstrumentation {
+  ir::Function *Wrapped = nullptr;
+  ir::GlobalVar *W = nullptr;
+  double WInit = 1e9; ///< "Infinity" sentinel: no uncovered site seen.
+  SiteTable Sites;    ///< Two directions per branch (BranchTrue/False).
+};
+
+CoverageInstrumentation instrumentCoverage(ir::Function &F);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_COVERAGEPASS_H

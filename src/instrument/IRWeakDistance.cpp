@@ -1,0 +1,50 @@
+//===--- IRWeakDistance.cpp - Weak distance over instrumented IR -----------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/IRWeakDistance.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace wdm;
+using namespace wdm::exec;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+IRWeakDistance::IRWeakDistance(const Engine &E, const Function *F,
+                               const GlobalVar *WVar, double WInit,
+                               ExecContext &Ctx, ExecOptions Opts)
+    : E(E), F(F), WVar(WVar), WInit(WInit), Ctx(Ctx), Opts(Opts) {
+  for (unsigned I = 0; I < F->numArgs(); ++I)
+    assert(F->arg(I)->type() == Type::Double &&
+           "weak distances require dom(Prog) = F^N (Definition 2.1)");
+}
+
+double IRWeakDistance::operator()(const std::vector<double> &X) {
+  assert(X.size() == F->numArgs() && "input dimension mismatch");
+  Ctx.resetGlobals();
+  Ctx.setGlobal(WVar, RTValue::ofDouble(WInit));
+
+  std::vector<RTValue> Args;
+  Args.reserve(X.size());
+  for (double V : X)
+    Args.push_back(RTValue::ofDouble(V));
+
+  Last = E.run(F, Args, Ctx, Opts);
+  if (Last.Kind == ExecResult::Outcome::StepLimitExceeded)
+    return std::numeric_limits<double>::infinity();
+  // Normal returns and traps both leave w meaningful: traps are program
+  // behavior (e.g. assertion failures), not evaluation failures.
+  return Ctx.getGlobal(WVar).asDouble();
+}
+
+int64_t IRWeakDistance::readIntGlobal(const GlobalVar *G) const {
+  return Ctx.getGlobal(G).asInt();
+}
+
+double IRWeakDistance::readDoubleGlobal(const GlobalVar *G) const {
+  return Ctx.getGlobal(G).asDouble();
+}

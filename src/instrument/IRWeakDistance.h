@@ -1,0 +1,59 @@
+//===--- IRWeakDistance.h - Weak distance over instrumented IR -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The W driver program of the paper (e.g. Fig. 3's
+/// `double W(double x) { w = 1; Prog_w(x); return w; }`) realized over
+/// the interpreter: each evaluation resets globals, seeds `w`, runs the
+/// instrumented clone on the candidate input, and reads `w` back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_IRWEAKDISTANCE_H
+#define WDM_INSTRUMENT_IRWEAKDISTANCE_H
+
+#include "core/WeakDistance.h"
+#include "exec/Interpreter.h"
+
+namespace wdm::instr {
+
+class IRWeakDistance : public core::WeakDistance {
+public:
+  /// \p F must take only double arguments. \p Ctx carries globals and the
+  /// site-enabled table between evaluations (Algorithm 3 mutates it).
+  IRWeakDistance(const exec::Engine &E, const ir::Function *F,
+                 const ir::GlobalVar *WVar, double WInit,
+                 exec::ExecContext &Ctx, exec::ExecOptions Opts = {});
+
+  unsigned dim() const override { return F->numArgs(); }
+
+  /// Runs the instrumented program; diverging runs (step limit) yield
+  /// +inf, which the objective layer treats as "worst".
+  double operator()(const std::vector<double> &X) override;
+
+  std::string name() const override { return F->name(); }
+
+  /// State of the most recent evaluation.
+  const exec::ExecResult &lastResult() const { return Last; }
+  int64_t readIntGlobal(const ir::GlobalVar *G) const;
+  double readDoubleGlobal(const ir::GlobalVar *G) const;
+
+  exec::ExecContext &context() { return Ctx; }
+  const exec::ExecOptions &options() const { return Opts; }
+
+private:
+  const exec::Engine &E;
+  const ir::Function *F;
+  const ir::GlobalVar *WVar;
+  double WInit;
+  exec::ExecContext &Ctx;
+  exec::ExecOptions Opts;
+  exec::ExecResult Last;
+};
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_IRWEAKDISTANCE_H

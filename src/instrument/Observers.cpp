@@ -1,0 +1,76 @@
+//===--- Observers.cpp - Verification & forensics observers -----------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Observers.h"
+
+#include "support/FPUtils.h"
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::exec;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+void BoundaryHitObserver::onInstruction(const Instruction *I,
+                                        const RTValue *Ops, unsigned NumOps,
+                                        const RTValue &Result) {
+  (void)Result;
+  if (I->id() < 0 || NumOps != 2)
+    return;
+  if (I->opcode() == Opcode::FCmp) {
+    if (Ops[0].asDouble() == Ops[1].asDouble())
+      Hits.insert(I->id());
+  } else if (I->opcode() == Opcode::ICmp) {
+    if (Ops[0].asInt() == Ops[1].asInt())
+      Hits.insert(I->id());
+  }
+}
+
+bool BranchTraceObserver::followed(const Instruction *Branch,
+                                   bool Desired) const {
+  bool Visited = false;
+  for (const Visit &V : Visits) {
+    if (V.Branch != Branch)
+      continue;
+    Visited = true;
+    if (V.TakenTrue != Desired)
+      return false;
+  }
+  return Visited;
+}
+
+void OverflowObserver::onInstruction(const Instruction *I,
+                                     const RTValue *Ops, unsigned NumOps,
+                                     const RTValue &Result) {
+  (void)Ops;
+  (void)NumOps;
+  if (I->id() < 0 || !I->isElementaryFPArith())
+    return;
+  double V = Result.asDouble();
+  if (std::isnan(V) || std::fabs(V) >= MaxDouble)
+    Sites.insert(I->id());
+}
+
+void NonFiniteOriginObserver::onInstruction(const Instruction *I,
+                                            const RTValue *Ops,
+                                            unsigned NumOps,
+                                            const RTValue &Result) {
+  if (Origin || Result.type() != Type::Double)
+    return;
+  if (std::isfinite(Result.asDouble()))
+    return;
+  for (unsigned K = 0; K < NumOps; ++K)
+    if (Ops[K].type() == Type::Double && !std::isfinite(Ops[K].asDouble()))
+      return; // cascade, not the origin
+  Origin = I;
+  ResultValue = Result.asDouble();
+  Operands.clear();
+  for (unsigned K = 0; K < NumOps; ++K)
+    Operands.push_back(Ops[K].type() == Type::Double
+                           ? Ops[K].asDouble()
+                           : static_cast<double>(Ops[K].asInt()));
+}

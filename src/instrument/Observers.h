@@ -1,0 +1,110 @@
+//===--- Observers.h - Verification & forensics observers ------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution observers over the *original* (uninstrumented) subject.
+/// They implement the Section 5.2 Remark — "run the program to see if the
+/// input indeed passes through the branch" — and the gdb-style root-cause
+/// forensics behind Table 5:
+///   - BoundaryHitObserver: which comparison sites had equal operands;
+///   - BranchTraceObserver: directions taken at tagged branches;
+///   - OverflowObserver: which FP-op sites produced |result| >= MAX;
+///   - NonFiniteOriginObserver: the first instruction that turned finite
+///     operands into a non-finite result, with operand values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_OBSERVERS_H
+#define WDM_INSTRUMENT_OBSERVERS_H
+
+#include "exec/Interpreter.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace wdm::instr {
+
+/// Records comparison sites whose operands were exactly equal — i.e.
+/// boundary conditions triggered (Instance 1's membership oracle).
+class BoundaryHitObserver : public exec::ExecObserver {
+public:
+  void onInstruction(const ir::Instruction *I, const exec::RTValue *Ops,
+                     unsigned NumOps, const exec::RTValue &Result) override;
+
+  void clear() { Hits.clear(); }
+  bool any() const { return !Hits.empty(); }
+  const std::set<int> &hits() const { return Hits; }
+
+private:
+  std::set<int> Hits;
+};
+
+/// Records every (site-tagged) conditional branch execution.
+class BranchTraceObserver : public exec::ExecObserver {
+public:
+  struct Visit {
+    const ir::Instruction *Branch;
+    bool TakenTrue;
+  };
+
+  void onBranch(const ir::Instruction *CondBr, bool TakenTrue) override {
+    Visits.push_back({CondBr, TakenTrue});
+  }
+
+  void clear() { Visits.clear(); }
+  const std::vector<Visit> &visits() const { return Visits; }
+
+  /// True if every visit of \p Branch took \p Desired and it was visited
+  /// at least once.
+  bool followed(const ir::Instruction *Branch, bool Desired) const;
+
+private:
+  std::vector<Visit> Visits;
+};
+
+/// Records FP-op sites whose result magnitude reached MAX (or was NaN) —
+/// the overflow events of Section 4.4 (footnote 2 dismisses the exact
+/// |a| == MAX case; we count it as overflow like the instrumented check).
+class OverflowObserver : public exec::ExecObserver {
+public:
+  void onInstruction(const ir::Instruction *I, const exec::RTValue *Ops,
+                     unsigned NumOps, const exec::RTValue &Result) override;
+
+  void clear() { Sites.clear(); }
+  bool overflowedAt(int SiteId) const { return Sites.count(SiteId) != 0; }
+  const std::set<int> &sites() const { return Sites; }
+
+private:
+  std::set<int> Sites;
+};
+
+/// Captures the first instruction that produced a non-finite double from
+/// finite operands (the origin of an inf/nan cascade), for root-cause
+/// classification.
+class NonFiniteOriginObserver : public exec::ExecObserver {
+public:
+  void onInstruction(const ir::Instruction *I, const exec::RTValue *Ops,
+                     unsigned NumOps, const exec::RTValue &Result) override;
+
+  void clear() {
+    Origin = nullptr;
+    Operands.clear();
+  }
+  bool found() const { return Origin != nullptr; }
+  const ir::Instruction *origin() const { return Origin; }
+  const std::vector<double> &operands() const { return Operands; }
+  double result() const { return ResultValue; }
+
+private:
+  const ir::Instruction *Origin = nullptr;
+  std::vector<double> Operands;
+  double ResultValue = 0;
+};
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_OBSERVERS_H

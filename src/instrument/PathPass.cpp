@@ -1,0 +1,60 @@
+//===--- PathPass.cpp - Path reachability pass -------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/PathPass.h"
+
+#include "instrument/BranchDistance.h"
+#include "instrument/Cloner.h"
+#include "ir/IRBuilder.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+PathInstrumentation instr::instrumentPath(Function &F,
+                                          const PathSpec &Spec) {
+  PathInstrumentation Result;
+  Module *M = F.parent();
+  Result.WInit = static_cast<double>(Spec.Legs.size());
+  Result.W = M->addGlobalDouble("__w_path_" + F.name(), Result.WInit);
+
+  std::unordered_map<const Instruction *, Instruction *> InstMap;
+  Result.Wrapped = cloneFunction(F, "__path_" + F.name(), &InstMap);
+
+  IRBuilder B(*M);
+  for (size_t LegIdx = 0; LegIdx < Spec.Legs.size(); ++LegIdx) {
+    const PathLeg &Leg = Spec.Legs[LegIdx];
+    assert(Leg.Branch && Leg.Branch->opcode() == Opcode::CondBr &&
+           "path legs must be conditional branches");
+    Instruction *Branch = InstMap.at(Leg.Branch);
+
+    GlobalVar *Seen = M->addGlobalInt(
+        formatf("__path_seen_%s_%zu", F.name().c_str(), LegIdx), 0);
+    Result.SeenFlags.push_back(Seen);
+
+    BasicBlock *BB = Branch->parent();
+    size_t Pos = BB->indexOf(Branch);
+    assert(Pos < BB->size() && "branch not in its parent block");
+    B.setInsertAt(BB, Pos);
+
+    // First-visit discount: w -= (seen == 0) ? 1 : 0; seen = 1.
+    Value *SeenVal = B.loadg(Seen);
+    Value *IsFirst = B.icmp(CmpPred::EQ, SeenVal, B.litInt(0));
+    Value *Discount = B.select(IsFirst, B.lit(1.0), B.lit(0.0));
+    Value *WCur = B.loadg(Result.W);
+    Value *WDisc = B.fsub(WCur, Discount);
+    B.storeg(Seen, B.litInt(1));
+
+    // Distance toward the desired direction (Fig. 4's injected code;
+    // boolean conditions decompose recursively, Instance 5 style).
+    Value *Dist =
+        emitDistanceToCondition(B, Branch->operand(0), Leg.DesiredTaken);
+    B.storeg(Result.W, B.fadd(WDisc, Dist));
+  }
+  return Result;
+}

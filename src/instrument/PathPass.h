@@ -1,0 +1,50 @@
+//===--- PathPass.h - Path reachability pass -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructs the path-reachability weak distance of Section 4.3: for a
+/// path given as required branch directions, inject
+///   w += (branch outcome == desired) ? 0 : distance-to-desired
+/// before each required branch. To stay sound when a required branch is
+/// never reached at all, w starts at the number of required legs and each
+/// leg subtracts 1 on its first visit: W(x) = 0 iff every leg was visited
+/// and every visit took the desired direction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_PATHPASS_H
+#define WDM_INSTRUMENT_PATHPASS_H
+
+#include "instrument/Sites.h"
+
+#include <vector>
+
+namespace wdm::instr {
+
+/// One required branch direction. \p Branch must be a condbr in the
+/// original function whose condition is a comparison instruction.
+struct PathLeg {
+  const ir::Instruction *Branch = nullptr;
+  bool DesiredTaken = true;
+};
+
+struct PathSpec {
+  std::vector<PathLeg> Legs;
+};
+
+struct PathInstrumentation {
+  ir::Function *Wrapped = nullptr;
+  ir::GlobalVar *W = nullptr;
+  double WInit = 0.0; ///< Number of legs.
+  /// Per-leg first-visit flags (int globals, reset by resetGlobals()).
+  std::vector<ir::GlobalVar *> SeenFlags;
+};
+
+PathInstrumentation instrumentPath(ir::Function &F, const PathSpec &Spec);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_PATHPASS_H

@@ -1,0 +1,67 @@
+//===--- Sites.cpp - Instrumentation site bookkeeping ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Sites.h"
+
+#include "support/StringUtils.h"
+
+using namespace wdm;
+using namespace wdm::instr;
+using namespace wdm::ir;
+
+static std::string describe(const Instruction *I) {
+  if (!I->annotation().empty())
+    return I->annotation();
+  std::string Text = opcodeInfo(I->opcode()).Name;
+  if (I->hasName())
+    Text += " %" + I->name();
+  return Text;
+}
+
+SiteTable instr::assignComparisonSites(Function &F) {
+  SiteTable Table;
+  Module *M = F.parent();
+  F.forEachInst([&](Instruction *I) {
+    if (I->opcode() != Opcode::FCmp && I->opcode() != Opcode::ICmp)
+      return;
+    int Id = M->allocateSiteId();
+    I->setId(Id);
+    Table.add({Id, SiteKind::Comparison, I, describe(I)});
+  });
+  return Table;
+}
+
+SiteTable instr::assignFPOpSites(Function &F) {
+  SiteTable Table;
+  Module *M = F.parent();
+  F.forEachInst([&](Instruction *I) {
+    if (!I->isElementaryFPArith())
+      return;
+    int Id = M->allocateSiteId();
+    I->setId(Id);
+    Table.add({Id, SiteKind::FPOp, I, describe(I)});
+  });
+  return Table;
+}
+
+SiteTable instr::assignBranchSites(Function &F) {
+  SiteTable Table;
+  Module *M = F.parent();
+  F.forEachInst([&](Instruction *I) {
+    if (I->opcode() != Opcode::CondBr)
+      return;
+    int TrueId = M->allocateSiteId();
+    int FalseId = M->allocateSiteId();
+    assert(FalseId == TrueId + 1 &&
+           "branch site ids must be consecutive");
+    I->setId(TrueId);
+    Table.add({TrueId, SiteKind::BranchTrue, I,
+               formatf("%s (true)", describe(I).c_str())});
+    Table.add({FalseId, SiteKind::BranchFalse, I,
+               formatf("%s (false)", describe(I).c_str())});
+  });
+  return Table;
+}

@@ -1,0 +1,79 @@
+//===--- Sites.h - Instrumentation site bookkeeping ------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *site* is a program location an analysis targets: a comparison
+/// (boundary value analysis), an elementary FP operation (overflow
+/// detection, Section 4.4's set L-bar), or a branch direction (coverage).
+/// Site ids are assigned on the original function and survive cloning, so
+/// the instrumented program, the runtime gating bits (ExecContext), and
+/// the verification observers all speak the same id space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_INSTRUMENT_SITES_H
+#define WDM_INSTRUMENT_SITES_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wdm::instr {
+
+enum class SiteKind : uint8_t {
+  Comparison,  ///< An FCmp/ICmp; boundary condition is operand equality.
+  FPOp,        ///< An elementary FP arithmetic instruction (+ - * /).
+  BranchTrue,  ///< The true direction of a condbr.
+  BranchFalse, ///< The false direction of a condbr.
+};
+
+struct Site {
+  int Id = -1;
+  SiteKind Kind = SiteKind::Comparison;
+  /// The tagged instruction in the *original* function.
+  const ir::Instruction *Inst = nullptr;
+  std::string Description;
+};
+
+class SiteTable {
+public:
+  void add(Site S) {
+    Index[S.Id] = Sites.size();
+    Sites.push_back(std::move(S));
+  }
+
+  const Site *byId(int Id) const {
+    auto It = Index.find(Id);
+    return It == Index.end() ? nullptr : &Sites[It->second];
+  }
+
+  size_t size() const { return Sites.size(); }
+  const Site &operator[](size_t I) const { return Sites[I]; }
+  auto begin() const { return Sites.begin(); }
+  auto end() const { return Sites.end(); }
+
+private:
+  std::vector<Site> Sites;
+  std::unordered_map<int, size_t> Index;
+};
+
+/// Tags every FCmp/ICmp of \p F with a fresh site id; returns the table.
+SiteTable assignComparisonSites(ir::Function &F);
+
+/// Tags every elementary FP arithmetic instruction (FAdd/FSub/FMul/FDiv —
+/// the ops Section 4.4 counts) with a fresh site id.
+SiteTable assignFPOpSites(ir::Function &F);
+
+/// Tags every condbr with a site id for its true direction; the false
+/// direction receives the id + 1 (both recorded in the table; the
+/// instruction's own id field holds the true-direction id).
+SiteTable assignBranchSites(ir::Function &F);
+
+} // namespace wdm::instr
+
+#endif // WDM_INSTRUMENT_SITES_H

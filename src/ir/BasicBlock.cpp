@@ -1,0 +1,41 @@
+//===--- BasicBlock.cpp - Mini-IR basic blocks ----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+using namespace wdm::ir;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  Inst->setParent(this);
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index,
+                                  std::unique_ptr<Instruction> Inst) {
+  assert(Index <= Insts.size() && "insert position out of range");
+  Inst->setParent(this);
+  Instruction *Raw = Inst.get();
+  Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Index),
+               std::move(Inst));
+  return Raw;
+}
+
+size_t BasicBlock::indexOf(const Instruction *Inst) const {
+  for (size_t I = 0; I < Insts.size(); ++I)
+    if (Insts[I].get() == Inst)
+      return I;
+  return Insts.size();
+}
+
+std::vector<std::unique_ptr<Instruction>> BasicBlock::takeFrom(size_t From) {
+  assert(From <= Insts.size() && "split position out of range");
+  std::vector<std::unique_ptr<Instruction>> Tail;
+  for (size_t I = From; I < Insts.size(); ++I)
+    Tail.push_back(std::move(Insts[I]));
+  Insts.resize(From);
+  return Tail;
+}

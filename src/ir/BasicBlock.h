@@ -1,0 +1,67 @@
+//===--- BasicBlock.h - Mini-IR basic blocks -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_BASICBLOCK_H
+#define WDM_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::ir {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in one terminator.
+/// Instrumentation passes insert into and split blocks (the overflow pass
+/// must realize `if (w == 0) return;` — paper Algorithm 3 step 2).
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  Function *parent() const { return Parent; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *inst(size_t I) const { return Insts[I].get(); }
+
+  /// The terminator, or nullptr while the block is under construction.
+  Instruction *terminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Appends and takes ownership; returns the raw pointer for operand use.
+  Instruction *append(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts before position \p Index (0 = front).
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> Inst);
+
+  /// Finds the position of \p Inst; returns size() if absent.
+  size_t indexOf(const Instruction *Inst) const;
+
+  /// Removes instructions [From, end) and returns them in order. Used by
+  /// block splitting.
+  std::vector<std::unique_ptr<Instruction>> takeFrom(size_t From);
+
+  auto begin() const { return Insts.begin(); }
+  auto end() const { return Insts.end(); }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_BASICBLOCK_H

@@ -1,0 +1,116 @@
+//===--- Dominators.cpp - Dominator analysis ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Cooper-Harvey-Kennedy style iterative algorithm over reverse post order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace wdm::ir;
+
+std::vector<const BasicBlock *> wdm::ir::successors(const BasicBlock *BB) {
+  std::vector<const BasicBlock *> Result;
+  const Instruction *Term = BB->terminator();
+  if (!Term)
+    return Result;
+  for (unsigned I = 0; I < Term->numSuccessors(); ++I)
+    Result.push_back(Term->successor(I));
+  return Result;
+}
+
+static void postOrder(const BasicBlock *BB,
+                      std::unordered_set<const BasicBlock *> &Visited,
+                      std::vector<const BasicBlock *> &Out) {
+  if (!Visited.insert(BB).second)
+    return;
+  for (const BasicBlock *Succ : successors(BB))
+    postOrder(Succ, Visited, Out);
+  Out.push_back(BB);
+}
+
+DominatorInfo::DominatorInfo(const Function &F) {
+  const BasicBlock *Entry = F.entry();
+  if (!Entry)
+    return;
+
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> PO;
+  postOrder(Entry, Visited, PO);
+  RPO.assign(PO.rbegin(), PO.rend());
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  // Predecessor lists restricted to reachable blocks.
+  std::unordered_map<const BasicBlock *, std::vector<const BasicBlock *>>
+      Preds;
+  for (const BasicBlock *BB : RPO)
+    for (const BasicBlock *Succ : successors(BB))
+      Preds[Succ].push_back(BB);
+
+  IDom[Entry] = Entry;
+
+  auto Intersect = [&](const BasicBlock *A,
+                       const BasicBlock *B) -> const BasicBlock * {
+    while (A != B) {
+      while (RPOIndex.at(A) > RPOIndex.at(B))
+        A = IDom.at(A);
+      while (RPOIndex.at(B) > RPOIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      const BasicBlock *NewIDom = nullptr;
+      for (const BasicBlock *Pred : Preds[BB]) {
+        if (!IDom.count(Pred))
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorInfo::reachable(const BasicBlock *BB) const {
+  return RPOIndex.count(BB) != 0;
+}
+
+bool DominatorInfo::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  const BasicBlock *Runner = B;
+  for (;;) {
+    if (Runner == A)
+      return true;
+    auto It = IDom.find(Runner);
+    if (It == IDom.end() || It->second == Runner)
+      return false;
+    Runner = It->second;
+  }
+}
+
+const BasicBlock *DominatorInfo::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}

@@ -1,0 +1,54 @@
+//===--- Dominators.h - Dominator analysis ---------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator computation over the CFG. The verifier uses it to
+/// enforce the SSA-lite rule that a definition dominates its uses, which
+/// in turn is what makes the interpreter's flat value-numbering sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_DOMINATORS_H
+#define WDM_IR_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace wdm::ir {
+
+/// Dominator relation for one function. Unreachable blocks dominate
+/// nothing and are reported via reachable().
+class DominatorInfo {
+public:
+  explicit DominatorInfo(const Function &F);
+
+  bool reachable(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive). False when either block is
+  /// unreachable.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Immediate dominator; nullptr for the entry and unreachable blocks.
+  const BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// Blocks in reverse post order (entry first).
+  const std::vector<const BasicBlock *> &rpo() const { return RPO; }
+
+private:
+  std::unordered_map<const BasicBlock *, const BasicBlock *> IDom;
+  std::unordered_map<const BasicBlock *, unsigned> RPOIndex;
+  std::vector<const BasicBlock *> RPO;
+};
+
+/// Successor list of a block's terminator (empty for ret/trap or
+/// unterminated blocks).
+std::vector<const BasicBlock *> successors(const BasicBlock *BB);
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_DOMINATORS_H

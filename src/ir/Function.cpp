@@ -1,0 +1,48 @@
+//===--- Function.cpp - Mini-IR functions ---------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace wdm::ir;
+
+Argument *Function::addArg(Type Ty, std::string ArgName) {
+  Args.push_back(std::make_unique<Argument>(
+      Ty, std::move(ArgName), static_cast<unsigned>(Args.size()), this));
+  return Args.back().get();
+}
+
+unsigned Function::numDoubleArgs() const {
+  unsigned N = 0;
+  for (const auto &A : Args)
+    if (A->type() == Type::Double)
+      ++N;
+  return N;
+}
+
+BasicBlock *Function::addBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(std::move(BlockName), this));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::addBlockAfter(BasicBlock *After,
+                                    std::string BlockName) {
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].get() == After) {
+      Blocks.insert(Blocks.begin() + static_cast<ptrdiff_t>(I + 1),
+                    std::make_unique<BasicBlock>(std::move(BlockName), this));
+      return Blocks[I + 1].get();
+    }
+  }
+  assert(false && "addBlockAfter: anchor not in function");
+  return nullptr;
+}
+
+BasicBlock *Function::blockByName(const std::string &BlockName) const {
+  for (const auto &BB : Blocks)
+    if (BB->name() == BlockName)
+      return BB.get();
+  return nullptr;
+}

@@ -1,0 +1,70 @@
+//===--- Function.h - Mini-IR functions ------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_FUNCTION_H
+#define WDM_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace wdm::ir {
+
+class Module;
+
+/// A function: typed arguments, a return type, and an entry-first list of
+/// basic blocks. The first block is the entry block.
+class Function {
+public:
+  Function(std::string Name, Type ReturnType, Module *Parent)
+      : Name(std::move(Name)), ReturnType(ReturnType), Parent(Parent) {}
+
+  const std::string &name() const { return Name; }
+  Type returnType() const { return ReturnType; }
+  Module *parent() const { return Parent; }
+
+  Argument *addArg(Type Ty, std::string ArgName);
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *arg(unsigned I) const { return Args[I].get(); }
+
+  /// Number of double-typed arguments — the dimension N of dom(Prog)=F^N.
+  unsigned numDoubleArgs() const;
+
+  BasicBlock *addBlock(std::string BlockName);
+  /// Inserts a new block right after \p After (used by block splitting so
+  /// the layout stays readable).
+  BasicBlock *addBlockAfter(BasicBlock *After, std::string BlockName);
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(size_t I) const { return Blocks[I].get(); }
+  BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  BasicBlock *blockByName(const std::string &BlockName) const;
+
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Calls \p Fn on every instruction in layout order.
+  template <typename CallbackT> void forEachInst(CallbackT Fn) const {
+    for (const auto &BB : Blocks)
+      for (const auto &Inst : *BB)
+        Fn(Inst.get());
+  }
+
+private:
+  std::string Name;
+  Type ReturnType;
+  Module *Parent;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_FUNCTION_H

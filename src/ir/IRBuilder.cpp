@@ -1,0 +1,153 @@
+//===--- IRBuilder.cpp - Mini-IR construction helper ----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm::ir;
+
+Instruction *IRBuilder::emit(Opcode Op, Type Ty,
+                             std::vector<Value *> Operands,
+                             std::string Name) {
+  assert(Block && "no insertion block set");
+  auto Inst = std::make_unique<Instruction>(Op, Ty, std::move(Operands),
+                                            std::move(Name));
+  if (AtEnd)
+    return Block->append(std::move(Inst));
+  return Block->insertAt(Pos++, std::move(Inst));
+}
+
+#define WDM_BINOP(FN, OP, TY)                                                \
+  Instruction *IRBuilder::FN(Value *A, Value *B, std::string Name) {         \
+    return emit(Opcode::OP, Type::TY, {A, B}, std::move(Name));              \
+  }
+#define WDM_UNOP(FN, OP, TY)                                                 \
+  Instruction *IRBuilder::FN(Value *A, std::string Name) {                   \
+    return emit(Opcode::OP, Type::TY, {A}, std::move(Name));                 \
+  }
+
+WDM_BINOP(fadd, FAdd, Double)
+WDM_BINOP(fsub, FSub, Double)
+WDM_BINOP(fmul, FMul, Double)
+WDM_BINOP(fdiv, FDiv, Double)
+WDM_BINOP(frem, FRem, Double)
+WDM_UNOP(fneg, FNeg, Double)
+WDM_UNOP(fabs, FAbs, Double)
+WDM_UNOP(sqrt, Sqrt, Double)
+WDM_UNOP(sin, Sin, Double)
+WDM_UNOP(cos, Cos, Double)
+WDM_UNOP(tan, Tan, Double)
+WDM_UNOP(exp, Exp, Double)
+WDM_UNOP(log, Log, Double)
+WDM_BINOP(pow, Pow, Double)
+WDM_BINOP(fmin, FMin, Double)
+WDM_BINOP(fmax, FMax, Double)
+WDM_UNOP(floor, Floor, Double)
+
+WDM_BINOP(iadd, IAdd, Int)
+WDM_BINOP(isub, ISub, Int)
+WDM_BINOP(imul, IMul, Int)
+WDM_BINOP(iand, IAnd, Int)
+WDM_BINOP(ior, IOr, Int)
+WDM_BINOP(ixor, IXor, Int)
+WDM_BINOP(ishl, IShl, Int)
+WDM_BINOP(ilshr, ILShr, Int)
+
+WDM_BINOP(band, BAnd, Bool)
+WDM_BINOP(bor, BOr, Bool)
+WDM_UNOP(bnot, BNot, Bool)
+
+WDM_UNOP(sitofp, SIToFP, Double)
+WDM_UNOP(fptosi, FPToSI, Int)
+WDM_UNOP(highword, HighWord, Int)
+WDM_BINOP(ulpdiff, UlpDiff, Double)
+
+#undef WDM_BINOP
+#undef WDM_UNOP
+
+Instruction *IRBuilder::fcmp(CmpPred P, Value *A, Value *B,
+                             std::string Name) {
+  Instruction *I = emit(Opcode::FCmp, Type::Bool, {A, B}, std::move(Name));
+  I->setPred(P);
+  return I;
+}
+
+Instruction *IRBuilder::icmp(CmpPred P, Value *A, Value *B,
+                             std::string Name) {
+  Instruction *I = emit(Opcode::ICmp, Type::Bool, {A, B}, std::move(Name));
+  I->setPred(P);
+  return I;
+}
+
+Instruction *IRBuilder::select(Value *Cond, Value *IfTrue, Value *IfFalse,
+                               std::string Name) {
+  return emit(Opcode::Select, IfTrue->type(), {Cond, IfTrue, IfFalse},
+              std::move(Name));
+}
+
+Instruction *IRBuilder::alloca_(Type Ty, std::string Name) {
+  return emit(Opcode::Alloca, Ty, {}, std::move(Name));
+}
+
+Instruction *IRBuilder::load(Instruction *Slot, std::string Name) {
+  assert(Slot->opcode() == Opcode::Alloca && "load from a non-alloca");
+  return emit(Opcode::Load, Slot->type(), {Slot}, std::move(Name));
+}
+
+Instruction *IRBuilder::store(Instruction *Slot, Value *V) {
+  assert(Slot->opcode() == Opcode::Alloca && "store to a non-alloca");
+  return emit(Opcode::Store, Type::Void, {Slot, V}, "");
+}
+
+Instruction *IRBuilder::loadg(GlobalVar *G, std::string Name) {
+  return emit(Opcode::LoadGlobal, G->type(), {G}, std::move(Name));
+}
+
+Instruction *IRBuilder::storeg(GlobalVar *G, Value *V) {
+  return emit(Opcode::StoreGlobal, Type::Void, {G, V}, "");
+}
+
+Instruction *IRBuilder::siteEnabled(int SiteId, std::string Name) {
+  Instruction *I =
+      emit(Opcode::SiteEnabled, Type::Bool, {}, std::move(Name));
+  I->setId(SiteId);
+  return I;
+}
+
+Instruction *IRBuilder::call(Function *Callee, std::vector<Value *> Args,
+                             std::string Name) {
+  Instruction *I = emit(Opcode::Call, Callee->returnType(), std::move(Args),
+                        std::move(Name));
+  I->setCallee(Callee);
+  return I;
+}
+
+Instruction *IRBuilder::br(BasicBlock *Dest) {
+  Instruction *I = emit(Opcode::Br, Type::Void, {}, "");
+  I->setSuccessor(0, Dest);
+  return I;
+}
+
+Instruction *IRBuilder::condbr(Value *Cond, BasicBlock *IfTrue,
+                               BasicBlock *IfFalse) {
+  Instruction *I = emit(Opcode::CondBr, Type::Void, {Cond}, "");
+  I->setSuccessor(0, IfTrue);
+  I->setSuccessor(1, IfFalse);
+  return I;
+}
+
+Instruction *IRBuilder::ret(Value *V) {
+  std::vector<Value *> Ops;
+  if (V)
+    Ops.push_back(V);
+  return emit(Opcode::Ret, Type::Void, std::move(Ops), "");
+}
+
+Instruction *IRBuilder::trap(int TrapId, std::string Message) {
+  Instruction *I = emit(Opcode::Trap, Type::Void, {}, "");
+  I->setId(TrapId);
+  I->setAnnotation(std::move(Message));
+  return I;
+}

@@ -1,0 +1,128 @@
+//===--- IRBuilder.h - Mini-IR construction helper -------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction of mini-IR, used both by the subject-program corpus
+/// (the Client layer) and by the instrumentation passes (the Reduction
+/// Kernel), which set an explicit insertion position inside existing
+/// blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_IRBUILDER_H
+#define WDM_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace wdm::ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() const { return M; }
+
+  /// Appends at the end of \p BB from now on.
+  void setInsertAppend(BasicBlock *BB) {
+    Block = BB;
+    AtEnd = true;
+  }
+
+  /// Inserts before position \p Index of \p BB from now on; subsequent
+  /// instructions keep inserting in order at the advancing position.
+  void setInsertAt(BasicBlock *BB, size_t Index) {
+    Block = BB;
+    AtEnd = false;
+    Pos = Index;
+  }
+
+  BasicBlock *insertBlock() const { return Block; }
+  /// Current insertion index within the block.
+  size_t insertIndex() const { return AtEnd ? Block->size() : Pos; }
+
+  // Constants.
+  ConstantDouble *lit(double V) { return M.constDouble(V); }
+  ConstantInt *litInt(int64_t V) { return M.constInt(V); }
+  ConstantBool *litBool(bool V) { return M.constBool(V); }
+
+  // Double arithmetic.
+  Instruction *fadd(Value *A, Value *B, std::string Name = "");
+  Instruction *fsub(Value *A, Value *B, std::string Name = "");
+  Instruction *fmul(Value *A, Value *B, std::string Name = "");
+  Instruction *fdiv(Value *A, Value *B, std::string Name = "");
+  Instruction *frem(Value *A, Value *B, std::string Name = "");
+  Instruction *fneg(Value *A, std::string Name = "");
+  Instruction *fabs(Value *A, std::string Name = "");
+  Instruction *sqrt(Value *A, std::string Name = "");
+  Instruction *sin(Value *A, std::string Name = "");
+  Instruction *cos(Value *A, std::string Name = "");
+  Instruction *tan(Value *A, std::string Name = "");
+  Instruction *exp(Value *A, std::string Name = "");
+  Instruction *log(Value *A, std::string Name = "");
+  Instruction *pow(Value *A, Value *B, std::string Name = "");
+  Instruction *fmin(Value *A, Value *B, std::string Name = "");
+  Instruction *fmax(Value *A, Value *B, std::string Name = "");
+  Instruction *floor(Value *A, std::string Name = "");
+
+  // Comparisons.
+  Instruction *fcmp(CmpPred P, Value *A, Value *B, std::string Name = "");
+  Instruction *icmp(CmpPred P, Value *A, Value *B, std::string Name = "");
+
+  // Integer ops.
+  Instruction *iadd(Value *A, Value *B, std::string Name = "");
+  Instruction *isub(Value *A, Value *B, std::string Name = "");
+  Instruction *imul(Value *A, Value *B, std::string Name = "");
+  Instruction *iand(Value *A, Value *B, std::string Name = "");
+  Instruction *ior(Value *A, Value *B, std::string Name = "");
+  Instruction *ixor(Value *A, Value *B, std::string Name = "");
+  Instruction *ishl(Value *A, Value *B, std::string Name = "");
+  Instruction *ilshr(Value *A, Value *B, std::string Name = "");
+
+  // Boolean connectives.
+  Instruction *band(Value *A, Value *B, std::string Name = "");
+  Instruction *bor(Value *A, Value *B, std::string Name = "");
+  Instruction *bnot(Value *A, std::string Name = "");
+
+  // Conversions.
+  Instruction *sitofp(Value *A, std::string Name = "");
+  Instruction *fptosi(Value *A, std::string Name = "");
+  Instruction *highword(Value *A, std::string Name = "");
+  Instruction *ulpdiff(Value *A, Value *B, std::string Name = "");
+
+  Instruction *select(Value *Cond, Value *IfTrue, Value *IfFalse,
+                      std::string Name = "");
+
+  // Memory.
+  Instruction *alloca_(Type Ty, std::string Name = "");
+  Instruction *load(Instruction *Slot, std::string Name = "");
+  Instruction *store(Instruction *Slot, Value *V);
+  Instruction *loadg(GlobalVar *G, std::string Name = "");
+  Instruction *storeg(GlobalVar *G, Value *V);
+
+  Instruction *siteEnabled(int SiteId, std::string Name = "");
+
+  Instruction *call(Function *Callee, std::vector<Value *> Args,
+                    std::string Name = "");
+
+  // Terminators.
+  Instruction *br(BasicBlock *Dest);
+  Instruction *condbr(Value *Cond, BasicBlock *IfTrue, BasicBlock *IfFalse);
+  Instruction *ret(Value *V = nullptr);
+  Instruction *trap(int TrapId, std::string Message = "");
+
+private:
+  Instruction *emit(Opcode Op, Type Ty, std::vector<Value *> Operands,
+                    std::string Name);
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+  bool AtEnd = true;
+  size_t Pos = 0;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_IRBUILDER_H

@@ -1,0 +1,121 @@
+//===--- Instruction.cpp - Mini-IR instructions ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include <cstring>
+
+using namespace wdm::ir;
+
+namespace {
+
+struct OpcodeEntry {
+  Opcode Op;
+  OpcodeInfo Info;
+};
+
+} // namespace
+
+static const OpcodeEntry OpcodeTable[] = {
+    {Opcode::FAdd, {"fadd", 2, false}},
+    {Opcode::FSub, {"fsub", 2, false}},
+    {Opcode::FMul, {"fmul", 2, false}},
+    {Opcode::FDiv, {"fdiv", 2, false}},
+    {Opcode::FRem, {"frem", 2, false}},
+    {Opcode::FNeg, {"fneg", 1, false}},
+    {Opcode::FAbs, {"fabs", 1, false}},
+    {Opcode::Sqrt, {"sqrt", 1, false}},
+    {Opcode::Sin, {"sin", 1, false}},
+    {Opcode::Cos, {"cos", 1, false}},
+    {Opcode::Tan, {"tan", 1, false}},
+    {Opcode::Exp, {"exp", 1, false}},
+    {Opcode::Log, {"log", 1, false}},
+    {Opcode::Pow, {"pow", 2, false}},
+    {Opcode::FMin, {"fmin", 2, false}},
+    {Opcode::FMax, {"fmax", 2, false}},
+    {Opcode::Floor, {"floor", 1, false}},
+    {Opcode::FCmp, {"fcmp", 2, false}},
+    {Opcode::ICmp, {"icmp", 2, false}},
+    {Opcode::IAdd, {"iadd", 2, false}},
+    {Opcode::ISub, {"isub", 2, false}},
+    {Opcode::IMul, {"imul", 2, false}},
+    {Opcode::IAnd, {"iand", 2, false}},
+    {Opcode::IOr, {"ior", 2, false}},
+    {Opcode::IXor, {"ixor", 2, false}},
+    {Opcode::IShl, {"ishl", 2, false}},
+    {Opcode::ILShr, {"ilshr", 2, false}},
+    {Opcode::BAnd, {"band", 2, false}},
+    {Opcode::BOr, {"bor", 2, false}},
+    {Opcode::BNot, {"bnot", 1, false}},
+    {Opcode::SIToFP, {"sitofp", 1, false}},
+    {Opcode::FPToSI, {"fptosi", 1, false}},
+    {Opcode::HighWord, {"highword", 1, false}},
+    {Opcode::UlpDiff, {"ulpdiff", 2, false}},
+    {Opcode::Select, {"select", 3, false}},
+    {Opcode::Alloca, {"alloca", 0, false}},
+    {Opcode::Load, {"load", 1, false}},
+    {Opcode::Store, {"store", 2, false}},
+    {Opcode::LoadGlobal, {"loadg", 1, false}},
+    {Opcode::StoreGlobal, {"storeg", 2, false}},
+    {Opcode::SiteEnabled, {"siteenabled", 0, false}},
+    {Opcode::Call, {"call", -1, false}},
+    {Opcode::Br, {"br", 0, true}},
+    {Opcode::CondBr, {"condbr", 1, true}},
+    {Opcode::Ret, {"ret", -1, true}},
+    {Opcode::Trap, {"trap", 0, true}},
+};
+
+const OpcodeInfo &wdm::ir::opcodeInfo(Opcode Op) {
+  for (const OpcodeEntry &Entry : OpcodeTable)
+    if (Entry.Op == Op)
+      return Entry.Info;
+  // The table is exhaustive over the enum; reaching here is a logic error.
+  assert(false && "opcode missing from OpcodeTable");
+  return OpcodeTable[0].Info;
+}
+
+bool wdm::ir::opcodeByName(const char *Name, Opcode &Out) {
+  for (const OpcodeEntry &Entry : OpcodeTable) {
+    if (std::strcmp(Entry.Info.Name, Name) == 0) {
+      Out = Entry.Op;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char *wdm::ir::cmpPredName(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::LT:
+    return "lt";
+  case CmpPred::LE:
+    return "le";
+  case CmpPred::GT:
+    return "gt";
+  case CmpPred::GE:
+    return "ge";
+  }
+  assert(false && "unknown predicate");
+  return "eq";
+}
+
+bool wdm::ir::cmpPredByName(const char *Name, CmpPred &Out) {
+  static const std::pair<const char *, CmpPred> Preds[] = {
+      {"eq", CmpPred::EQ}, {"ne", CmpPred::NE}, {"lt", CmpPred::LT},
+      {"le", CmpPred::LE}, {"gt", CmpPred::GT}, {"ge", CmpPred::GE},
+  };
+  for (const auto &[PredName, Pred] : Preds) {
+    if (std::strcmp(PredName, Name) == 0) {
+      Out = Pred;
+      return true;
+    }
+  }
+  return false;
+}

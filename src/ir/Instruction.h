@@ -1,0 +1,204 @@
+//===--- Instruction.h - Mini-IR instructions ------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single Instruction class discriminated by Opcode (the mini-IR is small
+/// enough that per-opcode subclasses would only add boilerplate). Each
+/// floating-point operation is exactly one instruction — the property the
+/// paper's fpod relies on when it instruments "after each FP operation l"
+/// (Algorithm 3 step 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_INSTRUCTION_H
+#define WDM_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <cassert>
+#include <vector>
+
+namespace wdm::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : uint8_t {
+  // Double arithmetic (the "elementary FP operations" of Section 4.4).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FRem,
+  FNeg,
+  FAbs,
+  // Double intrinsics (tan(x) is the paper's Fig. 1(b) motivating case).
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Pow,
+  FMin,
+  FMax,
+  Floor,
+  // Comparisons.
+  FCmp,
+  ICmp,
+  // Integer arithmetic/bitwise (Glibc sin's high-word masking).
+  IAdd,
+  ISub,
+  IMul,
+  IAnd,
+  IOr,
+  IXor,
+  IShl,
+  ILShr,
+  // Boolean connectives.
+  BAnd,
+  BOr,
+  BNot,
+  // Conversions.
+  SIToFP,
+  FPToSI,
+  HighWord,
+  // ULP distance between two doubles, as a double (saturating; NaN
+  // operands give the maximum distance). The integer metric the paper's
+  // Section 7 recommends for mitigating Limitation 2.
+  UlpDiff,
+  // Data flow.
+  Select,
+  Alloca,
+  Load,
+  Store,
+  LoadGlobal,
+  StoreGlobal,
+  // Instrumentation gate: reads the runtime enabled-bit of a site. Models
+  // Algorithm 3's "if (l is not in L)" without re-instrumenting per round.
+  SiteEnabled,
+  Call,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+  Trap,
+};
+
+/// Comparison predicate shared by FCmp and ICmp. FCmp follows C semantics
+/// on NaN: every ordered predicate is false, NE is true.
+enum class CmpPred : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Static per-opcode metadata.
+struct OpcodeInfo {
+  const char *Name;      ///< Printer/parser mnemonic.
+  int NumOperands;       ///< -1 for variadic (Call) or optional (Ret).
+  bool IsTerminator;
+};
+
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Parses a mnemonic back to an opcode; returns false if unknown.
+bool opcodeByName(const char *Name, Opcode &Out);
+
+const char *cmpPredName(CmpPred P);
+bool cmpPredByName(const char *Name, CmpPred &Out);
+
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type Ty, std::vector<Value *> Operands,
+              std::string Name = "")
+      : Value(Kind::Instruction, Ty, std::move(Name)), Op(Op),
+        Operands(std::move(Operands)) {}
+
+  Opcode opcode() const { return Op; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  CmpPred pred() const {
+    assert((Op == Opcode::FCmp || Op == Opcode::ICmp) &&
+           "pred() on a non-comparison");
+    return Pred;
+  }
+  void setPred(CmpPred P) { Pred = P; }
+
+  Function *callee() const {
+    assert(Op == Opcode::Call && "callee() on a non-call");
+    return Callee;
+  }
+  void setCallee(Function *F) { Callee = F; }
+
+  /// Successor blocks. Br has one; CondBr has [0] = taken-when-true and
+  /// [1] = taken-when-false.
+  BasicBlock *successor(unsigned I) const {
+    assert(I < 2 && Succs[I] && "invalid successor access");
+    return Succs[I];
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < 2);
+    Succs[I] = BB;
+  }
+  unsigned numSuccessors() const {
+    if (Op == Opcode::Br)
+      return 1;
+    if (Op == Opcode::CondBr)
+      return 2;
+    return 0;
+  }
+
+  bool isTerminator() const { return opcodeInfo(Op).IsTerminator; }
+
+  /// True for the double-valued arithmetic the overflow analysis targets:
+  /// +, -, *, / (Section 4.4 counts exactly these as "elementary").
+  bool isElementaryFPArith() const {
+    return Op == Opcode::FAdd || Op == Opcode::FSub || Op == Opcode::FMul ||
+           Op == Opcode::FDiv;
+  }
+
+  /// Instrumentation site id; -1 when the instruction is not a site.
+  /// SiteEnabled instructions use this as the id of the queried site.
+  /// Trap instructions use it as the trap id.
+  int id() const { return Id; }
+  void setId(int NewId) { Id = NewId; }
+
+  /// Free-form source annotation; the mini-GSL models attach the original
+  /// C source text here so Table 4/5 rows can name instructions the way
+  /// the paper does (e.g. "double mu = 4.0 * nu*nu").
+  const std::string &annotation() const { return Annotation; }
+  void setAnnotation(std::string A) { Annotation = std::move(A); }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::Instruction;
+  }
+
+private:
+  Opcode Op;
+  std::vector<Value *> Operands;
+  CmpPred Pred = CmpPred::EQ;
+  Function *Callee = nullptr;
+  BasicBlock *Succs[2] = {nullptr, nullptr};
+  int Id = -1;
+  std::string Annotation;
+  BasicBlock *Parent = nullptr;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_INSTRUCTION_H

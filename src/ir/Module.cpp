@@ -1,0 +1,68 @@
+//===--- Module.cpp - Mini-IR modules -------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/FPUtils.h"
+
+using namespace wdm::ir;
+
+Function *Module::addFunction(std::string FnName, Type ReturnType) {
+  assert(!functionByName(FnName) && "duplicate function name");
+  Functions.push_back(
+      std::make_unique<Function>(std::move(FnName), ReturnType, this));
+  return Functions.back().get();
+}
+
+Function *Module::functionByName(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVar *Module::addGlobalDouble(std::string GName, double Init) {
+  assert(!globalByName(GName) && "duplicate global name");
+  Globals.push_back(std::make_unique<GlobalVar>(Type::Double,
+                                                std::move(GName), Init, 0));
+  return Globals.back().get();
+}
+
+GlobalVar *Module::addGlobalInt(std::string GName, int64_t Init) {
+  assert(!globalByName(GName) && "duplicate global name");
+  Globals.push_back(
+      std::make_unique<GlobalVar>(Type::Int, std::move(GName), 0, Init));
+  return Globals.back().get();
+}
+
+GlobalVar *Module::globalByName(const std::string &GName) const {
+  for (const auto &G : Globals)
+    if (G->name() == GName)
+      return G.get();
+  return nullptr;
+}
+
+ConstantDouble *Module::constDouble(double V) {
+  uint64_t Bits = wdm::bitsOf(V);
+  auto &Slot = DoublePool[Bits];
+  if (!Slot)
+    Slot = std::make_unique<ConstantDouble>(V);
+  return Slot.get();
+}
+
+ConstantInt *Module::constInt(int64_t V) {
+  auto &Slot = IntPool[V];
+  if (!Slot)
+    Slot = std::make_unique<ConstantInt>(V);
+  return Slot.get();
+}
+
+ConstantBool *Module::constBool(bool V) {
+  auto &Slot = V ? TruePool : FalsePool;
+  if (!Slot)
+    Slot = std::make_unique<ConstantBool>(V);
+  return Slot.get();
+}

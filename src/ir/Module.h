@@ -1,0 +1,66 @@
+//===--- Module.h - Mini-IR modules ----------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_MODULE_H
+#define WDM_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::ir {
+
+/// Owns functions, globals, and uniqued constants. One Module corresponds
+/// to one analyzed program plus whatever helper functions it calls (the
+/// Client layer of Section 5.1 must supply callees too).
+class Module {
+public:
+  explicit Module(std::string Name = "module") : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  Function *addFunction(std::string FnName, Type ReturnType);
+  Function *functionByName(const std::string &FnName) const;
+  size_t numFunctions() const { return Functions.size(); }
+  Function *function(size_t I) const { return Functions[I].get(); }
+
+  GlobalVar *addGlobalDouble(std::string GName, double Init);
+  GlobalVar *addGlobalInt(std::string GName, int64_t Init);
+  GlobalVar *globalByName(const std::string &GName) const;
+  size_t numGlobals() const { return Globals.size(); }
+  GlobalVar *global(size_t I) const { return Globals[I].get(); }
+
+  /// Uniqued constants; uniquing is by bit pattern for doubles so that
+  /// 0.0 / -0.0 and NaN payloads survive printing and parsing.
+  ConstantDouble *constDouble(double V);
+  ConstantInt *constInt(int64_t V);
+  ConstantBool *constBool(bool V);
+
+  /// Allocates a fresh instrumentation site id (monotonically increasing,
+  /// unique module-wide).
+  int allocateSiteId() { return NextSiteId++; }
+  int numSiteIds() const { return NextSiteId; }
+
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVar>> Globals;
+  std::map<uint64_t, std::unique_ptr<ConstantDouble>> DoublePool;
+  std::map<int64_t, std::unique_ptr<ConstantInt>> IntPool;
+  std::unique_ptr<ConstantBool> TruePool;
+  std::unique_ptr<ConstantBool> FalsePool;
+  int NextSiteId = 0;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_MODULE_H

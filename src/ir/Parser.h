@@ -1,0 +1,32 @@
+//===--- Parser.h - Mini-IR textual parser ---------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual syntax produced by ir/Printer.h back into a Module.
+/// Supports forward references to blocks (loops) and to functions (calls);
+/// value references must be textually preceded by their definitions, which
+/// the SSA-lite dominance discipline already guarantees for printed IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_PARSER_H
+#define WDM_IR_PARSER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string_view>
+
+namespace wdm::ir {
+
+/// Parses a whole module; returns a diagnostic with a line number on
+/// failure.
+Expected<std::unique_ptr<Module>> parseModule(std::string_view Text);
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_PARSER_H

@@ -1,0 +1,210 @@
+//===--- Printer.cpp - Mini-IR textual printer ----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace wdm;
+using namespace wdm::ir;
+
+namespace {
+
+/// Assigns printable unique names to every value defined in a function.
+class NameScope {
+public:
+  explicit NameScope(const Function &F) {
+    for (unsigned I = 0; I < F.numArgs(); ++I)
+      assign(F.arg(I));
+    F.forEachInst([&](const Instruction *Inst) {
+      if (producesValue(Inst))
+        assign(Inst);
+    });
+  }
+
+  static bool producesValue(const Instruction *Inst) {
+    return Inst->type() != Type::Void;
+  }
+
+  const std::string &nameOf(const Value *V) const {
+    auto It = Names.find(V);
+    assert(It != Names.end() && "operand has no assigned name");
+    return It->second;
+  }
+
+private:
+  void assign(const Value *V) {
+    std::string Candidate = V->hasName() ? V->name() : "";
+    if (Candidate.empty() || Used.count(Candidate))
+      Candidate = freshName(Candidate);
+    Used.insert(Candidate);
+    Names[V] = Candidate;
+  }
+
+  std::string freshName(const std::string &Base) {
+    for (;;) {
+      std::string Candidate = Base.empty()
+                                  ? formatf("%u", Counter++)
+                                  : formatf("%s.%u", Base.c_str(), Counter++);
+      if (!Used.count(Candidate))
+        return Candidate;
+    }
+  }
+
+  std::unordered_map<const Value *, std::string> Names;
+  std::unordered_set<std::string> Used;
+  unsigned Counter = 0;
+};
+
+std::string formatDoubleLiteral(double V) {
+  std::string Text = formatDouble(V);
+  // Make double literals visually distinct from integers.
+  if (Text.find_first_of(".eEni") == std::string::npos)
+    Text += ".0";
+  return Text;
+}
+
+std::string operandText(const Value *V, const NameScope &Names) {
+  if (const auto *CD = dyn_cast<ConstantDouble>(V))
+    return formatDoubleLiteral(CD->value());
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return formatf("%lld", static_cast<long long>(CI->value()));
+  if (const auto *CB = dyn_cast<ConstantBool>(V))
+    return CB->value() ? "true" : "false";
+  if (const auto *G = dyn_cast<GlobalVar>(V))
+    return "@" + G->name();
+  return "%" + Names.nameOf(V);
+}
+
+void printInstruction(const Instruction *I, const NameScope &Names,
+                      std::ostream &OS) {
+  OS << "  ";
+  if (NameScope::producesValue(I))
+    OS << "%" << Names.nameOf(I) << " = ";
+
+  const char *Mnemonic = opcodeInfo(I->opcode()).Name;
+  switch (I->opcode()) {
+  case Opcode::FCmp:
+  case Opcode::ICmp:
+    OS << Mnemonic << "." << cmpPredName(I->pred()) << " "
+       << operandText(I->operand(0), Names) << ", "
+       << operandText(I->operand(1), Names);
+    break;
+  case Opcode::Select:
+    OS << "select " << operandText(I->operand(0), Names) << ", "
+       << operandText(I->operand(1), Names) << ", "
+       << operandText(I->operand(2), Names) << " : " << typeName(I->type());
+    break;
+  case Opcode::Alloca:
+    OS << "alloca " << typeName(I->type());
+    break;
+  case Opcode::SiteEnabled:
+    OS << "siteenabled " << I->id();
+    break;
+  case Opcode::Call: {
+    OS << "call @" << I->callee()->name() << "(";
+    for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << operandText(I->operand(Idx), Names);
+    }
+    OS << ")";
+    break;
+  }
+  case Opcode::Br:
+    OS << "br " << I->successor(0)->name();
+    break;
+  case Opcode::CondBr:
+    OS << "condbr " << operandText(I->operand(0), Names) << ", "
+       << I->successor(0)->name() << ", " << I->successor(1)->name();
+    break;
+  case Opcode::Ret:
+    OS << "ret";
+    if (I->numOperands() == 1)
+      OS << " " << operandText(I->operand(0), Names);
+    break;
+  case Opcode::Trap:
+    OS << "trap " << I->id();
+    break;
+  default: {
+    OS << Mnemonic;
+    for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx)
+      OS << (Idx ? ", " : " ") << operandText(I->operand(Idx), Names);
+    break;
+  }
+  }
+
+  // Suffixes shared by all opcodes. Trap ids print inline above, so skip
+  // the '#' suffix for traps.
+  if (I->id() >= 0 && I->opcode() != Opcode::SiteEnabled &&
+      I->opcode() != Opcode::Trap)
+    OS << " #" << I->id();
+  if (!I->annotation().empty()) {
+    OS << " !\"";
+    for (char C : I->annotation()) {
+      if (C == '"' || C == '\\')
+        OS << '\\';
+      OS << C;
+    }
+    OS << "\"";
+  }
+  OS << "\n";
+}
+
+} // namespace
+
+void wdm::ir::printFunction(const Function &F, std::ostream &OS) {
+  NameScope Names(F);
+  OS << "func @" << F.name() << "(";
+  for (unsigned I = 0; I < F.numArgs(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << "%" << Names.nameOf(F.arg(I)) << ": "
+       << typeName(F.arg(I)->type());
+  }
+  OS << ") -> " << typeName(F.returnType()) << " {\n";
+  for (const auto &BB : F) {
+    OS << BB->name() << ":\n";
+    for (const auto &Inst : *BB)
+      printInstruction(Inst.get(), Names, OS);
+  }
+  OS << "}\n";
+}
+
+void wdm::ir::printModule(const Module &M, std::ostream &OS) {
+  OS << "module \"" << M.name() << "\"\n";
+  for (size_t I = 0; I < M.numGlobals(); ++I) {
+    const GlobalVar *G = M.global(I);
+    OS << "global @" << G->name() << " : " << typeName(G->type()) << " = ";
+    if (G->type() == Type::Double)
+      OS << formatDoubleLiteral(G->initDouble());
+    else
+      OS << G->initInt();
+    OS << "\n";
+  }
+  for (const auto &F : M) {
+    OS << "\n";
+    printFunction(*F, OS);
+  }
+}
+
+std::string wdm::ir::toString(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+std::string wdm::ir::toString(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}

@@ -1,0 +1,42 @@
+//===--- Printer.h - Mini-IR textual printer -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules in the textual syntax accepted by ir/Parser.h. Round
+/// trips: parse(print(M)) is structurally identical to M. Example:
+///
+/// \code
+///   module "fig2"
+///   global @w : double = 1
+///   func @prog(%x: double) -> double {
+///   entry:
+///     %c = fcmp.le %x, 1.0
+///     condbr %c, then, join
+///   ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_PRINTER_H
+#define WDM_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace wdm::ir {
+
+void printModule(const Module &M, std::ostream &OS);
+void printFunction(const Function &F, std::ostream &OS);
+
+std::string toString(const Module &M);
+std::string toString(const Function &F);
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_PRINTER_H

@@ -1,0 +1,24 @@
+//===--- Type.cpp - Mini-IR type system -----------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <cassert>
+
+const char *wdm::ir::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::Double:
+    return "double";
+  case Type::Int:
+    return "int";
+  case Type::Bool:
+    return "bool";
+  }
+  assert(false && "unknown type");
+  return "void";
+}

@@ -1,0 +1,34 @@
+//===--- Type.h - Mini-IR type system --------------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-IR has four first-class types. `Double` is IEEE-754 binary64 —
+/// the paper's F. `Int` (64-bit) models machine words (the GNU sin case
+/// study compares the high word of a double against hex thresholds) and
+/// GSL status codes. `Bool` carries comparison results into branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_TYPE_H
+#define WDM_IR_TYPE_H
+
+#include <cstdint>
+
+namespace wdm::ir {
+
+enum class Type : uint8_t {
+  Void,   ///< Only as a function return type.
+  Double, ///< IEEE-754 binary64.
+  Int,    ///< 64-bit signed integer.
+  Bool,   ///< Comparison results and branch conditions.
+};
+
+/// Lowercase type spelling used by the printer and parser.
+const char *typeName(Type Ty);
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_TYPE_H

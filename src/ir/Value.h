@@ -1,0 +1,154 @@
+//===--- Value.h - Mini-IR value hierarchy ---------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSA-lite value hierarchy: arguments, uniqued constants, global
+/// variables, and instructions (declared in Instruction.h). Values use
+/// hand-rolled isa/cast RTTI via a Kind discriminator (support/Casting.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_VALUE_H
+#define WDM_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wdm::ir {
+
+class Function;
+
+/// Base of everything an instruction can reference as an operand.
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Argument,
+    ConstDouble,
+    ConstInt,
+    ConstBool,
+    Global,
+    Instruction,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  Kind kind() const { return TheKind; }
+  Type type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+protected:
+  Value(Kind K, Type Ty, std::string Name)
+      : TheKind(K), Ty(Ty), Name(std::move(Name)) {}
+
+private:
+  Kind TheKind;
+  Type Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function. The paper frames every analyzed
+/// program as having domain F^N; double arguments are the optimizer's
+/// search dimensions.
+class Argument : public Value {
+public:
+  Argument(Type Ty, std::string Name, unsigned Index, Function *Parent)
+      : Value(Kind::Argument, Ty, std::move(Name)), Index(Index),
+        Parent(Parent) {}
+
+  unsigned index() const { return Index; }
+  Function *parent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::Argument;
+  }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// A uniqued binary64 constant (uniqued by bit pattern, so -0.0 and 0.0
+/// are distinct and NaN payloads are preserved).
+class ConstantDouble : public Value {
+public:
+  explicit ConstantDouble(double V)
+      : Value(Kind::ConstDouble, Type::Double, ""), Val(V) {}
+
+  double value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::ConstDouble;
+  }
+
+private:
+  double Val;
+};
+
+class ConstantInt : public Value {
+public:
+  explicit ConstantInt(int64_t V)
+      : Value(Kind::ConstInt, Type::Int, ""), Val(V) {}
+
+  int64_t value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::ConstInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+class ConstantBool : public Value {
+public:
+  explicit ConstantBool(bool V)
+      : Value(Kind::ConstBool, Type::Bool, ""), Val(V) {}
+
+  bool value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::ConstBool;
+  }
+
+private:
+  bool Val;
+};
+
+/// A module-level mutable variable. The Reduction Kernel's instrumented
+/// `w` (Section 5.3) is a GlobalVar, as are the mini-GSL out-parameters
+/// `result.val` / `result.err` (the paper's trick for fitting pointer
+/// interfaces into dom(Prog) = F^N).
+class GlobalVar : public Value {
+public:
+  GlobalVar(Type Ty, std::string Name, double InitDouble, int64_t InitInt)
+      : Value(Kind::Global, Ty, std::move(Name)), InitDouble(InitDouble),
+        InitInt(InitInt) {}
+
+  /// Creates a double-typed global.
+  static GlobalVar makeDouble(std::string Name, double Init) {
+    return GlobalVar(Type::Double, std::move(Name), Init, 0);
+  }
+
+  double initDouble() const { return InitDouble; }
+  int64_t initInt() const { return InitInt; }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Global; }
+
+private:
+  double InitDouble;
+  int64_t InitInt;
+};
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_VALUE_H

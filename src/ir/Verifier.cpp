@@ -1,0 +1,341 @@
+//===--- Verifier.cpp - Mini-IR structural verifier -----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Dominators.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace wdm;
+using namespace wdm::ir;
+
+namespace {
+
+/// Stateful checker for one function.
+class FunctionChecker {
+public:
+  explicit FunctionChecker(const Function &F) : F(F), Doms(F) {}
+
+  Status run();
+
+private:
+  Status fail(const Instruction *I, const std::string &Why) const {
+    std::string Where = formatf("in function '%s'", F.name().c_str());
+    if (I && I->parent())
+      Where += formatf(", block '%s'", I->parent()->name().c_str());
+    return Status::error(Why + " (" + Where + ")");
+  }
+
+  Status checkStructure();
+  Status checkInstruction(const Instruction *I);
+  Status checkOperandTypes(const Instruction *I);
+  Status checkDominance();
+
+  /// Expected operand types for fixed-arity opcodes; Void entries mean
+  /// "checked specially".
+  static bool signatureOf(const Instruction *I, std::vector<Type> &Expected,
+                          Type &ResultTy);
+
+  const Function &F;
+  DominatorInfo Doms;
+};
+
+} // namespace
+
+bool FunctionChecker::signatureOf(const Instruction *I,
+                                  std::vector<Type> &Expected,
+                                  Type &ResultTy) {
+  using enum Type;
+  switch (I->opcode()) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FRem:
+  case Opcode::Pow:
+  case Opcode::FMin:
+  case Opcode::FMax:
+    Expected = {Double, Double};
+    ResultTy = Double;
+    return true;
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::Sqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Tan:
+  case Opcode::Exp:
+  case Opcode::Log:
+  case Opcode::Floor:
+    Expected = {Double};
+    ResultTy = Double;
+    return true;
+  case Opcode::UlpDiff:
+    Expected = {Double, Double};
+    ResultTy = Double;
+    return true;
+  case Opcode::FCmp:
+    Expected = {Double, Double};
+    ResultTy = Bool;
+    return true;
+  case Opcode::ICmp:
+    Expected = {Int, Int};
+    ResultTy = Bool;
+    return true;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::ILShr:
+    Expected = {Int, Int};
+    ResultTy = Int;
+    return true;
+  case Opcode::BAnd:
+  case Opcode::BOr:
+    Expected = {Bool, Bool};
+    ResultTy = Bool;
+    return true;
+  case Opcode::BNot:
+    Expected = {Bool};
+    ResultTy = Bool;
+    return true;
+  case Opcode::SIToFP:
+    Expected = {Int};
+    ResultTy = Double;
+    return true;
+  case Opcode::FPToSI:
+  case Opcode::HighWord:
+    Expected = {Double};
+    ResultTy = Int;
+    return true;
+  case Opcode::CondBr:
+    Expected = {Bool};
+    ResultTy = Void;
+    return true;
+  default:
+    return false;
+  }
+}
+
+Status FunctionChecker::checkStructure() {
+  if (F.numBlocks() == 0)
+    return Status::error(
+        formatf("function '%s' has no blocks", F.name().c_str()));
+  std::unordered_set<std::string> BlockNames;
+  for (const auto &BB : F) {
+    if (!BlockNames.insert(BB->name()).second)
+      return Status::error(formatf("duplicate block name '%s' in '%s'",
+                                   BB->name().c_str(), F.name().c_str()));
+    if (BB->empty())
+      return Status::error(formatf("empty block '%s' in '%s'",
+                                   BB->name().c_str(), F.name().c_str()));
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction *Inst = BB->inst(I);
+      bool IsLast = I + 1 == BB->size();
+      if (Inst->isTerminator() != IsLast)
+        return fail(Inst, IsLast ? "block does not end in a terminator"
+                                 : "terminator in the middle of a block");
+    }
+  }
+  return Status::success();
+}
+
+Status FunctionChecker::checkOperandTypes(const Instruction *I) {
+  std::vector<Type> Expected;
+  Type ResultTy;
+  if (signatureOf(I, Expected, ResultTy)) {
+    if (I->numOperands() != Expected.size())
+      return fail(I, formatf("opcode '%s' expects %zu operands, found %u",
+                             opcodeInfo(I->opcode()).Name, Expected.size(),
+                             I->numOperands()));
+    for (unsigned Idx = 0; Idx < Expected.size(); ++Idx)
+      if (I->operand(Idx)->type() != Expected[Idx])
+        return fail(I, formatf("operand %u of '%s' has type %s, expected %s",
+                               Idx, opcodeInfo(I->opcode()).Name,
+                               typeName(I->operand(Idx)->type()),
+                               typeName(Expected[Idx])));
+    if (I->type() != ResultTy && I->opcode() != Opcode::CondBr)
+      return fail(I, formatf("result of '%s' must have type %s",
+                             opcodeInfo(I->opcode()).Name,
+                             typeName(ResultTy)));
+    return Status::success();
+  }
+
+  // Specially-shaped opcodes.
+  switch (I->opcode()) {
+  case Opcode::Select: {
+    if (I->numOperands() != 3)
+      return fail(I, "select expects 3 operands");
+    if (I->operand(0)->type() != Type::Bool)
+      return fail(I, "select condition must be bool");
+    if (I->operand(1)->type() != I->operand(2)->type() ||
+        I->operand(1)->type() != I->type())
+      return fail(I, "select arms must match the result type");
+    return Status::success();
+  }
+  case Opcode::Alloca:
+    if (I->numOperands() != 0)
+      return fail(I, "alloca takes no operands");
+    if (I->type() == Type::Void)
+      return fail(I, "alloca of void");
+    return Status::success();
+  case Opcode::Load: {
+    const auto *Slot = dyn_cast<Instruction>(I->operand(0));
+    if (!Slot || Slot->opcode() != Opcode::Alloca)
+      return fail(I, "load operand must be an alloca");
+    if (I->type() != Slot->type())
+      return fail(I, "load type must match its alloca");
+    return Status::success();
+  }
+  case Opcode::Store: {
+    const auto *Slot = dyn_cast<Instruction>(I->operand(0));
+    if (!Slot || Slot->opcode() != Opcode::Alloca)
+      return fail(I, "store target must be an alloca");
+    if (I->operand(1)->type() != Slot->type())
+      return fail(I, "stored value must match the alloca type");
+    return Status::success();
+  }
+  case Opcode::LoadGlobal: {
+    const auto *G = dyn_cast<GlobalVar>(I->operand(0));
+    if (!G)
+      return fail(I, "loadg operand must be a global");
+    if (I->type() != G->type())
+      return fail(I, "loadg type must match its global");
+    return Status::success();
+  }
+  case Opcode::StoreGlobal: {
+    const auto *G = dyn_cast<GlobalVar>(I->operand(0));
+    if (!G)
+      return fail(I, "storeg target must be a global");
+    if (I->operand(1)->type() != G->type())
+      return fail(I, "stored value must match the global type");
+    return Status::success();
+  }
+  case Opcode::SiteEnabled:
+    if (I->id() < 0)
+      return fail(I, "siteenabled requires a nonnegative site id");
+    return Status::success();
+  case Opcode::Call: {
+    const Function *Callee = I->callee();
+    if (!Callee)
+      return fail(I, "call without a callee");
+    if (Callee->parent() != F.parent())
+      return fail(I, "call crosses modules");
+    if (I->numOperands() != Callee->numArgs())
+      return fail(I, formatf("call to '%s' expects %u arguments, found %u",
+                             Callee->name().c_str(), Callee->numArgs(),
+                             I->numOperands()));
+    for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx)
+      if (I->operand(Idx)->type() != Callee->arg(Idx)->type())
+        return fail(I, formatf("argument %u of call to '%s' has wrong type",
+                               Idx, Callee->name().c_str()));
+    if (I->type() != Callee->returnType())
+      return fail(I, "call result type must match the callee return type");
+    return Status::success();
+  }
+  case Opcode::Br:
+    return Status::success();
+  case Opcode::Ret: {
+    if (F.returnType() == Type::Void) {
+      if (I->numOperands() != 0)
+        return fail(I, "ret with a value in a void function");
+      return Status::success();
+    }
+    if (I->numOperands() != 1)
+      return fail(I, "ret must carry exactly one value");
+    if (I->operand(0)->type() != F.returnType())
+      return fail(I, "ret value type must match the function return type");
+    return Status::success();
+  }
+  case Opcode::Trap:
+    return Status::success();
+  default:
+    return fail(I, "unhandled opcode in verifier");
+  }
+}
+
+Status FunctionChecker::checkInstruction(const Instruction *I) {
+  if (Status S = checkOperandTypes(I); !S.ok())
+    return S;
+  // Successors must belong to this function.
+  for (unsigned Idx = 0; Idx < I->numSuccessors(); ++Idx) {
+    const BasicBlock *Succ = I->successor(Idx);
+    bool Found = false;
+    for (const auto &BB : F)
+      if (BB.get() == Succ)
+        Found = true;
+    if (!Found)
+      return fail(I, "branch to a block outside the function");
+  }
+  return Status::success();
+}
+
+Status FunctionChecker::checkDominance() {
+  // Map each instruction to (block, index) for intra-block ordering.
+  std::unordered_map<const Instruction *,
+                     std::pair<const BasicBlock *, size_t>>
+      Position;
+  for (const auto &BB : F)
+    for (size_t I = 0; I < BB->size(); ++I)
+      Position[BB->inst(I)] = {BB.get(), I};
+
+  for (const auto &BB : F) {
+    if (!Doms.reachable(BB.get()))
+      continue;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction *User = BB->inst(I);
+      for (const Value *Op : User->operands()) {
+        const auto *Def = dyn_cast<Instruction>(Op);
+        if (!Def)
+          continue;
+        auto It = Position.find(Def);
+        if (It == Position.end())
+          return fail(User, "operand defined outside the function");
+        auto [DefBB, DefIdx] = It->second;
+        if (DefBB == BB.get()) {
+          if (DefIdx >= I)
+            return fail(User, formatf("use of '%s' before its definition",
+                                      Def->hasName() ? Def->name().c_str()
+                                                     : "<unnamed>"));
+        } else if (!Doms.dominates(DefBB, BB.get())) {
+          return fail(User,
+                      formatf("definition of '%s' does not dominate a use",
+                              Def->hasName() ? Def->name().c_str()
+                                             : "<unnamed>"));
+        }
+      }
+    }
+  }
+  return Status::success();
+}
+
+Status FunctionChecker::run() {
+  if (Status S = checkStructure(); !S.ok())
+    return S;
+  for (const auto &BB : F)
+    for (const auto &Inst : *BB)
+      if (Status S = checkInstruction(Inst.get()); !S.ok())
+        return S;
+  return checkDominance();
+}
+
+Status wdm::ir::verifyFunction(const Function &F) {
+  return FunctionChecker(F).run();
+}
+
+Status wdm::ir::verifyModule(const Module &M) {
+  for (const auto &F : M)
+    if (Status S = verifyFunction(*F); !S.ok())
+      return S;
+  return Status::success();
+}

@@ -1,0 +1,29 @@
+//===--- Verifier.h - Mini-IR structural verifier --------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_IR_VERIFIER_H
+#define WDM_IR_VERIFIER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+namespace wdm::ir {
+
+/// Checks module well-formedness:
+///  - every block ends in exactly one terminator, terminators only at ends;
+///  - operand types match opcode signatures; call signatures match;
+///  - definitions dominate uses (SSA-lite discipline);
+///  - loads/stores reference allocas, successors stay in-function;
+///  - ret values match the function's return type.
+/// Returns the first violation found.
+Status verifyModule(const Module &M);
+
+/// Verifies one function (same checks, scoped).
+Status verifyFunction(const Function &F);
+
+} // namespace wdm::ir
+
+#endif // WDM_IR_VERIFIER_H

@@ -1,0 +1,109 @@
+//===--- BasinHopping.cpp - MCMC over local minima --------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/BasinHopping.h"
+
+#include "opt/NelderMead.h"
+#include "opt/Powell.h"
+#include "opt/UlpSearch.h"
+#include "support/FPUtils.h"
+
+#include <cmath>
+#include <memory>
+
+using namespace wdm;
+using namespace wdm::opt;
+
+MinimizeResult BasinHopping::minimize(Objective &Obj,
+                                      const std::vector<double> &Start,
+                                      RNG &Rand,
+                                      const MinimizeOptions &Opts) {
+  applyStopRule(Obj, Opts);
+  uint64_t Before = Obj.numEvals();
+  unsigned Dim = Obj.dim();
+
+  std::unique_ptr<Optimizer> Inner;
+  switch (Opts.Local) {
+  case LocalMethod::UlpPatternSearch:
+    Inner = std::make_unique<UlpPatternSearch>();
+    break;
+  case LocalMethod::NelderMead:
+    Inner = std::make_unique<NelderMead>();
+    break;
+  case LocalMethod::Powell:
+    Inner = std::make_unique<Powell>();
+    break;
+  case LocalMethod::None:
+    break;
+  }
+
+  MinimizeOptions InnerOpts = Opts;
+
+  auto Descend = [&](const std::vector<double> &From) {
+    if (!Inner) {
+      struct Plain {
+        std::vector<double> X;
+        double F;
+      };
+      Plain P{From, Obj.eval(From)};
+      return std::pair<std::vector<double>, double>(P.X, P.F);
+    }
+    MinimizeResult R = Inner->minimize(Obj, From, Rand, InnerOpts);
+    // The inner harvest reports the global best; re-evaluate its endpoint
+    // locality by just using the best-so-far (monotone, adequate for the
+    // Metropolis state).
+    return std::pair<std::vector<double>, double>(R.X, R.F);
+  };
+
+  auto [X, F] = Descend(Start);
+
+  double StepBits = static_cast<double>(Opts.StepBits);
+  unsigned Accepted = 0, Proposed = 0;
+
+  for (unsigned Hop = 0; Hop < Opts.Hops && !Obj.done(); ++Hop) {
+    // Propose: per-coordinate ordered-bit jump; occasional full redraw
+    // keeps the chain irreducible over all of F.
+    std::vector<double> Proposal(Dim);
+    for (unsigned I = 0; I < Dim; ++I) {
+      if (Rand.chance(0.1)) {
+        Proposal[I] = Rand.anyFiniteDouble();
+        continue;
+      }
+      int64_t Base = orderedBits(X[I]);
+      double Jump = Rand.normal() * std::ldexp(1.0, static_cast<int>(StepBits));
+      // Clamp the jump into int64 range before converting.
+      Jump = std::fmax(std::fmin(Jump, 4.4e18), -4.4e18);
+      Proposal[I] =
+          clampedFromOrderedBits(Base + static_cast<int64_t>(Jump));
+    }
+
+    auto [XNew, FNew] = Descend(Proposal);
+    ++Proposed;
+
+    bool Accept = FNew <= F;
+    if (!Accept && Opts.Temperature > 0.0) {
+      double Ratio = (F - FNew) / Opts.Temperature;
+      Accept = Rand.chance(std::exp(Ratio));
+    }
+    if (Accept) {
+      X = std::move(XNew);
+      F = FNew;
+      ++Accepted;
+    }
+
+    // Adapt the proposal scale toward a ~50% acceptance rate, the SciPy
+    // basinhopping heuristic, expressed in bits.
+    if (Proposed % 10 == 0) {
+      double Rate =
+          static_cast<double>(Accepted) / static_cast<double>(Proposed);
+      if (Rate > 0.6)
+        StepBits = std::fmin(StepBits + 2.0, 62.0);
+      else if (Rate < 0.4)
+        StepBits = std::fmax(StepBits - 2.0, 4.0);
+    }
+  }
+  return harvest(Obj, Before);
+}

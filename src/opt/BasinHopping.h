@@ -1,0 +1,34 @@
+//===--- BasinHopping.h - MCMC over local minima ---------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_BASINHOPPING_H
+#define WDM_OPT_BASINHOPPING_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+/// Basinhopping (Li & Scheraga 1987; Wales & Doye 1998): a Markov-chain
+/// Monte Carlo walk over the space of local minimum points. Each hop
+/// perturbs the current point, descends to a local minimum with an inner
+/// minimizer, and applies a Metropolis acceptance test. This is the
+/// paper's primary backend (Algorithm 3 step 5 and the Table 1/2/4
+/// experiments).
+///
+/// Proposals act on the ordered-bit representation of each coordinate so
+/// a single chain can travel between 1e-308 and 1e308 — mirroring how the
+/// paper's starting points range over all of F.
+class BasinHopping : public Optimizer {
+public:
+  const char *name() const override { return "BasinHopping"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_BASINHOPPING_H

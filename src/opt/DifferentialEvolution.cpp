@@ -1,0 +1,70 @@
+//===--- DifferentialEvolution.cpp - Storn's DE -----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DifferentialEvolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wdm::opt;
+
+MinimizeResult DifferentialEvolution::minimize(
+    Objective &Obj, const std::vector<double> &Start, RNG &Rand,
+    const MinimizeOptions &Opts) {
+  applyStopRule(Obj, Opts);
+  uint64_t Before = Obj.numEvals();
+  unsigned Dim = Obj.dim();
+
+  unsigned NP = Opts.PopSize ? Opts.PopSize
+                             : std::min(64u, std::max(8u, 15 * Dim));
+  double Lo = Opts.Lo, Hi = Opts.Hi;
+
+  auto Clip = [&](double V) { return std::fmin(std::fmax(V, Lo), Hi); };
+
+  // Initialize: the provided start plus uniform draws over the box.
+  std::vector<std::vector<double>> Pop(NP, std::vector<double>(Dim));
+  std::vector<double> Fit(NP);
+  for (unsigned I = 0; I < Dim; ++I)
+    Pop[0][I] = Clip(Start[I]);
+  for (unsigned P = 1; P < NP; ++P)
+    for (unsigned I = 0; I < Dim; ++I)
+      Pop[P][I] = Rand.uniform(Lo, Hi);
+  for (unsigned P = 0; P < NP && !Obj.done(); ++P)
+    Fit[P] = Obj.eval(Pop[P]);
+
+  std::vector<double> Trial(Dim);
+  while (!Obj.done()) {
+    for (unsigned P = 0; P < NP && !Obj.done(); ++P) {
+      // Pick three distinct partners != P.
+      unsigned R1, R2, R3;
+      do
+        R1 = static_cast<unsigned>(Rand.below(NP));
+      while (R1 == P);
+      do
+        R2 = static_cast<unsigned>(Rand.below(NP));
+      while (R2 == P || R2 == R1);
+      do
+        R3 = static_cast<unsigned>(Rand.below(NP));
+      while (R3 == P || R3 == R1 || R3 == R2);
+
+      // Dithered differential weight stabilizes convergence (Storn).
+      double F = Opts.DEWeight + 0.3 * (Rand.uniform() - 0.5);
+      unsigned ForcedDim = static_cast<unsigned>(Rand.below(Dim));
+      for (unsigned I = 0; I < Dim; ++I) {
+        bool Cross = I == ForcedDim || Rand.chance(Opts.DECrossover);
+        Trial[I] = Cross
+                       ? Clip(Pop[R1][I] + F * (Pop[R2][I] - Pop[R3][I]))
+                       : Pop[P][I];
+      }
+      double FT = Obj.eval(Trial);
+      if (FT <= Fit[P]) {
+        Pop[P] = Trial;
+        Fit[P] = FT;
+      }
+    }
+  }
+  return harvest(Obj, Before);
+}

@@ -1,0 +1,27 @@
+//===--- DifferentialEvolution.h - Storn's DE ------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_DIFFERENTIALEVOLUTION_H
+#define WDM_OPT_DIFFERENTIALEVOLUTION_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+/// DE/rand/1/bin (Storn 1999): population-based direct search with
+/// differential mutation and binomial crossover, confined to the
+/// [Lo, Hi]^N box of MinimizeOptions. The second backend of Table 1.
+class DifferentialEvolution : public Optimizer {
+public:
+  const char *name() const override { return "DifferentialEvolution"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_DIFFERENTIALEVOLUTION_H

@@ -1,0 +1,117 @@
+//===--- NelderMead.cpp - Simplex local search ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/NelderMead.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wdm::opt;
+
+MinimizeResult NelderMead::minimize(Objective &Obj,
+                                    const std::vector<double> &Start,
+                                    RNG &Rand,
+                                    const MinimizeOptions &Opts) {
+  (void)Rand;
+  applyStopRule(Obj, Opts);
+  uint64_t Before = Obj.numEvals();
+  uint64_t Budget = Opts.LocalBudget;
+  unsigned Dim = Obj.dim();
+
+  auto Exhausted = [&] {
+    return Obj.done() || Obj.numEvals() - Before >= Budget;
+  };
+
+  // Initial simplex: Start plus per-coordinate displacements.
+  std::vector<std::vector<double>> Simplex;
+  std::vector<double> FVals;
+  Simplex.push_back(Start);
+  FVals.push_back(Obj.eval(Start));
+  for (unsigned I = 0; I < Dim; ++I) {
+    std::vector<double> P = Start;
+    double H = Opts.InitStep * (P[I] != 0.0 ? 0.05 * std::fabs(P[I]) : 0.25);
+    P[I] += H;
+    Simplex.push_back(P);
+    FVals.push_back(Obj.eval(P));
+    if (Exhausted())
+      return harvest(Obj, Before);
+  }
+
+  std::vector<size_t> Order(Simplex.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+
+  while (!Exhausted()) {
+    std::sort(Order.begin(), Order.end(),
+              [&](size_t A, size_t B) { return FVals[A] < FVals[B]; });
+    size_t BestIdx = Order.front();
+    size_t WorstIdx = Order.back();
+    size_t SecondWorstIdx = Order[Order.size() - 2];
+
+    // Convergence: function spread across the simplex.
+    double Spread = std::fabs(FVals[WorstIdx] - FVals[BestIdx]);
+    if (Spread <= Opts.Tol * (std::fabs(FVals[BestIdx]) + Opts.Tol))
+      break;
+
+    // Centroid excluding the worst point.
+    std::vector<double> Centroid(Dim, 0.0);
+    for (size_t K = 0; K + 1 < Order.size(); ++K)
+      for (unsigned I = 0; I < Dim; ++I)
+        Centroid[I] += Simplex[Order[K]][I];
+    for (unsigned I = 0; I < Dim; ++I)
+      Centroid[I] /= static_cast<double>(Dim);
+
+    auto Blend = [&](double Coef) {
+      std::vector<double> P(Dim);
+      for (unsigned I = 0; I < Dim; ++I)
+        P[I] = Centroid[I] + Coef * (Simplex[WorstIdx][I] - Centroid[I]);
+      return P;
+    };
+
+    std::vector<double> Reflected = Blend(-1.0);
+    double FReflected = Obj.eval(Reflected);
+
+    if (FReflected < FVals[BestIdx]) {
+      std::vector<double> Expanded = Blend(-2.0);
+      double FExpanded = Obj.eval(Expanded);
+      if (FExpanded < FReflected) {
+        Simplex[WorstIdx] = std::move(Expanded);
+        FVals[WorstIdx] = FExpanded;
+      } else {
+        Simplex[WorstIdx] = std::move(Reflected);
+        FVals[WorstIdx] = FReflected;
+      }
+      continue;
+    }
+    if (FReflected < FVals[SecondWorstIdx]) {
+      Simplex[WorstIdx] = std::move(Reflected);
+      FVals[WorstIdx] = FReflected;
+      continue;
+    }
+
+    // Contraction (outside if the reflection improved on the worst).
+    bool Outside = FReflected < FVals[WorstIdx];
+    std::vector<double> Contracted = Blend(Outside ? -0.5 : 0.5);
+    double FContracted = Obj.eval(Contracted);
+    if (FContracted < std::min(FReflected, FVals[WorstIdx])) {
+      Simplex[WorstIdx] = std::move(Contracted);
+      FVals[WorstIdx] = FContracted;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (size_t K = 1; K < Order.size(); ++K) {
+      size_t Idx = Order[K];
+      for (unsigned I = 0; I < Dim; ++I)
+        Simplex[Idx][I] =
+            Simplex[BestIdx][I] + 0.5 * (Simplex[Idx][I] - Simplex[BestIdx][I]);
+      FVals[Idx] = Obj.eval(Simplex[Idx]);
+      if (Exhausted())
+        break;
+    }
+  }
+  return harvest(Obj, Before);
+}

@@ -1,0 +1,26 @@
+//===--- NelderMead.h - Simplex local search -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_NELDERMEAD_H
+#define WDM_OPT_NELDERMEAD_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+/// Nelder-Mead downhill simplex with the standard reflection/expansion/
+/// contraction/shrink coefficients (1, 2, 0.5, 0.5).
+class NelderMead : public Optimizer {
+public:
+  const char *name() const override { return "NelderMead"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_NELDERMEAD_H

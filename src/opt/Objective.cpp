@@ -1,0 +1,36 @@
+//===--- Objective.cpp - Minimization objective wrapper --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Objective.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace wdm::opt;
+
+SampleRecorder::~SampleRecorder() = default;
+
+double Objective::eval(const std::vector<double> &X) {
+  assert(X.size() == Dim && "dimension mismatch");
+  double F = Callable(X);
+  if (std::isnan(F))
+    F = std::numeric_limits<double>::infinity();
+  ++Evals;
+  if (Recorder)
+    Recorder->record(X, F);
+  if (BestX.empty() || F < BestF) {
+    BestX = X;
+    BestF = F;
+  }
+  return F;
+}
+
+void Objective::reset() {
+  Evals = 0;
+  BestX.clear();
+  BestF = 0;
+}

@@ -1,0 +1,26 @@
+//===--- Optimizer.cpp - Optimization backend interface --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+using namespace wdm::opt;
+
+Optimizer::~Optimizer() = default;
+
+void wdm::opt::applyStopRule(Objective &Obj, const MinimizeOptions &Opts) {
+  Obj.Target = Opts.Target;
+  Obj.StopAtTarget = Opts.StopAtTarget;
+}
+
+MinimizeResult wdm::opt::harvest(const Objective &Obj,
+                                 uint64_t EvalsBefore) {
+  MinimizeResult R;
+  R.X = Obj.bestX();
+  R.F = Obj.bestF();
+  R.Evals = Obj.numEvals() - EvalsBefore;
+  R.ReachedTarget = Obj.reachedTarget();
+  return R;
+}

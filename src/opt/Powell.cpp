@@ -1,0 +1,211 @@
+//===--- Powell.cpp - Direction-set local search ----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Powell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace wdm::opt;
+
+namespace {
+
+constexpr double Golden = 1.618033988749895;
+constexpr double CGold = 0.3819660112501051;
+constexpr double TinyEps = 1e-21;
+
+/// Downhill bracketing (Numerical-Recipes mnbrak shape): expands from
+/// (A, B) until F(C) >= F(B). All values flowing through here map NaN to
+/// +inf upstream (Objective::eval).
+struct Bracket {
+  double A, B, C;
+  double FA, FB, FC;
+  bool Ok = false;
+};
+
+Bracket bracketMinimum(const std::function<double(double)> &Fn, double A,
+                       double B, unsigned MaxExpand) {
+  Bracket Br;
+  double FA = Fn(A);
+  double FB = Fn(B);
+  if (FB > FA) {
+    std::swap(A, B);
+    std::swap(FA, FB);
+  }
+  double C = B + Golden * (B - A);
+  double FC = Fn(C);
+  unsigned Expansions = 0;
+  while (FB > FC && Expansions++ < MaxExpand && std::isfinite(C)) {
+    double NewC = C + Golden * (C - B);
+    A = B;
+    FA = FB;
+    B = C;
+    FB = FC;
+    C = NewC;
+    FC = Fn(C);
+  }
+  Br = {A, B, C, FA, FB, FC, FB <= FA && FB <= FC};
+  return Br;
+}
+
+} // namespace
+
+double wdm::opt::brentMinimize(const std::function<double(double)> &Fn,
+                               double A, double Mid, double B, double Tol,
+                               unsigned MaxIters) {
+  if (A > B)
+    std::swap(A, B);
+  double X = Mid, W = Mid, V = Mid;
+  double FX = Fn(X), FW = FX, FV = FX;
+  double D = 0.0, E = 0.0;
+
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    double XM = 0.5 * (A + B);
+    double Tol1 = Tol * std::fabs(X) + TinyEps;
+    double Tol2 = 2.0 * Tol1;
+    if (std::fabs(X - XM) <= Tol2 - 0.5 * (B - A))
+      break;
+    bool UseGolden = true;
+    if (std::fabs(E) > Tol1) {
+      // Parabolic fit through X, V, W.
+      double R = (X - W) * (FX - FV);
+      double Q = (X - V) * (FX - FW);
+      double P = (X - V) * Q - (X - W) * R;
+      Q = 2.0 * (Q - R);
+      if (Q > 0.0)
+        P = -P;
+      Q = std::fabs(Q);
+      double ETemp = E;
+      E = D;
+      if (std::fabs(P) < std::fabs(0.5 * Q * ETemp) && P > Q * (A - X) &&
+          P < Q * (B - X)) {
+        D = P / Q;
+        double U = X + D;
+        if (U - A < Tol2 || B - U < Tol2)
+          D = std::copysign(Tol1, XM - X);
+        UseGolden = false;
+      }
+    }
+    if (UseGolden) {
+      E = (X >= XM) ? A - X : B - X;
+      D = CGold * E;
+    }
+    double U = std::fabs(D) >= Tol1 ? X + D : X + std::copysign(Tol1, D);
+    double FU = Fn(U);
+    if (FU <= FX) {
+      if (U >= X)
+        A = X;
+      else
+        B = X;
+      V = W;
+      FV = FW;
+      W = X;
+      FW = FX;
+      X = U;
+      FX = FU;
+    } else {
+      if (U < X)
+        A = U;
+      else
+        B = U;
+      if (FU <= FW || W == X) {
+        V = W;
+        FV = FW;
+        W = U;
+        FW = FU;
+      } else if (FU <= FV || V == X || V == W) {
+        V = U;
+        FV = FU;
+      }
+    }
+  }
+  return X;
+}
+
+MinimizeResult Powell::minimize(Objective &Obj,
+                                const std::vector<double> &Start,
+                                RNG &Rand, const MinimizeOptions &Opts) {
+  (void)Rand;
+  applyStopRule(Obj, Opts);
+  uint64_t Before = Obj.numEvals();
+  uint64_t Budget = Opts.LocalBudget;
+  unsigned Dim = Obj.dim();
+
+  auto Exhausted = [&] {
+    return Obj.done() || Obj.numEvals() - Before >= Budget;
+  };
+
+  std::vector<double> X = Start;
+  double FX = Obj.eval(X);
+
+  // Direction set starts as the coordinate axes.
+  std::vector<std::vector<double>> Dirs(Dim, std::vector<double>(Dim, 0.0));
+  for (unsigned I = 0; I < Dim; ++I)
+    Dirs[I][I] = 1.0;
+
+  auto LineMinimize = [&](const std::vector<double> &Dir) -> double {
+    // 1-D view along Dir anchored at X.
+    auto Fn = [&](double T) {
+      std::vector<double> P(Dim);
+      for (unsigned I = 0; I < Dim; ++I)
+        P[I] = X[I] + T * Dir[I];
+      return Obj.eval(P);
+    };
+    double Scale = Opts.InitStep;
+    for (unsigned I = 0; I < Dim; ++I)
+      Scale = std::max(Scale, 0.1 * std::fabs(X[I]) * std::fabs(Dir[I]));
+    Bracket Br = bracketMinimum(Fn, 0.0, Scale, 60);
+    double TBest;
+    if (Br.Ok) {
+      double Lo = std::min(Br.A, Br.C), Hi = std::max(Br.A, Br.C);
+      TBest = brentMinimize(Fn, Lo, Br.B, Hi, 1e-12, 80);
+    } else {
+      TBest = 0.0;
+    }
+    double FNew = Fn(TBest);
+    if (FNew < FX) {
+      for (unsigned I = 0; I < Dim; ++I)
+        X[I] += TBest * Dir[I];
+      double Decrease = FX - FNew;
+      FX = FNew;
+      return Decrease;
+    }
+    return 0.0;
+  };
+
+  for (unsigned Iter = 0; Iter < 60 && !Exhausted(); ++Iter) {
+    std::vector<double> XOld = X;
+    double FOld = FX;
+    double BiggestDecrease = 0.0;
+    size_t BiggestIdx = 0;
+    for (size_t D = 0; D < Dirs.size() && !Exhausted(); ++D) {
+      double Decrease = LineMinimize(Dirs[D]);
+      if (Decrease > BiggestDecrease) {
+        BiggestDecrease = Decrease;
+        BiggestIdx = D;
+      }
+    }
+    // Convergence check on the sweep.
+    if (2.0 * (FOld - FX) <=
+        Opts.Tol * (std::fabs(FOld) + std::fabs(FX)) + TinyEps)
+      break;
+
+    // Net displacement direction.
+    std::vector<double> NetDir(Dim);
+    double Norm = 0.0;
+    for (unsigned I = 0; I < Dim; ++I) {
+      NetDir[I] = X[I] - XOld[I];
+      Norm += NetDir[I] * NetDir[I];
+    }
+    if (Norm > 0.0 && !Exhausted()) {
+      LineMinimize(NetDir);
+      Dirs[BiggestIdx] = Dirs.back();
+      Dirs.back() = std::move(NetDir);
+    }
+  }
+  return harvest(Obj, Before);
+}

@@ -1,0 +1,35 @@
+//===--- Powell.h - Direction-set local search -----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_POWELL_H
+#define WDM_OPT_POWELL_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+/// Powell's 1964 conjugate-direction method: successive Brent line
+/// minimizations along a direction set, replacing the direction of
+/// largest decrease with the net displacement. One of the three backends
+/// the paper checks in Table 1 ("a local search that does not need to
+/// calculate function derivatives").
+class Powell : public Optimizer {
+public:
+  const char *name() const override { return "Powell"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+/// Brent's derivative-free 1-D minimizer on [A, B] with a bracketed
+/// interior point; exposed for testing. Evaluates \p Fn at most
+/// \p MaxIters times. Returns the abscissa of the minimum found.
+double brentMinimize(const std::function<double(double)> &Fn, double A,
+                     double Mid, double B, double Tol, unsigned MaxIters);
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_POWELL_H

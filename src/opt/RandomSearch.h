@@ -1,0 +1,29 @@
+//===--- RandomSearch.h - Pure random sampling baseline --------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_RANDOMSEARCH_H
+#define WDM_OPT_RANDOMSEARCH_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+/// Uniform random sampling: half the draws from the [Lo, Hi]^N box, half
+/// uniform over finite double bit patterns. This is the behavior a
+/// characteristic-function weak distance degenerates to (Section 5.3,
+/// Fig. 7: "the optimization of this weak distance degenerates into pure
+/// random testing").
+class RandomSearch : public Optimizer {
+public:
+  const char *name() const override { return "RandomSearch"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_RANDOMSEARCH_H

@@ -1,0 +1,34 @@
+//===--- UlpSearch.h - Pattern search in ordered-bit space -----*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derivative-free coordinate pattern search over the *ordered bit
+/// representation* of doubles. One step of size 2^k moves a coordinate by
+/// 2^k ulps, so the same search radius covers 1e-300 and 1e300 alike —
+/// the scale-free structure floating-point analysis needs (the paper's
+/// overflow study finds inputs near 1.8e308 while its boundary study
+/// resolves boundaries to the last ulp, e.g. 0.9999999999999999).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OPT_ULPSEARCH_H
+#define WDM_OPT_ULPSEARCH_H
+
+#include "opt/Optimizer.h"
+
+namespace wdm::opt {
+
+class UlpPatternSearch : public Optimizer {
+public:
+  const char *name() const override { return "UlpPatternSearch"; }
+
+  MinimizeResult minimize(Objective &Obj, const std::vector<double> &Start,
+                          RNG &Rand, const MinimizeOptions &Opts) override;
+};
+
+} // namespace wdm::opt
+
+#endif // WDM_OPT_ULPSEARCH_H

@@ -1,0 +1,224 @@
+//===--- Constraint.cpp - FP constraint language ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Constraint.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::sat;
+
+ExprPtr Expr::var(unsigned Index, std::string Name) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Var;
+  E->VarIndex = Index;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::constant(double Value) {
+  auto E = std::make_shared<Expr>();
+  E->K = Kind::Const;
+  E->Value = Value;
+  return E;
+}
+
+ExprPtr Expr::unary(Kind K, ExprPtr Operand) {
+  auto E = std::make_shared<Expr>();
+  E->K = K;
+  E->Children.push_back(std::move(Operand));
+  return E;
+}
+
+ExprPtr Expr::binary(Kind K, ExprPtr Lhs, ExprPtr Rhs) {
+  auto E = std::make_shared<Expr>();
+  E->K = K;
+  E->Children.push_back(std::move(Lhs));
+  E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+double Expr::eval(const std::vector<double> &X) const {
+  switch (K) {
+  case Kind::Var:
+    assert(VarIndex < X.size() && "variable index out of range");
+    return X[VarIndex];
+  case Kind::Const:
+    return Value;
+  case Kind::Add:
+    return Children[0]->eval(X) + Children[1]->eval(X);
+  case Kind::Sub:
+    return Children[0]->eval(X) - Children[1]->eval(X);
+  case Kind::Mul:
+    return Children[0]->eval(X) * Children[1]->eval(X);
+  case Kind::Div:
+    return Children[0]->eval(X) / Children[1]->eval(X);
+  case Kind::Neg:
+    return -Children[0]->eval(X);
+  case Kind::Abs:
+    return std::fabs(Children[0]->eval(X));
+  case Kind::Sqrt:
+    return std::sqrt(Children[0]->eval(X));
+  case Kind::Sin:
+    return std::sin(Children[0]->eval(X));
+  case Kind::Cos:
+    return std::cos(Children[0]->eval(X));
+  case Kind::Tan:
+    return std::tan(Children[0]->eval(X));
+  case Kind::Exp:
+    return std::exp(Children[0]->eval(X));
+  case Kind::Log:
+    return std::log(Children[0]->eval(X));
+  case Kind::Pow:
+    return std::pow(Children[0]->eval(X), Children[1]->eval(X));
+  case Kind::Min:
+    return std::fmin(Children[0]->eval(X), Children[1]->eval(X));
+  case Kind::Max:
+    return std::fmax(Children[0]->eval(X), Children[1]->eval(X));
+  }
+  assert(false && "unknown expression kind");
+  return 0;
+}
+
+static const char *kindName(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Add:
+    return "+";
+  case Expr::Kind::Sub:
+    return "-";
+  case Expr::Kind::Mul:
+    return "*";
+  case Expr::Kind::Div:
+    return "/";
+  case Expr::Kind::Neg:
+    return "neg";
+  case Expr::Kind::Abs:
+    return "abs";
+  case Expr::Kind::Sqrt:
+    return "sqrt";
+  case Expr::Kind::Sin:
+    return "sin";
+  case Expr::Kind::Cos:
+    return "cos";
+  case Expr::Kind::Tan:
+    return "tan";
+  case Expr::Kind::Exp:
+    return "exp";
+  case Expr::Kind::Log:
+    return "log";
+  case Expr::Kind::Pow:
+    return "pow";
+  case Expr::Kind::Min:
+    return "min";
+  case Expr::Kind::Max:
+    return "max";
+  default:
+    return "?";
+  }
+}
+
+std::string Expr::toString() const {
+  switch (K) {
+  case Kind::Var:
+    return Name.empty() ? formatf("x%u", VarIndex) : Name;
+  case Kind::Const:
+    return formatDouble(Value);
+  default: {
+    std::string Out = "(";
+    Out += kindName(K);
+    for (const ExprPtr &C : Children) {
+      Out += ' ';
+      Out += C->toString();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+}
+
+const char *sat::atomPredName(AtomPred P) {
+  switch (P) {
+  case AtomPred::EQ:
+    return "=";
+  case AtomPred::NE:
+    return "!=";
+  case AtomPred::LT:
+    return "<";
+  case AtomPred::LE:
+    return "<=";
+  case AtomPred::GT:
+    return ">";
+  case AtomPred::GE:
+    return ">=";
+  }
+  return "?";
+}
+
+bool Atom::holds(const std::vector<double> &X) const {
+  double A = Lhs->eval(X);
+  double B = Rhs->eval(X);
+  switch (Pred) {
+  case AtomPred::EQ:
+    return A == B;
+  case AtomPred::NE:
+    return A != B;
+  case AtomPred::LT:
+    return A < B;
+  case AtomPred::LE:
+    return A <= B;
+  case AtomPred::GT:
+    return A > B;
+  case AtomPred::GE:
+    return A >= B;
+  }
+  return false;
+}
+
+std::string Atom::toString() const {
+  return formatf("(%s %s %s)", atomPredName(Pred),
+                 Lhs->toString().c_str(), Rhs->toString().c_str());
+}
+
+bool Clause::holds(const std::vector<double> &X) const {
+  for (const Atom &A : Atoms)
+    if (A.holds(X))
+      return true;
+  return false;
+}
+
+std::string Clause::toString() const {
+  if (Atoms.size() == 1)
+    return Atoms[0].toString();
+  std::string Out = "(or";
+  for (const Atom &A : Atoms) {
+    Out += ' ';
+    Out += A.toString();
+  }
+  Out += ')';
+  return Out;
+}
+
+bool CNF::satisfiedBy(const std::vector<double> &X) const {
+  for (const Clause &C : Clauses)
+    if (!C.holds(X))
+      return false;
+  return true;
+}
+
+std::string CNF::toString() const {
+  if (Clauses.size() == 1)
+    return Clauses[0].toString();
+  std::string Out = "(and";
+  for (const Clause &C : Clauses) {
+    Out += ' ';
+    Out += C.toString();
+  }
+  Out += ')';
+  return Out;
+}

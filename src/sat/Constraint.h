@@ -1,0 +1,114 @@
+//===--- Constraint.h - FP constraint language (Instance 5) ----*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier-free floating-point constraints in conjunctive normal form:
+/// c = AND_i OR_j c_ij with each c_ij a binary comparison between FP
+/// expressions (paper Instance 5, the XSat problem [16]). Expressions
+/// cover arithmetic and the transcendental functions SMT solvers struggle
+/// with (the paper's Fig. 1(b) tan example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SAT_CONSTRAINT_H
+#define WDM_SAT_CONSTRAINT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::sat {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable floating-point expression tree.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Var,
+    Const,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Abs,
+    Sqrt,
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Log,
+    Pow,
+    Min,
+    Max,
+  };
+
+  static ExprPtr var(unsigned Index, std::string Name);
+  static ExprPtr constant(double Value);
+  static ExprPtr unary(Kind K, ExprPtr Operand);
+  static ExprPtr binary(Kind K, ExprPtr Lhs, ExprPtr Rhs);
+
+  Kind kind() const { return K; }
+  unsigned varIndex() const { return VarIndex; }
+  const std::string &varName() const { return Name; }
+  double constValue() const { return Value; }
+  const ExprPtr &child(unsigned I) const { return Children[I]; }
+  unsigned numChildren() const {
+    return static_cast<unsigned>(Children.size());
+  }
+
+  /// Evaluates under IEEE-754 binary64 with the current rounding mode.
+  double eval(const std::vector<double> &X) const;
+
+  /// s-expression rendering, parseable by sat/SExprParser.h.
+  std::string toString() const;
+
+private:
+  Kind K = Kind::Const;
+  unsigned VarIndex = 0;
+  std::string Name;
+  double Value = 0;
+  std::vector<ExprPtr> Children;
+};
+
+enum class AtomPred : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+const char *atomPredName(AtomPred P);
+
+/// A binary comparison between two FP expressions.
+struct Atom {
+  AtomPred Pred = AtomPred::EQ;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  /// IEEE comparison semantics (NaN fails everything but NE).
+  bool holds(const std::vector<double> &X) const;
+  std::string toString() const;
+};
+
+/// A disjunction of atoms.
+struct Clause {
+  std::vector<Atom> Atoms;
+
+  bool holds(const std::vector<double> &X) const;
+  std::string toString() const;
+};
+
+/// A conjunction of clauses over NumVars double variables.
+struct CNF {
+  std::vector<Clause> Clauses;
+  unsigned NumVars = 0;
+  std::vector<std::string> VarNames;
+
+  bool satisfiedBy(const std::vector<double> &X) const;
+  std::string toString() const;
+};
+
+} // namespace wdm::sat
+
+#endif // WDM_SAT_CONSTRAINT_H

@@ -1,0 +1,92 @@
+//===--- Distance.cpp - XSat-style constraint weak distance -------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Distance.h"
+
+#include "support/FPUtils.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace wdm;
+using namespace wdm::sat;
+
+static double inf() { return std::numeric_limits<double>::infinity(); }
+
+double sat::atomDistance(const Atom &A, const std::vector<double> &X,
+                         DistanceMetric Metric) {
+  double L = A.Lhs->eval(X);
+  double R = A.Rhs->eval(X);
+
+  // NE is metric-independent: either it holds or the operands coincide.
+  if (A.Pred == AtomPred::NE)
+    return L != R ? 0.0 : 1.0;
+
+  if (std::isnan(L) || std::isnan(R))
+    return inf(); // no ordered predicate can hold
+
+  bool Holds;
+  switch (A.Pred) {
+  case AtomPred::EQ:
+    Holds = L == R;
+    break;
+  case AtomPred::LT:
+    Holds = L < R;
+    break;
+  case AtomPred::LE:
+    Holds = L <= R;
+    break;
+  case AtomPred::GT:
+    Holds = L > R;
+    break;
+  case AtomPred::GE:
+    Holds = L >= R;
+    break;
+  default:
+    Holds = false;
+    break;
+  }
+  if (Holds)
+    return 0.0;
+
+  if (Metric == DistanceMetric::Ulp) {
+    // Violated ordered predicates have operands at >= 1 ulp for strict,
+    // >= 0 for non-strict at equality — add 1 for the strict ones so the
+    // distance is positive exactly on violations.
+    double D = ulpDistanceAsDouble(L, R);
+    if (A.Pred == AtomPred::LT || A.Pred == AtomPred::GT)
+      return D + 1.0;
+    return D > 0 ? D : 1.0; // violated EQ/LE/GE with D==0 cannot happen
+  }
+
+  switch (A.Pred) {
+  case AtomPred::EQ:
+    return std::fabs(L - R);
+  case AtomPred::LT:
+    return (L - R) + 1.0;
+  case AtomPred::LE:
+    return L - R;
+  case AtomPred::GT:
+    return (R - L) + 1.0;
+  case AtomPred::GE:
+    return R - L;
+  default:
+    return inf();
+  }
+}
+
+double CNFWeakDistance::operator()(const std::vector<double> &X) {
+  double Sum = 0.0;
+  for (const Clause &C : Constraint.Clauses) {
+    double Best = inf();
+    for (const Atom &A : C.Atoms)
+      Best = std::fmin(Best, atomDistance(A, X, Metric));
+    Sum += Best;
+    if (std::isnan(Sum))
+      return inf();
+  }
+  return Sum;
+}

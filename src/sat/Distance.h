@@ -1,0 +1,60 @@
+//===--- Distance.h - XSat-style constraint weak distance ------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XSat's R_pi construction as a weak distance: a CNF maps to the
+/// nonnegative function
+///   W(x) = sum over clauses of (min over atoms of atomDistance)
+/// which is 0 exactly on the models. Two metrics are provided: the
+/// absolute-difference metric and the integer ULP metric XSat uses to
+/// "mitigate unsoundness caused by inaccuracy of FP operations"
+/// (Section 7 / Limitation 2) — compared head-to-head in
+/// bench/ablation_distance_metric.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SAT_DISTANCE_H
+#define WDM_SAT_DISTANCE_H
+
+#include "core/WeakDistance.h"
+#include "sat/Constraint.h"
+
+namespace wdm::sat {
+
+enum class DistanceMetric : uint8_t {
+  Absolute, ///< |a - b| style gaps.
+  Ulp,      ///< Integer ULP distance between operands.
+};
+
+/// Distance-to-satisfaction of one atom at \p X: 0 iff the atom holds;
+/// positive (possibly +inf for NaN operands) otherwise.
+double atomDistance(const Atom &A, const std::vector<double> &X,
+                    DistanceMetric Metric);
+
+class CNFWeakDistance : public core::WeakDistance {
+public:
+  CNFWeakDistance(CNF Constraint, DistanceMetric Metric)
+      : Constraint(std::move(Constraint)), Metric(Metric) {}
+
+  unsigned dim() const override { return Constraint.NumVars; }
+
+  double operator()(const std::vector<double> &X) override;
+
+  std::string name() const override {
+    return "cnf-distance(" +
+           std::string(Metric == DistanceMetric::Ulp ? "ulp" : "abs") + ")";
+  }
+
+  const CNF &constraint() const { return Constraint; }
+
+private:
+  CNF Constraint;
+  DistanceMetric Metric;
+};
+
+} // namespace wdm::sat
+
+#endif // WDM_SAT_DISTANCE_H

@@ -1,0 +1,129 @@
+//===--- LowerToIR.cpp - CNF to mini-IR lowering ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/LowerToIR.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace wdm;
+using namespace wdm::ir;
+using namespace wdm::sat;
+
+namespace {
+
+Value *lowerExpr(const Expr &E, IRBuilder &B,
+                 const std::vector<Argument *> &Args) {
+  switch (E.kind()) {
+  case Expr::Kind::Var:
+    return Args[E.varIndex()];
+  case Expr::Kind::Const:
+    return B.lit(E.constValue());
+  default:
+    break;
+  }
+  Value *L = lowerExpr(*E.child(0), B, Args);
+  Value *R = E.numChildren() > 1 ? lowerExpr(*E.child(1), B, Args) : nullptr;
+  switch (E.kind()) {
+  case Expr::Kind::Add:
+    return B.fadd(L, R);
+  case Expr::Kind::Sub:
+    return B.fsub(L, R);
+  case Expr::Kind::Mul:
+    return B.fmul(L, R);
+  case Expr::Kind::Div:
+    return B.fdiv(L, R);
+  case Expr::Kind::Neg:
+    return B.fneg(L);
+  case Expr::Kind::Abs:
+    return B.fabs(L);
+  case Expr::Kind::Sqrt:
+    return B.sqrt(L);
+  case Expr::Kind::Sin:
+    return B.sin(L);
+  case Expr::Kind::Cos:
+    return B.cos(L);
+  case Expr::Kind::Tan:
+    return B.tan(L);
+  case Expr::Kind::Exp:
+    return B.exp(L);
+  case Expr::Kind::Log:
+    return B.log(L);
+  case Expr::Kind::Pow:
+    return B.pow(L, R);
+  case Expr::Kind::Min:
+    return B.fmin(L, R);
+  case Expr::Kind::Max:
+    return B.fmax(L, R);
+  default:
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+}
+
+CmpPred lowerPred(AtomPred P) {
+  switch (P) {
+  case AtomPred::EQ:
+    return CmpPred::EQ;
+  case AtomPred::NE:
+    return CmpPred::NE;
+  case AtomPred::LT:
+    return CmpPred::LT;
+  case AtomPred::LE:
+    return CmpPred::LE;
+  case AtomPred::GT:
+    return CmpPred::GT;
+  case AtomPred::GE:
+    return CmpPred::GE;
+  }
+  return CmpPred::EQ;
+}
+
+} // namespace
+
+LoweredCNF sat::lowerToIR(const CNF &C, Module &M,
+                          const std::string &Name) {
+  LoweredCNF Out;
+  Function *F = M.addFunction(Name, Type::Int);
+  Out.F = F;
+  std::vector<Argument *> Args;
+  for (unsigned I = 0; I < C.NumVars; ++I) {
+    std::string ArgName =
+        I < C.VarNames.size() && !C.VarNames[I].empty()
+            ? C.VarNames[I]
+            : ("x" + std::to_string(I));
+    Args.push_back(F->addArg(Type::Double, ArgName));
+  }
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *SatBB = F->addBlock("sat");
+  BasicBlock *UnsatBB = F->addBlock("unsat");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+
+  Value *All = nullptr;
+  for (const Clause &Cl : C.Clauses) {
+    Value *Any = nullptr;
+    for (const Atom &A : Cl.Atoms) {
+      Value *L = lowerExpr(*A.Lhs, B, Args);
+      Value *R = lowerExpr(*A.Rhs, B, Args);
+      Instruction *Cmp = B.fcmp(lowerPred(A.Pred), L, R);
+      Cmp->setAnnotation(A.toString());
+      Any = Any ? B.bor(Any, Cmp) : Cmp;
+    }
+    All = All ? B.band(All, Any) : Any;
+  }
+  assert(All && "empty CNF");
+  Out.Branch = B.condbr(All, SatBB, UnsatBB);
+
+  B.setInsertAppend(SatBB);
+  B.ret(B.litInt(1));
+  B.setInsertAppend(UnsatBB);
+  B.ret(B.litInt(0));
+  return Out;
+}

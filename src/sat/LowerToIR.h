@@ -1,0 +1,37 @@
+//===--- LowerToIR.h - CNF to mini-IR lowering -----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instance 5's equivalence (Section 2.2): deciding a CNF c is the same
+/// problem as reaching the true branch of
+///
+///   void Prog(double x1, ..., double xN) { if (c); }
+///
+/// This lowering materializes that program in the mini-IR so tests can
+/// check the equivalence concretely: the XSat-style solver and path
+/// reachability on the lowered program must agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SAT_LOWERTOIR_H
+#define WDM_SAT_LOWERTOIR_H
+
+#include "ir/Module.h"
+#include "sat/Constraint.h"
+
+namespace wdm::sat {
+
+struct LoweredCNF {
+  ir::Function *F = nullptr; ///< (x1..xN) -> int; 1 iff c holds.
+  const ir::Instruction *Branch = nullptr; ///< The `if (c)` condbr.
+};
+
+/// Lowers \p C into \p M as `Name(x1..xN) { if (c) return 1; return 0; }`.
+LoweredCNF lowerToIR(const CNF &C, ir::Module &M, const std::string &Name);
+
+} // namespace wdm::sat
+
+#endif // WDM_SAT_LOWERTOIR_H

@@ -1,0 +1,263 @@
+//===--- SExprParser.cpp - s-expression constraint parser --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/SExprParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <map>
+
+using namespace wdm;
+using namespace wdm::sat;
+
+namespace {
+
+/// A parsed s-expression node: either an atom token or a list.
+struct SNode {
+  std::string Token;
+  std::vector<SNode> Items;
+  bool IsList = false;
+};
+
+class SReader {
+public:
+  explicit SReader(std::string_view Text) : Text(Text) {}
+
+  Expected<SNode> read() {
+    skipWs();
+    Expected<SNode> N = readNode();
+    if (!N)
+      return N;
+    skipWs();
+    if (Pos != Text.size())
+      return Status::error("trailing input after constraint");
+    return N;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  Expected<SNode> readNode() {
+    skipWs();
+    if (Pos >= Text.size())
+      return Status::error("unexpected end of constraint");
+    if (Text[Pos] == '(') {
+      ++Pos;
+      SNode List;
+      List.IsList = true;
+      for (;;) {
+        skipWs();
+        if (Pos >= Text.size())
+          return Status::error("missing ')'");
+        if (Text[Pos] == ')') {
+          ++Pos;
+          return List;
+        }
+        Expected<SNode> Child = readNode();
+        if (!Child)
+          return Child;
+        List.Items.push_back(Child.take());
+      }
+    }
+    if (Text[Pos] == ')')
+      return Status::error("unexpected ')'");
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != ')' &&
+           Text[Pos] != ' ' && Text[Pos] != '\t' && Text[Pos] != '\n' &&
+           Text[Pos] != '\r')
+      ++Pos;
+    SNode Atom;
+    Atom.Token = std::string(Text.substr(Start, Pos - Start));
+    return Atom;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+class Builder {
+public:
+  Expected<CNF> build(const SNode &Root) {
+    CNF Out;
+    Status S = buildTop(Root, Out);
+    if (!S.ok())
+      return S;
+    Out.NumVars = static_cast<unsigned>(VarNames.size());
+    Out.VarNames = VarNames;
+    return Out;
+  }
+
+private:
+  static bool isPred(const std::string &T, AtomPred &P) {
+    static const std::pair<const char *, AtomPred> Preds[] = {
+        {"=", AtomPred::EQ},  {"==", AtomPred::EQ}, {"!=", AtomPred::NE},
+        {"<", AtomPred::LT},  {"<=", AtomPred::LE}, {">", AtomPred::GT},
+        {">=", AtomPred::GE},
+    };
+    for (auto &[Name, Pred] : Preds) {
+      if (T == Name) {
+        P = Pred;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool isFn(const std::string &T, Expr::Kind &K, unsigned &Arity) {
+    static const std::tuple<const char *, Expr::Kind, unsigned> Fns[] = {
+        {"+", Expr::Kind::Add, 2},   {"-", Expr::Kind::Sub, 2},
+        {"*", Expr::Kind::Mul, 2},   {"/", Expr::Kind::Div, 2},
+        {"pow", Expr::Kind::Pow, 2}, {"min", Expr::Kind::Min, 2},
+        {"max", Expr::Kind::Max, 2}, {"neg", Expr::Kind::Neg, 1},
+        {"abs", Expr::Kind::Abs, 1}, {"sqrt", Expr::Kind::Sqrt, 1},
+        {"sin", Expr::Kind::Sin, 1}, {"cos", Expr::Kind::Cos, 1},
+        {"tan", Expr::Kind::Tan, 1}, {"exp", Expr::Kind::Exp, 1},
+        {"log", Expr::Kind::Log, 1},
+    };
+    for (auto &[Name, Kind, A] : Fns) {
+      if (T == Name) {
+        K = Kind;
+        Arity = A;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool looksNumeric(const std::string &T) {
+    if (T.empty())
+      return false;
+    char C = T[0];
+    if (C >= '0' && C <= '9')
+      return true;
+    if ((C == '-' || C == '+' || C == '.') && T.size() > 1) {
+      char D = T[1];
+      return (D >= '0' && D <= '9') || D == '.';
+    }
+    return T == "inf" || T == "-inf" || T == "nan";
+  }
+
+  Expected<ExprPtr> buildExpr(const SNode &N) {
+    if (!N.IsList) {
+      if (looksNumeric(N.Token))
+        return ExprPtr(Expr::constant(std::strtod(N.Token.c_str(),
+                                                  nullptr)));
+      // A variable.
+      auto It = VarIndex.find(N.Token);
+      unsigned Idx;
+      if (It == VarIndex.end()) {
+        Idx = static_cast<unsigned>(VarNames.size());
+        VarIndex[N.Token] = Idx;
+        VarNames.push_back(N.Token);
+      } else {
+        Idx = It->second;
+      }
+      return ExprPtr(Expr::var(Idx, N.Token));
+    }
+    if (N.Items.empty() || N.Items[0].IsList)
+      return Status::error("expected an operator at the head of a list");
+    const std::string &Head = N.Items[0].Token;
+    Expr::Kind K;
+    unsigned Arity;
+    if (!isFn(Head, K, Arity))
+      return Status::error(formatf("unknown function '%s'", Head.c_str()));
+    // Unary minus convenience: (- x) == (neg x).
+    if (Head == "-" && N.Items.size() == 2) {
+      Expected<ExprPtr> Only = buildExpr(N.Items[1]);
+      if (!Only)
+        return Only;
+      return ExprPtr(Expr::unary(Expr::Kind::Neg, Only.take()));
+    }
+    if (N.Items.size() != Arity + 1)
+      return Status::error(
+          formatf("'%s' expects %u arguments", Head.c_str(), Arity));
+    std::vector<ExprPtr> Args;
+    for (size_t I = 1; I < N.Items.size(); ++I) {
+      Expected<ExprPtr> A = buildExpr(N.Items[I]);
+      if (!A)
+        return A;
+      Args.push_back(A.take());
+    }
+    if (Arity == 1)
+      return ExprPtr(Expr::unary(K, std::move(Args[0])));
+    return ExprPtr(Expr::binary(K, std::move(Args[0]), std::move(Args[1])));
+  }
+
+  Expected<Atom> buildAtom(const SNode &N) {
+    if (!N.IsList || N.Items.size() != 3 || N.Items[0].IsList)
+      return Status::error("atoms must look like (pred lhs rhs)");
+    AtomPred P;
+    if (!isPred(N.Items[0].Token, P))
+      return Status::error(
+          formatf("unknown predicate '%s'", N.Items[0].Token.c_str()));
+    Expected<ExprPtr> L = buildExpr(N.Items[1]);
+    if (!L)
+      return Status::error(L.error());
+    Expected<ExprPtr> R = buildExpr(N.Items[2]);
+    if (!R)
+      return Status::error(R.error());
+    return Atom{P, L.take(), R.take()};
+  }
+
+  Status buildClause(const SNode &N, Clause &Out) {
+    if (N.IsList && !N.Items.empty() && !N.Items[0].IsList &&
+        N.Items[0].Token == "or") {
+      for (size_t I = 1; I < N.Items.size(); ++I) {
+        Expected<Atom> A = buildAtom(N.Items[I]);
+        if (!A)
+          return Status::error(A.error());
+        Out.Atoms.push_back(A.take());
+      }
+      if (Out.Atoms.empty())
+        return Status::error("empty 'or' clause");
+      return Status::success();
+    }
+    Expected<Atom> A = buildAtom(N);
+    if (!A)
+      return Status::error(A.error());
+    Out.Atoms.push_back(A.take());
+    return Status::success();
+  }
+
+  Status buildTop(const SNode &N, CNF &Out) {
+    if (N.IsList && !N.Items.empty() && !N.Items[0].IsList &&
+        N.Items[0].Token == "and") {
+      for (size_t I = 1; I < N.Items.size(); ++I) {
+        Clause C;
+        if (Status S = buildClause(N.Items[I], C); !S.ok())
+          return S;
+        Out.Clauses.push_back(std::move(C));
+      }
+      if (Out.Clauses.empty())
+        return Status::error("empty 'and' constraint");
+      return Status::success();
+    }
+    Clause C;
+    if (Status S = buildClause(N, C); !S.ok())
+      return S;
+    Out.Clauses.push_back(std::move(C));
+    return Status::success();
+  }
+
+  std::map<std::string, unsigned> VarIndex;
+  std::vector<std::string> VarNames;
+};
+
+} // namespace
+
+Expected<CNF> sat::parseConstraint(std::string_view Text) {
+  SReader Reader(Text);
+  Expected<SNode> Root = Reader.read();
+  if (!Root)
+    return Status::error(Root.error());
+  return Builder().build(*Root);
+}

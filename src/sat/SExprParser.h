@@ -1,0 +1,36 @@
+//===--- SExprParser.h - s-expression constraint parser --------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses SMT-LIB-flavored s-expressions into CNF constraints:
+///
+///   (and (or (< x 1.0) (>= y 2.0))
+///        (= (* x y) 3.5)
+///        (< (+ x (tan x)) 2.0))
+///
+/// Grammar: top = (and clause...) | clause; clause = (or atom...) | atom;
+/// atom = (pred expr expr); expr = number | symbol | (fn expr...).
+/// Predicates: = != < <= > >=. Functions: + - * / neg abs sqrt sin cos
+/// tan exp log pow min max. Free symbols become variables in order of
+/// first appearance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SAT_SEXPRPARSER_H
+#define WDM_SAT_SEXPRPARSER_H
+
+#include "sat/Constraint.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace wdm::sat {
+
+Expected<CNF> parseConstraint(std::string_view Text);
+
+} // namespace wdm::sat
+
+#endif // WDM_SAT_SEXPRPARSER_H

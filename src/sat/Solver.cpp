@@ -1,0 +1,49 @@
+//===--- Solver.cpp - XSat-style FP satisfiability solver ---------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "opt/BasinHopping.h"
+
+using namespace wdm;
+using namespace wdm::sat;
+
+namespace {
+
+/// Membership oracle: direct evaluation of the constraint.
+class CNFOracle : public core::AnalysisProblem {
+public:
+  explicit CNFOracle(const CNF &C) : C(C) {}
+
+  unsigned dim() const override { return C.NumVars; }
+
+  bool contains(const std::vector<double> &X) override {
+    return C.satisfiedBy(X);
+  }
+
+  std::string name() const override { return "cnf-model"; }
+
+private:
+  const CNF &C;
+};
+
+} // namespace
+
+SatResult XSatSolver::solve(const CNF &Constraint, const Options &Opts) {
+  CNFWeakDistance W(Constraint, Opts.Metric);
+  CNFOracle Oracle(Constraint);
+  core::Reduction Red(W, &Oracle);
+
+  opt::BasinHopping Backend;
+  core::ReductionResult R = Red.solve(Backend, Opts.Reduce);
+
+  SatResult Out;
+  Out.Sat = R.Found;
+  Out.Model = R.Witness;
+  Out.WStar = R.WStar;
+  Out.Evals = R.Evals;
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===--- Fig1.cpp - The paper's motivating examples ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Fig1.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::ir;
+using namespace wdm::subjects;
+
+static Fig1 buildFig1(Module &M, const std::string &Name, bool UseTan) {
+  Fig1 Out;
+  Function *F = M.addFunction(Name, Type::Double);
+  Out.F = F;
+  Argument *X = F->addArg(Type::Double, "x");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Then = F->addBlock("then");
+  BasicBlock *Ok = F->addBlock("ok");
+  BasicBlock *Fail = F->addBlock("assert.fail");
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *Guard = B.fcmp(CmpPred::LT, X, B.lit(1.0), "guard");
+  Guard->setAnnotation("x < 1");
+  Out.GuardBranch = B.condbr(Guard, Then, Exit);
+
+  B.setInsertAppend(Then);
+  Value *Incr = UseTan ? static_cast<Value *>(B.tan(X, "tan.x"))
+                       : static_cast<Value *>(B.lit(1.0));
+  Instruction *XNew = B.fadd(X, Incr, "x.new");
+  XNew->setAnnotation(UseTan ? "x = x + tan(x)" : "x = x + 1");
+  Instruction *Assert = B.fcmp(CmpPred::LT, XNew, B.lit(2.0), "assert.cond");
+  Assert->setAnnotation("x < 2");
+  Out.AssertBranch = B.condbr(Assert, Ok, Fail);
+
+  B.setInsertAppend(Ok);
+  B.br(Exit);
+
+  B.setInsertAppend(Fail);
+  Out.TrapId = 1;
+  B.trap(Out.TrapId, "assert(x < 2) failed");
+
+  B.setInsertAppend(Exit);
+  B.ret(X);
+  return Out;
+}
+
+Fig1 subjects::buildFig1a(Module &M) {
+  return buildFig1(M, "fig1a", /*UseTan=*/false);
+}
+
+Fig1 subjects::buildFig1b(Module &M) {
+  return buildFig1(M, "fig1b", /*UseTan=*/true);
+}

@@ -1,0 +1,48 @@
+//===--- Fig1.h - The paper's motivating examples --------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Fig. 1 (a)/(b):
+/// \code
+///   void Prog(double x) {            void Prog(double x) {
+///     if (x < 1) {                     if (x < 1) {
+///       x = x + 1;                       x = x + tan(x);
+///       assert(x < 2);                   assert(x < 2);
+///     }                                }
+///   }                                }
+/// \endcode
+/// Under round-to-nearest, (a)'s assertion fails at
+/// x = 0.9999999999999999 (x + 1 rounds to 2.0); under round-toward-zero
+/// it holds for all inputs. The assert compiles to a trap-guarding
+/// branch, so "does the assertion fail?" is a path reachability problem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUBJECTS_FIG1_H
+#define WDM_SUBJECTS_FIG1_H
+
+#include "ir/Module.h"
+
+namespace wdm::subjects {
+
+struct Fig1 {
+  ir::Function *F = nullptr;
+  /// The `if (x < 1)` branch.
+  const ir::Instruction *GuardBranch = nullptr;
+  /// The assertion branch: true -> ok, false -> trap.
+  const ir::Instruction *AssertBranch = nullptr;
+  int TrapId = 0;
+};
+
+/// Fig. 1(a): x = x + 1.
+Fig1 buildFig1a(ir::Module &M);
+
+/// Fig. 1(b): x = x + tan(x).
+Fig1 buildFig1b(ir::Module &M);
+
+} // namespace wdm::subjects
+
+#endif // WDM_SUBJECTS_FIG1_H

@@ -1,0 +1,63 @@
+//===--- Fig2.cpp - The paper's running example ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Fig2.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::ir;
+using namespace wdm::subjects;
+
+Fig2 subjects::buildFig2(Module &M) {
+  Fig2 Out;
+  Function *F = M.addFunction("fig2", Type::Double);
+  Out.F = F;
+  Argument *X = F->addArg(Type::Double, "x");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Then1 = F->addBlock("then1");
+  BasicBlock *Cont1 = F->addBlock("cont1");
+  BasicBlock *Then2 = F->addBlock("then2");
+  BasicBlock *Cont2 = F->addBlock("cont2");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *XSlot = B.alloca_(Type::Double, "x.slot");
+  B.store(XSlot, X);
+  Instruction *C1 = B.fcmp(CmpPred::LE, X, B.lit(1.0), "c1");
+  C1->setAnnotation("x <= 1.0");
+  Instruction *Br1 = B.condbr(C1, Then1, Cont1);
+  Br1->setAnnotation("if (x <= 1.0)");
+  Out.Branch1 = Br1;
+
+  B.setInsertAppend(Then1);
+  Instruction *X1 = B.fadd(X, B.lit(1.0), "x.inc");
+  X1->setAnnotation("x++");
+  B.store(XSlot, X1);
+  B.br(Cont1);
+
+  B.setInsertAppend(Cont1);
+  Instruction *XV = B.load(XSlot, "x.cur");
+  Instruction *Y = B.fmul(XV, XV, "y");
+  Y->setAnnotation("double y = x * x");
+  Instruction *C2 = B.fcmp(CmpPred::LE, Y, B.lit(4.0), "c2");
+  C2->setAnnotation("y <= 4.0");
+  Instruction *Br2 = B.condbr(C2, Then2, Cont2);
+  Br2->setAnnotation("if (y <= 4.0)");
+  Out.Branch2 = Br2;
+
+  B.setInsertAppend(Then2);
+  Instruction *X2 = B.fsub(XV, B.lit(1.0), "x.dec");
+  X2->setAnnotation("x--");
+  B.store(XSlot, X2);
+  B.br(Cont2);
+
+  B.setInsertAppend(Cont2);
+  Instruction *XR = B.load(XSlot, "x.final");
+  B.ret(XR);
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===--- Fig2.h - The paper's running example ------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Fig. 2:
+/// \code
+///   void Prog(double x) {
+///     if (x <= 1.0) x++;
+///     double y = x * x;
+///     if (y <= 4.0) x--;
+///   }
+/// \endcode
+/// Boundary values: -3.0, 1.0, 2.0 (and 0.9999999999999999, which the
+/// paper's Basinhopping run discovered: x++ rounds it to 2.0 exactly, so
+/// y == 4.0). Inputs triggering both true branches: [-3, 1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUBJECTS_FIG2_H
+#define WDM_SUBJECTS_FIG2_H
+
+#include "ir/Module.h"
+
+namespace wdm::subjects {
+
+struct Fig2 {
+  ir::Function *F = nullptr;
+  /// The `if (x <= 1.0)` branch.
+  const ir::Instruction *Branch1 = nullptr;
+  /// The `if (y <= 4.0)` branch.
+  const ir::Instruction *Branch2 = nullptr;
+};
+
+/// Builds the Fig. 2 program into \p M; returns the final value of x so
+/// tests can check semantics.
+Fig2 buildFig2(ir::Module &M);
+
+} // namespace wdm::subjects
+
+#endif // WDM_SUBJECTS_FIG2_H

@@ -1,0 +1,138 @@
+//===--- NumericKernels.cpp - Realistic numeric subject programs ------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/NumericKernels.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::ir;
+using namespace wdm::subjects;
+
+QuadraticSolver subjects::buildQuadraticSolver(Module &M) {
+  QuadraticSolver Out;
+  Function *F = M.addFunction("quadratic_roots", Type::Double);
+  Out.F = F;
+  Argument *A = F->addArg(Type::Double, "a");
+  Argument *B2 = F->addArg(Type::Double, "b");
+  Argument *C = F->addArg(Type::Double, "c");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Linear = F->addBlock("linear");
+  BasicBlock *Quad = F->addBlock("quad");
+  BasicBlock *NoRoots = F->addBlock("no.roots");
+  BasicBlock *ChkDouble = F->addBlock("chk.double");
+  BasicBlock *OneRoot = F->addBlock("one.root");
+  BasicBlock *TwoRoots = F->addBlock("two.roots");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *IsLinear = B.fcmp(CmpPred::EQ, A, B.lit(0.0), "a.zero");
+  IsLinear->setAnnotation("a == 0");
+  Out.LinearBranch = B.condbr(IsLinear, Linear, Quad);
+
+  B.setInsertAppend(Linear);
+  B.ret(B.lit(1.0));
+
+  B.setInsertAppend(Quad);
+  Value *BB = B.fmul(B2, B2, "b2");
+  Value *FourAC = B.fmul(B.fmul(B.lit(4.0), A), C, "fourac");
+  Instruction *Disc = B.fsub(BB, FourAC, "disc");
+  Disc->setAnnotation("disc = b*b - 4*a*c");
+  Instruction *Neg = B.fcmp(CmpPred::LT, Disc, B.lit(0.0), "disc.neg");
+  Neg->setAnnotation("disc < 0");
+  Out.DiscBranch = B.condbr(Neg, NoRoots, ChkDouble);
+
+  B.setInsertAppend(NoRoots);
+  B.ret(B.lit(0.0));
+
+  B.setInsertAppend(ChkDouble);
+  Instruction *IsDouble = B.fcmp(CmpPred::EQ, Disc, B.lit(0.0), "disc.zero");
+  IsDouble->setAnnotation("disc == 0");
+  B.condbr(IsDouble, OneRoot, TwoRoots);
+
+  B.setInsertAppend(OneRoot);
+  B.ret(B.lit(1.0));
+
+  B.setInsertAppend(TwoRoots);
+  B.ret(B.lit(2.0));
+  return Out;
+}
+
+RaySphere subjects::buildRaySphere(Module &M) {
+  RaySphere Out;
+  Function *F = M.addFunction("ray_sphere", Type::Double);
+  Out.F = F;
+  Argument *Ox = F->addArg(Type::Double, "ox");
+  Argument *Dx = F->addArg(Type::Double, "dx");
+  Argument *R = F->addArg(Type::Double, "r");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Hit = F->addBlock("hit");
+  BasicBlock *Miss = F->addBlock("miss");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  // Solve (ox + t*dx)^2 = r^2 for t: quadratic in t with
+  //   a = dx^2, b = 2*ox*dx, c = ox^2 - r^2; disc = b^2 - 4ac.
+  Value *Aq = B.fmul(Dx, Dx, "a");
+  Value *Bq = B.fmul(B.fmul(B.lit(2.0), Ox), Dx, "b");
+  Value *Cq = B.fsub(B.fmul(Ox, Ox), B.fmul(R, R), "c");
+  Value *Disc = B.fsub(B.fmul(Bq, Bq),
+                       B.fmul(B.fmul(B.lit(4.0), Aq), Cq), "disc");
+  Instruction *HasHit = B.fcmp(CmpPred::GE, Disc, B.lit(0.0), "disc.ge0");
+  HasHit->setAnnotation("disc >= 0 (tangency at equality)");
+  Out.HitBranch = B.condbr(HasHit, Hit, Miss);
+
+  B.setInsertAppend(Hit);
+  // Entry distance t = (-b - sqrt(disc)) / (2a).
+  Value *T = B.fdiv(B.fsub(B.fneg(Bq), B.sqrt(Disc)),
+                    B.fmul(B.lit(2.0), Aq), "t");
+  B.ret(T);
+
+  B.setInsertAppend(Miss);
+  B.ret(B.lit(-1.0));
+  return Out;
+}
+
+Function *subjects::buildHermite(Module &M) {
+  Function *F = M.addFunction("hermite", Type::Double);
+  Argument *P0 = F->addArg(Type::Double, "p0");
+  Argument *P1 = F->addArg(Type::Double, "p1");
+  Argument *T = F->addArg(Type::Double, "t");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *ClampLo = F->addBlock("clamp.lo");
+  BasicBlock *ChkHi = F->addBlock("chk.hi");
+  BasicBlock *ClampHi = F->addBlock("clamp.hi");
+  BasicBlock *Body = F->addBlock("body");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *Lo = B.fcmp(CmpPred::LE, T, B.lit(0.0), "t.le0");
+  Lo->setAnnotation("t <= 0");
+  B.condbr(Lo, ClampLo, ChkHi);
+
+  B.setInsertAppend(ClampLo);
+  B.ret(P0);
+
+  B.setInsertAppend(ChkHi);
+  Instruction *Hi = B.fcmp(CmpPred::GE, T, B.lit(1.0), "t.ge1");
+  Hi->setAnnotation("t >= 1");
+  B.condbr(Hi, ClampHi, Body);
+
+  B.setInsertAppend(ClampHi);
+  B.ret(P1);
+
+  B.setInsertAppend(Body);
+  // h(t) = p0 + (p1 - p0) * t^2 * (3 - 2t)  (smoothstep blend).
+  Value *T2 = B.fmul(T, T, "t2");
+  Value *Blend = B.fmul(T2, B.fsub(B.lit(3.0), B.fmul(B.lit(2.0), T)),
+                        "blend");
+  Value *Span = B.fsub(P1, P0, "span");
+  B.ret(B.fadd(P0, B.fmul(Span, Blend), "h"));
+  return F;
+}

@@ -1,0 +1,57 @@
+//===--- NumericKernels.h - Realistic numeric subject programs -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Realistic numeric kernels beyond the paper's own subjects, used to
+/// exercise the analyses on the kind of code the paper's introduction
+/// motivates (aerospace/robotics/physics style numerics): a quadratic
+/// equation solver with discriminant branching, a ray-sphere
+/// intersection test, and a cubic Hermite interpolation with clamping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUBJECTS_NUMERICKERNELS_H
+#define WDM_SUBJECTS_NUMERICKERNELS_H
+
+#include "ir/Module.h"
+
+namespace wdm::subjects {
+
+struct QuadraticSolver {
+  ir::Function *F = nullptr; ///< (a, b, c) -> number of real roots.
+  /// The discriminant-sign branch (disc < 0).
+  const ir::Instruction *DiscBranch = nullptr;
+  /// The degenerate-coefficient branch (a == 0).
+  const ir::Instruction *LinearBranch = nullptr;
+};
+
+/// solve a*x^2 + b*x + c = 0:
+///   a == 0        -> returns 1 (linear; ignoring the b == 0 subcase)
+///   disc < 0      -> returns 0
+///   disc == 0     -> returns 1    (boundary condition of interest!)
+///   otherwise     -> returns 2
+/// The disc == 0 case is a classic boundary-value target: a measure-zero
+/// surface b^2 == 4ac that random testing cannot hit.
+QuadraticSolver buildQuadraticSolver(ir::Module &M);
+
+struct RaySphere {
+  ir::Function *F = nullptr; ///< (ox, dx, r) -> hit distance or -1.
+  const ir::Instruction *HitBranch = nullptr;
+};
+
+/// 1-D ray vs circle of radius r centered at origin: the ray starts at
+/// ox with direction dx (normalized by |dx|); returns the entry distance
+/// or -1 on miss. Tangency (discriminant == 0) is the boundary.
+RaySphere buildRaySphere(ir::Module &M);
+
+/// Cubic Hermite interpolation h(t) on [0, 1] with clamping branches at
+/// t <= 0 and t >= 1; (p0, p1, t) -> value. The clamp comparisons are
+/// boundary sites; overflow is reachable through huge slopes.
+ir::Function *buildHermite(ir::Module &M);
+
+} // namespace wdm::subjects
+
+#endif // WDM_SUBJECTS_NUMERICKERNELS_H

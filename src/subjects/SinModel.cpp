@@ -1,0 +1,131 @@
+//===--- SinModel.cpp - Glibc 2.19 sin branch model ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/SinModel.h"
+
+#include "ir/IRBuilder.h"
+#include "support/FPUtils.h"
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::ir;
+using namespace wdm::subjects;
+
+double SinModel::refBoundary(unsigned I) const {
+  return fromBits(static_cast<uint64_t>(Thresholds[I]) << 32);
+}
+
+/// Emits an odd Horner polynomial r * (1 + r2*(C3 + r2*(C5 + ...))) for
+/// the coefficient list \p Coeffs (highest degree first).
+static Value *emitOddPoly(IRBuilder &B, Value *R,
+                          const std::vector<double> &Coeffs) {
+  Value *R2 = B.fmul(R, R, "r2");
+  Value *Acc = B.lit(Coeffs.front());
+  for (size_t I = 1; I < Coeffs.size(); ++I)
+    Acc = B.fadd(B.fmul(R2, Acc), B.lit(Coeffs[I]));
+  return B.fmul(R, Acc);
+}
+
+/// Builds the shared argument-reduction core: x = n*pi + r with
+/// r in [-pi/2, pi/2), sin(x) = (-1)^n sin(r). The parity sign is
+/// computed arithmetically (1 - 2*(n - 2*floor(n/2))) so the body stays
+/// comparison-free and the model's boundary sites are exactly the five
+/// dispatch tests.
+static Function *buildSinCore(Module &M) {
+  Function *F = M.addFunction("wdm_sin_core", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+
+  Value *T = B.fmul(X, B.lit(0.3183098861837907), "t"); // x / pi
+  Value *N = B.floor(B.fadd(T, B.lit(0.5)), "n");
+  Value *R = B.fsub(X, B.fmul(N, B.lit(M_PI)), "r");
+  Value *HalfFloor = B.floor(B.fmul(N, B.lit(0.5)));
+  Value *Parity = B.fsub(N, B.fmul(HalfFloor, B.lit(2.0)), "parity");
+  Value *Sign = B.fsub(B.lit(1.0), B.fmul(B.lit(2.0), Parity), "sign");
+
+  Value *S = emitOddPoly(B, R,
+                         {2.7557319223985893e-06, -0.0001984126984126984,
+                          0.008333333333333333, -0.16666666666666666, 1.0});
+  B.ret(B.fmul(Sign, S, "sin.x"));
+  return F;
+}
+
+SinModel subjects::buildSinModel(Module &M) {
+  SinModel Out;
+  Function *Core = buildSinCore(M);
+
+  Function *F = M.addFunction("glibc_sin", Type::Double);
+  Out.F = F;
+  Argument *X = F->addArg(Type::Double, "x");
+
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Tiny = F->addBlock("range.tiny");
+  BasicBlock *Chk2 = F->addBlock("chk2");
+  BasicBlock *Poly1 = F->addBlock("range.poly");
+  BasicBlock *Chk3 = F->addBlock("chk3");
+  BasicBlock *Poly2 = F->addBlock("range.mid");
+  BasicBlock *Chk4 = F->addBlock("chk4");
+  BasicBlock *Reduce = F->addBlock("range.reduce");
+  BasicBlock *Chk5 = F->addBlock("chk5");
+  BasicBlock *Huge = F->addBlock("range.huge");
+  BasicBlock *NaNBlk = F->addBlock("range.nan");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Value *HW = B.highword(X, "m");
+  Value *K = B.iand(HW, B.litInt(0x7fffffff), "k");
+
+  const char *CmpAnnot[5] = {
+      "k < 0x3e500000  // |x| < 1.490120e-08",
+      "k < 0x3feb6000  // |x| < 8.554690e-01",
+      "k < 0x400368fd  // |x| < 2.426260e+00",
+      "k < 0x419921fb  // |x| < 1.054140e+08",
+      "k < 0x7ff00000  // |x| < 2^1024",
+  };
+  BasicBlock *CheckBlocks[5] = {Entry, Chk2, Chk3, Chk4, Chk5};
+  BasicBlock *BodyBlocks[5] = {Tiny, Poly1, Poly2, Reduce, Huge};
+  BasicBlock *NextBlocks[5] = {Chk2, Chk3, Chk4, Chk5, NaNBlk};
+
+  for (unsigned I = 0; I < 5; ++I) {
+    B.setInsertAppend(CheckBlocks[I]);
+    Instruction *Cmp = B.icmp(
+        CmpPred::LT, K, B.litInt(static_cast<int64_t>(Out.Thresholds[I])));
+    Cmp->setAnnotation(CmpAnnot[I]);
+    Out.KCompares[I] = Cmp;
+    B.condbr(Cmp, BodyBlocks[I], NextBlocks[I]);
+  }
+
+  // |x| < 2^-26: sin(x) rounds to x.
+  B.setInsertAppend(Tiny);
+  B.ret(X);
+
+  // |x| < 0.855469: degree-7 Taylor polynomial.
+  B.setInsertAppend(Poly1);
+  B.ret(emitOddPoly(B, X,
+                    {-0.0001984126984126984, 0.008333333333333333,
+                     -0.16666666666666666, 1.0}));
+
+  // |x| < 2.426260: one reduction step handles the excursion past pi/2.
+  B.setInsertAppend(Poly2);
+  B.ret(B.call(Core, {X}));
+
+  // |x| < 1.054140e8: argument reduction.
+  B.setInsertAppend(Reduce);
+  B.ret(B.call(Core, {X}));
+
+  // |x| < 2^1024: same reduction, degraded accuracy (model fidelity is
+  // irrelevant to the boundary study).
+  B.setInsertAppend(Huge);
+  B.ret(B.call(Core, {X}));
+
+  // x is inf or NaN: x - x yields NaN.
+  B.setInsertAppend(NaNBlk);
+  B.ret(B.fsub(X, X));
+  return Out;
+}

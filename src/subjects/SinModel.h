@@ -1,0 +1,55 @@
+//===--- SinModel.h - Glibc 2.19 sin branch model --------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6.2 case study subject: Glibc 2.19's `sin` dispatches on
+/// the high machine word of |x| (paper Fig. 8):
+/// \code
+///   k = 0x7fffffff & m;
+///   if      (k < 0x3e500000) ...  // |x| < 1.490120e-08
+///   else if (k < 0x3feb6000) ...  // |x| < 8.554690e-01
+///   else if (k < 0x400368fd) ...  // |x| < 2.426260e+00
+///   else if (k < 0x419921fb) ...  // |x| < 1.054140e+08
+///   else if (k < 0x7ff00000) ...  // |x| < 2^1024
+///   else ...
+/// \endcode
+/// This model reproduces that branch structure bit-exactly (highword +
+/// mask + the five integer comparisons) over polynomial/argument-
+/// reduction bodies. The bodies deliberately contain no comparisons, so
+/// the boundary sites are exactly the five `k < c` tests — 10 boundary
+/// conditions, of which the 2 at k = 0x7ff00000 are unreachable from
+/// finite inputs (2^1024 exceeds the largest double), as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUBJECTS_SINMODEL_H
+#define WDM_SUBJECTS_SINMODEL_H
+
+#include "ir/Module.h"
+
+#include <array>
+
+namespace wdm::subjects {
+
+struct SinModel {
+  ir::Function *F = nullptr;
+  /// The five threshold constants, in branch order.
+  std::array<uint32_t, 5> Thresholds = {0x3e500000u, 0x3feb6000u,
+                                        0x400368fdu, 0x419921fbu,
+                                        0x7ff00000u};
+  /// The five `k < c` comparison instructions, in branch order.
+  std::array<const ir::Instruction *, 5> KCompares = {};
+
+  /// The positive double whose high word equals Thresholds[I] with a zero
+  /// low word — the developer-suggested boundary ("ref" row of Table 2).
+  double refBoundary(unsigned I) const;
+};
+
+SinModel buildSinModel(ir::Module &M);
+
+} // namespace wdm::subjects
+
+#endif // WDM_SUBJECTS_SINMODEL_H

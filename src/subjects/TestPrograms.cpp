@@ -1,0 +1,135 @@
+//===--- TestPrograms.cpp - Small IR corpus for tests -----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/TestPrograms.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace wdm;
+using namespace wdm::ir;
+
+Function *subjects::buildStraightline(Module &M) {
+  Function *F = M.addFunction("straightline", Type::Double);
+  Argument *A = F->addArg(Type::Double, "a");
+  Argument *B2 = F->addArg(Type::Double, "b");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  // Sequence the emissions explicitly: C++ argument evaluation order is
+  // unspecified, and tests depend on fadd/fsub/fmul layout order.
+  Value *Sum = B.fadd(A, B2);
+  Value *Diff = B.fsub(A, B2);
+  B.ret(B.fmul(Sum, Diff));
+  return F;
+}
+
+Function *subjects::buildLoopAccum(Module &M) {
+  Function *F = M.addFunction("loop_accum", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Header = F->addBlock("header");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Instruction *Acc = B.alloca_(Type::Double, "acc");
+  Instruction *I = B.alloca_(Type::Int, "i");
+  B.store(Acc, B.lit(0.0));
+  B.store(I, B.litInt(0));
+  B.br(Header);
+
+  B.setInsertAppend(Header);
+  Value *IV = B.load(I, "i.cur");
+  Value *More = B.icmp(CmpPred::LT, IV, B.litInt(20));
+  B.condbr(More, Body, Exit);
+
+  B.setInsertAppend(Body);
+  Value *AV = B.load(Acc, "acc.cur");
+  Value *Next = B.fadd(B.fmul(AV, B.lit(0.5)), X);
+  B.store(Acc, Next);
+  Value *IV2 = B.load(I);
+  B.store(I, B.iadd(IV2, B.litInt(1)));
+  B.br(Header);
+
+  B.setInsertAppend(Exit);
+  B.ret(B.load(Acc));
+  return F;
+}
+
+Function *subjects::buildInfiniteLoop(Module &M) {
+  Function *F = M.addFunction("infinite_loop", Type::Double);
+  F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Spin = F->addBlock("spin");
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  B.br(Spin);
+  B.setInsertAppend(Spin);
+  B.br(Spin);
+  return F;
+}
+
+Function *subjects::buildTrapAlways(Module &M) {
+  Function *F = M.addFunction("trap_always", Type::Double);
+  F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  B.trap(7, "always traps");
+  return F;
+}
+
+Function *subjects::buildClassifier(Module &M) {
+  Function *F = M.addFunction("classifier", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Neg = F->addBlock("neg");
+  BasicBlock *NegDeep = F->addBlock("neg.deep");
+  BasicBlock *NegShallow = F->addBlock("neg.shallow");
+  BasicBlock *Pos = F->addBlock("pos");
+  BasicBlock *Big = F->addBlock("big");
+  BasicBlock *Mid = F->addBlock("mid");
+  BasicBlock *Magic = F->addBlock("magic");
+  BasicBlock *Plain = F->addBlock("plain");
+
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  B.condbr(B.fcmp(CmpPred::LT, X, B.lit(0.0), "is.neg"), Neg, Pos);
+
+  B.setInsertAppend(Neg);
+  B.condbr(B.fcmp(CmpPred::LT, X, B.lit(-100.0), "is.deep"), NegDeep,
+           NegShallow);
+  B.setInsertAppend(NegDeep);
+  B.ret(B.lit(-2.0));
+  B.setInsertAppend(NegShallow);
+  B.ret(B.lit(-1.0));
+
+  B.setInsertAppend(Pos);
+  B.condbr(B.fcmp(CmpPred::GT, X, B.lit(100.0), "is.big"), Big, Mid);
+  B.setInsertAppend(Big);
+  B.ret(B.lit(2.0));
+
+  B.setInsertAppend(Mid);
+  B.condbr(B.fcmp(CmpPred::EQ, X, B.lit(42.0), "is.magic"), Magic, Plain);
+  B.setInsertAppend(Magic);
+  B.ret(B.lit(99.0));
+  B.setInsertAppend(Plain);
+  B.ret(B.lit(1.0));
+  return F;
+}
+
+Function *subjects::buildCallChain(Module &M) {
+  Function *G = M.addFunction("callchain_g", Type::Double);
+  Argument *GX = G->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(G->addBlock("entry"));
+  B.ret(B.fmul(B.lit(2.0), GX));
+
+  Function *F = M.addFunction("callchain_f", Type::Double);
+  Argument *FX = F->addArg(Type::Double, "x");
+  B.setInsertAppend(F->addBlock("entry"));
+  B.ret(B.fadd(B.call(G, {FX}), B.lit(1.0)));
+  return F;
+}

@@ -1,0 +1,41 @@
+//===--- TestPrograms.h - Small IR corpus for tests ------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUBJECTS_TESTPROGRAMS_H
+#define WDM_SUBJECTS_TESTPROGRAMS_H
+
+#include "ir/Module.h"
+
+namespace wdm::subjects {
+
+/// f(a, b) = (a + b) * (a - b); straight-line arithmetic.
+ir::Function *buildStraightline(ir::Module &M);
+
+/// f(x) = 20 iterations of acc = acc * 0.5 + x starting at 0; exercises
+/// alloca slots, an int counter, and a loop back edge.
+ir::Function *buildLoopAccum(ir::Module &M);
+
+/// Loops forever; exercises the interpreter's step budget.
+ir::Function *buildInfiniteLoop(ir::Module &M);
+
+/// Traps unconditionally with trap id 7.
+ir::Function *buildTrapAlways(ir::Module &M);
+
+/// Nested classification:
+///   x < 0    : (x < -100 ? -2 : -1)
+///   x > 100  : 2
+///   x == 42  : 99
+///   otherwise: 1
+/// Five branch directions require distinct input regions; reaching
+/// x == 42 exactly is the interesting coverage target.
+ir::Function *buildClassifier(ir::Module &M);
+
+/// g(x) = 2 * x and f(x) = g(x) + 1; exercises calls.
+ir::Function *buildCallChain(ir::Module &M);
+
+} // namespace wdm::subjects
+
+#endif // WDM_SUBJECTS_TESTPROGRAMS_H

@@ -1,0 +1,50 @@
+//===--- Casting.h - Hand-rolled isa/cast/dyn_cast RTTI --------*- C++ -*-===//
+//
+// Part of the wdm project: weak-distance minimization for floating-point
+// analysis (reproduction of Fu & Su, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI. A class opts in by providing a static
+/// `classof(const Base *)` predicate, typically backed by a Kind enum stored
+/// in the base class. See ir/Value.h for the canonical use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_CASTING_H
+#define WDM_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace wdm {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that yields nullptr when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_CASTING_H

@@ -1,0 +1,102 @@
+//===--- Error.h - Exception-free error handling ---------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Status` and `Expected<T>`: lightweight, exception-free error propagation
+/// in the spirit of llvm::Error / llvm::Expected. Library code never throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_ERROR_H
+#define WDM_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wdm {
+
+/// Result of an operation that can fail with a diagnostic message.
+class Status {
+public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    S.Failed = true;
+    return S;
+  }
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// The diagnostic message; empty on success.
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+/// Either a value of type T or an error message. Modeled after
+/// llvm::Expected but without the checked-error discipline.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Status S) : Err(S.message()) {
+    assert(!S.ok() && "Expected constructed from success Status");
+  }
+
+  static Expected<T> error(std::string Message) {
+    Expected<T> E;
+    E.Err = std::move(Message);
+    return E;
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &get() {
+    assert(hasValue() && "Expected<T>::get() on error state");
+    return *Value;
+  }
+  const T &get() const {
+    assert(hasValue() && "Expected<T>::get() on error state");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// The error message; only valid when !hasValue().
+  const std::string &error() const {
+    assert(!hasValue() && "Expected<T>::error() on value state");
+    return Err;
+  }
+
+  /// Moves the value out, leaving the Expected in a moved-from state.
+  T take() {
+    assert(hasValue() && "Expected<T>::take() on error state");
+    return std::move(*Value);
+  }
+
+private:
+  Expected() = default;
+
+  std::optional<T> Value;
+  std::string Err;
+};
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_ERROR_H

@@ -1,0 +1,87 @@
+//===--- FPUtils.cpp - IEEE-754 binary64 bit-level utilities -------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FPUtils.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace wdm;
+
+uint64_t wdm::bitsOf(double X) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(X), "binary64 expected");
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  return Bits;
+}
+
+double wdm::fromBits(uint64_t Bits) {
+  double X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+uint32_t wdm::highWord(double X) {
+  return static_cast<uint32_t>(bitsOf(X) >> 32);
+}
+
+uint32_t wdm::lowWord(double X) {
+  return static_cast<uint32_t>(bitsOf(X) & 0xffffffffu);
+}
+
+int64_t wdm::orderedBits(double X) {
+  uint64_t Bits = bitsOf(X);
+  // Positive floats are already ordered by their bit patterns; negative
+  // floats order in reverse, so mirror them below zero.
+  if (Bits >> 63)
+    return static_cast<int64_t>(0x8000000000000000ull - Bits);
+  return static_cast<int64_t>(Bits);
+}
+
+uint64_t wdm::ulpDistance(double A, double B) {
+  if (std::isnan(A) || std::isnan(B))
+    return ~0ull;
+  int64_t IA = orderedBits(A);
+  int64_t IB = orderedBits(B);
+  // +0.0 and -0.0 are the same real number; orderedBits already maps both
+  // to 0 (bits 0x0 -> 0 and 0x8000...0 -> 0), so plain subtraction works.
+  if (IA >= IB)
+    return static_cast<uint64_t>(IA) - static_cast<uint64_t>(IB);
+  return static_cast<uint64_t>(IB) - static_cast<uint64_t>(IA);
+}
+
+double wdm::ulpDistanceAsDouble(double A, double B) {
+  return static_cast<double>(ulpDistance(A, B));
+}
+
+double wdm::fromOrderedBits(int64_t Ordered) {
+  if (Ordered < 0)
+    return fromBits(0x8000000000000000ull - static_cast<uint64_t>(Ordered));
+  return fromBits(static_cast<uint64_t>(Ordered));
+}
+
+int64_t wdm::maxOrderedFinite() {
+  return orderedBits(std::numeric_limits<double>::max());
+}
+
+double wdm::clampedFromOrderedBits(int64_t Ordered) {
+  int64_t Max = maxOrderedFinite();
+  if (Ordered > Max)
+    Ordered = Max;
+  if (Ordered < -Max)
+    Ordered = -Max;
+  return fromOrderedBits(Ordered);
+}
+
+double wdm::nextUp(double X) {
+  return std::nextafter(X, std::numeric_limits<double>::infinity());
+}
+
+double wdm::nextDown(double X) {
+  return std::nextafter(X, -std::numeric_limits<double>::infinity());
+}
+
+bool wdm::isNonFinite(double X) { return !std::isfinite(X); }

@@ -1,0 +1,78 @@
+//===--- FPUtils.h - IEEE-754 binary64 bit-level utilities -----*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-level floating-point helpers: raw bit access, the high machine word
+/// used by Glibc's sin (paper Fig. 8), ULP distance (the integer metric the
+/// paper suggests for mitigating Limitation 2), and neighbor enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_FPUTILS_H
+#define WDM_SUPPORT_FPUTILS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace wdm {
+
+/// Reinterprets a double as its raw IEEE-754 bit pattern.
+uint64_t bitsOf(double X);
+
+/// Reinterprets a bit pattern as a double.
+double fromBits(uint64_t Bits);
+
+/// The high 32-bit machine word of \p X; this is the `m` in Glibc sin's
+/// `k = 0x7fffffff & m` (paper Fig. 8, Section 6.2).
+uint32_t highWord(double X);
+
+/// The low 32-bit machine word of \p X.
+uint32_t lowWord(double X);
+
+/// Maps a double onto a signed integer scale that is monotone in the usual
+/// ordering of the reals: negative doubles map below nonnegative ones and
+/// adjacent floats map to adjacent integers. NaNs map to extreme values.
+int64_t orderedBits(double X);
+
+/// The number of representable doubles strictly between \p A and \p B plus
+/// one when they differ; 0 iff A == B bitwise-after-normalizing-zeros.
+/// Saturates at numeric_limits<uint64_t>::max() for NaN operands.
+uint64_t ulpDistance(double A, double B);
+
+/// ulpDistance rounded into a double; large distances lose precision but
+/// remain monotone enough to steer minimization.
+double ulpDistanceAsDouble(double A, double B);
+
+/// Inverse of orderedBits for values in the image of finite doubles.
+double fromOrderedBits(int64_t Ordered);
+
+/// orderedBits of the largest finite double; the valid ordered range of
+/// finite doubles is [-maxOrderedFinite(), maxOrderedFinite()].
+int64_t maxOrderedFinite();
+
+/// Clamps an ordered-bits value into the finite range and maps it back to
+/// a double. The ULP pattern search uses this to walk the float number
+/// line without stepping into infinities or NaNs.
+double clampedFromOrderedBits(int64_t Ordered);
+
+/// Next representable double above \p X (toward +inf).
+double nextUp(double X);
+
+/// Next representable double below \p X (toward -inf).
+double nextDown(double X);
+
+/// True if X is +/-inf or NaN.
+bool isNonFinite(double X);
+
+/// Largest finite double, i.e. the MAX of Algorithm 3's overflow check.
+inline constexpr double MaxDouble = std::numeric_limits<double>::max();
+
+/// Machine epsilon of binary64, i.e. GSL_DBL_EPSILON.
+inline constexpr double DblEpsilon = std::numeric_limits<double>::epsilon();
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_FPUTILS_H

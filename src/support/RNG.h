@@ -1,0 +1,68 @@
+//===--- RNG.h - Deterministic random number generation --------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable xoshiro256++ generator. All stochastic components of the
+/// optimizers draw from an explicitly passed RNG so that every experiment
+/// in the paper reproduction is bit-reproducible across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_RNG_H
+#define WDM_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wdm {
+
+/// xoshiro256++ seeded through SplitMix64.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit draw.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi). Requires Lo < Hi and both finite.
+  double uniform(double Lo, double Hi);
+
+  /// Standard normal draw (Box-Muller, cached spare).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double Mean, double Sigma);
+
+  /// Uniform integer in [0, N). Requires N > 0.
+  uint64_t below(uint64_t N);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t intIn(int64_t Lo, int64_t Hi);
+
+  /// True with probability P.
+  bool chance(double P);
+
+  /// A double drawn uniformly over the *bit patterns* of finite doubles in
+  /// the widest sense: uniform exponent, uniform mantissa, uniform sign.
+  /// This matches how the paper's random starting points can land anywhere
+  /// in F, including huge magnitudes that plain uniform() never reaches.
+  double anyFiniteDouble();
+
+  /// Derives an independent child generator; advances this generator.
+  RNG split();
+
+private:
+  uint64_t S[4];
+  double Spare = 0;
+  bool HasSpare = false;
+};
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_RNG_H

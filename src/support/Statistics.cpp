@@ -1,0 +1,55 @@
+//===--- Statistics.cpp - Streaming statistics ----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wdm;
+
+void RunningStat::push(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::mean() const { return N ? Mean : 0.0; }
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return N ? Min : 0.0; }
+
+double RunningStat::max() const { return N ? Max : 0.0; }
+
+double wdm::quantile(std::vector<double> Data, double Q) {
+  if (Data.empty())
+    return 0.0;
+  std::sort(Data.begin(), Data.end());
+  if (Q <= 0)
+    return Data.front();
+  if (Q >= 1)
+    return Data.back();
+  double Pos = Q * static_cast<double>(Data.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  double Frac = Pos - static_cast<double>(Lo);
+  if (Lo + 1 >= Data.size())
+    return Data.back();
+  return Data[Lo] * (1.0 - Frac) + Data[Lo + 1] * Frac;
+}

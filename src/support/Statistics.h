@@ -1,0 +1,50 @@
+//===--- Statistics.h - Streaming statistics -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Welford-style streaming statistics used by the experiment harnesses to
+/// summarize sampling runs (Table 2's min/max/hits rows, Fig. 9 progress).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_STATISTICS_H
+#define WDM_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wdm {
+
+/// Accumulates count / mean / variance / extrema of a stream of doubles
+/// without storing the stream.
+class RunningStat {
+public:
+  void push(double X);
+
+  uint64_t count() const { return N; }
+  bool empty() const { return N == 0; }
+  double mean() const;
+  /// Sample variance (N-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+private:
+  uint64_t N = 0;
+  double Mean = 0;
+  double M2 = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Data by linear
+/// interpolation; \p Data is copied and sorted. Empty input yields 0.
+double quantile(std::vector<double> Data, double Q);
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_STATISTICS_H

@@ -1,0 +1,93 @@
+//===--- StringUtils.cpp - Formatting helpers ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace wdm;
+
+std::string wdm::formatf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string wdm::formatDouble(double X) {
+  if (std::isnan(X))
+    return std::signbit(X) ? "-nan" : "nan";
+  if (std::isinf(X))
+    return std::signbit(X) ? "-inf" : "inf";
+  char Buffer[64];
+  auto [Ptr, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), X);
+  (void)Ec;
+  return std::string(Buffer, Ptr);
+}
+
+std::string wdm::formatDoubleCompact(double X, int Digits) {
+  if (std::isnan(X))
+    return std::signbit(X) ? "-nan" : "nan";
+  if (std::isinf(X))
+    return std::signbit(X) ? "-inf" : "inf";
+  std::string Raw = formatf("%.*e", Digits - 1, X);
+  // Strip exponent zero padding: 1.8e+308 -> 1.8e308, 5.3e+01 -> 5.3e1.
+  std::string Out;
+  size_t EPos = Raw.find('e');
+  if (EPos == std::string::npos)
+    return Raw;
+  Out = Raw.substr(0, EPos + 1);
+  std::string_view Exp = std::string_view(Raw).substr(EPos + 1);
+  bool Negative = !Exp.empty() && Exp.front() == '-';
+  if (!Exp.empty() && (Exp.front() == '+' || Exp.front() == '-'))
+    Exp.remove_prefix(1);
+  while (Exp.size() > 1 && Exp.front() == '0')
+    Exp.remove_prefix(1);
+  if (Negative)
+    Out += '-';
+  Out += Exp;
+  return Out;
+}
+
+std::vector<std::string> wdm::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string_view wdm::trim(std::string_view Text) {
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\n' || C == '\r';
+  };
+  while (!Text.empty() && IsSpace(Text.front()))
+    Text.remove_prefix(1);
+  while (!Text.empty() && IsSpace(Text.back()))
+    Text.remove_suffix(1);
+  return Text;
+}
+
+bool wdm::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.substr(0, Prefix.size()) == Prefix;
+}

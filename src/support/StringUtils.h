@@ -1,0 +1,46 @@
+//===--- StringUtils.h - Formatting helpers --------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, shortest round-trip double
+/// printing, and small string manipulation helpers used by the IR printer
+/// and the experiment tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_STRINGUTILS_H
+#define WDM_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdm {
+
+/// printf-style formatting into a std::string.
+std::string formatf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Shortest decimal string that round-trips to exactly \p X
+/// (std::to_chars); "inf"/"-inf"/"nan" for non-finite values.
+std::string formatDouble(double X);
+
+/// Scientific format with \p Digits significant digits, e.g. "1.8e308".
+/// This is the compact style the paper uses in Tables 4 and 5.
+std::string formatDoubleCompact(double X, int Digits = 2);
+
+/// Splits on a separator character; keeps empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_STRINGUTILS_H

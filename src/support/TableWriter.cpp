@@ -1,0 +1,77 @@
+//===--- TableWriter.cpp - Aligned console tables --------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace wdm;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  Row.resize(std::max(Row.size(), Header.size()));
+  Rows.push_back(std::move(Row));
+  IsSeparator.push_back(false);
+}
+
+void Table::addSeparator() {
+  Rows.emplace_back();
+  IsSeparator.push_back(true);
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t Col = 0; Col < Header.size(); ++Col)
+    Widths[Col] = Header[Col].size();
+  for (const auto &Row : Rows)
+    for (size_t Col = 0; Col < Row.size() && Col < Widths.size(); ++Col)
+      Widths[Col] = std::max(Widths[Col], Row[Col].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t Col = 0; Col < Widths.size(); ++Col) {
+      const std::string &Cell = Col < Row.size() ? Row[Col] : std::string();
+      OS << "  " << Cell;
+      for (size_t Pad = Cell.size(); Pad < Widths[Col]; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  };
+
+  auto PrintRule = [&] {
+    for (size_t Col = 0; Col < Widths.size(); ++Col) {
+      OS << "  ";
+      for (size_t I = 0; I < Widths[Col]; ++I)
+        OS << '-';
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  PrintRule();
+  for (size_t RowIdx = 0; RowIdx < Rows.size(); ++RowIdx) {
+    if (IsSeparator[RowIdx])
+      PrintRule();
+    else
+      PrintRow(Rows[RowIdx]);
+  }
+}
+
+void Table::printCSV(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t Col = 0; Col < Row.size(); ++Col) {
+      if (Col)
+        OS << ',';
+      OS << Row[Col];
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (size_t RowIdx = 0; RowIdx < Rows.size(); ++RowIdx)
+    if (!IsSeparator[RowIdx])
+      PrintRow(Rows[RowIdx]);
+}

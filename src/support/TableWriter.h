@@ -1,0 +1,50 @@
+//===--- TableWriter.h - Aligned console tables ----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table renderer used by every bench binary to print
+/// the paper's tables (Tables 1-5) in a uniform, diffable format. Also
+/// emits CSV for downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_TABLEWRITER_H
+#define WDM_SUPPORT_TABLEWRITER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wdm {
+
+/// Collects rows of strings and renders them column-aligned.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream &OS) const;
+
+  /// Renders as comma-separated values (no separator rows).
+  void printCSV(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> IsSeparator;
+};
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_TABLEWRITER_H

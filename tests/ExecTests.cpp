@@ -1,0 +1,395 @@
+//===--- ExecTests.cpp - Interpreter unit tests --------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+#include "support/FPUtils.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "subjects/Fig1.h"
+#include "subjects/Fig2.h"
+#include "subjects/SinModel.h"
+#include "subjects/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace wdm;
+using namespace wdm::exec;
+using namespace wdm::ir;
+
+namespace {
+
+double inf() { return std::numeric_limits<double>::infinity(); }
+
+/// Builds a one-expression function `f(a, b) = a <op> b` and runs it.
+double evalBinary(Opcode Op, double A, double B) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *AArg = F->addArg(Type::Double, "a");
+  Argument *BArg = F->addArg(Type::Double, "b");
+  IRBuilder Bld(M);
+  Bld.setInsertAppend(F->addBlock("entry"));
+  auto Inst = std::make_unique<Instruction>(
+      Op, Type::Double, std::vector<Value *>{AArg, BArg});
+  Instruction *Raw = F->entry()->append(std::move(Inst));
+  Bld.ret(Raw);
+  EXPECT_TRUE(verifyModule(M).ok());
+
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R =
+      E.run(F, {RTValue::ofDouble(A), RTValue::ofDouble(B)}, Ctx);
+  EXPECT_TRUE(R.ok());
+  return R.ReturnValue.asDouble();
+}
+
+double evalUnary(Opcode Op, double A) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *AArg = F->addArg(Type::Double, "a");
+  IRBuilder Bld(M);
+  Bld.setInsertAppend(F->addBlock("entry"));
+  auto Inst = std::make_unique<Instruction>(Op, Type::Double,
+                                            std::vector<Value *>{AArg});
+  Instruction *Raw = F->entry()->append(std::move(Inst));
+  Bld.ret(Raw);
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R = E.run(F, {RTValue::ofDouble(A)}, Ctx);
+  EXPECT_TRUE(R.ok());
+  return R.ReturnValue.asDouble();
+}
+
+TEST(InterpreterTest, DoubleArithmetic) {
+  EXPECT_EQ(evalBinary(Opcode::FAdd, 1.5, 2.25), 3.75);
+  EXPECT_EQ(evalBinary(Opcode::FSub, 1.0, 4.0), -3.0);
+  EXPECT_EQ(evalBinary(Opcode::FMul, 3.0, -2.0), -6.0);
+  EXPECT_EQ(evalBinary(Opcode::FDiv, 1.0, 4.0), 0.25);
+  EXPECT_EQ(evalBinary(Opcode::FRem, 7.5, 2.0), 1.5);
+  EXPECT_EQ(evalBinary(Opcode::Pow, 2.0, 10.0), 1024.0);
+  EXPECT_EQ(evalBinary(Opcode::FMin, 2.0, -3.0), -3.0);
+  EXPECT_EQ(evalBinary(Opcode::FMax, 2.0, -3.0), 2.0);
+}
+
+TEST(InterpreterTest, RoundToNearestIsDefault) {
+  // The paper's Section 1 example: 0.9999999999999999 + 1 rounds to 2.
+  EXPECT_EQ(evalBinary(Opcode::FAdd, 0.9999999999999999, 1.0), 2.0);
+  // And 0.1 + 0.2 != 0.3.
+  EXPECT_NE(evalBinary(Opcode::FAdd, 0.1, 0.2), 0.3);
+}
+
+TEST(InterpreterTest, UnaryOps) {
+  EXPECT_EQ(evalUnary(Opcode::FNeg, 3.0), -3.0);
+  EXPECT_EQ(evalUnary(Opcode::FAbs, -3.0), 3.0);
+  EXPECT_EQ(evalUnary(Opcode::Sqrt, 9.0), 3.0);
+  EXPECT_EQ(evalUnary(Opcode::Floor, 2.7), 2.0);
+  EXPECT_EQ(evalUnary(Opcode::Floor, -2.3), -3.0);
+  EXPECT_DOUBLE_EQ(evalUnary(Opcode::Sin, 0.5), std::sin(0.5));
+  EXPECT_DOUBLE_EQ(evalUnary(Opcode::Cos, 0.5), std::cos(0.5));
+  EXPECT_DOUBLE_EQ(evalUnary(Opcode::Tan, 0.5), std::tan(0.5));
+  EXPECT_DOUBLE_EQ(evalUnary(Opcode::Exp, 1.0), std::exp(1.0));
+  EXPECT_DOUBLE_EQ(evalUnary(Opcode::Log, 2.0), std::log(2.0));
+}
+
+TEST(InterpreterTest, SpecialValues) {
+  EXPECT_TRUE(std::isinf(evalBinary(Opcode::FMul, 1e308, 10.0)));
+  EXPECT_TRUE(std::isnan(evalBinary(Opcode::FSub, inf(), inf())));
+  EXPECT_TRUE(std::isnan(evalBinary(Opcode::FDiv, 0.0, 0.0)));
+  EXPECT_EQ(evalBinary(Opcode::FDiv, 1.0, 0.0), inf());
+  EXPECT_EQ(evalBinary(Opcode::FDiv, -1.0, 0.0), -inf());
+  EXPECT_TRUE(std::isnan(evalUnary(Opcode::Sqrt, -1.0)));
+  // fmin/fmax ignore NaN (IEEE 754 minNum/maxNum semantics).
+  EXPECT_EQ(evalBinary(Opcode::FMin, std::nan(""), 3.0), 3.0);
+}
+
+/// FCmp semantics, parameterized across predicates: NaN fails everything
+/// except NE.
+struct CmpCase {
+  CmpPred Pred;
+  double A, B;
+  bool Expected;
+};
+
+class FCmpSemanticsTest : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(FCmpSemanticsTest, Matches) {
+  const CmpCase &C = GetParam();
+  Module M;
+  Function *F = M.addFunction("f", Type::Int);
+  Argument *A = F->addArg(Type::Double, "a");
+  Argument *B = F->addArg(Type::Double, "b");
+  IRBuilder Bld(M);
+  Bld.setInsertAppend(F->addBlock("entry"));
+  Value *Cmp = Bld.fcmp(C.Pred, A, B);
+  Bld.ret(Bld.select(Cmp, Bld.litInt(1), Bld.litInt(0)));
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R =
+      E.run(F, {RTValue::ofDouble(C.A), RTValue::ofDouble(C.B)}, Ctx);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue.asInt(), C.Expected ? 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, FCmpSemanticsTest,
+    ::testing::Values(
+        CmpCase{CmpPred::EQ, 1.0, 1.0, true},
+        CmpCase{CmpPred::EQ, 0.0, -0.0, true}, // signed zeros compare equal
+        CmpCase{CmpPred::EQ, std::nan(""), std::nan(""), false},
+        CmpCase{CmpPred::NE, std::nan(""), 1.0, true},
+        CmpCase{CmpPred::LT, 1.0, 2.0, true},
+        CmpCase{CmpPred::LT, std::nan(""), 1.0, false},
+        CmpCase{CmpPred::LE, 2.0, 2.0, true},
+        CmpCase{CmpPred::GT, 3.0, 2.0, true},
+        CmpCase{CmpPred::GE, 2.0, 3.0, false},
+        CmpCase{CmpPred::GE, std::nan(""), std::nan(""), false}));
+
+TEST(InterpreterTest, IntegerOps) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Int);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Value *HW = B.highword(X);
+  Value *K = B.iand(HW, B.litInt(0x7fffffff));
+  Value *Shifted = B.ishl(K, B.litInt(1));
+  Value *Back = B.ilshr(Shifted, B.litInt(1));
+  Value *Sum = B.iadd(Back, B.litInt(1));
+  Value *Fin = B.isub(Sum, B.litInt(1));
+  B.ret(Fin);
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R = E.run(F, {RTValue::ofDouble(1.0)}, Ctx);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue.asInt(), 0x3ff00000);
+
+  // Negative input: high word carries the sign bit and the mask strips it.
+  R = E.run(F, {RTValue::ofDouble(-1.0)}, Ctx);
+  EXPECT_EQ(R.ReturnValue.asInt(), 0x3ff00000);
+}
+
+TEST(InterpreterTest, UlpDiffOp) {
+  EXPECT_EQ(evalBinary(Opcode::UlpDiff, 1.0, 1.0), 0.0);
+  EXPECT_EQ(evalBinary(Opcode::UlpDiff, 1.0, nextUp(1.0)), 1.0);
+  EXPECT_EQ(evalBinary(Opcode::UlpDiff, 0.0, -0.0), 0.0);
+  EXPECT_EQ(evalBinary(Opcode::UlpDiff, -5e-324, 5e-324), 2.0);
+  // Scale-free: one ulp is one ulp at any magnitude.
+  EXPECT_EQ(evalBinary(Opcode::UlpDiff, 1e300, nextUp(1e300)), 1.0);
+  EXPECT_GT(evalBinary(Opcode::UlpDiff, std::nan(""), 1.0), 1e18);
+}
+
+TEST(InterpreterTest, ConversionOps) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Value *I = B.fptosi(X);
+  Value *D = B.sitofp(I);
+  B.ret(D);
+  Engine E(M);
+  ExecContext Ctx(M);
+  EXPECT_EQ(E.run(F, {RTValue::ofDouble(3.7)}, Ctx).ReturnValue.asDouble(),
+            3.0);
+  EXPECT_EQ(E.run(F, {RTValue::ofDouble(-3.7)}, Ctx).ReturnValue.asDouble(),
+            -3.0);
+  // Saturation instead of UB.
+  EXPECT_EQ(E.run(F, {RTValue::ofDouble(1e300)}, Ctx)
+                .ReturnValue.asDouble(),
+            9.223372036854775807e18);
+  EXPECT_EQ(
+      E.run(F, {RTValue::ofDouble(std::nan(""))}, Ctx).ReturnValue.asDouble(),
+      0.0);
+}
+
+TEST(InterpreterTest, Fig2Semantics) {
+  Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  auto Run = [&](double X) {
+    return E.run(P.F, {RTValue::ofDouble(X)}, Ctx).ReturnValue.asDouble();
+  };
+  // x=0: x++ -> 1, y=1 <= 4: x-- -> 0.
+  EXPECT_EQ(Run(0.0), 0.0);
+  // x=5: no inc, y=25 > 4: stays 5.
+  EXPECT_EQ(Run(5.0), 5.0);
+  // x=1: inc to 2, y=4 <= 4: dec to 1.
+  EXPECT_EQ(Run(1.0), 1.0);
+  // The rounding surprise: 0.9999999999999999 + 1 == 2.
+  EXPECT_EQ(Run(0.9999999999999999), 1.0);
+}
+
+TEST(InterpreterTest, LoopAccumAndCalls) {
+  Module M;
+  Function *Loop = subjects::buildLoopAccum(M);
+  Function *CallF = subjects::buildCallChain(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  // Fixed point of acc = acc*0.5 + x is 2x; after 20 iterations the
+  // geometric series has converged to within 2^-20 * 2x.
+  double R = E.run(Loop, {RTValue::ofDouble(1.0)}, Ctx)
+                 .ReturnValue.asDouble();
+  EXPECT_NEAR(R, 2.0, 1e-5);
+  EXPECT_EQ(
+      E.run(CallF, {RTValue::ofDouble(4.0)}, Ctx).ReturnValue.asDouble(),
+      9.0);
+}
+
+TEST(InterpreterTest, StepLimit) {
+  Module M;
+  Function *F = subjects::buildInfiniteLoop(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecOptions Opts;
+  Opts.MaxSteps = 1000;
+  ExecResult R = E.run(F, {RTValue::ofDouble(0.0)}, Ctx, Opts);
+  EXPECT_EQ(R.Kind, ExecResult::Outcome::StepLimitExceeded);
+  EXPECT_GE(R.Steps, 1000u);
+}
+
+TEST(InterpreterTest, Trap) {
+  Module M;
+  Function *F = subjects::buildTrapAlways(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R = E.run(F, {RTValue::ofDouble(0.0)}, Ctx);
+  EXPECT_TRUE(R.trapped());
+  EXPECT_EQ(R.TrapId, 7);
+  EXPECT_EQ(R.TrapMessage, "always traps");
+}
+
+TEST(InterpreterTest, Fig1aTrapsExactlyAtTheRoundingInput) {
+  Module M;
+  subjects::Fig1 P = subjects::buildFig1a(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  EXPECT_TRUE(
+      E.run(P.F, {RTValue::ofDouble(0.9999999999999999)}, Ctx).trapped());
+  EXPECT_FALSE(E.run(P.F, {RTValue::ofDouble(0.5)}, Ctx).trapped());
+  EXPECT_FALSE(E.run(P.F, {RTValue::ofDouble(1.5)}, Ctx).trapped());
+  EXPECT_FALSE(
+      E.run(P.F, {RTValue::ofDouble(0.9999999999999998)}, Ctx).trapped());
+}
+
+TEST(InterpreterTest, RoundingModeChangesFig1a) {
+  Module M;
+  subjects::Fig1 P = subjects::buildFig1a(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  // Round-toward-zero: x + 1 rounds down to 1.9999999999999998 < 2, so
+  // the assertion holds — the paper's Section 1 observation.
+  ExecOptions Opts;
+  Opts.Rounding = RoundingMode::TowardZero;
+  EXPECT_FALSE(
+      E.run(P.F, {RTValue::ofDouble(0.9999999999999999)}, Ctx, Opts)
+          .trapped());
+  Opts.Rounding = RoundingMode::NearestEven;
+  EXPECT_TRUE(
+      E.run(P.F, {RTValue::ofDouble(0.9999999999999999)}, Ctx, Opts)
+          .trapped());
+}
+
+TEST(InterpreterTest, GlobalsAndContextReset) {
+  Module M;
+  GlobalVar *G = M.addGlobalDouble("g", 5.0);
+  Function *F = M.addFunction("bump", Type::Double);
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Value *Cur = B.loadg(G);
+  Value *Next = B.fadd(Cur, B.lit(1.0));
+  B.storeg(G, Next);
+  B.ret(Next);
+  Engine E(M);
+  ExecContext Ctx(M);
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asDouble(), 6.0);
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asDouble(), 7.0); // persists
+  Ctx.resetGlobals();
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asDouble(), 6.0);
+}
+
+TEST(InterpreterTest, SiteEnabledBits) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Int);
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Value *En = B.siteEnabled(3);
+  B.ret(B.select(En, B.litInt(1), B.litInt(0)));
+  Engine E(M);
+  ExecContext Ctx(M);
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asInt(), 1); // default enabled
+  Ctx.setSiteEnabled(3, false);
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asInt(), 0);
+  Ctx.enableAllSites();
+  EXPECT_EQ(E.run(F, {}, Ctx).ReturnValue.asInt(), 1);
+}
+
+TEST(InterpreterTest, CallDepthLimit) {
+  Module M;
+  Function *F = M.addFunction("rec", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Instruction *C = B.call(F, {X}); // unconditional recursion
+  B.ret(C);
+  Engine E(M);
+  ExecContext Ctx(M);
+  ExecResult R = E.run(F, {RTValue::ofDouble(0.0)}, Ctx);
+  EXPECT_EQ(R.Kind, ExecResult::Outcome::StepLimitExceeded);
+}
+
+TEST(InterpreterTest, SinModelMatchesLibm) {
+  Module M;
+  subjects::SinModel P = subjects::buildSinModel(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  // The model is an approximation; require 1e-3 absolute agreement over
+  // moderate inputs and exactness in the tiny range.
+  for (double X : {1e-10, 1e-8, 0.1, 0.5, -0.5, 0.9, 1.5, -2.0, 3.0, 10.0,
+                   -100.0, 12345.6}) {
+    double Got = E.run(P.F, {RTValue::ofDouble(X)}, Ctx)
+                     .ReturnValue.asDouble();
+    EXPECT_NEAR(Got, std::sin(X), 1e-3) << "at x = " << X;
+  }
+  double Tiny = 1e-9;
+  EXPECT_EQ(E.run(P.F, {RTValue::ofDouble(Tiny)}, Ctx)
+                .ReturnValue.asDouble(),
+            Tiny);
+  // Non-finite input -> NaN.
+  EXPECT_TRUE(std::isnan(
+      E.run(P.F, {RTValue::ofDouble(inf())}, Ctx).ReturnValue.asDouble()));
+}
+
+// --------------------------------------------------------------------------
+// Observers
+// --------------------------------------------------------------------------
+
+class CountingObserver : public ExecObserver {
+public:
+  unsigned Insts = 0;
+  unsigned Branches = 0;
+  void onInstruction(const Instruction *, const RTValue *, unsigned,
+                     const RTValue &) override {
+    ++Insts;
+  }
+  void onBranch(const Instruction *, bool) override { ++Branches; }
+};
+
+TEST(ObserverTest, SeesInstructionsAndBranches) {
+  Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  Engine E(M);
+  ExecContext Ctx(M);
+  CountingObserver Obs;
+  Ctx.setObserver(&Obs);
+  E.run(P.F, {RTValue::ofDouble(0.0)}, Ctx);
+  EXPECT_EQ(Obs.Branches, 2u);
+  EXPECT_GT(Obs.Insts, 0u);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===--- GslTests.cpp - Mini-GSL model tests ------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+#include "gsl/Airy.h"
+#include "gsl/Bessel.h"
+#include "gsl/Hyperg.h"
+#include "instrument/Sites.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::exec;
+using namespace wdm::gsl;
+
+namespace {
+
+/// Fixture holding one module with all three special functions.
+class GslModelTest : public ::testing::Test {
+protected:
+  GslModelTest()
+      : Bessel(buildBesselKnuScaledAsympx(M)), Hyperg(buildHyperg2F0(M)),
+        Airy(buildAiryAi(M)), E(M), Ctx(M) {}
+
+  struct Outcome {
+    int64_t Status;
+    double Val;
+    double Err;
+  };
+
+  Outcome run(const SfFunction &Fn, std::initializer_list<double> Args) {
+    Ctx.resetGlobals();
+    std::vector<RTValue> A;
+    for (double V : Args)
+      A.push_back(RTValue::ofDouble(V));
+    ExecResult R = E.run(Fn.F, A, Ctx);
+    EXPECT_TRUE(R.ok());
+    return {R.ReturnValue.asInt(),
+            Ctx.getGlobal(Fn.Result.Val).asDouble(),
+            Ctx.getGlobal(Fn.Result.Err).asDouble()};
+  }
+
+  ir::Module M;
+  SfFunction Bessel;
+  SfFunction Hyperg;
+  AiryModel Airy;
+  Engine E;
+  ExecContext Ctx;
+};
+
+TEST_F(GslModelTest, ModuleVerifies) {
+  Status S = ir::verifyModule(M);
+  EXPECT_TRUE(S.ok()) << S.message();
+}
+
+TEST_F(GslModelTest, OpCountsMatchPaper) {
+  // Table 3's |Op| column: 23 / 8 / 26 in the paper; our airy model has
+  // 27 (documented substitution).
+  ir::Module M2;
+  SfFunction B2 = buildBesselKnuScaledAsympx(M2);
+  EXPECT_EQ(instr::assignFPOpSites(*B2.F).size(), BesselNumFPOps);
+  ir::Module M3;
+  SfFunction H2 = buildHyperg2F0(M3);
+  EXPECT_EQ(instr::assignFPOpSites(*H2.F).size(), HypergNumFPOps);
+  ir::Module M4;
+  AiryModel A2 = buildAiryAi(M4);
+  EXPECT_EQ(instr::assignFPOpSites(*A2.Airy.F).size(), AiryNumFPOps);
+}
+
+TEST_F(GslModelTest, BesselMatchesReferenceFormula) {
+  // The IR transcription must agree bit-for-bit with the same C++
+  // double computation.
+  for (auto [Nu, X] : {std::pair{1.5, 2.0}, {0.5, 10.0}, {4.0, 0.3}}) {
+    Outcome O = run(Bessel, {Nu, X});
+    double Mu = 4.0 * Nu * Nu;
+    double Mum1 = Mu - 1.0;
+    double Mum9 = Mu - 9.0;
+    double Pre = std::sqrt(M_PI / (2.0 * X));
+    double R = Nu / X;
+    double Val = Pre * (1.0 + Mum1 / (8.0 * X) +
+                        Mum1 * Mum9 / (128.0 * X * X));
+    double Err = 2.0 * GslDblEpsilon * std::fabs(Val) +
+                 Pre * std::fabs(0.1 * R * R * R);
+    EXPECT_EQ(O.Status, GSL_SUCCESS);
+    EXPECT_EQ(O.Val, Val);
+    EXPECT_EQ(O.Err, Err);
+  }
+}
+
+TEST_F(GslModelTest, BesselPaperOverflowInputs) {
+  // Paper Section 4.4: nu = 1.8e308 overflows l1 (4.0 * nu); nu = 3.2e157
+  // overflows l2 (t * nu). Both leave val/err non-finite with
+  // GSL_SUCCESS — inconsistencies.
+  Outcome O1 = run(Bessel, {1.7e308, -1.5e2});
+  EXPECT_EQ(O1.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O1.Val));
+
+  Outcome O2 = run(Bessel, {3.2e157, 5.3e1});
+  EXPECT_EQ(O2.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O2.Val));
+
+  // Negative x: sqrt of a negative — NaN result, still GSL_SUCCESS.
+  Outcome O3 = run(Bessel, {8.4e77, -2.5e2});
+  EXPECT_EQ(O3.Status, GSL_SUCCESS);
+  EXPECT_TRUE(std::isnan(O3.Val));
+}
+
+TEST_F(GslModelTest, BesselBenignInputsAreConsistent) {
+  Outcome O = run(Bessel, {1.5, 2.0});
+  EXPECT_EQ(O.Status, GSL_SUCCESS);
+  EXPECT_TRUE(std::isfinite(O.Val));
+  EXPECT_TRUE(std::isfinite(O.Err));
+}
+
+TEST_F(GslModelTest, HypergDomainError) {
+  Outcome O = run(Hyperg, {1.0, 2.0, 0.5}); // x >= 0: EDOM
+  EXPECT_EQ(O.Status, GSL_EDOM);
+  Outcome O2 = run(Hyperg, {1.0, 2.0, -0.5});
+  EXPECT_EQ(O2.Status, GSL_SUCCESS);
+  EXPECT_TRUE(std::isfinite(O2.Val));
+}
+
+TEST_F(GslModelTest, HypergTable5Inconsistencies) {
+  // Large exponent of pow: pre = pow(-1/x, a) = pow(big, big).
+  Outcome O1 = run(Hyperg, {-6.2e2, -3.7e2, -1.5e2});
+  EXPECT_EQ(O1.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O1.Val));
+
+  // Large operands of *: a*b*z overflows.
+  Outcome O2 = run(Hyperg, {-1.4e200, -1.2e200, -1.0e-10});
+  EXPECT_EQ(O2.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O2.Val));
+}
+
+TEST_F(GslModelTest, AiryRegionsAreReasonable) {
+  // Decay region: Ai(1) ~ 0.1353, Ai(5) tiny.
+  Outcome O1 = run(Airy.Airy, {1.0});
+  EXPECT_EQ(O1.Status, GSL_SUCCESS);
+  EXPECT_NEAR(O1.Val, 0.1353, 0.05);
+  Outcome O5 = run(Airy.Airy, {5.0});
+  EXPECT_LT(std::fabs(O5.Val), 1e-3);
+
+  // Middle region: Ai(0) = 0.35502...
+  Outcome O0 = run(Airy.Airy, {0.0});
+  EXPECT_NEAR(O0.Val, 0.3550280538878172, 1e-12);
+
+  // Oscillatory region: |Ai| stays below ~0.8 for moderate negatives.
+  for (double X : {-2.0, -3.0, -5.0, -10.0}) {
+    Outcome O = run(Airy.Airy, {X});
+    EXPECT_EQ(O.Status, GSL_SUCCESS);
+    EXPECT_TRUE(std::isfinite(O.Val)) << "x = " << X;
+    EXPECT_LT(std::fabs(O.Val), 1.0) << "x = " << X;
+  }
+}
+
+TEST_F(GslModelTest, AiryBug1DivisionByZero) {
+  Outcome O = run(Airy.Airy, {AiryBug1Input});
+  EXPECT_EQ(O.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O.Val));
+  // One ulp away everything is fine (the paper's perturbation check).
+  Outcome Near = run(Airy.Airy, {std::nextafter(AiryBug1Input, -2.0)});
+  EXPECT_TRUE(std::isfinite(Near.Val));
+}
+
+TEST_F(GslModelTest, AiryBug2CosineBlowup) {
+  // Huge negative inputs: the phase-error correction explodes inside
+  // cos_err; val leaves [-1,1]*modulus scale and becomes +-inf, while the
+  // status still says success. (Paper: x = -1.14e34 gave -inf.)
+  Outcome O = run(Airy.Airy, {-1.14e57});
+  EXPECT_EQ(O.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(O.Val));
+
+  // Still-huge-but-smaller inputs stay finite but are mathematically
+  // garbage; tiny oscillatory inputs are fine.
+  Outcome OSmall = run(Airy.Airy, {-20.0});
+  EXPECT_TRUE(std::isfinite(OSmall.Val));
+}
+
+TEST_F(GslModelTest, CosErrHelperHonestRange) {
+  // For modest inputs the helper returns a genuine cosine.
+  Outcome O = run(Airy.CosErr, {1.0, 1e-16});
+  EXPECT_EQ(O.Status, GSL_SUCCESS);
+  EXPECT_NEAR(O.Val, std::cos(1.0), 1e-10);
+  EXPECT_GE(O.Err, 0.0);
+  // For huge dtheta it silently produces garbage — the bug.
+  Outcome Bad = run(Airy.CosErr, {1.0, 1e200});
+  EXPECT_EQ(Bad.Status, GSL_SUCCESS);
+  EXPECT_FALSE(std::isfinite(Bad.Val));
+}
+
+} // namespace

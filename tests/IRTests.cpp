@@ -1,0 +1,410 @@
+//===--- IRTests.cpp - Mini-IR unit tests --------------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "gsl/Airy.h"
+#include "gsl/Bessel.h"
+#include "gsl/Hyperg.h"
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "subjects/Fig1.h"
+#include "subjects/Fig2.h"
+#include "subjects/SinModel.h"
+#include "subjects/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace wdm;
+using namespace wdm::ir;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Module / constants
+// --------------------------------------------------------------------------
+
+TEST(ModuleTest, ConstantUniquing) {
+  Module M;
+  EXPECT_EQ(M.constDouble(1.5), M.constDouble(1.5));
+  EXPECT_NE(M.constDouble(1.5), M.constDouble(2.5));
+  // Bit-pattern uniquing: 0.0 and -0.0 are distinct constants.
+  EXPECT_NE(M.constDouble(0.0), M.constDouble(-0.0));
+  EXPECT_EQ(M.constInt(7), M.constInt(7));
+  EXPECT_EQ(M.constBool(true), M.constBool(true));
+  EXPECT_NE(M.constBool(true), M.constBool(false));
+}
+
+TEST(ModuleTest, FunctionAndGlobalLookup) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  GlobalVar *G = M.addGlobalDouble("g", 3.0);
+  EXPECT_EQ(M.functionByName("f"), F);
+  EXPECT_EQ(M.globalByName("g"), G);
+  EXPECT_EQ(M.functionByName("missing"), nullptr);
+  EXPECT_EQ(M.globalByName("missing"), nullptr);
+}
+
+TEST(ModuleTest, SiteIdAllocationMonotone) {
+  Module M;
+  int A = M.allocateSiteId();
+  int B = M.allocateSiteId();
+  EXPECT_EQ(B, A + 1);
+  EXPECT_EQ(M.numSiteIds(), 2);
+}
+
+// --------------------------------------------------------------------------
+// Casting
+// --------------------------------------------------------------------------
+
+TEST(CastingTest, IsaCastDynCast) {
+  Module M;
+  Value *C = M.constDouble(1.0);
+  EXPECT_TRUE(isa<ConstantDouble>(C));
+  EXPECT_FALSE(isa<ConstantInt>(C));
+  EXPECT_EQ(cast<ConstantDouble>(C)->value(), 1.0);
+  EXPECT_EQ(dyn_cast<ConstantInt>(C), nullptr);
+  EXPECT_NE(dyn_cast<ConstantDouble>(C), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Verifier
+// --------------------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsCorpus) {
+  Module M;
+  subjects::buildFig2(M);
+  subjects::buildFig1a(M);
+  subjects::buildFig1b(M);
+  subjects::buildSinModel(M);
+  subjects::buildStraightline(M);
+  subjects::buildLoopAccum(M);
+  subjects::buildInfiniteLoop(M);
+  subjects::buildTrapAlways(M);
+  subjects::buildClassifier(M);
+  subjects::buildCallChain(M);
+  gsl::buildBesselKnuScaledAsympx(M);
+  gsl::buildHyperg2F0(M);
+  gsl::buildAiryAi(M);
+  Status S = verifyModule(M);
+  EXPECT_TRUE(S.ok()) << S.message();
+}
+
+TEST(VerifierTest, RejectsUnterminatedBlock) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  B.fadd(X, B.lit(1.0)); // no terminator
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsEmptyFunction) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Void);
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsTerminatorMidBlock) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Void);
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(M);
+  B.setInsertAppend(BB);
+  B.ret();
+  B.ret();
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsOperandTypeMismatch) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *BB = F->addBlock("entry");
+  // fadd(double, int) is ill-typed; build the instruction by hand since
+  // the builder would not produce it.
+  auto Bad = std::make_unique<Instruction>(
+      Opcode::FAdd, Type::Double,
+      std::vector<Value *>{X, M.constInt(1)});
+  BB->append(std::move(Bad));
+  IRBuilder B(M);
+  B.setInsertAppend(BB);
+  B.ret(X);
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsUseBeforeDef) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *BB = F->addBlock("entry");
+  // Build "%b = fadd %a, 1; %a = fadd %x, 1; ret %b" by hand.
+  auto DefA = std::make_unique<Instruction>(
+      Opcode::FAdd, Type::Double, std::vector<Value *>{X, M.constDouble(1)},
+      "a");
+  Instruction *ARaw = DefA.get();
+  auto DefB = std::make_unique<Instruction>(
+      Opcode::FAdd, Type::Double,
+      std::vector<Value *>{ARaw, M.constDouble(1)}, "b");
+  Instruction *BRaw = DefB.get();
+  BB->append(std::move(DefB)); // b first: uses a before definition
+  BB->append(std::move(DefA));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Type::Void,
+                                           std::vector<Value *>{BRaw});
+  BB->append(std::move(Ret));
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsNonDominatingDef) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Left = F->addBlock("left");
+  BasicBlock *Right = F->addBlock("right");
+  BasicBlock *Join = F->addBlock("join");
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  Value *C = B.fcmp(CmpPred::LT, X, B.lit(0.0));
+  B.condbr(C, Left, Right);
+  B.setInsertAppend(Left);
+  Instruction *OnlyLeft = B.fadd(X, B.lit(1.0), "l");
+  B.br(Join);
+  B.setInsertAppend(Right);
+  B.br(Join);
+  B.setInsertAppend(Join);
+  B.ret(OnlyLeft); // Left does not dominate Join
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsCallArityMismatch) {
+  Module M;
+  Function *G = M.addFunction("g", Type::Double);
+  G->addArg(Type::Double, "a");
+  G->addArg(Type::Double, "b");
+  IRBuilder B(M);
+  B.setInsertAppend(G->addBlock("entry"));
+  B.ret(B.lit(0.0));
+
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *BB = F->addBlock("entry");
+  auto BadCall = std::make_unique<Instruction>(
+      Opcode::Call, Type::Double, std::vector<Value *>{X});
+  BadCall->setCallee(G);
+  Instruction *CallRaw = BB->append(std::move(BadCall));
+  B.setInsertAppend(BB);
+  B.ret(CallRaw);
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+TEST(VerifierTest, RejectsWrongReturnType) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Int);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Type::Void,
+                                           std::vector<Value *>{X});
+  F->entry()->append(std::move(Ret));
+  EXPECT_FALSE(verifyFunction(*F).ok());
+}
+
+// --------------------------------------------------------------------------
+// Dominators
+// --------------------------------------------------------------------------
+
+TEST(DominatorsTest, Diamond) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Void);
+  Argument *X = F->addArg(Type::Double, "x");
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *L = F->addBlock("l");
+  BasicBlock *R = F->addBlock("r");
+  BasicBlock *J = F->addBlock("j");
+  IRBuilder B(M);
+  B.setInsertAppend(Entry);
+  B.condbr(B.fcmp(CmpPred::LT, X, B.lit(0.0)), L, R);
+  B.setInsertAppend(L);
+  B.br(J);
+  B.setInsertAppend(R);
+  B.br(J);
+  B.setInsertAppend(J);
+  B.ret();
+
+  DominatorInfo D(*F);
+  EXPECT_TRUE(D.dominates(Entry, J));
+  EXPECT_TRUE(D.dominates(Entry, L));
+  EXPECT_FALSE(D.dominates(L, J));
+  EXPECT_FALSE(D.dominates(R, J));
+  EXPECT_TRUE(D.dominates(J, J));
+  EXPECT_EQ(D.idom(J), Entry);
+  EXPECT_EQ(D.idom(Entry), nullptr);
+}
+
+TEST(DominatorsTest, LoopAndUnreachable) {
+  Module M;
+  Function *F = subjects::buildLoopAccum(M);
+  DominatorInfo D(*F);
+  BasicBlock *Entry = F->entry();
+  BasicBlock *Header = F->blockByName("header");
+  BasicBlock *Body = F->blockByName("body");
+  BasicBlock *Exit = F->blockByName("exit");
+  EXPECT_TRUE(D.dominates(Header, Body));
+  EXPECT_TRUE(D.dominates(Header, Exit));
+  EXPECT_FALSE(D.dominates(Body, Exit));
+  EXPECT_EQ(D.idom(Body), Header);
+  EXPECT_TRUE(D.reachable(Entry));
+
+  // An unreachable block is flagged.
+  Function *G = M.addFunction("g", Type::Void);
+  IRBuilder B(M);
+  B.setInsertAppend(G->addBlock("entry"));
+  B.ret();
+  BasicBlock *Orphan = G->addBlock("orphan");
+  B.setInsertAppend(Orphan);
+  B.ret();
+  DominatorInfo DG(*G);
+  EXPECT_FALSE(DG.reachable(Orphan));
+}
+
+// --------------------------------------------------------------------------
+// Printer / Parser round trip
+// --------------------------------------------------------------------------
+
+/// Builds a corpus module, prints it, parses it back, prints again, and
+/// requires identical text (print is deterministic, so this is a strong
+/// structural-equality check).
+void expectRoundTrip(Module &M) {
+  std::string First = toString(M);
+  auto Parsed = parseModule(First);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error() << "\n" << First;
+  Status S = verifyModule(**Parsed);
+  EXPECT_TRUE(S.ok()) << S.message();
+  std::string Second = toString(**Parsed);
+  EXPECT_EQ(First, Second);
+}
+
+TEST(ParserTest, RoundTripFig2) {
+  Module M("fig2");
+  subjects::buildFig2(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripFig1) {
+  Module M("fig1");
+  subjects::buildFig1a(M);
+  subjects::buildFig1b(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripSinModel) {
+  Module M("sin");
+  subjects::buildSinModel(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripGslModels) {
+  Module M("gsl");
+  gsl::buildBesselKnuScaledAsympx(M);
+  gsl::buildHyperg2F0(M);
+  gsl::buildAiryAi(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripTestPrograms) {
+  Module M("corpus");
+  subjects::buildStraightline(M);
+  subjects::buildLoopAccum(M);
+  subjects::buildTrapAlways(M);
+  subjects::buildClassifier(M);
+  subjects::buildCallChain(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, ParsesHandWrittenModule) {
+  const char *Text = R"(
+module "hand"
+global @w : double = 1.0
+
+func @f(%x: double) -> double {
+entry:
+  %c = fcmp.le %x, 1.0
+  condbr %c, then, done
+then:
+  %y = fadd %x, 1.5
+  storeg @w, %y
+  br done
+done:
+  %r = loadg @w
+  ret %r
+}
+)";
+  auto Parsed = parseModule(Text);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  Module &M = **Parsed;
+  EXPECT_EQ(M.name(), "hand");
+  ASSERT_NE(M.functionByName("f"), nullptr);
+  EXPECT_TRUE(verifyModule(M).ok());
+}
+
+TEST(ParserTest, ParsesForwardCall) {
+  const char *Text = R"(
+func @f(%x: double) -> double {
+entry:
+  %r = call @g(%x)
+  ret %r
+}
+
+func @g(%x: double) -> double {
+entry:
+  ret %x
+}
+)";
+  auto Parsed = parseModule(Text);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  EXPECT_TRUE(verifyModule(**Parsed).ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto R1 = parseModule("func @f(%x: double) -> double {\nentry:\n  %y = "
+                        "bogus %x\n  ret %y\n}\n");
+  ASSERT_FALSE(R1.hasValue());
+  EXPECT_NE(R1.error().find("line 3"), std::string::npos) << R1.error();
+
+  auto R2 = parseModule("func @f() -> void {\nentry:\n  ret\n"); // no '}'
+  ASSERT_FALSE(R2.hasValue());
+
+  auto R3 = parseModule("func @f(%x: double) -> double {\nentry:\n  %y = "
+                        "fadd %nope, 1.0\n  ret %y\n}\n");
+  ASSERT_FALSE(R3.hasValue());
+  EXPECT_NE(R3.error().find("nope"), std::string::npos);
+}
+
+TEST(PrinterTest, AnnotationsAndSiteIdsSurvive) {
+  Module M;
+  Function *F = M.addFunction("f", Type::Double);
+  Argument *X = F->addArg(Type::Double, "x");
+  IRBuilder B(M);
+  B.setInsertAppend(F->addBlock("entry"));
+  Instruction *Add = B.fadd(X, B.lit(1.0), "y");
+  Add->setAnnotation("x + 1 \"quoted\"");
+  Add->setId(5);
+  B.ret(Add);
+
+  auto Parsed = parseModule(toString(M));
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  const Function *PF = (*Parsed)->functionByName("f");
+  ASSERT_NE(PF, nullptr);
+  const Instruction *PAdd = PF->entry()->inst(0);
+  EXPECT_EQ(PAdd->annotation(), "x + 1 \"quoted\"");
+  EXPECT_EQ(PAdd->id(), 5);
+}
+
+} // namespace

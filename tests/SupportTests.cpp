@@ -1,0 +1,280 @@
+//===--- SupportTests.cpp - Support library unit tests -----------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/FPUtils.h"
+#include "support/RNG.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace wdm;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// FPUtils
+// --------------------------------------------------------------------------
+
+TEST(FPUtilsTest, BitsRoundTrip) {
+  for (double X : {0.0, -0.0, 1.0, -1.5, 1e308, 5e-324,
+                   std::numeric_limits<double>::infinity()})
+    EXPECT_EQ(bitsOf(fromBits(bitsOf(X))), bitsOf(X));
+}
+
+TEST(FPUtilsTest, HighWordMatchesGlibcConvention) {
+  // 1.0 = 0x3ff0000000000000.
+  EXPECT_EQ(highWord(1.0), 0x3ff00000u);
+  EXPECT_EQ(lowWord(1.0), 0u);
+  // Sign lives in the high word.
+  EXPECT_EQ(highWord(-1.0), 0xbff00000u);
+  EXPECT_EQ(highWord(-1.0) & 0x7fffffffu, 0x3ff00000u);
+}
+
+TEST(FPUtilsTest, OrderedBitsZeroesCoincide) {
+  EXPECT_EQ(orderedBits(0.0), 0);
+  EXPECT_EQ(orderedBits(-0.0), 0);
+  EXPECT_EQ(ulpDistance(0.0, -0.0), 0u);
+}
+
+TEST(FPUtilsTest, UlpDistanceAdjacent) {
+  EXPECT_EQ(ulpDistance(1.0, nextUp(1.0)), 1u);
+  EXPECT_EQ(ulpDistance(1.0, nextDown(1.0)), 1u);
+  EXPECT_EQ(ulpDistance(-1.0, nextUp(-1.0)), 1u);
+  EXPECT_EQ(ulpDistance(0.0, 5e-324), 1u); // smallest denormal
+  EXPECT_EQ(ulpDistance(-5e-324, 5e-324), 2u);
+}
+
+TEST(FPUtilsTest, UlpDistanceNaN) {
+  EXPECT_EQ(ulpDistance(std::nan(""), 1.0), ~0ull);
+}
+
+TEST(FPUtilsTest, FromOrderedBitsInverse) {
+  for (double X : {0.0, 1.0, -1.0, 3.25e-300, -7.5e300, 5e-324})
+    EXPECT_EQ(bitsOf(fromOrderedBits(orderedBits(X))), bitsOf(X))
+        << "at " << X;
+}
+
+TEST(FPUtilsTest, ClampedFromOrderedBitsStaysFinite) {
+  EXPECT_TRUE(std::isfinite(clampedFromOrderedBits(maxOrderedFinite() + 5)));
+  EXPECT_TRUE(
+      std::isfinite(clampedFromOrderedBits(-maxOrderedFinite() - 5)));
+  EXPECT_EQ(clampedFromOrderedBits(maxOrderedFinite()), MaxDouble);
+}
+
+/// Property: orderedBits is strictly monotone across magnitude decades.
+class OrderedBitsMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OrderedBitsMonotoneTest, MonotoneAroundPoint) {
+  double X = GetParam();
+  EXPECT_LT(orderedBits(nextDown(X)), orderedBits(X));
+  EXPECT_LT(orderedBits(X), orderedBits(nextUp(X)));
+  EXPECT_LT(orderedBits(-X), orderedBits(X));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, OrderedBitsMonotoneTest,
+                         ::testing::Values(1e-300, 1e-30, 1e-8, 0.5, 1.0,
+                                           3.0, 1e8, 1e30, 1e300));
+
+// --------------------------------------------------------------------------
+// RNG
+// --------------------------------------------------------------------------
+
+TEST(RNGTest, DeterministicForSeed) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RNGTest, UniformInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-2.0, 3.0);
+    EXPECT_GE(U, -2.0);
+    EXPECT_LT(U, 3.0);
+  }
+}
+
+TEST(RNGTest, BelowIsInRangeAndHitsAll) {
+  RNG R(9);
+  bool Seen[5] = {};
+  for (int I = 0; I < 500; ++I) {
+    uint64_t V = R.below(5);
+    ASSERT_LT(V, 5u);
+    Seen[V] = true;
+  }
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(RNGTest, NormalMoments) {
+  RNG R(11);
+  RunningStat S;
+  for (int I = 0; I < 20000; ++I)
+    S.push(R.normal());
+  EXPECT_NEAR(S.mean(), 0.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.05);
+}
+
+TEST(RNGTest, AnyFiniteDoubleIsFinite) {
+  RNG R(13);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_TRUE(std::isfinite(R.anyFiniteDouble()));
+}
+
+TEST(RNGTest, SplitDecorrelates) {
+  RNG A(17);
+  RNG B = A.split();
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+// --------------------------------------------------------------------------
+// Statistics
+// --------------------------------------------------------------------------
+
+TEST(StatisticsTest, RunningStatKnownValues) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.push(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatisticsTest, EmptyStat) {
+  RunningStat S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(StatisticsTest, Quantiles) {
+  std::vector<double> Data{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(Data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(Data, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(Data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(Data, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// StringUtils
+// --------------------------------------------------------------------------
+
+TEST(StringUtilsTest, Formatf) {
+  EXPECT_EQ(formatf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatf("%s", ""), "");
+}
+
+TEST(StringUtilsTest, FormatDoubleSpecials) {
+  EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(formatDouble(std::nan("")), "nan");
+}
+
+/// Property: formatDouble round-trips through strtod exactly.
+class FormatRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatRoundTripTest, RoundTrips) {
+  double X = GetParam();
+  std::string S = formatDouble(X);
+  double Back = std::strtod(S.c_str(), nullptr);
+  EXPECT_EQ(bitsOf(Back), bitsOf(X)) << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, FormatRoundTripTest,
+    ::testing::Values(0.0, -0.0, 1.0, 0.1, 0.9999999999999999, 1e-300,
+                      -2.2250738585072014e-308, 1.7976931348623157e308,
+                      5e-324, 3.141592653589793));
+
+TEST(StringUtilsTest, FormatDoubleCompact) {
+  EXPECT_EQ(formatDoubleCompact(1.79e308), "1.8e308");
+  EXPECT_EQ(formatDoubleCompact(-1.5e2), "-1.5e2");
+  EXPECT_EQ(formatDoubleCompact(3.2e157), "3.2e157");
+  EXPECT_EQ(formatDoubleCompact(-7.6e-1), "-7.6e-1");
+}
+
+TEST(StringUtilsTest, SplitAndTrim) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+// --------------------------------------------------------------------------
+// TableWriter
+// --------------------------------------------------------------------------
+
+TEST(TableWriterTest, AlignedOutput) {
+  Table T({"name", "v"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // All lines share the same width structure: header rule present.
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TableWriterTest, CSVOutput) {
+  Table T({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addSeparator();
+  T.addRow({"3", "4"});
+  std::ostringstream OS;
+  T.printCSV(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,2\n3,4\n");
+}
+
+// --------------------------------------------------------------------------
+// Error / Expected
+// --------------------------------------------------------------------------
+
+TEST(ErrorTest, StatusBasics) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(Ok.ok());
+  Status Bad = Status::error("boom");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.message(), "boom");
+}
+
+TEST(ErrorTest, ExpectedValueAndError) {
+  Expected<int> V(7);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 7);
+  Expected<int> E = Expected<int>::error("nope");
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error(), "nope");
+}
+
+} // namespace
