@@ -6,9 +6,21 @@
 
 #include "GslStudy.h"
 
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
 using namespace wdm;
 using namespace wdm::analyses;
 using namespace wdm::bench;
+
+unsigned wdm::bench::gslStudyStartsPerRound() {
+  return std::max(1u, envUnsigned("WDM_STARTS", 2));
+}
+
+unsigned wdm::bench::gslStudyThreads() {
+  return envUnsigned("WDM_THREADS", 0);
+}
 
 GslStudyResult wdm::bench::runGslStudy(
     ir::Module &M, const gsl::SfFunction &Fn, const std::string &Name,
@@ -21,6 +33,8 @@ GslStudyResult wdm::bench::runGslStudy(
   OverflowDetector Detector(M, *Fn.F, instr::OverflowMetric::AbsGap);
   OverflowDetector::Options Opts;
   Opts.Seed = Seed;
+  Opts.StartsPerRound = gslStudyStartsPerRound();
+  Opts.Threads = gslStudyThreads();
   Out.Overflows = Detector.run(Opts);
 
   InconsistencyChecker Checker(M, Fn);

@@ -37,10 +37,19 @@ struct GslStudyResult {
 /// Runs fpod + replay on one model. Extra probe inputs (e.g. the airy
 /// bug inputs that need exact hits) are replayed in addition to the
 /// detector's findings.
+///
+/// The per-round search width and worker count honor $WDM_STARTS
+/// (default 2) and $WDM_THREADS (default 0 = one per hardware thread) so
+/// the same binary measures the sequential baseline and the parallel
+/// engine; results are identical at every thread count for a fixed seed.
 GslStudyResult runGslStudy(ir::Module &M, const gsl::SfFunction &Fn,
                            const std::string &Name, uint64_t Seed,
                            const std::vector<std::vector<double>> &
                                ExtraProbes = {});
+
+/// The $WDM_STARTS / $WDM_THREADS configuration runGslStudy resolved.
+unsigned gslStudyStartsPerRound();
+unsigned gslStudyThreads();
 
 } // namespace wdm::bench
 

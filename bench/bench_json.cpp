@@ -1,0 +1,139 @@
+//===--- bench_json.cpp - Machine-readable benchmark reports ---------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+using namespace wdm::bench;
+
+namespace {
+
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string numberToJson(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  // JSON has no inf/nan literals.
+  std::string S = Buf;
+  if (S.find("inf") != std::string::npos ||
+      S.find("nan") != std::string::npos)
+    return "null";
+  return S;
+}
+
+void appendFields(
+    std::string &Out,
+    const std::vector<std::pair<std::string, std::string>> &Fields) {
+  for (const auto &[Key, Value] : Fields) {
+    Out += ", \"";
+    Out += escapeJson(Key);
+    Out += "\": ";
+    Out += Value; // already serialized
+  }
+}
+
+} // namespace
+
+BenchJson::BenchJson(std::string BenchName)
+    : BenchName(std::move(BenchName)) {
+  field("hardware_threads",
+        static_cast<uint64_t>(std::thread::hardware_concurrency()));
+}
+
+std::vector<std::pair<std::string, std::string>> &
+BenchJson::currentFields() {
+  return Entries.empty() ? Root.Fields : Entries.back().Fields;
+}
+
+BenchJson &BenchJson::entry(const std::string &Name) {
+  Entries.push_back({Name, {}});
+  return *this;
+}
+
+BenchJson &BenchJson::field(const std::string &Key, double Value) {
+  currentFields().emplace_back(Key, numberToJson(Value));
+  return *this;
+}
+
+BenchJson &BenchJson::field(const std::string &Key, uint64_t Value) {
+  currentFields().emplace_back(Key, std::to_string(Value));
+  return *this;
+}
+
+BenchJson &BenchJson::field(const std::string &Key,
+                            const std::string &Value) {
+  currentFields().emplace_back(Key, "\"" + escapeJson(Value) + "\"");
+  return *this;
+}
+
+BenchJson &BenchJson::timing(double WallSeconds, uint64_t Evals) {
+  field("wall_seconds", WallSeconds);
+  field("evals", Evals);
+  field("evals_per_sec",
+        WallSeconds > 0 ? static_cast<double>(Evals) / WallSeconds : 0.0);
+  return *this;
+}
+
+std::string BenchJson::json() const {
+  std::string Out = "{\"bench\": \"" + escapeJson(BenchName) + "\"";
+  appendFields(Out, Root.Fields);
+  Out += ", \"entries\": [";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "{\"name\": \"" + escapeJson(Entries[I].Name) + "\"";
+    appendFields(Out, Entries[I].Fields);
+    Out += "}";
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+bool BenchJson::write() const {
+  std::string Dir;
+  if (const char *Env = std::getenv("WDM_BENCH_DIR"))
+    Dir = Env;
+  std::string Path =
+      (Dir.empty() ? std::string() : Dir + "/") + "BENCH_" + BenchName +
+      ".json";
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json();
+  return static_cast<bool>(Out);
+}

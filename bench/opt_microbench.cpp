@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyses/BoundaryAnalysis.h"
+#include "bench_json.h"
 #include "gsl/Bessel.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -21,6 +22,8 @@
 #include "subjects/SinModel.h"
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
 
 using namespace wdm;
 
@@ -132,6 +135,43 @@ void BM_CnfDistanceEval(benchmark::State &State) {
 }
 BENCHMARK(BM_CnfDistanceEval);
 
+/// Console reporter that additionally mirrors every measured run into a
+/// BENCH_opt_microbench.json, so the per-PR perf trajectory of these hot
+/// paths is machine-readable without parsing console output.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonMirrorReporter(wdm::bench::BenchJson &Json) : Json(Json) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      double SecondsPerIter =
+          R.iterations ? R.real_accumulated_time /
+                             static_cast<double>(R.iterations)
+                       : 0.0;
+      Json.entry(R.benchmark_name())
+          .field("iterations", static_cast<uint64_t>(R.iterations))
+          .field("seconds_per_iter", SecondsPerIter)
+          .field("iters_per_sec",
+                 SecondsPerIter > 0 ? 1.0 / SecondsPerIter : 0.0);
+    }
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  wdm::bench::BenchJson &Json;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  wdm::bench::BenchJson Json("opt_microbench");
+  JsonMirrorReporter Console(Json);
+  benchmark::RunSpecifiedBenchmarks(&Console);
+  benchmark::Shutdown();
+  if (!Json.write())
+    std::cerr << "warning: could not write BENCH_opt_microbench.json\n";
+  return 0;
+}

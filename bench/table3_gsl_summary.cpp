@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "GslStudy.h"
+#include "bench_json.h"
 #include "gsl/Airy.h"
 #include "gsl/Bessel.h"
 #include "gsl/Hyperg.h"
@@ -33,31 +34,40 @@ int main() {
                "detection ==\n\n";
 
   Table T({"benchmark", "|Op|", "|O|", "|I|", "|B|", "T(sec)"});
+  BenchJson Json("table3_gsl_summary");
+  Json.field("threads_option", static_cast<uint64_t>(gslStudyThreads()));
+  Json.field("starts_per_round",
+             static_cast<uint64_t>(gslStudyStartsPerRound()));
   unsigned TotalBugs = 0;
   unsigned BesselOverflows = 0;
+
+  auto Record = [&](const char *Label, const GslStudyResult &R) {
+    T.addRow({Label, formatf("%u", R.Overflows.NumOps),
+              formatf("%u", R.Overflows.numOverflows()),
+              formatf("%zu", R.Distinct.size()), formatf("%u", R.NumBugs),
+              formatf("%.1f", R.Overflows.Seconds)});
+    Json.entry(R.Name)
+        .timing(R.Overflows.Seconds, R.Overflows.Evals)
+        .field("ops", static_cast<uint64_t>(R.Overflows.NumOps))
+        .field("overflows",
+               static_cast<uint64_t>(R.Overflows.numOverflows()))
+        .field("inconsistencies", static_cast<uint64_t>(R.Distinct.size()))
+        .field("bugs", static_cast<uint64_t>(R.NumBugs));
+    TotalBugs += R.NumBugs;
+  };
 
   {
     ir::Module M;
     gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
     GslStudyResult R = runGslStudy(M, Bessel, "bessel", 0xbe55e1);
     BesselOverflows = R.Overflows.numOverflows();
-    T.addRow({"bessel  bessel_Knu_scaled.",
-              formatf("%u", R.Overflows.NumOps),
-              formatf("%u", R.Overflows.numOverflows()),
-              formatf("%zu", R.Distinct.size()), formatf("%u", R.NumBugs),
-              formatf("%.1f", R.Overflows.Seconds)});
-    TotalBugs += R.NumBugs;
+    Record("bessel  bessel_Knu_scaled.", R);
   }
   {
     ir::Module M;
     gsl::SfFunction Hyperg = gsl::buildHyperg2F0(M);
     GslStudyResult R = runGslStudy(M, Hyperg, "hyperg", 0x472c);
-    T.addRow({"hyperg  gsl_sf_hyperg_2F0_e",
-              formatf("%u", R.Overflows.NumOps),
-              formatf("%u", R.Overflows.numOverflows()),
-              formatf("%zu", R.Distinct.size()), formatf("%u", R.NumBugs),
-              formatf("%.1f", R.Overflows.Seconds)});
-    TotalBugs += R.NumBugs;
+    Record("hyperg  gsl_sf_hyperg_2F0_e", R);
   }
   unsigned AiryBugs = 0;
   {
@@ -66,14 +76,11 @@ int main() {
     GslStudyResult R = runGslStudy(M, Airy.Airy, "airy", 0xa1e9,
                                    {{gsl::AiryBug1Input}, {-1.14e57}});
     AiryBugs = R.NumBugs;
-    T.addRow({"airy    gsl_sf_airy_Ai_e",
-              formatf("%u", R.Overflows.NumOps),
-              formatf("%u", R.Overflows.numOverflows()),
-              formatf("%zu", R.Distinct.size()), formatf("%u", R.NumBugs),
-              formatf("%.1f", R.Overflows.Seconds)});
-    TotalBugs += R.NumBugs;
+    Record("airy    gsl_sf_airy_Ai_e", R);
   }
   T.print(std::cout);
+  if (!Json.write())
+    std::cerr << "warning: could not write BENCH_table3_gsl_summary.json\n";
 
   std::cout << "\n|Op| = elementary FP operations; |O| = operations with "
                "a found overflow input;\n|I| = distinct inconsistencies "

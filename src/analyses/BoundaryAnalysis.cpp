@@ -37,6 +37,8 @@ BoundaryAnalysis::BoundaryAnalysis(ir::Module &M, ir::Function &F,
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
+      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
   Oracle = std::make_unique<MembershipOracle>(*this);
 }
 
@@ -60,6 +62,6 @@ core::ReductionResult
 BoundaryAnalysis::findOne(opt::Optimizer &Backend,
                           const core::ReductionOptions &Opts,
                           opt::SampleRecorder *Recorder) {
-  core::Reduction Red(*Weak, Oracle.get());
-  return Red.solve(Backend, Opts, Recorder);
+  core::SearchEngine Engine(*Factory, Oracle.get());
+  return Engine.solve(Backend, Opts, Recorder);
 }

@@ -47,10 +47,15 @@ public:
   /// Membership oracle for S = {boundary values}.
   core::AnalysisProblem &problem();
 
-  /// One-shot Algorithm 2.
+  /// One-shot Algorithm 2, run on the shared SearchEngine; honors every
+  /// SearchOptions knob including Threads and Portfolio (workers mint
+  /// their own interpreter contexts through the factory seam).
   core::ReductionResult findOne(opt::Optimizer &Backend,
                                 const core::ReductionOptions &Opts,
                                 opt::SampleRecorder *Recorder = nullptr);
+
+  /// The factory the engine mints thread-local evaluators from.
+  core::WeakDistanceFactory &factory() { return *Factory; }
 
   const exec::Engine &engine() const { return *Eng; }
   const ir::Function &original() const { return Orig; }
@@ -65,6 +70,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
+  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
   std::unique_ptr<MembershipOracle> Oracle;
 };
 

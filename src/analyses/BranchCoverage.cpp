@@ -39,6 +39,8 @@ BranchCoverage::BranchCoverage(ir::Module &M, ir::Function &F)
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
+      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
   Oracle = std::make_unique<NewCoverageOracle>(*this);
   for (const instr::Site &S : Instr.Sites)
     CoveredDirs[S.Id] = false;
@@ -81,8 +83,11 @@ CoverageReport BranchCoverage::run(opt::Optimizer &Backend,
     if (!AnyLeft)
       break;
 
-    core::Reduction Red(*Weak, Oracle.get());
-    core::ReductionResult R = Red.solve(Backend, Reduce);
+    // The factory snapshots the current covered set B, so worker
+    // evaluators minted this round all chase the same uncovered
+    // directions.
+    core::SearchEngine Engine(*Factory, Oracle.get());
+    core::ReductionResult R = Engine.solve(Backend, Reduce);
     Report.Evals += R.Evals;
     Reduce.Seed = Reduce.Seed * 6364136223846793005ull + 1ull;
 

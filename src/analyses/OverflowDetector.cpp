@@ -8,6 +8,7 @@
 
 #include "opt/BasinHopping.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
@@ -23,6 +24,8 @@ OverflowDetector::OverflowDetector(ir::Module &M, ir::Function &F,
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
+      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
 }
 
@@ -48,7 +51,6 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
   opt::BasinHopping Backend;
   opt::MinimizeOptions MinOpts = Opts.MinOpts;
 
-  unsigned Dim = Orig.numArgs();
   std::unordered_set<int> L; // sites already targeted (Algorithm 3's L)
   std::unordered_map<int, OverflowFinding> BySite;
   for (const instr::Site &S : Instr.Sites) {
@@ -62,34 +64,38 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
     WeakCtx->setSiteEnabled(SiteId, false);
   };
 
+  // One engine serves every round; its factory snapshots the current L
+  // (the site-enabled table) each time a round's workers are minted.
+  core::SearchEngine Search(*Factory, nullptr);
+  core::SearchOptions SOpts;
+  SOpts.Starts = std::max(1u, Opts.StartsPerRound);
+  SOpts.MaxEvals = Opts.EvalsPerRound * SOpts.Starts;
+  SOpts.StartLo = Opts.StartLo;
+  SOpts.StartHi = Opts.StartHi;
+  SOpts.WildStartProb = Opts.WildStartProb;
+  SOpts.VerifySolutions = false; // verification below is site-targeted
+  SOpts.Threads = Opts.Threads;
+  SOpts.MinOpts = MinOpts;
+
   // Step (8): |L| grows by one per round, so at most nFP rounds.
   while (L.size() < Instr.Sites.size()) {
-    // Step (4): random starting point.
-    std::vector<double> Start(Dim);
-    for (double &S : Start)
-      S = Rand.chance(Opts.WildStartProb)
-              ? Rand.anyFiniteDouble()
-              : Rand.uniform(Opts.StartLo, Opts.StartHi);
-
-    // Step (5): Basinhopping from s.
-    opt::Objective Obj(
-        [this](const std::vector<double> &X) { return (*Weak)(X); }, Dim);
-    Obj.MaxEvals = Opts.EvalsPerRound;
-    RNG Child = Rand.split();
-    opt::MinimizeResult MR = Backend.minimize(Obj, Start, Child, MinOpts);
-    Report.Evals += MR.Evals;
+    // Steps (4)-(5): starting points are drawn from the detector's
+    // persistent stream; the engine runs Basinhopping from each.
+    core::SearchResult R = Search.solveWithRng(&Backend, SOpts, Rand);
+    Report.Evals += R.Evals;
+    const std::vector<double> &XStar = R.Found ? R.Witness : R.WStarAt;
 
     // Re-evaluate at the minimum point so last_site reflects this run.
-    double WStar = (*Weak)(MR.X);
+    double WStar = (*Weak)(XStar);
     ++Report.Evals;
     int Target = static_cast<int>(Weak->readIntGlobal(Instr.LastSite));
 
     if (WStar == 0.0 && Target >= 0 && !L.count(Target)) {
       // Step (6): a zero — verify on the original before recording.
-      if (overflowsAt(Target, MR.X)) {
+      if (overflowsAt(Target, XStar)) {
         OverflowFinding &F = BySite[Target];
         F.Found = true;
-        F.Input = MR.X;
+        F.Input = XStar;
       }
       // Step (7): track the instruction either way.
       AddToL(Target);

@@ -24,6 +24,7 @@
 #ifndef WDM_ANALYSES_OVERFLOWDETECTOR_H
 #define WDM_ANALYSES_OVERFLOWDETECTOR_H
 
+#include "core/SearchEngine.h"
 #include "instrument/IRWeakDistance.h"
 #include "instrument/Observers.h"
 #include "instrument/OverflowPass.h"
@@ -58,6 +59,7 @@ struct OverflowReport {
 class OverflowDetector {
 public:
   struct Options {
+    /// Per-start evaluation budget within a round.
     uint64_t EvalsPerRound = 12'000;
     uint64_t Seed = 0xf70d;
     /// Starting points: mostly wild draws over all of F — overflow
@@ -65,6 +67,14 @@ public:
     double StartLo = -1.0e3;
     double StartHi = 1.0e3;
     double WildStartProb = 0.7;
+    /// Starts per Algorithm 3 round. 1 = the paper's single launch per
+    /// round (bit-for-bit the historical loop); more starts widen each
+    /// round's search and parallelize across Threads.
+    unsigned StartsPerRound = 1;
+    /// Worker threads for the per-round multi-start search (see
+    /// core::SearchOptions::Threads; only effective with
+    /// StartsPerRound > 1).
+    unsigned Threads = 1;
     opt::MinimizeOptions MinOpts;
   };
 
@@ -91,6 +101,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
+  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
 };
 
 } // namespace wdm::analyses

@@ -52,6 +52,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
+  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
   std::unique_ptr<MembershipOracle> Oracle;
 };
 

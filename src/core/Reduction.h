@@ -14,15 +14,20 @@
 /// giving incompleteness, never unsoundness once candidate verification
 /// is on).
 ///
-/// The driver runs the backend from multiple random starting points, the
-/// multi-start scheme of Section 4.1 ("local MO is then applied over a
-/// set of starting points SP").
+/// Reduction is the historical single-evaluator entry point, kept as a
+/// thin compatibility façade over core::SearchEngine — the multi-start
+/// portfolio driver that now owns the "local MO is then applied over a
+/// set of starting points SP" scheme of Section 4.1. New code (and any
+/// caller that wants Threads > 1 or backend portfolios) should construct
+/// a SearchEngine directly, with a WeakDistanceFactory so workers can
+/// mint thread-local evaluators.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WDM_CORE_REDUCTION_H
 #define WDM_CORE_REDUCTION_H
 
+#include "core/SearchEngine.h"
 #include "core/WeakDistance.h"
 #include "opt/Optimizer.h"
 
@@ -30,56 +35,37 @@
 
 namespace wdm::core {
 
-struct ReductionOptions {
-  /// Total objective-evaluation budget across all starts.
-  uint64_t MaxEvals = 200'000;
-  /// Number of optimizer launches from fresh random starting points.
-  unsigned Starts = 24;
-  /// Seed for starting points and backend randomness.
-  uint64_t Seed = 0x5eed'f00d;
-  /// Starting points: drawn from [StartLo, StartHi] with probability
-  /// (1 - WildStartProb), otherwise uniform over finite double bit
-  /// patterns (reaching 1e308-scale regions, as the overflow study
-  /// requires).
-  double StartLo = -100.0;
-  double StartHi = 100.0;
-  double WildStartProb = 0.3;
-  /// Validate candidate zeros with AnalysisProblem::contains before
-  /// reporting (Section 5.2 Remark). Rejected candidates are counted and
-  /// the search continues from the next start.
-  bool VerifySolutions = true;
-  /// Backend configuration.
-  opt::MinimizeOptions MinOpts;
-};
-
-struct ReductionResult {
-  bool Found = false;
-  std::vector<double> Witness;   ///< Valid only when Found.
-  double WStar = 0;              ///< Smallest weak-distance value seen.
-  std::vector<double> WStarAt;   ///< Where WStar was attained.
-  uint64_t Evals = 0;            ///< Objective evaluations consumed.
-  unsigned StartsUsed = 0;
-  /// Candidate zeros rejected by verification — each one is a concrete
-  /// manifestation of Limitation 2 (FP-inaccurate weak distance).
-  unsigned UnsoundCandidates = 0;
-};
+/// Historical names: the reduction options/result are the search
+/// engine's. Every knob documented on SearchOptions (Threads, Portfolio,
+/// box coherence) is available to existing call sites through these
+/// aliases.
+using ReductionOptions = SearchOptions;
+using ReductionResult = SearchResult;
 
 class Reduction {
 public:
   /// \p Problem may be null; then candidate verification is skipped and
   /// the caller owns soundness (pure Theorem 3.3 mode).
   Reduction(WeakDistance &W, AnalysisProblem *Problem)
-      : W(W), Problem(Problem) {}
+      : Engine(W, Problem) {}
 
   /// Runs Algorithm 2 with \p Backend. An optional recorder sees every
-  /// sample (the Figs. 3/4/9 benches plot these).
+  /// sample (the Figs. 3/4/9 benches plot these). Single-evaluator mode
+  /// is always sequential: the start-point/seed draw sequence and
+  /// budget slicing are those of the historical in-place loop, so
+  /// box-free backends (BasinHopping — the paper's default — and its
+  /// inner minimizers) reproduce it bit-for-bit. For the box-consuming
+  /// backends (DE, RandomSearch) an unset sampling box now coherently
+  /// follows [StartLo, StartHi] instead of the old fixed [-1e4, 1e4];
+  /// set MinOpts.Lo/Hi explicitly to pin a box.
   ReductionResult solve(opt::Optimizer &Backend,
                         const ReductionOptions &Opts,
-                        opt::SampleRecorder *Recorder = nullptr);
+                        opt::SampleRecorder *Recorder = nullptr) {
+    return Engine.solve(Backend, Opts, Recorder);
+  }
 
 private:
-  WeakDistance &W;
-  AnalysisProblem *Problem;
+  SearchEngine Engine;
 };
 
 } // namespace wdm::core

@@ -53,3 +53,8 @@ void ExecContext::setSiteEnabled(int Id, bool Enabled) {
 void ExecContext::enableAllSites() {
   SiteDisabled.assign(SiteDisabled.size(), 0);
 }
+
+void ExecContext::adoptSiteState(const ExecContext &Other) {
+  assert(&M == &Other.M && "site state from another module");
+  SiteDisabled = Other.SiteDisabled;
+}

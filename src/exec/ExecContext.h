@@ -40,6 +40,11 @@ public:
   void setSiteEnabled(int Id, bool Enabled);
   /// Re-enables every site.
   void enableAllSites();
+  /// Copies \p Other's site-enabled table (Algorithm 3's evolving L /
+  /// the coverage loop's covered set B) into this context. Worker-thread
+  /// contexts are minted from a parent context via this snapshot so every
+  /// evaluator agrees on which sites are live.
+  void adoptSiteState(const ExecContext &Other);
 
   /// Optional execution observer; not owned.
   ExecObserver *observer() const { return Observer; }

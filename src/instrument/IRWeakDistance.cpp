@@ -48,3 +48,32 @@ int64_t IRWeakDistance::readIntGlobal(const GlobalVar *G) const {
 double IRWeakDistance::readDoubleGlobal(const GlobalVar *G) const {
   return Ctx.getGlobal(G).asDouble();
 }
+
+namespace {
+
+/// An IRWeakDistance bundled with the ExecContext it evaluates in — the
+/// thread-local unit the factory mints.
+class OwningIRWeakDistance : public core::WeakDistance {
+public:
+  OwningIRWeakDistance(const Engine &E, const Function *F,
+                       const GlobalVar *WVar, double WInit,
+                       const ExecContext &Parent, ExecOptions Opts)
+      : Ctx(E.module()), W(E, F, WVar, WInit, Ctx, Opts) {
+    Ctx.adoptSiteState(Parent);
+  }
+
+  unsigned dim() const override { return W.dim(); }
+  double operator()(const std::vector<double> &X) override { return W(X); }
+  std::string name() const override { return W.name(); }
+
+private:
+  ExecContext Ctx;
+  IRWeakDistance W;
+};
+
+} // namespace
+
+std::unique_ptr<core::WeakDistance> IRWeakDistanceFactory::make() {
+  return std::make_unique<OwningIRWeakDistance>(E, F, WVar, WInit, Parent,
+                                                Opts);
+}

@@ -15,8 +15,11 @@
 #ifndef WDM_INSTRUMENT_IRWEAKDISTANCE_H
 #define WDM_INSTRUMENT_IRWEAKDISTANCE_H
 
+#include "core/SearchEngine.h"
 #include "core/WeakDistance.h"
 #include "exec/Interpreter.h"
+
+#include <memory>
 
 namespace wdm::instr {
 
@@ -52,6 +55,33 @@ private:
   exec::ExecContext &Ctx;
   exec::ExecOptions Opts;
   exec::ExecResult Last;
+};
+
+/// Mints independent IRWeakDistance evaluators for the SearchEngine's
+/// worker threads. Each minted evaluator owns a private ExecContext whose
+/// site-enabled table is snapshotted from \p Parent at make() time, so
+/// workers see the same evolving set L / covered set B as the driver
+/// without sharing any mutable interpreter state. The Engine itself is
+/// immutable after construction and safely shared.
+class IRWeakDistanceFactory : public core::WeakDistanceFactory {
+public:
+  IRWeakDistanceFactory(const exec::Engine &E, const ir::Function *F,
+                        const ir::GlobalVar *WVar, double WInit,
+                        const exec::ExecContext &Parent,
+                        exec::ExecOptions Opts = {})
+      : E(E), F(F), WVar(WVar), WInit(WInit), Parent(Parent), Opts(Opts) {}
+
+  unsigned dim() const override { return F->numArgs(); }
+
+  std::unique_ptr<core::WeakDistance> make() override;
+
+private:
+  const exec::Engine &E;
+  const ir::Function *F;
+  const ir::GlobalVar *WVar;
+  double WInit;
+  const exec::ExecContext &Parent;
+  exec::ExecOptions Opts;
 };
 
 } // namespace wdm::instr

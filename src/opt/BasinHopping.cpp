@@ -12,6 +12,7 @@
 #include "support/FPUtils.h"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 using namespace wdm;
@@ -23,6 +24,8 @@ MinimizeResult BasinHopping::minimize(Objective &Obj,
                                       const MinimizeOptions &Opts) {
   applyStopRule(Obj, Opts);
   uint64_t Before = Obj.numEvals();
+  if (Obj.done())
+    return harvest(Obj, Before);
   unsigned Dim = Obj.dim();
 
   std::unique_ptr<Optimizer> Inner;
@@ -44,12 +47,9 @@ MinimizeResult BasinHopping::minimize(Objective &Obj,
 
   auto Descend = [&](const std::vector<double> &From) {
     if (!Inner) {
-      struct Plain {
-        std::vector<double> X;
-        double F;
-      };
-      Plain P{From, Obj.eval(From)};
-      return std::pair<std::vector<double>, double>(P.X, P.F);
+      double F = Obj.done() ? std::numeric_limits<double>::infinity()
+                            : Obj.eval(From);
+      return std::pair<std::vector<double>, double>(From, F);
     }
     MinimizeResult R = Inner->minimize(Obj, From, Rand, InnerOpts);
     // The inner harvest reports the global best; re-evaluate its endpoint

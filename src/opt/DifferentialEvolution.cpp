@@ -16,11 +16,15 @@ MinimizeResult DifferentialEvolution::minimize(
     const MinimizeOptions &Opts) {
   applyStopRule(Obj, Opts);
   uint64_t Before = Obj.numEvals();
+  if (Obj.done())
+    return harvest(Obj, Before);
   unsigned Dim = Obj.dim();
 
   unsigned NP = Opts.PopSize ? Opts.PopSize
                              : std::min(64u, std::max(8u, 15 * Dim));
-  double Lo = Opts.Lo, Hi = Opts.Hi;
+  // DE is the box-constrained backend: init and every trial stay inside
+  // the (sanitized) box.
+  auto [Lo, Hi] = sanitizedBox(Opts);
 
   auto Clip = [&](double V) { return std::fmin(std::fmax(V, Lo), Hi); };
 

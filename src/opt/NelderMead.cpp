@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 using namespace wdm::opt;
 
@@ -19,10 +20,19 @@ MinimizeResult NelderMead::minimize(Objective &Obj,
   applyStopRule(Obj, Opts);
   uint64_t Before = Obj.numEvals();
   uint64_t Budget = Opts.LocalBudget;
+  if (Obj.done())
+    return harvest(Obj, Before);
   unsigned Dim = Obj.dim();
 
   auto Exhausted = [&] {
     return Obj.done() || Obj.numEvals() - Before >= Budget;
+  };
+  // Budget-compliant evaluation: once the budget is spent, report +inf
+  // without consuming an evaluation — the surrounding loop exits at its
+  // next Exhausted() check and +inf can never be mistaken for progress.
+  auto Eval = [&](const std::vector<double> &P) {
+    return Exhausted() ? std::numeric_limits<double>::infinity()
+                       : Obj.eval(P);
   };
 
   // Initial simplex: Start plus per-coordinate displacements.
@@ -35,7 +45,7 @@ MinimizeResult NelderMead::minimize(Objective &Obj,
     double H = Opts.InitStep * (P[I] != 0.0 ? 0.05 * std::fabs(P[I]) : 0.25);
     P[I] += H;
     Simplex.push_back(P);
-    FVals.push_back(Obj.eval(P));
+    FVals.push_back(Eval(P));
     if (Exhausted())
       return harvest(Obj, Before);
   }
@@ -72,11 +82,11 @@ MinimizeResult NelderMead::minimize(Objective &Obj,
     };
 
     std::vector<double> Reflected = Blend(-1.0);
-    double FReflected = Obj.eval(Reflected);
+    double FReflected = Eval(Reflected);
 
     if (FReflected < FVals[BestIdx]) {
       std::vector<double> Expanded = Blend(-2.0);
-      double FExpanded = Obj.eval(Expanded);
+      double FExpanded = Eval(Expanded);
       if (FExpanded < FReflected) {
         Simplex[WorstIdx] = std::move(Expanded);
         FVals[WorstIdx] = FExpanded;
@@ -95,7 +105,7 @@ MinimizeResult NelderMead::minimize(Objective &Obj,
     // Contraction (outside if the reflection improved on the worst).
     bool Outside = FReflected < FVals[WorstIdx];
     std::vector<double> Contracted = Blend(Outside ? -0.5 : 0.5);
-    double FContracted = Obj.eval(Contracted);
+    double FContracted = Eval(Contracted);
     if (FContracted < std::min(FReflected, FVals[WorstIdx])) {
       Simplex[WorstIdx] = std::move(Contracted);
       FVals[WorstIdx] = FContracted;
@@ -108,7 +118,7 @@ MinimizeResult NelderMead::minimize(Objective &Obj,
       for (unsigned I = 0; I < Dim; ++I)
         Simplex[Idx][I] =
             Simplex[BestIdx][I] + 0.5 * (Simplex[Idx][I] - Simplex[BestIdx][I]);
-      FVals[Idx] = Obj.eval(Simplex[Idx]);
+      FVals[Idx] = Eval(Simplex[Idx]);
       if (Exhausted())
         break;
     }

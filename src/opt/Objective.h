@@ -64,17 +64,26 @@ public:
   const std::vector<double> &bestX() const { return BestX; }
   double bestF() const { return BestF; }
 
-  /// Evaluation budget; optimizers must stop once done() holds.
+  /// Evaluation budget; optimizers must stop once done() holds and must
+  /// never call eval() once it does (audited across every backend — the
+  /// SearchEngine's determinism across thread counts depends on starts
+  /// consuming exactly their budget slice).
   uint64_t MaxEvals = 200'000;
   /// Stop as soon as bestF() <= Target (Def. 3.1 justifies Target = 0).
   double Target = 0.0;
   bool StopAtTarget = true;
+  /// External stop signal, e.g. the SearchEngine's early-stop broadcast:
+  /// when another start already produced a verified zero this start
+  /// cannot outrank, continuing would only burn evaluations. Folded into
+  /// done() so every budget-compliant backend honors it for free.
+  std::function<bool()> StopHook;
 
   bool reachedTarget() const {
     return hasBest() && BestF <= Target;
   }
   bool done() const {
-    return Evals >= MaxEvals || (StopAtTarget && reachedTarget());
+    return Evals >= MaxEvals || (StopAtTarget && reachedTarget()) ||
+           (StopHook && StopHook());
   }
 
   void setRecorder(SampleRecorder *R) { Recorder = R; }

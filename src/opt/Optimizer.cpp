@@ -6,6 +6,8 @@
 
 #include "opt/Optimizer.h"
 
+#include <cmath>
+
 using namespace wdm::opt;
 
 Optimizer::~Optimizer() = default;
@@ -13,6 +15,14 @@ Optimizer::~Optimizer() = default;
 void wdm::opt::applyStopRule(Objective &Obj, const MinimizeOptions &Opts) {
   Obj.Target = Opts.Target;
   Obj.StopAtTarget = Opts.StopAtTarget;
+}
+
+std::pair<double, double>
+wdm::opt::sanitizedBox(const MinimizeOptions &Opts) {
+  if (std::isfinite(Opts.Lo) && std::isfinite(Opts.Hi) &&
+      Opts.Lo < Opts.Hi)
+    return {Opts.Lo, Opts.Hi};
+  return {-1.0e4, 1.0e4}; // the historical DE/RandomSearch box
 }
 
 MinimizeResult wdm::opt::harvest(const Objective &Obj,

@@ -29,7 +29,9 @@
 #include "opt/Objective.h"
 #include "support/RNG.h"
 
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wdm::opt {
@@ -58,8 +60,21 @@ struct MinimizeOptions {
   unsigned PopSize = 0;          ///< 0 = auto (15 * dim, capped at 64).
   double DEWeight = 0.7;         ///< Differential weight F.
   double DECrossover = 0.9;      ///< Crossover probability CR.
-  double Lo = -1.0e4;            ///< DE/RandomSearch init box.
-  double Hi = 1.0e4;
+  /// Sampling box [Lo, Hi]. Box semantics are explicit per backend:
+  ///  - DifferentialEvolution is a box-constrained method: population
+  ///    init draws from the box and every trial is clipped back into it;
+  ///  - RandomSearch draws half its samples from the box and half from
+  ///    all finite doubles (the wild draws are by design outside);
+  ///  - BasinHopping/UlpPatternSearch deliberately ignore the box: their
+  ///    ordered-bit proposals must roam all of F (Section 4.1's starting
+  ///    points "range over the whole floating-point space");
+  ///  - Powell/NelderMead are local descents anchored at Start.
+  /// NaN (the default) means "unset": box-consuming backends then use
+  /// [-1e4, 1e4] via sanitizedBox(), and the SearchEngine substitutes
+  /// its start box so starts and sampling agree. Lo >= Hi or non-finite
+  /// bounds are likewise treated as unset.
+  double Lo = std::numeric_limits<double>::quiet_NaN();
+  double Hi = std::numeric_limits<double>::quiet_NaN();
 
   // Powell / NelderMead.
   double Tol = 1e-14;            ///< Relative improvement tolerance.
@@ -89,6 +104,11 @@ public:
 
 /// Applies the common options onto the objective's stopping fields.
 void applyStopRule(Objective &Obj, const MinimizeOptions &Opts);
+
+/// The sampling box with unset/invalid configurations (NaN, non-finite
+/// bounds, Lo >= Hi) replaced by [-1e4, 1e4] — box-consuming backends
+/// must draw from this instead of the raw fields.
+std::pair<double, double> sanitizedBox(const MinimizeOptions &Opts);
 
 /// Finalizes a MinimizeResult from the objective's best-so-far.
 MinimizeResult harvest(const Objective &Obj, uint64_t EvalsBefore);

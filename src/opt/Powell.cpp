@@ -133,6 +133,8 @@ MinimizeResult Powell::minimize(Objective &Obj,
   applyStopRule(Obj, Opts);
   uint64_t Before = Obj.numEvals();
   uint64_t Budget = Opts.LocalBudget;
+  if (Obj.done())
+    return harvest(Obj, Before);
   unsigned Dim = Obj.dim();
 
   auto Exhausted = [&] {
@@ -148,8 +150,12 @@ MinimizeResult Powell::minimize(Objective &Obj,
     Dirs[I][I] = 1.0;
 
   auto LineMinimize = [&](const std::vector<double> &Dir) -> double {
-    // 1-D view along Dir anchored at X.
+    // 1-D view along Dir anchored at X. Short-circuits to +inf once the
+    // budget is spent so bracket/Brent cannot keep burning evaluations
+    // past done() — the line search then collapses in a few flat steps.
     auto Fn = [&](double T) {
+      if (Exhausted())
+        return std::numeric_limits<double>::infinity();
       std::vector<double> P(Dim);
       for (unsigned I = 0; I < Dim; ++I)
         P[I] = X[I] + T * Dir[I];

@@ -20,6 +20,8 @@ MinimizeResult UlpPatternSearch::minimize(Objective &Obj,
   applyStopRule(Obj, Opts);
   uint64_t Before = Obj.numEvals();
   uint64_t Budget = Opts.LocalBudget;
+  if (Obj.done())
+    return harvest(Obj, Before);
 
   unsigned Dim = Obj.dim();
   std::vector<double> X = Start;
@@ -78,6 +80,8 @@ MinimizeResult UlpPatternSearch::minimize(Objective &Obj,
       int64_t Delta = static_cast<int64_t>(StepUlps[I]);
       bool Improved = false;
       for (int Sign = +1; Sign >= -1; Sign -= 2) {
+        if (Exhausted())
+          break;
         double Candidate = clampedFromOrderedBits(Base + Sign * Delta);
         if (Candidate == X[I])
           continue;
@@ -90,8 +94,6 @@ MinimizeResult UlpPatternSearch::minimize(Objective &Obj,
           break;
         }
         X[I] = Saved;
-        if (Exhausted())
-          break;
       }
       AnyImproved |= Improved;
       if (Improved) {

@@ -8,6 +8,8 @@
 
 #include "opt/BasinHopping.h"
 
+#include <memory>
+
 using namespace wdm;
 using namespace wdm::sat;
 
@@ -30,15 +32,33 @@ private:
   const CNF &C;
 };
 
+/// CNF distances are pure functions of the (shared, immutable)
+/// constraint, so minting a worker-local evaluator is a cheap copy.
+class CNFDistanceFactory : public core::WeakDistanceFactory {
+public:
+  CNFDistanceFactory(const CNF &C, DistanceMetric Metric)
+      : C(C), Metric(Metric) {}
+
+  unsigned dim() const override { return C.NumVars; }
+
+  std::unique_ptr<core::WeakDistance> make() override {
+    return std::make_unique<CNFWeakDistance>(C, Metric);
+  }
+
+private:
+  const CNF &C;
+  DistanceMetric Metric;
+};
+
 } // namespace
 
 SatResult XSatSolver::solve(const CNF &Constraint, const Options &Opts) {
-  CNFWeakDistance W(Constraint, Opts.Metric);
+  CNFDistanceFactory Factory(Constraint, Opts.Metric);
   CNFOracle Oracle(Constraint);
-  core::Reduction Red(W, &Oracle);
+  core::SearchEngine Engine(Factory, &Oracle);
 
   opt::BasinHopping Backend;
-  core::ReductionResult R = Red.solve(Backend, Opts.Reduce);
+  core::SearchResult R = Engine.solve(Backend, Opts.Reduce);
 
   SatResult Out;
   Out.Sat = R.Found;

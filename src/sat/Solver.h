@@ -32,6 +32,9 @@ class XSatSolver {
 public:
   struct Options {
     DistanceMetric Metric = DistanceMetric::Ulp;
+    /// Full SearchOptions: Reduce.Threads > 1 fans the starts out over
+    /// worker threads (each worker gets its own CNF-distance copy), and
+    /// Reduce.Portfolio mixes MO backends across starts.
     core::ReductionOptions Reduce;
   };
 

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace wdm;
 
@@ -90,4 +91,15 @@ std::string_view wdm::trim(std::string_view Text) {
 
 bool wdm::startsWith(std::string_view Text, std::string_view Prefix) {
   return Text.substr(0, Prefix.size()) == Prefix;
+}
+
+unsigned wdm::envUnsigned(const char *Name, unsigned Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V || *V == '-') // strtoul silently wraps negatives
+    return Default;
+  char *End = nullptr;
+  unsigned long Parsed = std::strtoul(V, &End, 10);
+  if (!End || *End != '\0' || Parsed > 1'000'000)
+    return Default;
+  return static_cast<unsigned>(Parsed);
 }

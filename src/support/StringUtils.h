@@ -41,6 +41,12 @@ std::string_view trim(std::string_view Text);
 /// True if \p Text begins with \p Prefix.
 bool startsWith(std::string_view Text, std::string_view Prefix);
 
+/// Parses environment variable \p Name as an unsigned integer; returns
+/// \p Default when unset, malformed, negative, or implausibly large
+/// (> 1'000'000). The WDM_THREADS / WDM_STARTS knobs of the benches and
+/// examples share this policy.
+unsigned envUnsigned(const char *Name, unsigned Default);
+
 } // namespace wdm
 
 #endif // WDM_SUPPORT_STRINGUTILS_H
