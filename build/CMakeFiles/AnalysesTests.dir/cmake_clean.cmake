@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AnalysesTests"
+  "AnalysesTests.pdb"
+  "CMakeFiles/AnalysesTests.dir/tests/AnalysesTests.cpp.o"
+  "CMakeFiles/AnalysesTests.dir/tests/AnalysesTests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AnalysesTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

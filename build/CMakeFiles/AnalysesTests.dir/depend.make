@@ -1,0 +1,2 @@
+# Empty dependencies file for AnalysesTests.
+# This may be replaced when dependencies are built.

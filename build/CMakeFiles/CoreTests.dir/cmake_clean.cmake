@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CoreTests.dir/tests/CoreTests.cpp.o"
+  "CMakeFiles/CoreTests.dir/tests/CoreTests.cpp.o.d"
+  "CoreTests"
+  "CoreTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CoreTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

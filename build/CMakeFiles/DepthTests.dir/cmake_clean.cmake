@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DepthTests.dir/tests/DepthTests.cpp.o"
+  "CMakeFiles/DepthTests.dir/tests/DepthTests.cpp.o.d"
+  "DepthTests"
+  "DepthTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DepthTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExecTests.dir/tests/ExecTests.cpp.o"
+  "CMakeFiles/ExecTests.dir/tests/ExecTests.cpp.o.d"
+  "ExecTests"
+  "ExecTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExecTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

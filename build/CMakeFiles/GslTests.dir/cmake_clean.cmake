@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GslTests.dir/tests/GslTests.cpp.o"
+  "CMakeFiles/GslTests.dir/tests/GslTests.cpp.o.d"
+  "GslTests"
+  "GslTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GslTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

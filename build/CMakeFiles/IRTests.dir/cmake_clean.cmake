@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IRTests.dir/tests/IRTests.cpp.o"
+  "CMakeFiles/IRTests.dir/tests/IRTests.cpp.o.d"
+  "IRTests"
+  "IRTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IRTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InstrumentTests.dir/tests/InstrumentTests.cpp.o"
+  "CMakeFiles/InstrumentTests.dir/tests/InstrumentTests.cpp.o.d"
+  "InstrumentTests"
+  "InstrumentTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InstrumentTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IntegrationTests.dir/tests/IntegrationTests.cpp.o"
+  "CMakeFiles/IntegrationTests.dir/tests/IntegrationTests.cpp.o.d"
+  "IntegrationTests"
+  "IntegrationTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IntegrationTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for IntegrationTests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KernelsTests.dir/tests/KernelsTests.cpp.o"
+  "CMakeFiles/KernelsTests.dir/tests/KernelsTests.cpp.o.d"
+  "KernelsTests"
+  "KernelsTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KernelsTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

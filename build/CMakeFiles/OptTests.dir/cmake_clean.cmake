@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OptTests.dir/tests/OptTests.cpp.o"
+  "CMakeFiles/OptTests.dir/tests/OptTests.cpp.o.d"
+  "OptTests"
+  "OptTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OptTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SatTests.dir/tests/SatTests.cpp.o"
+  "CMakeFiles/SatTests.dir/tests/SatTests.cpp.o.d"
+  "SatTests"
+  "SatTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SatTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SearchEngineTests.dir/tests/SearchEngineTests.cpp.o"
+  "CMakeFiles/SearchEngineTests.dir/tests/SearchEngineTests.cpp.o.d"
+  "SearchEngineTests"
+  "SearchEngineTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SearchEngineTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SupportTests.dir/tests/SupportTests.cpp.o"
+  "CMakeFiles/SupportTests.dir/tests/SupportTests.cpp.o.d"
+  "SupportTests"
+  "SupportTests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SupportTests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distance_metric.dir/bench/ablation_distance_metric.cpp.o"
+  "CMakeFiles/ablation_distance_metric.dir/bench/ablation_distance_metric.cpp.o.d"
+  "ablation_distance_metric"
+  "ablation_distance_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distance_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

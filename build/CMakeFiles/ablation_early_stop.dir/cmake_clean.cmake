@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_stop.dir/bench/ablation_early_stop.cpp.o"
+  "CMakeFiles/ablation_early_stop.dir/bench/ablation_early_stop.cpp.o.d"
+  "ablation_early_stop"
+  "ablation_early_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

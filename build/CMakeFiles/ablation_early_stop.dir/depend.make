@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_early_stop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_minimizer.dir/bench/ablation_local_minimizer.cpp.o"
+  "CMakeFiles/ablation_local_minimizer.dir/bench/ablation_local_minimizer.cpp.o.d"
+  "ablation_local_minimizer"
+  "ablation_local_minimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overflow_metric.dir/bench/ablation_overflow_metric.cpp.o"
+  "CMakeFiles/ablation_overflow_metric.dir/bench/ablation_overflow_metric.cpp.o.d"
+  "ablation_overflow_metric"
+  "ablation_overflow_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overflow_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

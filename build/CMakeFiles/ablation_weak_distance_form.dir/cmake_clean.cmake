@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weak_distance_form.dir/bench/ablation_weak_distance_form.cpp.o"
+  "CMakeFiles/ablation_weak_distance_form.dir/bench/ablation_weak_distance_form.cpp.o.d"
+  "ablation_weak_distance_form"
+  "ablation_weak_distance_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weak_distance_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

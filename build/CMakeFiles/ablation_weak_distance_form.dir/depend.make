@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_weak_distance_form.
+# This may be replaced when dependencies are built.

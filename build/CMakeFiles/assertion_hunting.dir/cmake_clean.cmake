@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertion_hunting.dir/examples/assertion_hunting.cpp.o"
+  "CMakeFiles/assertion_hunting.dir/examples/assertion_hunting.cpp.o.d"
+  "assertion_hunting"
+  "assertion_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertion_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

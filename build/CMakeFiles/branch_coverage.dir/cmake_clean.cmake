@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_coverage.dir/examples/branch_coverage.cpp.o"
+  "CMakeFiles/branch_coverage.dir/examples/branch_coverage.cpp.o.d"
+  "branch_coverage"
+  "branch_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_boundary_sampling.dir/bench/fig3_boundary_sampling.cpp.o"
+  "CMakeFiles/fig3_boundary_sampling.dir/bench/fig3_boundary_sampling.cpp.o.d"
+  "fig3_boundary_sampling"
+  "fig3_boundary_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_boundary_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_path_sampling.dir/bench/fig4_path_sampling.cpp.o"
+  "CMakeFiles/fig4_path_sampling.dir/bench/fig4_path_sampling.cpp.o.d"
+  "fig4_path_sampling"
+  "fig4_path_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_path_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_path_sampling.
+# This may be replaced when dependencies are built.

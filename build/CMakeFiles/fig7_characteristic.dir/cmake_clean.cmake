@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_characteristic.dir/bench/fig7_characteristic.cpp.o"
+  "CMakeFiles/fig7_characteristic.dir/bench/fig7_characteristic.cpp.o.d"
+  "fig7_characteristic"
+  "fig7_characteristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_characteristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

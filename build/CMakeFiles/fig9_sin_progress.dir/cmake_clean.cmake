@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sin_progress.dir/bench/fig9_sin_progress.cpp.o"
+  "CMakeFiles/fig9_sin_progress.dir/bench/fig9_sin_progress.cpp.o.d"
+  "fig9_sin_progress"
+  "fig9_sin_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sin_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

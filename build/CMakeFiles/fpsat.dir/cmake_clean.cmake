@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsat.dir/examples/fpsat.cpp.o"
+  "CMakeFiles/fpsat.dir/examples/fpsat.cpp.o.d"
+  "fpsat"
+  "fpsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsl_overflow_hunt.dir/examples/gsl_overflow_hunt.cpp.o"
+  "CMakeFiles/gsl_overflow_hunt.dir/examples/gsl_overflow_hunt.cpp.o.d"
+  "gsl_overflow_hunt"
+  "gsl_overflow_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsl_overflow_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_microbench.dir/bench/opt_microbench.cpp.o"
+  "CMakeFiles/opt_microbench.dir/bench/opt_microbench.cpp.o.d"
+  "opt_microbench"
+  "opt_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sin_boundary_study.dir/examples/sin_boundary_study.cpp.o"
+  "CMakeFiles/sin_boundary_study.dir/examples/sin_boundary_study.cpp.o.d"
+  "sin_boundary_study"
+  "sin_boundary_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sin_boundary_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mo_backends.dir/bench/table1_mo_backends.cpp.o"
+  "CMakeFiles/table1_mo_backends.dir/bench/table1_mo_backends.cpp.o.d"
+  "table1_mo_backends"
+  "table1_mo_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mo_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sin_boundaries.dir/bench/table2_sin_boundaries.cpp.o"
+  "CMakeFiles/table2_sin_boundaries.dir/bench/table2_sin_boundaries.cpp.o.d"
+  "table2_sin_boundaries"
+  "table2_sin_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sin_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

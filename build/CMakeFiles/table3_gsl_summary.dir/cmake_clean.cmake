@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gsl_summary.dir/bench/table3_gsl_summary.cpp.o"
+  "CMakeFiles/table3_gsl_summary.dir/bench/table3_gsl_summary.cpp.o.d"
+  "table3_gsl_summary"
+  "table3_gsl_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gsl_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bessel_overflows.dir/bench/table4_bessel_overflows.cpp.o"
+  "CMakeFiles/table4_bessel_overflows.dir/bench/table4_bessel_overflows.cpp.o.d"
+  "table4_bessel_overflows"
+  "table4_bessel_overflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bessel_overflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_inconsistencies.dir/bench/table5_inconsistencies.cpp.o"
+  "CMakeFiles/table5_inconsistencies.dir/bench/table5_inconsistencies.cpp.o.d"
+  "table5_inconsistencies"
+  "table5_inconsistencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_inconsistencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyses/BoundaryAnalysis.cpp" "CMakeFiles/wdm.dir/src/analyses/BoundaryAnalysis.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/analyses/BoundaryAnalysis.cpp.o.d"
+  "/root/repo/src/analyses/BranchCoverage.cpp" "CMakeFiles/wdm.dir/src/analyses/BranchCoverage.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/analyses/BranchCoverage.cpp.o.d"
+  "/root/repo/src/analyses/Inconsistency.cpp" "CMakeFiles/wdm.dir/src/analyses/Inconsistency.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/analyses/Inconsistency.cpp.o.d"
+  "/root/repo/src/analyses/OverflowDetector.cpp" "CMakeFiles/wdm.dir/src/analyses/OverflowDetector.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/analyses/OverflowDetector.cpp.o.d"
+  "/root/repo/src/analyses/PathReachability.cpp" "CMakeFiles/wdm.dir/src/analyses/PathReachability.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/analyses/PathReachability.cpp.o.d"
+  "/root/repo/src/core/SearchEngine.cpp" "CMakeFiles/wdm.dir/src/core/SearchEngine.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/core/SearchEngine.cpp.o.d"
+  "/root/repo/src/exec/ExecContext.cpp" "CMakeFiles/wdm.dir/src/exec/ExecContext.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/exec/ExecContext.cpp.o.d"
+  "/root/repo/src/exec/Interpreter.cpp" "CMakeFiles/wdm.dir/src/exec/Interpreter.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/exec/Interpreter.cpp.o.d"
+  "/root/repo/src/gsl/Airy.cpp" "CMakeFiles/wdm.dir/src/gsl/Airy.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/gsl/Airy.cpp.o.d"
+  "/root/repo/src/gsl/Bessel.cpp" "CMakeFiles/wdm.dir/src/gsl/Bessel.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/gsl/Bessel.cpp.o.d"
+  "/root/repo/src/gsl/GslCommon.cpp" "CMakeFiles/wdm.dir/src/gsl/GslCommon.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/gsl/GslCommon.cpp.o.d"
+  "/root/repo/src/gsl/Hyperg.cpp" "CMakeFiles/wdm.dir/src/gsl/Hyperg.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/gsl/Hyperg.cpp.o.d"
+  "/root/repo/src/instrument/BoundaryPass.cpp" "CMakeFiles/wdm.dir/src/instrument/BoundaryPass.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/BoundaryPass.cpp.o.d"
+  "/root/repo/src/instrument/BranchDistance.cpp" "CMakeFiles/wdm.dir/src/instrument/BranchDistance.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/BranchDistance.cpp.o.d"
+  "/root/repo/src/instrument/Cloner.cpp" "CMakeFiles/wdm.dir/src/instrument/Cloner.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/Cloner.cpp.o.d"
+  "/root/repo/src/instrument/CoveragePass.cpp" "CMakeFiles/wdm.dir/src/instrument/CoveragePass.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/CoveragePass.cpp.o.d"
+  "/root/repo/src/instrument/IRWeakDistance.cpp" "CMakeFiles/wdm.dir/src/instrument/IRWeakDistance.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/IRWeakDistance.cpp.o.d"
+  "/root/repo/src/instrument/Observers.cpp" "CMakeFiles/wdm.dir/src/instrument/Observers.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/Observers.cpp.o.d"
+  "/root/repo/src/instrument/OverflowPass.cpp" "CMakeFiles/wdm.dir/src/instrument/OverflowPass.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/OverflowPass.cpp.o.d"
+  "/root/repo/src/instrument/PathPass.cpp" "CMakeFiles/wdm.dir/src/instrument/PathPass.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/PathPass.cpp.o.d"
+  "/root/repo/src/instrument/Sites.cpp" "CMakeFiles/wdm.dir/src/instrument/Sites.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/instrument/Sites.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "CMakeFiles/wdm.dir/src/ir/BasicBlock.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "CMakeFiles/wdm.dir/src/ir/Dominators.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "CMakeFiles/wdm.dir/src/ir/Function.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "CMakeFiles/wdm.dir/src/ir/IRBuilder.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "CMakeFiles/wdm.dir/src/ir/Instruction.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "CMakeFiles/wdm.dir/src/ir/Module.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "CMakeFiles/wdm.dir/src/ir/Parser.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "CMakeFiles/wdm.dir/src/ir/Printer.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "CMakeFiles/wdm.dir/src/ir/Type.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "CMakeFiles/wdm.dir/src/ir/Verifier.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/ir/Verifier.cpp.o.d"
+  "/root/repo/src/opt/BasinHopping.cpp" "CMakeFiles/wdm.dir/src/opt/BasinHopping.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/BasinHopping.cpp.o.d"
+  "/root/repo/src/opt/DifferentialEvolution.cpp" "CMakeFiles/wdm.dir/src/opt/DifferentialEvolution.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/DifferentialEvolution.cpp.o.d"
+  "/root/repo/src/opt/NelderMead.cpp" "CMakeFiles/wdm.dir/src/opt/NelderMead.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/NelderMead.cpp.o.d"
+  "/root/repo/src/opt/Objective.cpp" "CMakeFiles/wdm.dir/src/opt/Objective.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/Objective.cpp.o.d"
+  "/root/repo/src/opt/Optimizer.cpp" "CMakeFiles/wdm.dir/src/opt/Optimizer.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/Optimizer.cpp.o.d"
+  "/root/repo/src/opt/Powell.cpp" "CMakeFiles/wdm.dir/src/opt/Powell.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/Powell.cpp.o.d"
+  "/root/repo/src/opt/RandomSearch.cpp" "CMakeFiles/wdm.dir/src/opt/RandomSearch.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/RandomSearch.cpp.o.d"
+  "/root/repo/src/opt/UlpSearch.cpp" "CMakeFiles/wdm.dir/src/opt/UlpSearch.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/opt/UlpSearch.cpp.o.d"
+  "/root/repo/src/sat/Constraint.cpp" "CMakeFiles/wdm.dir/src/sat/Constraint.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/sat/Constraint.cpp.o.d"
+  "/root/repo/src/sat/Distance.cpp" "CMakeFiles/wdm.dir/src/sat/Distance.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/sat/Distance.cpp.o.d"
+  "/root/repo/src/sat/LowerToIR.cpp" "CMakeFiles/wdm.dir/src/sat/LowerToIR.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/sat/LowerToIR.cpp.o.d"
+  "/root/repo/src/sat/SExprParser.cpp" "CMakeFiles/wdm.dir/src/sat/SExprParser.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/sat/SExprParser.cpp.o.d"
+  "/root/repo/src/sat/Solver.cpp" "CMakeFiles/wdm.dir/src/sat/Solver.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/sat/Solver.cpp.o.d"
+  "/root/repo/src/subjects/Fig1.cpp" "CMakeFiles/wdm.dir/src/subjects/Fig1.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/subjects/Fig1.cpp.o.d"
+  "/root/repo/src/subjects/Fig2.cpp" "CMakeFiles/wdm.dir/src/subjects/Fig2.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/subjects/Fig2.cpp.o.d"
+  "/root/repo/src/subjects/NumericKernels.cpp" "CMakeFiles/wdm.dir/src/subjects/NumericKernels.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/subjects/NumericKernels.cpp.o.d"
+  "/root/repo/src/subjects/SinModel.cpp" "CMakeFiles/wdm.dir/src/subjects/SinModel.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/subjects/SinModel.cpp.o.d"
+  "/root/repo/src/subjects/TestPrograms.cpp" "CMakeFiles/wdm.dir/src/subjects/TestPrograms.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/subjects/TestPrograms.cpp.o.d"
+  "/root/repo/src/support/FPUtils.cpp" "CMakeFiles/wdm.dir/src/support/FPUtils.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/support/FPUtils.cpp.o.d"
+  "/root/repo/src/support/RNG.cpp" "CMakeFiles/wdm.dir/src/support/RNG.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/support/RNG.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "CMakeFiles/wdm.dir/src/support/Statistics.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "CMakeFiles/wdm.dir/src/support/StringUtils.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/support/StringUtils.cpp.o.d"
+  "/root/repo/src/support/TableWriter.cpp" "CMakeFiles/wdm.dir/src/support/TableWriter.cpp.o" "gcc" "CMakeFiles/wdm.dir/src/support/TableWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

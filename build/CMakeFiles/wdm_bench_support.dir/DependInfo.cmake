@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/GslStudy.cpp" "CMakeFiles/wdm_bench_support.dir/bench/GslStudy.cpp.o" "gcc" "CMakeFiles/wdm_bench_support.dir/bench/GslStudy.cpp.o.d"
+  "/root/repo/bench/SinStudy.cpp" "CMakeFiles/wdm_bench_support.dir/bench/SinStudy.cpp.o" "gcc" "CMakeFiles/wdm_bench_support.dir/bench/SinStudy.cpp.o.d"
+  "/root/repo/bench/bench_json.cpp" "CMakeFiles/wdm_bench_support.dir/bench/bench_json.cpp.o" "gcc" "CMakeFiles/wdm_bench_support.dir/bench/bench_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/wdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_bench_support.dir/bench/GslStudy.cpp.o"
+  "CMakeFiles/wdm_bench_support.dir/bench/GslStudy.cpp.o.d"
+  "CMakeFiles/wdm_bench_support.dir/bench/SinStudy.cpp.o"
+  "CMakeFiles/wdm_bench_support.dir/bench/SinStudy.cpp.o.d"
+  "CMakeFiles/wdm_bench_support.dir/bench/bench_json.cpp.o"
+  "CMakeFiles/wdm_bench_support.dir/bench/bench_json.cpp.o.d"
+  "libwdm_bench_support.a"
+  "libwdm_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(AnalysesTests "/root/repo/build/AnalysesTests")
+set_tests_properties(AnalysesTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(CoreTests "/root/repo/build/CoreTests")
+set_tests_properties(CoreTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(DepthTests "/root/repo/build/DepthTests")
+set_tests_properties(DepthTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ExecTests "/root/repo/build/ExecTests")
+set_tests_properties(ExecTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(GslTests "/root/repo/build/GslTests")
+set_tests_properties(GslTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(IRTests "/root/repo/build/IRTests")
+set_tests_properties(IRTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(InstrumentTests "/root/repo/build/InstrumentTests")
+set_tests_properties(InstrumentTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(IntegrationTests "/root/repo/build/IntegrationTests")
+set_tests_properties(IntegrationTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(KernelsTests "/root/repo/build/KernelsTests")
+set_tests_properties(KernelsTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(OptTests "/root/repo/build/OptTests")
+set_tests_properties(OptTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(SatTests "/root/repo/build/SatTests")
+set_tests_properties(SatTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(SearchEngineTests "/root/repo/build/SearchEngineTests")
+set_tests_properties(SearchEngineTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(SupportTests "/root/repo/build/SupportTests")
+set_tests_properties(SupportTests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
