@@ -6,56 +6,80 @@
 
 #include "GslStudy.h"
 
-#include "support/StringUtils.h"
+#include "api/Analyzer.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace wdm;
-using namespace wdm::analyses;
 using namespace wdm::bench;
 
-unsigned wdm::bench::gslStudyStartsPerRound() {
-  return std::max(1u, envUnsigned("WDM_STARTS", 2));
+namespace {
+
+api::SearchConfig studyConfig() {
+  api::SearchConfig C;
+  C.Starts = 2;
+  C.Threads = 0;
+  C.applyEnv();
+  // $WDM_SEED would break the per-table fixed seeds; Seed is always
+  // taken from the caller.
+  C.Seed.reset();
+  return C;
 }
 
-unsigned wdm::bench::gslStudyThreads() {
-  return envUnsigned("WDM_THREADS", 0);
+} // namespace
+
+unsigned wdm::bench::gslStudyStartsPerRound() {
+  return *studyConfig().Starts;
 }
+
+unsigned wdm::bench::gslStudyThreads() { return *studyConfig().Threads; }
 
 GslStudyResult wdm::bench::runGslStudy(
-    ir::Module &M, const gsl::SfFunction &Fn, const std::string &Name,
-    uint64_t Seed, const std::vector<std::vector<double>> &ExtraProbes) {
+    const std::string &BuiltinName, uint64_t Seed,
+    const std::vector<std::vector<double>> &ExtraProbes) {
   GslStudyResult Out;
-  Out.Name = Name;
+  Out.Name = BuiltinName;
 
   // Paper-faithful Algorithm 3 (MAX - |a|); the ULP-gap improvement is
   // quantified separately in bench/ablation_overflow_metric.
-  OverflowDetector Detector(M, *Fn.F, instr::OverflowMetric::AbsGap);
-  OverflowDetector::Options Opts;
-  Opts.Seed = Seed;
-  Opts.StartsPerRound = gslStudyStartsPerRound();
-  Opts.Threads = gslStudyThreads();
-  Out.Overflows = Detector.run(Opts);
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::Inconsistency;
+  Spec.Module = api::ModuleSource::builtin(BuiltinName);
+  Spec.OverflowMetric = "absgap";
+  Spec.Probes = ExtraProbes;
+  Spec.Search = studyConfig();
+  Spec.Search.Seed = Seed;
 
-  InconsistencyChecker Checker(M, Fn);
-  for (const OverflowFinding &F : Out.Overflows.Findings)
-    if (F.Found)
-      Out.Replays.push_back(Checker.check(F.Input));
-  for (const std::vector<double> &Probe : ExtraProbes)
-    Out.Replays.push_back(Checker.check(Probe));
-
-  // Dedupe inconsistencies by their origin instruction (the paper's
-  // Table 5 lists one row per problematic location).
-  for (const InconsistencyFinding &F : Out.Replays) {
-    if (!F.Inconsistent)
-      continue;
-    bool Seen = false;
-    for (const InconsistencyFinding *D : Out.Distinct)
-      Seen |= D->Origin == F.Origin;
-    if (!Seen)
-      Out.Distinct.push_back(&F);
+  Expected<api::Report> R = api::Analyzer::analyze(Spec);
+  if (!R) {
+    std::fprintf(stderr, "gsl study '%s' failed: %s\n",
+                 BuiltinName.c_str(), R.error().c_str());
+    std::exit(2);
   }
-  for (const InconsistencyFinding *D : Out.Distinct)
-    Out.NumBugs += D->LooksLikeBug;
+  Out.Report = R.take();
+
+  Out.NumOps =
+      static_cast<unsigned>(Out.Report.Extra.find("num_ops")->asUint());
+  Out.NumOverflows = static_cast<unsigned>(
+      Out.Report.Extra.find("num_overflows")->asUint());
+  Out.NumBugs =
+      static_cast<unsigned>(Out.Report.Extra.find("bugs")->asUint());
+  Out.Seconds = Out.Report.Extra.find("detector_seconds")->asDouble();
+  Out.Evals = Out.Report.Evals;
+
+  for (const api::Finding &F : Out.Report.Findings) {
+    if (F.Kind != "inconsistency")
+      continue;
+    GslStudyResult::Row Row;
+    Row.Input = F.Input;
+    Row.OriginText = F.Description;
+    Row.Status = F.Details.find("status")->asInt();
+    Row.Val = F.Details.find("val")->asDouble();
+    Row.Err = F.Details.find("err")->asDouble();
+    Row.RootCause = F.Details.find("root_cause")->asString();
+    Row.LooksLikeBug = F.Details.find("bug")->asBool();
+    Out.Distinct.push_back(std::move(Row));
+  }
   return Out;
 }

@@ -5,45 +5,61 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Section 6.3 experiment, shared by the Table 3/4/5 benches: run
-/// Algorithm 3 (fpod) on one GSL special-function model, replay every
-/// overflow input through the inconsistency checker, and classify root
-/// causes.
+/// The Section 6.3 experiment, shared by the Table 3/4/5 benches, driven
+/// through wdm::api: one "inconsistency" spec per GSL model runs fpod,
+/// replays every overflow input through the inconsistency checker, and
+/// classifies root causes. The result keeps the tables' vocabulary
+/// (|Op|, |O|, |I|, |B|) as plain fields derived from the uniform
+/// api::Report.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WDM_BENCH_GSLSTUDY_H
 #define WDM_BENCH_GSLSTUDY_H
 
-#include "analyses/Inconsistency.h"
-#include "analyses/OverflowDetector.h"
-#include "gsl/GslCommon.h"
+#include "api/Report.h"
 
-#include <memory>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace wdm::bench {
 
 struct GslStudyResult {
   std::string Name;
-  analyses::OverflowReport Overflows;
-  /// One replay outcome per *found* overflow input, in site order.
-  std::vector<analyses::InconsistencyFinding> Replays;
-  /// Distinct inconsistencies (deduped by origin instruction).
-  std::vector<const analyses::InconsistencyFinding *> Distinct;
-  unsigned NumBugs = 0; ///< Distinct findings with LooksLikeBug.
+  api::Report Report; ///< The raw uniform report (all findings).
+
+  // Table vocabulary, derived from the report.
+  unsigned NumOps = 0;       ///< |Op|: elementary FP operations.
+  unsigned NumOverflows = 0; ///< |O|: operations with a found overflow.
+  unsigned NumBugs = 0;      ///< |B|: distinct confirmed-bug signatures.
+  double Seconds = 0;        ///< Detector wall-clock (the T(sec) column).
+  uint64_t Evals = 0;
+
+  /// One row per distinct inconsistency (Table 5).
+  struct Row {
+    std::vector<double> Input;
+    std::string OriginText;
+    int64_t Status = 0;
+    double Val = 0;
+    double Err = 0;
+    std::string RootCause;
+    bool LooksLikeBug = false;
+  };
+  std::vector<Row> Distinct; ///< |I| = Distinct.size().
 };
 
-/// Runs fpod + replay on one model. Extra probe inputs (e.g. the airy
-/// bug inputs that need exact hits) are replayed in addition to the
-/// detector's findings.
+/// Runs fpod + replay on the builtin GSL subject \p BuiltinName
+/// ("bessel", "hyperg", "airy") with the paper-faithful AbsGap metric.
+/// Extra probe inputs (e.g. the airy bug inputs that need exact hits)
+/// are replayed in addition to the detector's findings.
 ///
 /// The per-round search width and worker count honor $WDM_STARTS
-/// (default 2) and $WDM_THREADS (default 0 = one per hardware thread) so
-/// the same binary measures the sequential baseline and the parallel
-/// engine; results are identical at every thread count for a fixed seed.
-GslStudyResult runGslStudy(ir::Module &M, const gsl::SfFunction &Fn,
-                           const std::string &Name, uint64_t Seed,
+/// (default 2) and $WDM_THREADS (default 0 = one per hardware thread)
+/// via the shared api::SearchConfig::applyEnv policy, so the same binary
+/// measures the sequential baseline and the parallel engine; results are
+/// identical at every thread count for a fixed seed.
+GslStudyResult runGslStudy(const std::string &BuiltinName, uint64_t Seed,
                            const std::vector<std::vector<double>> &
                                ExtraProbes = {});
 

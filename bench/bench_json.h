@@ -5,62 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tiny JSON emitter the perf-tracking benches share: each run writes a
-/// BENCH_<name>.json next to the binary (or into $WDM_BENCH_DIR) with
-/// wall-clock time, evaluation throughput, and thread count per entry, so
-/// the performance trajectory can be tracked across PRs by any tooling
-/// that can read a JSON file — no google-benchmark dependency required.
+/// Thin facade: BenchJson now lives in support/Json.{h,cpp} (the shared
+/// JSON layer the api subsystem and the benches use), re-exported here so
+/// the bench drivers keep their historical include and name.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WDM_BENCH_BENCH_JSON_H
 #define WDM_BENCH_BENCH_JSON_H
 
-#include <cstdint>
-#include <string>
-#include <utility>
-#include <vector>
+#include "support/Json.h"
 
 namespace wdm::bench {
 
-/// Accumulates one benchmark report and serializes it as
-/// {"bench": ..., "threads": ..., "entries": [{...}, ...]}.
-/// field() calls before the first entry() attach to the report root;
-/// later calls attach to the most recent entry.
-class BenchJson {
-public:
-  explicit BenchJson(std::string BenchName);
-
-  /// Starts a new entry (one measured unit, e.g. one GSL function or one
-  /// microbenchmark).
-  BenchJson &entry(const std::string &Name);
-
-  BenchJson &field(const std::string &Key, double Value);
-  BenchJson &field(const std::string &Key, uint64_t Value);
-  BenchJson &field(const std::string &Key, const std::string &Value);
-
-  /// Convenience: wall seconds + evals + derived evals/sec on the
-  /// current entry.
-  BenchJson &timing(double WallSeconds, uint64_t Evals);
-
-  std::string json() const;
-
-  /// Writes BENCH_<name>.json into $WDM_BENCH_DIR (default: the current
-  /// directory). Returns false on I/O failure.
-  bool write() const;
-
-private:
-  struct Entry {
-    std::string Name; ///< Empty for the report root.
-    std::vector<std::pair<std::string, std::string>> Fields;
-  };
-
-  std::vector<std::pair<std::string, std::string>> &currentFields();
-
-  std::string BenchName;
-  Entry Root;
-  std::vector<Entry> Entries;
-};
+using wdm::json::BenchJson;
 
 } // namespace wdm::bench
 

@@ -19,8 +19,6 @@
 #include "GslStudy.h"
 #include "bench_json.h"
 #include "gsl/Airy.h"
-#include "gsl/Bessel.h"
-#include "gsl/Hyperg.h"
 #include "support/StringUtils.h"
 #include "support/TableWriter.h"
 
@@ -42,38 +40,28 @@ int main() {
   unsigned BesselOverflows = 0;
 
   auto Record = [&](const char *Label, const GslStudyResult &R) {
-    T.addRow({Label, formatf("%u", R.Overflows.NumOps),
-              formatf("%u", R.Overflows.numOverflows()),
+    T.addRow({Label, formatf("%u", R.NumOps),
+              formatf("%u", R.NumOverflows),
               formatf("%zu", R.Distinct.size()), formatf("%u", R.NumBugs),
-              formatf("%.1f", R.Overflows.Seconds)});
+              formatf("%.1f", R.Seconds)});
     Json.entry(R.Name)
-        .timing(R.Overflows.Seconds, R.Overflows.Evals)
-        .field("ops", static_cast<uint64_t>(R.Overflows.NumOps))
-        .field("overflows",
-               static_cast<uint64_t>(R.Overflows.numOverflows()))
+        .timing(R.Seconds, R.Evals)
+        .field("ops", static_cast<uint64_t>(R.NumOps))
+        .field("overflows", static_cast<uint64_t>(R.NumOverflows))
         .field("inconsistencies", static_cast<uint64_t>(R.Distinct.size()))
         .field("bugs", static_cast<uint64_t>(R.NumBugs));
     TotalBugs += R.NumBugs;
   };
 
   {
-    ir::Module M;
-    gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
-    GslStudyResult R = runGslStudy(M, Bessel, "bessel", 0xbe55e1);
-    BesselOverflows = R.Overflows.numOverflows();
+    GslStudyResult R = runGslStudy("bessel", 0xbe55e1);
+    BesselOverflows = R.NumOverflows;
     Record("bessel  bessel_Knu_scaled.", R);
   }
-  {
-    ir::Module M;
-    gsl::SfFunction Hyperg = gsl::buildHyperg2F0(M);
-    GslStudyResult R = runGslStudy(M, Hyperg, "hyperg", 0x472c);
-    Record("hyperg  gsl_sf_hyperg_2F0_e", R);
-  }
+  Record("hyperg  gsl_sf_hyperg_2F0_e", runGslStudy("hyperg", 0x472c));
   unsigned AiryBugs = 0;
   {
-    ir::Module M;
-    gsl::AiryModel Airy = gsl::buildAiryAi(M);
-    GslStudyResult R = runGslStudy(M, Airy.Airy, "airy", 0xa1e9,
+    GslStudyResult R = runGslStudy("airy", 0xa1e9,
                                    {{gsl::AiryBug1Input}, {-1.14e57}});
     AiryBugs = R.NumBugs;
     Record("airy    gsl_sf_airy_Ai_e", R);

@@ -14,31 +14,28 @@
 
 #include "GslStudy.h"
 #include "gsl/Airy.h"
-#include "gsl/Bessel.h"
-#include "gsl/Hyperg.h"
 #include "support/StringUtils.h"
 #include "support/TableWriter.h"
 
 #include <iostream>
 
 using namespace wdm;
-using namespace wdm::analyses;
 using namespace wdm::bench;
 
 namespace {
 
 void addRows(Table &T, const GslStudyResult &R) {
-  for (const InconsistencyFinding *F : R.Distinct) {
+  for (const GslStudyResult::Row &F : R.Distinct) {
     std::string Inputs;
-    for (size_t I = 0; I < F->Input.size(); ++I) {
+    for (size_t I = 0; I < F.Input.size(); ++I) {
       if (I)
         Inputs += ", ";
-      Inputs += formatDoubleCompact(F->Input[I]);
+      Inputs += formatDoubleCompact(F.Input[I]);
     }
-    T.addRow({R.Name, Inputs, F->OriginText,
-              formatf("%lld", static_cast<long long>(F->Status)),
-              formatDoubleCompact(F->Val), formatDoubleCompact(F->Err),
-              F->RootCause + (F->LooksLikeBug ? "  [BUG]" : "")});
+    T.addRow({R.Name, Inputs, F.OriginText,
+              formatf("%lld", static_cast<long long>(F.Status)),
+              formatDoubleCompact(F.Val), formatDoubleCompact(F.Err),
+              F.RootCause + (F.LooksLikeBug ? "  [BUG]" : "")});
   }
   T.addSeparator();
 }
@@ -55,26 +52,20 @@ int main() {
   size_t Total = 0;
 
   {
-    ir::Module M;
-    gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
-    GslStudyResult R = runGslStudy(M, Bessel, "bessel", 0xbe55e1);
+    GslStudyResult R = runGslStudy("bessel", 0xbe55e1);
     addRows(T, R);
     Bugs += R.NumBugs;
     Total += R.Distinct.size();
   }
   {
-    ir::Module M;
-    gsl::SfFunction Hyperg = gsl::buildHyperg2F0(M);
-    GslStudyResult R = runGslStudy(M, Hyperg, "hyperg", 0x472c);
+    GslStudyResult R = runGslStudy("hyperg", 0x472c);
     addRows(T, R);
     Bugs += R.NumBugs;
     Total += R.Distinct.size();
   }
   unsigned AiryBugs = 0;
   {
-    ir::Module M;
-    gsl::AiryModel Airy = gsl::buildAiryAi(M);
-    GslStudyResult R = runGslStudy(M, Airy.Airy, "airy", 0xa1e9,
+    GslStudyResult R = runGslStudy("airy", 0xa1e9,
                                    {{gsl::AiryBug1Input}, {-1.14e57}});
     addRows(T, R);
     AiryBugs = R.NumBugs;

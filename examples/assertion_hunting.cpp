@@ -7,15 +7,15 @@
 //   void Prog(double x) { if (x < 1) { x = x + 1; assert(x < 2); } }
 //
 // Real-arithmetic intuition says yes; IEEE-754 round-to-nearest says no.
-// This example frames "can the assertion fail?" as path reachability to
-// the trap and lets weak-distance minimization find the witness — then
-// shows the same program is safe under round-toward-zero, and repeats
-// the hunt on the tan variant that defeats SMT solvers.
+// "Can the assertion fail?" is path reachability to the trap: a two-leg
+// path spec (take the guard, violate the assert) handed to the Analyzer.
+// The witness is then replayed under both rounding modes to show the
+// program is safe under round-toward-zero (the Section 1 observation).
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyses/PathReachability.h"
-#include "opt/BasinHopping.h"
+#include "api/Analyzer.h"
+#include "exec/Interpreter.h"
 #include "subjects/Fig1.h"
 #include "support/StringUtils.h"
 
@@ -25,22 +25,30 @@ using namespace wdm;
 
 namespace {
 
-void hunt(const char *Label, ir::Module &M, const subjects::Fig1 &Prog) {
+void hunt(const char *Label, const char *Builtin) {
   std::cout << "-- " << Label << " --\n";
-  instr::PathSpec Spec;
-  Spec.Legs.push_back({Prog.GuardBranch, true});   // take if (x < 1)
-  Spec.Legs.push_back({Prog.AssertBranch, false}); // violate x < 2
-  analyses::PathReachability PR(M, *Prog.F, Spec);
 
-  opt::BasinHopping Backend;
-  core::ReductionOptions Opts;
-  Opts.Seed = 1;
-  Opts.MaxEvals = 80'000;
-  core::ReductionResult R = PR.findOne(Backend, Opts);
-  if (R.Found) {
-    double X = R.Witness[0];
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::Path;
+  Spec.Module = api::ModuleSource::builtin(Builtin);
+  Spec.Path.push_back({0, true});  // take if (x < 1)
+  Spec.Path.push_back({1, false}); // violate x < 2
+  Spec.Search.Seed = 1;
+  Spec.Search.MaxEvals = 80'000;
+
+  Expected<api::Report> R = api::Analyzer::analyze(Spec);
+  if (!R) {
+    std::cerr << "error: " << R.error() << "\n";
+    return;
+  }
+  if (const api::Finding *F = R->first("path")) {
+    double X = F->Input[0];
     std::cout << "assertion FAILS at x = " << formatDouble(X) << "\n";
     // Demonstrate with the interpreter, under both rounding modes.
+    ir::Module M;
+    subjects::Fig1 Prog =
+        std::string(Builtin) == "fig1a" ? subjects::buildFig1a(M)
+                                        : subjects::buildFig1b(M);
     exec::Engine E(M);
     exec::ExecContext Ctx(M);
     exec::ExecOptions Near, Zero;
@@ -53,8 +61,8 @@ void hunt(const char *Label, ir::Module &M, const subjects::Fig1 &Prog) {
               << "\n  round-toward-zero: " << (TrapZero ? "TRAP" : "ok")
               << "   (the paper's Section 1 observation)\n";
   } else {
-    std::cout << "no violation found (W* = " << formatDouble(R.WStar)
-              << " after " << R.Evals << " evaluations)\n";
+    std::cout << "no violation found (W* = " << formatDouble(R->WStar)
+              << " after " << R->Evals << " evaluations)\n";
   }
   std::cout << "\n";
 }
@@ -63,17 +71,9 @@ void hunt(const char *Label, ir::Module &M, const subjects::Fig1 &Prog) {
 
 int main() {
   std::cout << "== Hunting the Fig. 1 assertion failures ==\n\n";
-  {
-    ir::Module M("fig1a");
-    subjects::Fig1 P = subjects::buildFig1a(M);
-    hunt("Fig. 1(a): x = x + 1", M, P);
-  }
-  {
-    ir::Module M("fig1b");
-    subjects::Fig1 P = subjects::buildFig1b(M);
-    hunt("Fig. 1(b): x = x + tan(x)   [system-dependent tan; no SMT "
-         "theory needed]",
-         M, P);
-  }
+  hunt("Fig. 1(a): x = x + 1", "fig1a");
+  hunt("Fig. 1(b): x = x + tan(x)   [system-dependent tan; no SMT "
+       "theory needed]",
+       "fig1b");
   return 0;
 }

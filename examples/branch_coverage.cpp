@@ -4,13 +4,13 @@
 //
 // Instance 4: generate a test suite covering every branch direction of a
 // program, including an equality guard (x == 42.0) that random testing
-// essentially never hits. Each generated input is a concrete test case.
+// essentially never hits. Driven entirely through the declarative
+// wdm::api surface — the wiring that used to take a module, a builder,
+// a BranchCoverage instance, and an Options struct is now one spec.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyses/BranchCoverage.h"
-#include "opt/BasinHopping.h"
-#include "subjects/TestPrograms.h"
+#include "api/Analyzer.h"
 #include "support/StringUtils.h"
 
 #include <iostream>
@@ -25,27 +25,32 @@ int main() {
             << "  x == 42  : 99\n"
             << "  otherwise: 1\n\n";
 
-  ir::Module M;
-  ir::Function *F = subjects::buildClassifier(M);
-  analyses::BranchCoverage Cov(M, *F);
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::Coverage;
+  Spec.Module = api::ModuleSource::builtin("classifier");
+  Spec.Search.Seed = 0xc0;
+  Spec.Search.MaxEvals = 30'000;
 
-  opt::BasinHopping Backend;
-  analyses::BranchCoverage::Options Opts;
-  Opts.Reduce.Seed = 0xc0;
-  Opts.Reduce.MaxEvals = 30'000;
-  analyses::CoverageReport R = Cov.run(Backend, Opts);
+  Expected<api::Report> R = api::Analyzer::analyze(Spec);
+  if (!R) {
+    std::cerr << "error: " << R.error() << "\n";
+    return 1;
+  }
 
-  std::cout << "coverage: " << R.Covered << "/" << R.Total
+  uint64_t Covered = R->Extra.find("covered")->asUint();
+  uint64_t Total = R->Extra.find("total")->asUint();
+  std::cout << "coverage: " << Covered << "/" << Total
             << " branch directions ("
-            << formatf("%.0f%%", 100.0 * R.ratio()) << ") with "
-            << R.TestInputs.size() << " generated tests, " << R.Evals
-            << " weak-distance evaluations\n\ntest suite:\n";
-  for (const auto &Input : R.TestInputs)
-    std::cout << "  classifier(" << formatDouble(Input[0]) << ")\n";
+            << formatf("%.0f%%",
+                       100.0 * R->Extra.find("ratio")->asDouble())
+            << ") with " << R->Findings.size() << " generated tests, "
+            << R->Evals << " weak-distance evaluations\n\ntest suite:\n";
+  for (const api::Finding &F : R->Findings)
+    std::cout << "  classifier(" << formatDouble(F.Input[0]) << ")\n";
 
   std::cout << "\nNote the generated x = 42 test: the equality branch has "
                "a single-point\nsolution set that fuzzing cannot find, "
                "but |x - 42| guides minimization\nstraight to it (the "
                "CoverMe effect the paper reports as Instance 4).\n";
-  return R.Covered == R.Total ? 0 : 1;
+  return R->Success ? 0 : 1;
 }

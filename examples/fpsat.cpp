@@ -5,45 +5,48 @@
 // Instance 5: decide quantifier-free FP constraints by weak-distance
 // minimization. Pass an s-expression constraint as argv[1], or run the
 // built-in showcase. Every SAT answer ships a model verified by direct
-// IEEE-754 evaluation.
+// IEEE-754 evaluation. Each decision is one declarative fpsat spec —
+// the same shape `wdm analyze --task=fpsat --constraint=...` runs.
 //
 //   ./fpsat '(and (< x 1.0) (>= (+ x (tan x)) 2.0))'
 //
 //===----------------------------------------------------------------------===//
 
-#include "sat/SExprParser.h"
-#include "sat/Solver.h"
+#include "api/Analyzer.h"
 #include "support/StringUtils.h"
 
 #include <iostream>
 
 using namespace wdm;
-using namespace wdm::sat;
 
 namespace {
 
 int solveOne(const std::string &Text) {
-  Expected<CNF> C = parseConstraint(Text);
-  if (!C) {
-    std::cerr << "parse error: " << C.error() << "\n";
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::FpSat;
+  Spec.Constraint = Text;
+  Spec.Search.Seed = 0x5a7;
+  Spec.Search.MaxEvals = 200'000;
+
+  Expected<api::Report> R = api::Analyzer::analyze(Spec);
+  if (!R) {
+    std::cerr << "error: " << R.error() << "\n";
     return 2;
   }
-  XSatSolver Solver;
-  XSatSolver::Options Opts;
-  Opts.Reduce.Seed = 0x5a7;
-  Opts.Reduce.MaxEvals = 200'000;
-  SatResult R = Solver.solve(*C, Opts);
 
-  std::cout << C->toString() << "\n";
-  if (!R.Sat) {
+  std::cout << R->Function << "\n";
+  const api::Finding *F = R->first("sat-model");
+  if (!F) {
     std::cout << "  -> not found (UNSAT up to search incompleteness); "
-              << "smallest W = " << formatDouble(R.WStar) << "\n\n";
+              << "smallest W = " << formatDouble(R->WStar) << "\n\n";
     return 1;
   }
+  const json::Value *Vars = F->Details.find("vars");
   std::cout << "  -> sat:";
-  for (unsigned I = 0; I < C->NumVars; ++I)
-    std::cout << " " << C->VarNames[I] << " = " << formatDouble(R.Model[I]);
-  std::cout << "\n     (model verified by evaluation; " << R.Evals
+  for (size_t I = 0; I < F->Input.size(); ++I)
+    std::cout << " " << (Vars ? Vars->at(I).asString() : "x") << " = "
+              << formatDouble(F->Input[I]);
+  std::cout << "\n     (model verified by evaluation; " << R->Evals
             << " weak-distance evaluations)\n\n";
   return 0;
 }

@@ -1,17 +1,16 @@
-//===--- quickstart.cpp - Weak-distance minimization in 60 lines ----------------===//
+//===--- quickstart.cpp - Weak-distance minimization in 5 lines -----------------===//
 //
 // Part of the wdm project (PLDI 2019 weak-distance minimization repro).
 //
 // Quickstart: write a floating-point program in the textual mini-IR,
-// instrument it for boundary value analysis, and let Algorithm 2 find an
-// input that drives a comparison to exact equality.
+// describe the analysis as a declarative AnalysisSpec, and let the
+// Analyzer find an input that drives a comparison to exact equality.
+// The same spec serializes to JSON and runs via `wdm run spec.json`.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyses/BoundaryAnalysis.h"
-#include "ir/Parser.h"
+#include "api/Analyzer.h"
 #include "ir/Printer.h"
-#include "opt/BasinHopping.h"
 #include "support/StringUtils.h"
 
 #include <iostream>
@@ -52,38 +51,39 @@ done:
 }
 )";
 
-  auto Parsed = ir::parseModule(Program);
-  if (!Parsed) {
-    std::cerr << "parse error: " << Parsed.error() << "\n";
+  // The whole analysis, declaratively: boundary value analysis on @prog
+  // with a 40k-evaluation budget.
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::Boundary;
+  Spec.Module = api::ModuleSource::inlineText(Program);
+  Spec.Search.Seed = 2019;
+  Spec.Search.MaxEvals = 40'000;
+
+  api::Analyzer An(Spec);
+  Expected<api::Report> R = An.run();
+  if (!R) {
+    std::cerr << "error: " << R.error() << "\n";
     return 1;
   }
-  ir::Module &M = **Parsed;
 
-  // Instrument: a global w starts at 1 and is multiplied by |a - b|
-  // before every comparison a ~ b (paper Fig. 3). Minimizing the
-  // resulting weak distance finds boundary values.
-  analyses::BoundaryAnalysis BVA(M, *M.functionByName("prog"));
-
+  // The Analyzer instrumented the module for us (paper Fig. 3): a global
+  // w starts at 1 and is multiplied by |a - b| before every comparison.
   std::cout << "Instrumented program (the paper's Prog_w):\n";
-  ir::printFunction(
-      *M.functionByName("__bva_prog"), std::cout);
+  ir::printFunction(*An.module()->functionByName("__bva_prog"), std::cout);
 
-  opt::BasinHopping Backend;
-  core::ReductionOptions Opts;
-  Opts.Seed = 2019;
-  Opts.MaxEvals = 40'000;
-  core::ReductionResult R = BVA.findOne(Backend, Opts);
-
-  if (!R.Found) {
+  const api::Finding *F = R->first("boundary");
+  if (!F) {
     std::cout << "\nno boundary value found (W* = "
-              << formatDouble(R.WStar) << ")\n";
+              << formatDouble(R->WStar) << ")\n";
     return 1;
   }
-  std::cout << "\nboundary value found: x = " << formatDouble(R.Witness[0])
+  std::cout << "\nboundary value found: x = " << formatDouble(F->Input[0])
             << "\n  weak distance W(x) = 0, verified by replaying the "
                "original program\n  ("
-            << R.Evals << " weak-distance evaluations)\n";
+            << R->Evals << " weak-distance evaluations)\n";
   std::cout << "known boundary values of this program: -3, 1, 2 and "
                "0.9999999999999999\n";
+  std::cout << "\nThe same run as JSON (wdm run):\n"
+            << Spec.toJsonText();
   return 0;
 }

@@ -5,11 +5,12 @@
 // A compact version of the Section 6.2 case study: find inputs that sit
 // exactly on the Glibc sin dispatch boundaries (high-word comparisons
 // k < 0x3e500000 etc.), using nothing but execution and minimization.
+// Each attempt is one declarative spec run; the report's "sites" payload
+// says which dispatch comparison the witness hit.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyses/BoundaryAnalysis.h"
-#include "opt/BasinHopping.h"
+#include "api/Analyzer.h"
 #include "subjects/SinModel.h"
 #include "support/FPUtils.h"
 #include "support/StringUtils.h"
@@ -20,35 +21,42 @@ using namespace wdm;
 
 int main() {
   std::cout << "== Boundary value analysis on the Glibc sin model ==\n\n";
-
-  ir::Module M;
-  subjects::SinModel Sin = subjects::buildSinModel(M);
-  analyses::BoundaryAnalysis BVA(M, *Sin.F);
-
   std::cout << "The subject dispatches on k = highword(x) & 0x7fffffff "
                "with 5 comparisons;\neach k == c is a boundary "
                "condition.\n\n";
 
-  opt::BasinHopping Backend;
   unsigned Found = 0;
   for (unsigned Attempt = 0; Attempt < 6 && Found < 4; ++Attempt) {
-    core::ReductionOptions Opts;
-    Opts.Seed = 0x51f + Attempt * 97;
-    Opts.MaxEvals = 30'000;
-    Opts.WildStartProb = 0.5;
-    core::ReductionResult R = BVA.findOne(Backend, Opts);
-    if (!R.Found)
+    api::AnalysisSpec Spec;
+    Spec.Task = api::TaskKind::Boundary;
+    Spec.Module = api::ModuleSource::builtin("sin");
+    Spec.Search.Seed = 0x51f + Attempt * 97;
+    Spec.Search.MaxEvals = 30'000;
+    Spec.Search.WildStartProb = 0.5;
+
+    Expected<api::Report> R = api::Analyzer::analyze(Spec);
+    if (!R) {
+      std::cerr << "error: " << R.error() << "\n";
+      return 1;
+    }
+    const api::Finding *F = R->first("boundary");
+    if (!F)
       continue;
     ++Found;
-    double X = R.Witness[0];
+    double X = F->Input[0];
     std::cout << "boundary value: x = " << formatDouble(X)
               << "\n  high word: 0x" << formatf("%08x", highWord(X))
               << "  (sites hit:";
-    for (int Site : BVA.hitsFor(R.Witness))
-      std::cout << " #" << Site;
+    const json::Value *Sites = F->Details.find("sites");
+    for (size_t I = 0; Sites && I < Sites->size(); ++I)
+      std::cout << " #" << Sites->at(I).asInt();
     std::cout << ")\n";
   }
 
+  // The developer-suggested reference boundaries come from the model
+  // itself (they are builder metadata, not analysis output).
+  ir::Module M;
+  subjects::SinModel Sin = subjects::buildSinModel(M);
   std::cout << "\nDeveloper-suggested boundaries for reference:\n";
   for (unsigned I = 0; I < 4; ++I)
     std::cout << "  k = 0x" << formatf("%08x", Sin.Thresholds[I])

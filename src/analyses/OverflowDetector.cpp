@@ -48,7 +48,9 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
   Report.NumOps = static_cast<unsigned>(Instr.Sites.size());
 
   RNG Rand(Opts.Seed);
-  opt::BasinHopping Backend;
+  opt::BasinHopping DefaultBackend;
+  opt::Optimizer *Backend =
+      Opts.Backend ? Opts.Backend : &DefaultBackend;
   opt::MinimizeOptions MinOpts = Opts.MinOpts;
 
   std::unordered_set<int> L; // sites already targeted (Algorithm 3's L)
@@ -76,12 +78,15 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
   SOpts.VerifySolutions = false; // verification below is site-targeted
   SOpts.Threads = Opts.Threads;
   SOpts.MinOpts = MinOpts;
+  SOpts.Portfolio = Opts.Portfolio;
 
   // Step (8): |L| grows by one per round, so at most nFP rounds.
-  while (L.size() < Instr.Sites.size()) {
+  unsigned Rounds = 0;
+  while (L.size() < Instr.Sites.size() &&
+         (Opts.MaxRounds == 0 || Rounds++ < Opts.MaxRounds)) {
     // Steps (4)-(5): starting points are drawn from the detector's
     // persistent stream; the engine runs Basinhopping from each.
-    core::SearchResult R = Search.solveWithRng(&Backend, SOpts, Rand);
+    core::SearchResult R = Search.solveWithRng(Backend, SOpts, Rand);
     Report.Evals += R.Evals;
     const std::vector<double> &XStar = R.Found ? R.Witness : R.WStarAt;
 

@@ -75,6 +75,16 @@ public:
     /// core::SearchOptions::Threads; only effective with
     /// StartsPerRound > 1).
     unsigned Threads = 1;
+    /// Algorithm 3's nFP: maximum rounds before returning. 0 (the
+    /// default) runs one round per site — the run-to-completion mode the
+    /// paper's termination argument describes.
+    unsigned MaxRounds = 0;
+    /// MO backend for each round's search; null = the paper's
+    /// Basinhopping (step 5), owned internally. Not owned.
+    opt::Optimizer *Backend = nullptr;
+    /// Optional backend portfolio across each round's starts; takes
+    /// precedence over Backend (core::SearchOptions semantics).
+    std::vector<core::PortfolioEntry> Portfolio;
     opt::MinimizeOptions MinOpts;
   };
 

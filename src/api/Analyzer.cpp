@@ -1,0 +1,122 @@
+//===--- Analyzer.cpp - Spec in, report out ----------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+
+#include "api/Backends.h"
+#include "api/Subjects.h"
+#include "api/TaskRegistry.h"
+#include "ir/Parser.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+using namespace wdm;
+using namespace wdm::api;
+
+namespace {
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<std::string>::error("cannot open module file '" + Path +
+                                        "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+Expected<Report> Analyzer::run() {
+  using E = Expected<Report>;
+  registerBuiltinTasks();
+  auto Clock0 = std::chrono::steady_clock::now();
+
+  TaskContext Ctx(Spec);
+
+  // Resolve the module and subject function.
+  if (Spec.Module.K != ModuleSource::Kind::None) {
+    OwnedModule = std::make_unique<ir::Module>("spec");
+    if (Spec.Module.K == ModuleSource::Kind::Builtin) {
+      Expected<BuiltinSubject> Sub =
+          buildBuiltinSubject(*OwnedModule, Spec.Module.Text);
+      if (!Sub)
+        return E::error(Sub.error());
+      Ctx.F = Sub->F;
+      Ctx.Slots = Sub->Result;
+    } else {
+      std::string Text = Spec.Module.Text;
+      if (Spec.Module.K == ModuleSource::Kind::File) {
+        Expected<std::string> Read = readFile(Text);
+        if (!Read)
+          return E::error(Read.error());
+        Text = Read.take();
+      }
+      Expected<std::unique_ptr<ir::Module>> Parsed = ir::parseModule(Text);
+      if (!Parsed)
+        return E::error("module parse error: " + Parsed.error());
+      OwnedModule = Parsed.take();
+    }
+    Ctx.M = OwnedModule.get();
+
+    if (!Spec.Function.empty()) {
+      Ctx.F = Ctx.M->functionByName(Spec.Function);
+      if (!Ctx.F)
+        return E::error("no function named '" + Spec.Function +
+                        "' in the module");
+    }
+    if (!Ctx.F && Spec.Task != TaskKind::FpSat) {
+      // No explicit name and no builtin default: a single-function
+      // module is unambiguous.
+      if (Ctx.M->numFunctions() == 1)
+        Ctx.F = Ctx.M->function(0);
+      else
+        return E::error("spec: 'function' is required for a module with " +
+                        std::to_string(Ctx.M->numFunctions()) +
+                        " functions");
+    }
+
+    // Explicit result-slot names override (and enable inconsistency
+    // checking on parsed modules).
+    if (!Spec.ValGlobal.empty() || !Spec.ErrGlobal.empty()) {
+      Ctx.Slots.Val = Ctx.M->globalByName(Spec.ValGlobal);
+      Ctx.Slots.Err = Ctx.M->globalByName(Spec.ErrGlobal);
+      if (!Ctx.Slots.Val || !Ctx.Slots.Err)
+        return E::error("spec: val_global/err_global do not name globals "
+                        "of the module");
+    }
+  }
+
+  // Construct the backend portfolio.
+  std::vector<std::string> Names = Spec.Search.Backends;
+  if (Names.empty())
+    Names.push_back("basinhopping");
+  for (const std::string &Name : Names) {
+    Expected<std::unique_ptr<opt::Optimizer>> B = makeBackend(Name);
+    if (!B)
+      return E::error(B.error());
+    Ctx.Backends.push_back(B.take());
+  }
+
+  TaskFn Fn = findTask(Spec.Task);
+  if (!Fn)
+    return E::error(std::string("no adapter registered for task '") +
+                    taskKindName(Spec.Task) + "'");
+
+  Expected<Report> Rep = Fn(Ctx);
+  if (!Rep)
+    return Rep;
+
+  Rep->Task = Spec.Task;
+  if (Rep->Function.empty())
+    Rep->Function = Ctx.F ? Ctx.F->name() : Spec.Constraint;
+  Rep->Seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Clock0)
+                     .count();
+  return Rep;
+}

@@ -1,0 +1,64 @@
+//===--- Analyzer.h - Spec in, report out ----------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one entry point of wdm::api: an Analyzer owns module parsing,
+/// builtin-subject construction, backend minting, and task dispatch, so
+/// running any of the six analyses is
+///
+/// \code
+///   api::AnalysisSpec Spec;
+///   Spec.Task = api::TaskKind::Boundary;
+///   Spec.Module = api::ModuleSource::builtin("sin");
+///   Spec.Search.Seed = 2019;
+///   Expected<api::Report> R = api::Analyzer::analyze(Spec);
+/// \endcode
+///
+/// The fine-grained classes (BoundaryAnalysis, OverflowDetector, ...)
+/// remain public for callers that need recorders or incremental control;
+/// the Analyzer is the uniform, serializable surface over them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_ANALYZER_H
+#define WDM_API_ANALYZER_H
+
+#include "api/AnalysisSpec.h"
+#include "api/Report.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace wdm::api {
+
+class Analyzer {
+public:
+  explicit Analyzer(AnalysisSpec Spec) : Spec(std::move(Spec)) {}
+
+  const AnalysisSpec &spec() const { return Spec; }
+
+  /// Resolves the module and function, constructs the backends, and
+  /// dispatches to the task adapter. Wall-clock Seconds covers the whole
+  /// run including parsing and instrumentation.
+  Expected<Report> run();
+
+  /// One-shot convenience.
+  static Expected<Report> analyze(const AnalysisSpec &Spec) {
+    return Analyzer(Spec).run();
+  }
+
+  /// The module the last run() resolved (parsed, read, or built);
+  /// null before run() and for module-free tasks. Owned by the Analyzer.
+  ir::Module *module() const { return OwnedModule.get(); }
+
+private:
+  AnalysisSpec Spec;
+  std::unique_ptr<ir::Module> OwnedModule;
+};
+
+} // namespace wdm::api
+
+#endif // WDM_API_ANALYZER_H

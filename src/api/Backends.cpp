@@ -1,0 +1,44 @@
+//===--- Backends.cpp - Optimizer backends by name ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Backends.h"
+
+#include "opt/BasinHopping.h"
+#include "opt/DifferentialEvolution.h"
+#include "opt/NelderMead.h"
+#include "opt/Powell.h"
+#include "opt/RandomSearch.h"
+#include "opt/UlpSearch.h"
+
+using namespace wdm;
+using namespace wdm::api;
+
+const std::vector<std::string> &wdm::api::backendNames() {
+  static const std::vector<std::string> Names = {
+      "basinhopping", "de", "neldermead", "powell", "random", "ulp"};
+  return Names;
+}
+
+Expected<std::unique_ptr<opt::Optimizer>>
+wdm::api::makeBackend(const std::string &Name) {
+  using E = Expected<std::unique_ptr<opt::Optimizer>>;
+  if (Name == "basinhopping")
+    return E(std::make_unique<opt::BasinHopping>());
+  if (Name == "de")
+    return E(std::make_unique<opt::DifferentialEvolution>());
+  if (Name == "neldermead")
+    return E(std::make_unique<opt::NelderMead>());
+  if (Name == "powell")
+    return E(std::make_unique<opt::Powell>());
+  if (Name == "random")
+    return E(std::make_unique<opt::RandomSearch>());
+  if (Name == "ulp")
+    return E(std::make_unique<opt::UlpPatternSearch>());
+  std::string Known;
+  for (const std::string &N : backendNames())
+    Known += (Known.empty() ? "" : ", ") + N;
+  return E::error("unknown backend '" + Name + "' (known: " + Known + ")");
+}

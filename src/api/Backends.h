@@ -1,0 +1,35 @@
+//===--- Backends.h - Optimizer backends by name ---------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-indexed construction of the MO backends, so specs (and the CLI)
+/// can describe a backend portfolio as plain strings: "basinhopping",
+/// "de", "neldermead", "powell", "random", "ulp".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_BACKENDS_H
+#define WDM_API_BACKENDS_H
+
+#include "opt/Optimizer.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wdm::api {
+
+/// The spec vocabulary, in canonical order.
+const std::vector<std::string> &backendNames();
+
+/// Constructs the backend named \p Name; error on unknown names.
+Expected<std::unique_ptr<opt::Optimizer>>
+makeBackend(const std::string &Name);
+
+} // namespace wdm::api
+
+#endif // WDM_API_BACKENDS_H

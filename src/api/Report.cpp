@@ -1,0 +1,65 @@
+//===--- Report.cpp - Uniform analysis result --------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Report.h"
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+unsigned Report::count(const std::string &K) const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Kind == K;
+  return N;
+}
+
+const Finding *Report::first(const std::string &K) const {
+  for (const Finding &F : Findings)
+    if (F.Kind == K)
+      return &F;
+  return nullptr;
+}
+
+json::Value Report::toJson() const {
+  Value Doc = Value::object();
+  Doc.set("task", Value::string(taskKindName(Task)));
+  if (!Function.empty())
+    Doc.set("function", Value::string(Function));
+  Doc.set("success", Value::boolean(Success));
+
+  Value Fs = Value::array();
+  for (const Finding &F : Findings) {
+    Value Item = Value::object();
+    Item.set("kind", Value::string(F.Kind));
+    if (!F.Input.empty()) {
+      Value In = Value::array();
+      for (double X : F.Input)
+        In.push(Value::number(X));
+      Item.set("input", In);
+    }
+    if (F.SiteId >= 0)
+      Item.set("site", Value::number(F.SiteId));
+    if (!F.Description.empty())
+      Item.set("description", Value::string(F.Description));
+    if (!F.Details.isNull())
+      Item.set("details", F.Details);
+    Fs.push(std::move(Item));
+  }
+  Doc.set("findings", Fs);
+
+  Doc.set("evals", Value::number(Evals));
+  Doc.set("seconds", Value::number(Seconds));
+  Doc.set("threads_used", Value::number(ThreadsUsed));
+  Doc.set("starts_used", Value::number(StartsUsed));
+  Doc.set("unsound_candidates", Value::number(UnsoundCandidates));
+  Doc.set("w_star", Value::number(WStar));
+  if (!Extra.isNull())
+    Doc.set("extra", Extra);
+  return Doc;
+}
+
+std::string Report::toJsonText() const { return toJson().dump() + "\n"; }

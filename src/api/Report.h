@@ -1,0 +1,73 @@
+//===--- Report.h - Uniform analysis result ---------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform result of one Analyzer run: a list of kind-tagged findings
+/// (witness inputs, site ids, root causes) plus the aggregate counters
+/// every task reports (Evals/Seconds/ThreadsUsed/UnsoundCandidates),
+/// serialized to JSON by the same writer the benches use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_REPORT_H
+#define WDM_API_REPORT_H
+
+#include "api/AnalysisSpec.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wdm::api {
+
+/// One result item. The Kind tag names what the payload means:
+///   "boundary"       witness input; Details.sites = boundary sites hit
+///   "path"           witness input following the required path
+///   "coverage-test"  one generated test input; Details.directions
+///   "overflow"       SiteId/Description = the overflowing operation
+///   "inconsistency"  Input replays to success-status + non-finite result;
+///                    Details = {status, val, err, root_cause, bug}
+///   "sat-model"      Input = verified model; Details.vars = names
+struct Finding {
+  std::string Kind;
+  std::vector<double> Input; ///< Witness input (may be empty).
+  int SiteId = -1;           ///< Site id when site-addressed, else -1.
+  std::string Description;   ///< Human-readable location/cause text.
+  json::Value Details;       ///< Kind-specific payload (object or null).
+};
+
+struct Report {
+  TaskKind Task = TaskKind::Boundary;
+  std::string Function; ///< Subject name (constraint text for fpsat).
+  /// Task-level success: witness found / all covered / any overflow /
+  /// any inconsistency / sat.
+  bool Success = false;
+  std::vector<Finding> Findings;
+
+  // Aggregates (uniform across tasks).
+  uint64_t Evals = 0;
+  double Seconds = 0;
+  unsigned ThreadsUsed = 1;
+  unsigned StartsUsed = 0;
+  unsigned UnsoundCandidates = 0;
+  double WStar = 0; ///< Smallest weak distance seen (0 when found).
+
+  /// Task-specific aggregate payload, e.g. {"num_ops": 23} for overflow
+  /// or {"covered": 5, "total": 6} for coverage.
+  json::Value Extra;
+
+  /// Findings whose Kind == \p K.
+  unsigned count(const std::string &K) const;
+  const Finding *first(const std::string &K) const;
+
+  json::Value toJson() const;
+  std::string toJsonText() const;
+};
+
+} // namespace wdm::api
+
+#endif // WDM_API_REPORT_H

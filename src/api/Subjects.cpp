@@ -1,0 +1,104 @@
+//===--- Subjects.cpp - Builtin subject registry -----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Subjects.h"
+
+#include "gsl/Airy.h"
+#include "gsl/Bessel.h"
+#include "gsl/Hyperg.h"
+#include "subjects/Fig1.h"
+#include "subjects/Fig2.h"
+#include "subjects/NumericKernels.h"
+#include "subjects/SinModel.h"
+#include "subjects/TestPrograms.h"
+
+using namespace wdm;
+using namespace wdm::api;
+
+const std::vector<BuiltinInfo> &wdm::api::builtinSubjects() {
+  static const std::vector<BuiltinInfo> Infos = {
+      {"bessel", "gsl_sf_bessel_Knu_scaled_asympx_e",
+       "GSL Bessel Knu_scaled_asympx model (paper Fig. 5; Table 4)"},
+      {"hyperg", "gsl_sf_hyperg_2F0_e",
+       "GSL hypergeometric 2F0 model (Table 3/5)"},
+      {"airy", "gsl_sf_airy_Ai_e",
+       "GSL Airy Ai model carrying the two confirmed bugs (Table 5)"},
+      {"sin", "glibc_sin",
+       "Glibc 2.19 sin dispatch model (Section 6.2 boundary study)"},
+      {"fig1a", "fig1a", "Fig. 1(a): if (x < 1) assert(x + 1 < 2)"},
+      {"fig1b", "fig1b", "Fig. 1(b): the x + tan(x) assertion variant"},
+      {"fig2", "fig2", "Fig. 2: the running boundary-analysis example"},
+      {"classifier", "classifier",
+       "Nested classifier with an x == 42 equality branch (Instance 4)"},
+      {"quadratic", "quadratic_roots",
+       "Quadratic-root solver; disc == 0 boundary surface"},
+      {"ray_sphere", "ray_sphere", "1-D ray/circle hit test; tangency"},
+      {"hermite", "hermite",
+       "Cubic Hermite interpolation; clamps + overflow-prone slopes"},
+  };
+  return Infos;
+}
+
+Expected<BuiltinSubject> wdm::api::buildBuiltinSubject(
+    ir::Module &M, const std::string &Name) {
+  using E = Expected<BuiltinSubject>;
+  BuiltinSubject Out;
+  if (Name == "bessel") {
+    gsl::SfFunction Fn = gsl::buildBesselKnuScaledAsympx(M);
+    Out.F = Fn.F;
+    Out.Result = Fn.Result;
+    return Out;
+  }
+  if (Name == "hyperg") {
+    gsl::SfFunction Fn = gsl::buildHyperg2F0(M);
+    Out.F = Fn.F;
+    Out.Result = Fn.Result;
+    return Out;
+  }
+  if (Name == "airy") {
+    gsl::AiryModel Airy = gsl::buildAiryAi(M);
+    Out.F = Airy.Airy.F;
+    Out.Result = Airy.Airy.Result;
+    return Out;
+  }
+  if (Name == "sin") {
+    Out.F = subjects::buildSinModel(M).F;
+    return Out;
+  }
+  if (Name == "fig1a") {
+    Out.F = subjects::buildFig1a(M).F;
+    return Out;
+  }
+  if (Name == "fig1b") {
+    Out.F = subjects::buildFig1b(M).F;
+    return Out;
+  }
+  if (Name == "fig2") {
+    Out.F = subjects::buildFig2(M).F;
+    return Out;
+  }
+  if (Name == "classifier") {
+    Out.F = subjects::buildClassifier(M);
+    return Out;
+  }
+  if (Name == "quadratic") {
+    Out.F = subjects::buildQuadraticSolver(M).F;
+    return Out;
+  }
+  if (Name == "ray_sphere") {
+    Out.F = subjects::buildRaySphere(M).F;
+    return Out;
+  }
+  if (Name == "hermite") {
+    Out.F = subjects::buildHermite(M);
+    return Out;
+  }
+  std::string Known;
+  for (const BuiltinInfo &I : builtinSubjects())
+    Known += (Known.empty() ? "" : ", ") + std::string(I.Name);
+  return E::error("unknown builtin subject '" + Name +
+                  "' (known: " + Known + ")");
+}

@@ -1,0 +1,49 @@
+//===--- Subjects.h - Builtin subject registry -----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-indexed access to the subjects that exist only as builder code:
+/// the GSL special-function models of Section 6.3, the paper's Fig. 1/2
+/// programs, the Glibc sin model, and the numeric-kernel corpus. A spec's
+/// {"module": {"builtin": "bessel"}} resolves through this registry, so
+/// the same declarative surface drives textual IR files and the built-in
+/// experiment subjects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_SUBJECTS_H
+#define WDM_API_SUBJECTS_H
+
+#include "gsl/GslCommon.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace wdm::api {
+
+/// A builtin subject materialized into a module.
+struct BuiltinSubject {
+  ir::Function *F = nullptr;    ///< The primary analyzed function.
+  gsl::SfResultSlots Result;    ///< val/err globals; null for non-GSL.
+};
+
+struct BuiltinInfo {
+  const char *Name;     ///< Registry key ("bessel", "sin", ...).
+  const char *Function; ///< Primary function name it materializes.
+  const char *Summary;  ///< One line for `wdm tasks`.
+};
+
+/// The registry contents, in stable listing order.
+const std::vector<BuiltinInfo> &builtinSubjects();
+
+/// Builds the builtin named \p Name into \p M; error on unknown names.
+Expected<BuiltinSubject> buildBuiltinSubject(ir::Module &M,
+                                             const std::string &Name);
+
+} // namespace wdm::api
+
+#endif // WDM_API_SUBJECTS_H

@@ -1,0 +1,60 @@
+//===--- TaskRegistry.cpp - Task-kind dispatch -------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/TaskRegistry.h"
+
+#include <map>
+#include <mutex>
+
+using namespace wdm;
+using namespace wdm::api;
+
+namespace {
+
+std::map<TaskKind, TaskFn> &registry() {
+  static std::map<TaskKind, TaskFn> R;
+  return R;
+}
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
+core::SearchOptions
+TaskContext::searchOptions(core::SearchOptions Defaults) const {
+  Spec.Search.applyTo(Defaults);
+  if (Backends.size() > 1) {
+    for (const auto &B : Backends)
+      Defaults.Portfolio.push_back({B.get(), 1.0});
+  }
+  return Defaults;
+}
+
+void wdm::api::registerTask(TaskKind K, TaskFn Fn) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry()[K] = std::move(Fn);
+}
+
+TaskFn wdm::api::findTask(TaskKind K) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  auto It = registry().find(K);
+  return It == registry().end() ? TaskFn() : It->second;
+}
+
+void wdm::api::registerBuiltinTasks() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    registerBoundaryTask();
+    registerPathTask();
+    registerCoverageTask();
+    registerOverflowTask();
+    registerInconsistencyTask();
+    registerFpSatTask();
+  });
+}

@@ -1,0 +1,74 @@
+//===--- TaskRegistry.h - Task-kind dispatch -------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small registry the Analyzer dispatches through: each analysis
+/// registers an adapter that turns a resolved TaskContext (module,
+/// function, backends, spec) into a uniform Report. The six built-in
+/// adapters live under src/api/tasks/; registerBuiltinTasks() wires them
+/// up once, and registerTask() stays open for future task kinds or
+/// overrides (e.g. a sharding driver substituting a remote adapter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_TASKREGISTRY_H
+#define WDM_API_TASKREGISTRY_H
+
+#include "api/AnalysisSpec.h"
+#include "api/Report.h"
+#include "core/SearchEngine.h"
+#include "gsl/GslCommon.h"
+
+#include <functional>
+#include <memory>
+
+namespace wdm::api {
+
+/// Everything an adapter needs, resolved by the Analyzer: the parsed or
+/// built module, the subject function, any GSL result slots, and the
+/// constructed backend portfolio.
+struct TaskContext {
+  const AnalysisSpec &Spec;
+  ir::Module *M = nullptr;       ///< Null for module-free tasks (fpsat).
+  ir::Function *F = nullptr;     ///< Resolved subject; null for fpsat.
+  gsl::SfResultSlots Slots;      ///< val/err globals when resolvable.
+  std::vector<std::unique_ptr<opt::Optimizer>> Backends; ///< >= 1 entry.
+
+  explicit TaskContext(const AnalysisSpec &Spec) : Spec(Spec) {}
+
+  /// The spec's SearchConfig applied over \p Defaults, with the backend
+  /// portfolio wired in when more than one backend was requested (a
+  /// single backend goes through the solve(Backend, ...) path, matching
+  /// the direct-class calls bit-for-bit).
+  core::SearchOptions searchOptions(core::SearchOptions Defaults) const;
+
+  opt::Optimizer &primaryBackend() const { return *Backends.front(); }
+};
+
+using TaskFn = std::function<Expected<Report>(TaskContext &)>;
+
+/// Registers (or replaces) the adapter for \p K.
+void registerTask(TaskKind K, TaskFn Fn);
+
+/// The adapter for \p K (a copy, so a concurrent registerTask override
+/// cannot mutate a function mid-call), or an empty TaskFn when none is
+/// registered.
+TaskFn findTask(TaskKind K);
+
+/// Idempotently registers the six built-in adapters.
+void registerBuiltinTasks();
+
+// Registration hooks of the built-in adapters (src/api/tasks/*.cpp).
+void registerBoundaryTask();
+void registerPathTask();
+void registerCoverageTask();
+void registerOverflowTask();
+void registerInconsistencyTask();
+void registerFpSatTask();
+
+} // namespace wdm::api
+
+#endif // WDM_API_TASKREGISTRY_H

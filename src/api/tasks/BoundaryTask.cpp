@@ -1,0 +1,55 @@
+//===--- BoundaryTask.cpp - Instance 1 adapter -------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "api/TaskRegistry.h"
+#include "api/tasks/Common.h"
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+namespace {
+
+Expected<Report> runBoundary(TaskContext &Ctx) {
+  instr::BoundaryForm Form = instr::BoundaryForm::Product;
+  if (Ctx.Spec.BoundaryForm == "min")
+    Form = instr::BoundaryForm::Min;
+  else if (Ctx.Spec.BoundaryForm == "minulp")
+    Form = instr::BoundaryForm::MinUlp;
+
+  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form);
+  core::SearchOptions Opts = Ctx.searchOptions({});
+  core::SearchResult R = BVA.findOne(Ctx.primaryBackend(), Opts);
+
+  Report Rep;
+  Rep.Success = R.Found;
+  tasks::fillAggregates(Rep, R);
+  if (R.Found) {
+    Finding F;
+    F.Kind = "boundary";
+    F.Input = R.Witness;
+    Value Sites = Value::array();
+    for (int Id : BVA.hitsFor(R.Witness)) {
+      Sites.push(Value::number(static_cast<int64_t>(Id)));
+      if (const instr::Site *S = BVA.sites().byId(Id)) {
+        if (F.SiteId < 0) {
+          F.SiteId = Id;
+          F.Description = S->Description;
+        }
+      }
+    }
+    F.Details = Value::object().set("sites", Sites);
+    Rep.Findings.push_back(std::move(F));
+  }
+  return Rep;
+}
+
+} // namespace
+
+void wdm::api::registerBoundaryTask() {
+  registerTask(TaskKind::Boundary, runBoundary);
+}

@@ -1,0 +1,44 @@
+//===--- OverflowTask.cpp - Instance 3 (fpod) adapter ------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/TaskRegistry.h"
+#include "api/tasks/Common.h"
+
+#include <thread>
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+namespace {
+
+Expected<Report> runOverflow(TaskContext &Ctx) {
+  instr::OverflowMetric Metric = instr::OverflowMetric::UlpGap;
+  if (Ctx.Spec.OverflowMetric == "absgap")
+    Metric = instr::OverflowMetric::AbsGap;
+
+  analyses::OverflowDetector Detector(*Ctx.M, *Ctx.F, Metric);
+  analyses::OverflowDetector::Options Opts = tasks::overflowOptions(Ctx);
+  analyses::OverflowReport R = Detector.run(Opts);
+
+  Report Rep;
+  Rep.Success = R.numOverflows() > 0;
+  Rep.Evals = R.Evals;
+  Rep.ThreadsUsed = Opts.Threads
+                        ? Opts.Threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  tasks::appendOverflowFindings(Rep, R);
+  Rep.Extra = Value::object()
+                  .set("num_ops", Value::number(R.NumOps))
+                  .set("num_overflows", Value::number(R.numOverflows()));
+  return Rep;
+}
+
+} // namespace
+
+void wdm::api::registerOverflowTask() {
+  registerTask(TaskKind::Overflow, runOverflow);
+}

@@ -1,0 +1,63 @@
+//===--- PathTask.cpp - Instance 2 adapter -----------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/PathReachability.h"
+#include "api/TaskRegistry.h"
+#include "api/tasks/Common.h"
+#include "ir/Instruction.h"
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+namespace {
+
+Expected<Report> runPath(TaskContext &Ctx) {
+  using E = Expected<Report>;
+
+  // Spec legs name branches by condbr index in layout order.
+  std::vector<const ir::Instruction *> Branches;
+  Ctx.F->forEachInst([&](const ir::Instruction *I) {
+    if (I->opcode() == ir::Opcode::CondBr)
+      Branches.push_back(I);
+  });
+
+  instr::PathSpec PS;
+  for (const PathLegSpec &Leg : Ctx.Spec.Path) {
+    if (Leg.Branch >= Branches.size())
+      return E::error("spec: path leg names branch #" +
+                      std::to_string(Leg.Branch) + " but '" +
+                      Ctx.F->name() + "' has " +
+                      std::to_string(Branches.size()) +
+                      " conditional branches");
+    PS.Legs.push_back({Branches[Leg.Branch], Leg.Taken});
+  }
+
+  analyses::PathReachability PR(*Ctx.M, *Ctx.F, PS);
+  core::SearchOptions Opts = Ctx.searchOptions({});
+  core::SearchResult R = PR.findOne(Ctx.primaryBackend(), Opts);
+
+  Report Rep;
+  Rep.Success = R.Found;
+  tasks::fillAggregates(Rep, R);
+  if (R.Found) {
+    Finding F;
+    F.Kind = "path";
+    F.Input = R.Witness;
+    Value Legs = Value::array();
+    for (const PathLegSpec &Leg : Ctx.Spec.Path)
+      Legs.push(Value::object()
+                    .set("branch", Value::number(Leg.Branch))
+                    .set("taken", Value::boolean(Leg.Taken)));
+    F.Details = Value::object().set("legs", Legs);
+    Rep.Findings.push_back(std::move(F));
+  }
+  return Rep;
+}
+
+} // namespace
+
+void wdm::api::registerPathTask() { registerTask(TaskKind::Path, runPath); }

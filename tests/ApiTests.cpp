@@ -1,0 +1,391 @@
+//===--- ApiTests.cpp - wdm::api spec/analyzer/report tests ---------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "analyses/OverflowDetector.h"
+#include "api/Analyzer.h"
+#include "api/Backends.h"
+#include "api/Subjects.h"
+#include "api/TaskRegistry.h"
+#include "gsl/Bessel.h"
+#include "ir/Parser.h"
+#include "opt/BasinHopping.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wdm;
+using namespace wdm::api;
+
+namespace {
+
+const char *QuickstartIr = R"(
+module "quickstart"
+func @prog(%x: double) -> double {
+entry:
+  %xs = alloca double
+  store %xs, %x
+  %c1 = fcmp.le %x, 1.0
+  condbr %c1, inc, mid
+inc:
+  %x1 = fadd %x, 1.0
+  store %xs, %x1
+  br mid
+mid:
+  %xv = load %xs
+  %y = fmul %xv, %xv
+  %c2 = fcmp.le %y, 4.0
+  condbr %c2, dec, done
+dec:
+  %x2 = fsub %xv, 1.0
+  store %xs, %x2
+  br done
+done:
+  %r = load %xs
+  ret %r
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, EscapingRoundTrip) {
+  // Control chars, quotes, backslashes — the bytes instruction source
+  // annotations can contain.
+  std::string Nasty = "a\"b\\c\nd\te\x01f/g";
+  json::Value Doc = json::Value::object().set(
+      "s", json::Value::string(Nasty));
+  std::string Text = Doc.dump();
+  // The serialized form must not contain raw control characters.
+  for (char C : Text)
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u) << Text;
+
+  auto Back = json::Value::parse(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_EQ(Back->find("s")->asString(), Nasty);
+}
+
+TEST(JsonTest, NonFiniteDoublesAsStrings) {
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(json::numberToJson(Inf), "\"inf\"");
+  EXPECT_EQ(json::numberToJson(-Inf), "\"-inf\"");
+  EXPECT_EQ(json::numberToJson(std::nan("")), "\"nan\"");
+
+  json::Value Doc = json::Value::object().set(
+      "v", json::Value::number(Inf));
+  auto Back = json::Value::parse(Doc.dump());
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_EQ(Back->find("v")->asDouble(), Inf);
+}
+
+TEST(JsonTest, Uint64RoundTrip) {
+  uint64_t Seed = 0xdeadbeefcafef00dULL; // Not representable as double.
+  json::Value Doc =
+      json::Value::object().set("seed", json::Value::number(Seed));
+  auto Back = json::Value::parse(Doc.dump());
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_EQ(Back->find("seed")->asUint(), Seed);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(json::Value::parse("{").hasValue());
+  EXPECT_FALSE(json::Value::parse("{\"a\": }").hasValue());
+  EXPECT_FALSE(json::Value::parse("[1, 2,]").hasValue());
+  EXPECT_FALSE(json::Value::parse("{} trailing").hasValue());
+  EXPECT_TRUE(json::Value::parse(" {\"a\": [1, -2.5e3, true, null]} ")
+                  .hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Spec round trip
+//===----------------------------------------------------------------------===//
+
+TEST(SpecTest, JsonRoundTripAllFields) {
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Path;
+  Spec.Module = ModuleSource::builtin("fig1a");
+  Spec.Function = "fig1a";
+  Spec.Path = {{0, true}, {1, false}};
+  Spec.BoundaryForm = "minulp";
+  Spec.OverflowMetric = "absgap";
+  Spec.NFP = 7;
+  Spec.MaxStall = 5;
+  Spec.Probes = {{1.5, -2.25}, {3.0}};
+  Spec.ValGlobal = "v";
+  Spec.ErrGlobal = "e";
+  Spec.Search.MaxEvals = 12345;
+  Spec.Search.Starts = 9;
+  Spec.Search.Seed = 0xdeadbeefcafef00dULL;
+  Spec.Search.StartLo = -42.5;
+  Spec.Search.StartHi = 17.25;
+  Spec.Search.WildStartProb = 0.375;
+  Spec.Search.Threads = 3;
+  Spec.Search.Backends = {"basinhopping", "de"};
+
+  std::string Text = Spec.toJsonText();
+  Expected<AnalysisSpec> Back = AnalysisSpec::parse(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+
+  EXPECT_EQ(Back->Task, Spec.Task);
+  EXPECT_EQ(static_cast<int>(Back->Module.K),
+            static_cast<int>(Spec.Module.K));
+  EXPECT_EQ(Back->Module.Text, Spec.Module.Text);
+  EXPECT_EQ(Back->Function, Spec.Function);
+  ASSERT_EQ(Back->Path.size(), 2u);
+  EXPECT_EQ(Back->Path[0].Branch, 0u);
+  EXPECT_TRUE(Back->Path[0].Taken);
+  EXPECT_EQ(Back->Path[1].Branch, 1u);
+  EXPECT_FALSE(Back->Path[1].Taken);
+  EXPECT_EQ(Back->BoundaryForm, Spec.BoundaryForm);
+  EXPECT_EQ(Back->OverflowMetric, Spec.OverflowMetric);
+  EXPECT_EQ(Back->NFP, Spec.NFP);
+  EXPECT_EQ(Back->MaxStall, Spec.MaxStall);
+  EXPECT_EQ(Back->Probes, Spec.Probes);
+  EXPECT_EQ(Back->ValGlobal, Spec.ValGlobal);
+  EXPECT_EQ(Back->ErrGlobal, Spec.ErrGlobal);
+  EXPECT_EQ(Back->Search.MaxEvals, Spec.Search.MaxEvals);
+  EXPECT_EQ(Back->Search.Starts, Spec.Search.Starts);
+  EXPECT_EQ(Back->Search.Seed, Spec.Search.Seed);
+  EXPECT_EQ(Back->Search.StartLo, Spec.Search.StartLo);
+  EXPECT_EQ(Back->Search.StartHi, Spec.Search.StartHi);
+  EXPECT_EQ(Back->Search.WildStartProb, Spec.Search.WildStartProb);
+  EXPECT_EQ(Back->Search.Threads, Spec.Search.Threads);
+  EXPECT_EQ(Back->Search.Backends, Spec.Search.Backends);
+
+  // Serialize -> parse -> serialize is a fixed point.
+  EXPECT_EQ(Back->toJsonText(), Text);
+}
+
+TEST(SpecTest, UnsetSearchFieldsStayUnset) {
+  Expected<AnalysisSpec> Spec = AnalysisSpec::parse(
+      R"({"task": "boundary", "module": {"builtin": "fig2"},
+          "search": {"seed": 7}})");
+  ASSERT_TRUE(Spec.hasValue()) << Spec.error();
+  EXPECT_TRUE(Spec->Search.Seed.has_value());
+  EXPECT_FALSE(Spec->Search.MaxEvals.has_value());
+  EXPECT_FALSE(Spec->Search.Starts.has_value());
+  EXPECT_FALSE(Spec->Search.Threads.has_value());
+}
+
+TEST(SpecTest, ErrorPaths) {
+  // Unknown task.
+  auto R1 = AnalysisSpec::parse(
+      R"({"task": "frobnicate", "module": {"builtin": "fig2"}})");
+  ASSERT_FALSE(R1.hasValue());
+  EXPECT_NE(R1.error().find("unknown task"), std::string::npos);
+
+  // Malformed JSON.
+  EXPECT_FALSE(AnalysisSpec::parse("{\"task\": ").hasValue());
+
+  // Missing module for a module-needing task.
+  EXPECT_FALSE(AnalysisSpec::parse(R"({"task": "boundary"})").hasValue());
+
+  // fpsat requires a constraint.
+  EXPECT_FALSE(AnalysisSpec::parse(R"({"task": "fpsat"})").hasValue());
+
+  // path requires legs.
+  EXPECT_FALSE(AnalysisSpec::parse(
+                   R"({"task": "path", "module": {"builtin": "fig1a"}})")
+                   .hasValue());
+
+  // Bad enum vocabulary.
+  EXPECT_FALSE(
+      AnalysisSpec::parse(
+          R"({"task": "boundary", "module": {"builtin": "fig2"},
+              "boundary_form": "quadratic"})")
+          .hasValue());
+}
+
+TEST(SpecTest, AnalyzerRejectsBadSpecs) {
+  // Unknown builtin.
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Boundary;
+  Spec.Module = ModuleSource::builtin("no_such_subject");
+  EXPECT_FALSE(Analyzer::analyze(Spec).hasValue());
+
+  // Unknown function in a parsed module.
+  Spec.Module = ModuleSource::inlineText(QuickstartIr);
+  Spec.Function = "missing";
+  EXPECT_FALSE(Analyzer::analyze(Spec).hasValue());
+
+  // Unknown backend name.
+  Spec.Function.clear();
+  Spec.Search.Backends = {"gradient_descent"};
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().find("unknown backend"), std::string::npos);
+
+  // Unreadable module file.
+  AnalysisSpec FileSpec;
+  FileSpec.Task = TaskKind::Boundary;
+  FileSpec.Module = ModuleSource::file("/nonexistent/path.wir");
+  EXPECT_FALSE(Analyzer::analyze(FileSpec).hasValue());
+
+  // Module parse error.
+  AnalysisSpec BadIr;
+  BadIr.Task = TaskKind::Boundary;
+  BadIr.Module = ModuleSource::inlineText("not ir at all");
+  EXPECT_FALSE(Analyzer::analyze(BadIr).hasValue());
+
+  // Path leg out of range.
+  AnalysisSpec PathSpec;
+  PathSpec.Task = TaskKind::Path;
+  PathSpec.Module = ModuleSource::inlineText(QuickstartIr);
+  PathSpec.Path = {{99, true}};
+  EXPECT_FALSE(Analyzer::analyze(PathSpec).hasValue());
+
+  // Inconsistency needs result slots.
+  AnalysisSpec Inc;
+  Inc.Task = TaskKind::Inconsistency;
+  Inc.Module = ModuleSource::inlineText(QuickstartIr);
+  EXPECT_FALSE(Analyzer::analyze(Inc).hasValue());
+}
+
+TEST(RegistryTest, AllSixTasksRegistered) {
+  registerBuiltinTasks();
+  for (TaskKind K :
+       {TaskKind::Boundary, TaskKind::Path, TaskKind::Coverage,
+        TaskKind::Overflow, TaskKind::Inconsistency, TaskKind::FpSat})
+    EXPECT_TRUE(static_cast<bool>(findTask(K))) << taskKindName(K);
+}
+
+TEST(BackendsTest, EveryNameConstructs) {
+  for (const std::string &Name : backendNames()) {
+    auto B = makeBackend(Name);
+    ASSERT_TRUE(B.hasValue()) << Name;
+    EXPECT_NE(*B, nullptr);
+  }
+  EXPECT_FALSE(makeBackend("simulated_annealing").hasValue());
+}
+
+TEST(SubjectsTest, EveryBuiltinBuilds) {
+  for (const BuiltinInfo &Info : builtinSubjects()) {
+    ir::Module M;
+    auto Sub = buildBuiltinSubject(M, Info.Name);
+    ASSERT_TRUE(Sub.hasValue()) << Info.Name;
+    ASSERT_NE(Sub->F, nullptr) << Info.Name;
+    EXPECT_EQ(Sub->F->name(), Info.Function) << Info.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer-vs-direct-class equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(EquivalenceTest, BoundaryMatchesDirectOnQuickstart) {
+  // Direct fine-grained path.
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  analyses::BoundaryAnalysis BVA(M, *M.functionByName("prog"));
+  opt::BasinHopping Backend;
+  core::ReductionOptions Opts;
+  Opts.Seed = 2019;
+  Opts.MaxEvals = 40'000;
+  core::ReductionResult Direct = BVA.findOne(Backend, Opts);
+  ASSERT_TRUE(Direct.Found);
+
+  // Declarative path with the same knobs.
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Boundary;
+  Spec.Module = ModuleSource::inlineText(QuickstartIr);
+  Spec.Search.Seed = 2019;
+  Spec.Search.MaxEvals = 40'000;
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+
+  ASSERT_TRUE(R->Success);
+  const Finding *F = R->first("boundary");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Input, Direct.Witness);
+  EXPECT_EQ(R->Evals, Direct.Evals);
+  EXPECT_EQ(R->StartsUsed, Direct.StartsUsed);
+  EXPECT_EQ(R->UnsoundCandidates, Direct.UnsoundCandidates);
+}
+
+TEST(EquivalenceTest, OverflowMatchesDirectOnBessel) {
+  // Direct fine-grained path on the GSL Bessel model.
+  analyses::OverflowDetector::Options DirectOpts;
+  DirectOpts.Seed = 0xbe55;
+  DirectOpts.EvalsPerRound = 3'000;
+  DirectOpts.StartsPerRound = 2;
+  analyses::OverflowReport Direct = [&] {
+    ir::Module M;
+    gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
+    analyses::OverflowDetector Det(M, *Bessel.F);
+    return Det.run(DirectOpts);
+  }();
+
+  // Declarative path with the same knobs.
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Overflow;
+  Spec.Module = ModuleSource::builtin("bessel");
+  Spec.Search.Seed = 0xbe55;
+  Spec.Search.MaxEvals = 3'000; // per-round budget for Algorithm 3
+  Spec.Search.Starts = 2;
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+
+  // Same findings count, same per-site witnesses, same eval total.
+  EXPECT_EQ(R->Extra.find("num_ops")->asUint(), Direct.NumOps);
+  EXPECT_EQ(R->Extra.find("num_overflows")->asUint(),
+            Direct.numOverflows());
+  EXPECT_EQ(R->Evals, Direct.Evals);
+  std::vector<const analyses::OverflowFinding *> Found;
+  for (const analyses::OverflowFinding &F : Direct.Findings)
+    if (F.Found)
+      Found.push_back(&F);
+  ASSERT_EQ(R->count("overflow"), Found.size());
+  size_t I = 0;
+  for (const Finding &F : R->Findings) {
+    if (F.Kind != "overflow")
+      continue;
+    EXPECT_EQ(F.SiteId, Found[I]->SiteId);
+    EXPECT_EQ(F.Input, Found[I]->Input);
+    ++I;
+  }
+}
+
+TEST(EquivalenceTest, NfpLimitsRounds) {
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Overflow;
+  Spec.Module = ModuleSource::builtin("bessel");
+  Spec.Search.Seed = 0xbe55;
+  Spec.Search.MaxEvals = 2'000;
+  Spec.NFP = 3; // At most 3 Algorithm 3 rounds -> at most 3 findings.
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  EXPECT_LE(R->count("overflow"), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Report serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ReportTest, JsonSerializesAndParses) {
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Coverage;
+  Spec.Module = ModuleSource::builtin("classifier");
+  Spec.Search.Seed = 0xc0;
+  Spec.Search.MaxEvals = 30'000;
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+
+  auto Doc = json::Value::parse(R->toJsonText());
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error();
+  EXPECT_EQ(Doc->find("task")->asString(), "coverage");
+  EXPECT_EQ(Doc->find("function")->asString(), "classifier");
+  EXPECT_EQ(Doc->find("success")->asBool(), R->Success);
+  EXPECT_EQ(Doc->find("findings")->size(), R->Findings.size());
+  EXPECT_EQ(Doc->find("evals")->asUint(), R->Evals);
+  EXPECT_EQ(Doc->find("extra")->find("total")->asUint(),
+            R->Extra.find("total")->asUint());
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+//===--- wdm.cpp - The wdm command-line driver ----------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// One binary over the whole declarative surface:
+//
+//   wdm tasks                      list task kinds, backends, builtins
+//   wdm run spec.json [--json o]   run a JSON AnalysisSpec
+//   wdm analyze --task=overflow --builtin=bessel --threads=4 [--json o]
+//   wdm analyze --task=boundary --func=f file.wir
+//
+// $WDM_STARTS / $WDM_THREADS / $WDM_SEED override the spec's search
+// config (the shared SearchConfig::applyEnv policy), and explicit flags
+// override both. The exit code reflects the findings: 0 when the task
+// succeeded (witness found / all covered / overflows or inconsistencies
+// found / sat), 1 when the search came up empty, 2 on usage or spec
+// errors. This is the seam a sharding driver fans out over processes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+#include "api/Backends.h"
+#include "api/Subjects.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace wdm;
+using namespace wdm::api;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: wdm <command> [options]\n\n"
+         "commands:\n"
+         "  tasks                      list task kinds, backends, and "
+         "builtin subjects\n"
+         "  run <spec.json> [--json <out.json>]\n"
+         "                             run one JSON analysis spec\n"
+         "  analyze --task=<kind> [subject] [options] [file.wir]\n"
+         "                             build a spec from flags and run "
+         "it\n\n"
+         "analyze subject (one of):\n"
+         "  <file.wir>                 positional or --module=<file>: "
+         "textual IR file\n"
+         "  --builtin=<name>           builtin subject (see `wdm "
+         "tasks`)\n"
+         "  --constraint=<sexpr>       fpsat constraint text\n\n"
+         "analyze options:\n"
+         "  --func=<name>              subject function (default: the "
+         "module's only one)\n"
+         "  --evals=<n> --starts=<n> --seed=<n> --threads=<n>\n"
+         "  --backends=<a,b,...>       portfolio by name\n"
+         "  --path=<leg,leg,...>       path legs, e.g. 0:taken,1:not\n"
+         "  --boundary-form=<f>        product|min|minulp\n"
+         "  --overflow-metric=<m>      ulpgap|absgap\n"
+         "  --nfp=<n>                  overflow: max Algorithm 3 rounds\n"
+         "  --json <out.json>          also write the report as JSON\n";
+  return 2;
+}
+
+int fail(const std::string &Msg) {
+  std::cerr << "wdm: " << Msg << "\n";
+  return 2;
+}
+
+void printReport(const Report &R) {
+  std::cout << "task:      " << taskKindName(R.Task) << "\n"
+            << "subject:   " << R.Function << "\n"
+            << "result:    " << (R.Success ? "SUCCESS" : "not found")
+            << "\n";
+  if (!R.Success && R.WStar > 0)
+    std::cout << "w*:        " << formatDouble(R.WStar)
+              << " (smallest weak distance seen)\n";
+  for (const Finding &F : R.Findings) {
+    std::cout << "  [" << F.Kind << "]";
+    if (F.SiteId >= 0)
+      std::cout << " site #" << F.SiteId;
+    if (!F.Input.empty()) {
+      std::cout << " input = (";
+      for (size_t I = 0; I < F.Input.size(); ++I)
+        std::cout << (I ? ", " : "") << formatDouble(F.Input[I]);
+      std::cout << ")";
+    }
+    if (!F.Description.empty())
+      std::cout << "  " << F.Description;
+    if (const json::Value *RC =
+            F.Details.isObject() ? F.Details.find("root_cause") : nullptr)
+      std::cout << "  — " << RC->asString();
+    std::cout << "\n";
+  }
+  std::cout << "evals:     " << R.Evals << "\n"
+            << "seconds:   " << formatf("%.3f", R.Seconds) << "\n"
+            << "threads:   " << R.ThreadsUsed << "\n";
+  if (R.UnsoundCandidates)
+    std::cout << "unsound:   " << R.UnsoundCandidates
+              << " candidate zeros rejected by verification\n";
+}
+
+int finish(const AnalysisSpec &Spec, const std::string &JsonOut) {
+  Expected<Report> R = Analyzer::analyze(Spec);
+  if (!R)
+    return fail(R.error());
+  printReport(*R);
+  if (!JsonOut.empty()) {
+    std::ofstream Out(JsonOut);
+    if (!Out)
+      return fail("cannot write '" + JsonOut + "'");
+    Out << R->toJsonText();
+    std::cout << "report:    " << JsonOut << "\n";
+  }
+  return R->Success ? 0 : 1;
+}
+
+int cmdTasks() {
+  std::cout << "task kinds:\n";
+  for (TaskKind K :
+       {TaskKind::Boundary, TaskKind::Path, TaskKind::Coverage,
+        TaskKind::Overflow, TaskKind::Inconsistency, TaskKind::FpSat})
+    std::cout << "  " << taskKindName(K) << "\n";
+  std::cout << "\nbackends:\n ";
+  for (const std::string &B : backendNames())
+    std::cout << " " << B;
+  std::cout << "\n\nbuiltin subjects:\n";
+  for (const BuiltinInfo &I : builtinSubjects())
+    std::cout << "  " << formatf("%-12s", I.Name) << I.Summary << "\n";
+  return 0;
+}
+
+int cmdRun(int Argc, char **Argv) {
+  std::string SpecPath, JsonOut;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--json needs an output path");
+      JsonOut = Argv[++I];
+    } else if (startsWith(A, "--json=")) {
+      JsonOut = A.substr(7);
+    } else if (!startsWith(A, "--") && SpecPath.empty()) {
+      SpecPath = A;
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+  if (SpecPath.empty())
+    return usage();
+
+  std::ifstream In(SpecPath, std::ios::binary);
+  if (!In)
+    return fail("cannot open spec '" + SpecPath + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  Expected<AnalysisSpec> Spec = AnalysisSpec::parse(Buf.str());
+  if (!Spec)
+    return fail(SpecPath + ": " + Spec.error());
+  Spec->Search.applyEnv();
+  return finish(*Spec, JsonOut);
+}
+
+bool parsePathLegs(const std::string &Text,
+                   std::vector<PathLegSpec> &Out) {
+  for (const std::string &Leg : splitString(Text, ',')) {
+    std::vector<std::string> Parts = splitString(Leg, ':');
+    if (Parts.empty() || Parts.size() > 2 || Parts[0].empty())
+      return false;
+    char *End = nullptr;
+    unsigned long Branch = std::strtoul(Parts[0].c_str(), &End, 10);
+    if (!End || *End)
+      return false;
+    bool Taken = true;
+    if (Parts.size() == 2) {
+      if (Parts[1] == "taken")
+        Taken = true;
+      else if (Parts[1] == "not")
+        Taken = false;
+      else
+        return false;
+    }
+    Out.push_back({static_cast<unsigned>(Branch), Taken});
+  }
+  return !Out.empty();
+}
+
+int cmdAnalyze(int Argc, char **Argv) {
+  AnalysisSpec Spec;
+  Spec.Search.applyEnv(); // Flags below override the env knobs.
+  std::string JsonOut;
+  bool HaveTask = false;
+
+  auto Uint = [](const std::string &V, uint64_t &Out) {
+    char *End = nullptr;
+    Out = std::strtoull(V.c_str(), &End, 0);
+    return End && !*End && !V.empty();
+  };
+
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('='); startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
+    uint64_t N = 0;
+    if (Key == "--task") {
+      if (!taskKindByName(Val, Spec.Task))
+        return fail("unknown task '" + Val + "'");
+      HaveTask = true;
+    } else if (Key == "--module") {
+      Spec.Module = ModuleSource::file(Val);
+    } else if (Key == "--builtin") {
+      Spec.Module = ModuleSource::builtin(Val);
+    } else if (Key == "--constraint") {
+      Spec.Constraint = Val;
+    } else if (Key == "--func") {
+      Spec.Function = Val;
+    } else if (Key == "--evals") {
+      if (!Uint(Val, N))
+        return fail("bad --evals");
+      Spec.Search.MaxEvals = N;
+    } else if (Key == "--starts") {
+      if (!Uint(Val, N))
+        return fail("bad --starts");
+      Spec.Search.Starts = static_cast<unsigned>(N);
+    } else if (Key == "--seed") {
+      if (!Uint(Val, N))
+        return fail("bad --seed");
+      Spec.Search.Seed = N;
+    } else if (Key == "--threads") {
+      if (!Uint(Val, N))
+        return fail("bad --threads");
+      Spec.Search.Threads = static_cast<unsigned>(N);
+    } else if (Key == "--backends") {
+      for (const std::string &B : splitString(Val, ','))
+        Spec.Search.Backends.push_back(B);
+    } else if (Key == "--path") {
+      if (!parsePathLegs(Val, Spec.Path))
+        return fail("bad --path (expected e.g. 0:taken,1:not)");
+    } else if (Key == "--boundary-form") {
+      Spec.BoundaryForm = Val;
+    } else if (Key == "--overflow-metric") {
+      Spec.OverflowMetric = Val;
+    } else if (Key == "--nfp") {
+      if (!Uint(Val, N))
+        return fail("bad --nfp");
+      Spec.NFP = static_cast<unsigned>(N);
+    } else if (A == "--json") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--json needs an output path");
+      JsonOut = Argv[++I];
+    } else if (Key == "--json") {
+      JsonOut = Val;
+    } else if (!startsWith(A, "--") &&
+               Spec.Module.K == ModuleSource::Kind::None) {
+      Spec.Module = ModuleSource::file(A);
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+  if (!HaveTask)
+    return usage();
+
+  // Round-trip through JSON so `analyze` exercises exactly the same
+  // validation as `run`, and misconfigurations fail identically.
+  Expected<AnalysisSpec> Checked = AnalysisSpec::parse(Spec.toJsonText());
+  if (!Checked)
+    return fail(Checked.error());
+  return finish(*Checked, JsonOut);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "tasks")
+    return cmdTasks();
+  if (Cmd == "run")
+    return cmdRun(Argc - 2, Argv + 2);
+  if (Cmd == "analyze")
+    return cmdAnalyze(Argc - 2, Argv + 2);
+  if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
+    usage();
+    return 0;
+  }
+  return fail("unknown command '" + Cmd + "' (try: tasks, run, analyze)");
+}
