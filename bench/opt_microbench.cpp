@@ -8,6 +8,12 @@
 // IR printer/parser. These are the costs every experiment in Section 6
 // pays per sample.
 //
+//
+// The interpreter kernels each have a compiled-tier (src/vm/) twin; the
+// interp-vs-vm throughput ratios are mirrored into BENCH_exec_vm.json,
+// and --assert-vm-speedup turns "the VM beats the interpreter" into an
+// exit code for CI.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analyses/BoundaryAnalysis.h"
@@ -20,10 +26,15 @@
 #include "sat/Solver.h"
 #include "subjects/Fig2.h"
 #include "subjects/SinModel.h"
+#include "vm/Lowering.h"
+#include "vm/Machine.h"
+#include "vm/VMWeakDistance.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <iostream>
+#include <map>
 
 using namespace wdm;
 
@@ -82,6 +93,68 @@ void BM_BoundaryWeakDistanceEval(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_BoundaryWeakDistanceEval);
+
+// ---- Compiled-tier twins of the interpreter kernels ----------------------
+
+void BM_VMFig2(benchmark::State &State) {
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  vm::CompiledModule CM = vm::compile(M);
+  const vm::CompiledFunction *CF = CM.lookup(P.F);
+  vm::Machine Mach(CM);
+  exec::ExecContext Ctx(M);
+  double X = 0.25;
+  for (auto _ : State) {
+    exec::ExecResult R = Mach.run(*CF, &X, 1, Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_VMFig2);
+
+void BM_VMSinModel(benchmark::State &State) {
+  ir::Module M;
+  subjects::SinModel P = subjects::buildSinModel(M);
+  vm::CompiledModule CM = vm::compile(M);
+  const vm::CompiledFunction *CF = CM.lookup(P.F);
+  vm::Machine Mach(CM);
+  exec::ExecContext Ctx(M);
+  double X = 1.5;
+  for (auto _ : State) {
+    exec::ExecResult R = Mach.run(*CF, &X, 1, Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_VMSinModel);
+
+void BM_VMBessel(benchmark::State &State) {
+  ir::Module M;
+  gsl::SfFunction F = gsl::buildBesselKnuScaledAsympx(M);
+  vm::CompiledModule CM = vm::compile(M);
+  const vm::CompiledFunction *CF = CM.lookup(F.F);
+  vm::Machine Mach(CM);
+  exec::ExecContext Ctx(M);
+  const double Args[2] = {1.5, 2.0};
+  for (auto _ : State) {
+    exec::ExecResult R = Mach.run(*CF, Args, 2, Ctx);
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+}
+BENCHMARK(BM_VMBessel);
+
+void BM_VMBoundaryWeakDistanceEval(benchmark::State &State) {
+  ir::Module M;
+  subjects::Fig2 P = subjects::buildFig2(M);
+  analyses::BoundaryAnalysis BVA(M, *P.F); // VM is the default tier.
+  std::unique_ptr<core::WeakDistance> W = BVA.factory().make();
+  double X = 0.25;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize((*W)({X}));
+    X += 1e-9;
+  }
+}
+BENCHMARK(BM_VMBoundaryWeakDistanceEval);
 
 void BM_BasinHoppingPerEval(benchmark::State &State) {
   // Amortized optimizer overhead per objective evaluation on a trivial
@@ -148,22 +221,59 @@ public:
           R.iterations ? R.real_accumulated_time /
                              static_cast<double>(R.iterations)
                        : 0.0;
+      double ItersPerSec = SecondsPerIter > 0 ? 1.0 / SecondsPerIter : 0.0;
+      Rates[R.benchmark_name()] = ItersPerSec;
       Json.entry(R.benchmark_name())
           .field("iterations", static_cast<uint64_t>(R.iterations))
           .field("seconds_per_iter", SecondsPerIter)
-          .field("iters_per_sec",
-                 SecondsPerIter > 0 ? 1.0 / SecondsPerIter : 0.0);
+          .field("iters_per_sec", ItersPerSec);
     }
     benchmark::ConsoleReporter::ReportRuns(Runs);
   }
 
+  /// Measured throughput by benchmark name; 0 when it did not run.
+  double rate(const std::string &Name) const {
+    auto It = Rates.find(Name);
+    return It == Rates.end() ? 0.0 : It->second;
+  }
+
 private:
   wdm::bench::BenchJson &Json;
+  std::map<std::string, double> Rates;
+};
+
+/// The interp/vm kernel pairs tracked by BENCH_exec_vm.json.
+struct EnginePair {
+  const char *Kernel;
+  const char *Interp;
+  const char *VM;
+};
+
+constexpr EnginePair EnginePairs[] = {
+    {"fig2", "BM_InterpretFig2", "BM_VMFig2"},
+    {"sin_model", "BM_InterpretSinModel", "BM_VMSinModel"},
+    {"bessel", "BM_InterpretBessel", "BM_VMBessel"},
+    {"boundary_weak_distance", "BM_BoundaryWeakDistanceEval",
+     "BM_VMBoundaryWeakDistanceEval"},
 };
 
 } // namespace
 
 int main(int argc, char **argv) {
+  // Our flag, stripped before google-benchmark sees the command line:
+  // exit nonzero unless the VM beats the interpreter somewhere.
+  bool AssertVmSpeedup = false;
+  for (int I = 1; I < argc;) {
+    if (std::strcmp(argv[I], "--assert-vm-speedup") == 0) {
+      AssertVmSpeedup = true;
+      for (int J = I; J + 1 < argc; ++J)
+        argv[J] = argv[J + 1];
+      --argc;
+    } else {
+      ++I;
+    }
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
@@ -173,5 +283,45 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
   if (!Json.write())
     std::cerr << "warning: could not write BENCH_opt_microbench.json\n";
+
+  // The engine-vs-engine perf trajectory: evals/sec per kernel per tier.
+  wdm::bench::BenchJson VmJson("exec_vm");
+  unsigned PairsMeasured = 0, VmWins = 0;
+  double BestSpeedup = 0;
+  for (const EnginePair &P : EnginePairs) {
+    double Interp = Console.rate(P.Interp);
+    double VM = Console.rate(P.VM);
+    if (Interp <= 0 || VM <= 0)
+      continue; // Filtered out on this run.
+    double Speedup = VM / Interp;
+    ++PairsMeasured;
+    VmWins += Speedup > 1.0;
+    BestSpeedup = std::max(BestSpeedup, Speedup);
+    VmJson.entry(P.Kernel)
+        .field("interp_evals_per_sec", Interp)
+        .field("vm_evals_per_sec", VM)
+        .field("speedup", Speedup);
+    std::cout << "engine speedup [" << P.Kernel << "]: " << Speedup
+              << "x (interp " << Interp << " -> vm " << VM
+              << " evals/sec)\n";
+  }
+  if (PairsMeasured && !VmJson.write())
+    std::cerr << "warning: could not write BENCH_exec_vm.json\n";
+
+  if (AssertVmSpeedup) {
+    if (!PairsMeasured) {
+      std::cerr << "--assert-vm-speedup: no interp/vm kernel pair ran\n";
+      return 1;
+    }
+    if (!VmWins) {
+      std::cerr << "--assert-vm-speedup: VM beat the interpreter on 0/"
+                << PairsMeasured << " kernels (best " << BestSpeedup
+                << "x)\n";
+      return 1;
+    }
+    std::cout << "--assert-vm-speedup: VM beat the interpreter on "
+              << VmWins << "/" << PairsMeasured << " kernels (best "
+              << BestSpeedup << "x)\n";
+  }
   return 0;
 }

@@ -29,16 +29,17 @@ private:
 };
 
 BoundaryAnalysis::BoundaryAnalysis(ir::Module &M, ir::Function &F,
-                                   instr::BoundaryForm Form)
+                                   instr::BoundaryForm Form,
+                                   vm::EngineKind Engine)
     : M(M), Orig(F) {
   Instr = instr::instrumentBoundary(F, Form);
-  Eng = std::make_unique<Engine>(M);
+  Eng = std::make_unique<exec::Engine>(M);
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
-  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
-      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = vm::makeWeakDistanceFactory(Engine, *Eng, Instr.Wrapped,
+                                        Instr.W, Instr.WInit, *WeakCtx);
   Oracle = std::make_unique<MembershipOracle>(*this);
 }
 
@@ -62,6 +63,6 @@ core::ReductionResult
 BoundaryAnalysis::findOne(opt::Optimizer &Backend,
                           const core::ReductionOptions &Opts,
                           opt::SampleRecorder *Recorder) {
-  core::SearchEngine Engine(*Factory, Oracle.get());
+  core::SearchEngine Engine(*Factory.Factory, Oracle.get());
   return Engine.solve(Backend, Opts, Recorder);
 }

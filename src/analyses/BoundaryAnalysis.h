@@ -21,6 +21,7 @@
 #include "instrument/BoundaryPass.h"
 #include "instrument/IRWeakDistance.h"
 #include "instrument/Observers.h"
+#include "vm/VMWeakDistance.h"
 
 #include <memory>
 #include <set>
@@ -30,8 +31,11 @@ namespace wdm::analyses {
 class BoundaryAnalysis {
 public:
   /// Instruments \p F (which must live in \p M) and prepares execution.
+  /// \p Engine selects the weak-distance execution tier for search
+  /// workers (probe replay always interprets — it needs observers).
   BoundaryAnalysis(ir::Module &M, ir::Function &F,
-                   instr::BoundaryForm Form = instr::BoundaryForm::Product);
+                   instr::BoundaryForm Form = instr::BoundaryForm::Product,
+                   vm::EngineKind Engine = vm::EngineKind::VM);
   ~BoundaryAnalysis();
 
   /// The weak distance W (Fig. 3(a)'s driver program).
@@ -55,7 +59,11 @@ public:
                                 opt::SampleRecorder *Recorder = nullptr);
 
   /// The factory the engine mints thread-local evaluators from.
-  core::WeakDistanceFactory &factory() { return *Factory; }
+  core::WeakDistanceFactory &factory() { return *Factory.Factory; }
+
+  /// Which execution tier search workers actually run on (and why the
+  /// compiled tier fell back, when it did).
+  const vm::FactoryBundle &executionTier() const { return Factory; }
 
   const exec::Engine &engine() const { return *Eng; }
   const ir::Function &original() const { return Orig; }
@@ -70,7 +78,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
-  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
+  vm::FactoryBundle Factory;
   std::unique_ptr<MembershipOracle> Oracle;
 };
 

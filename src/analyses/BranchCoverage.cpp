@@ -31,16 +31,17 @@ private:
   BranchCoverage &Parent;
 };
 
-BranchCoverage::BranchCoverage(ir::Module &M, ir::Function &F)
+BranchCoverage::BranchCoverage(ir::Module &M, ir::Function &F,
+                               vm::EngineKind Engine)
     : M(M), Orig(F) {
   Instr = instr::instrumentCoverage(F);
-  Eng = std::make_unique<Engine>(M);
+  Eng = std::make_unique<exec::Engine>(M);
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
-  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
-      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = vm::makeWeakDistanceFactory(Engine, *Eng, Instr.Wrapped,
+                                        Instr.W, Instr.WInit, *WeakCtx);
   Oracle = std::make_unique<NewCoverageOracle>(*this);
   for (const instr::Site &S : Instr.Sites)
     CoveredDirs[S.Id] = false;
@@ -86,7 +87,7 @@ CoverageReport BranchCoverage::run(opt::Optimizer &Backend,
     // The factory snapshots the current covered set B, so worker
     // evaluators minted this round all chase the same uncovered
     // directions.
-    core::SearchEngine Engine(*Factory, Oracle.get());
+    core::SearchEngine Engine(*Factory.Factory, Oracle.get());
     core::ReductionResult R = Engine.solve(Backend, Reduce);
     Report.Evals += R.Evals;
     Reduce.Seed = Reduce.Seed * 6364136223846793005ull + 1ull;

@@ -20,6 +20,7 @@
 #include "instrument/CoveragePass.h"
 #include "instrument/IRWeakDistance.h"
 #include "instrument/Observers.h"
+#include "vm/VMWeakDistance.h"
 
 #include <map>
 #include <memory>
@@ -46,13 +47,17 @@ public:
     unsigned MaxStall = 3;
   };
 
-  BranchCoverage(ir::Module &M, ir::Function &F);
+  BranchCoverage(ir::Module &M, ir::Function &F,
+                 vm::EngineKind Engine = vm::EngineKind::VM);
   ~BranchCoverage();
 
   CoverageReport run(opt::Optimizer &Backend, const Options &Opts);
 
   const instr::SiteTable &sites() const { return Instr.Sites; }
   instr::IRWeakDistance &weak() { return *Weak; }
+
+  /// Which execution tier search workers actually run on.
+  const vm::FactoryBundle &executionTier() const { return Factory; }
 
   /// Directions (site ids) the original program takes on \p X.
   std::vector<int> directionsTaken(const std::vector<double> &X);
@@ -67,7 +72,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
-  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
+  vm::FactoryBundle Factory;
   std::unique_ptr<NewCoverageOracle> Oracle;
   std::map<int, bool> CoveredDirs;
 };

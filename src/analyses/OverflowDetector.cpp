@@ -17,16 +17,17 @@ using namespace wdm::analyses;
 using namespace wdm::exec;
 
 OverflowDetector::OverflowDetector(ir::Module &M, ir::Function &F,
-                                   instr::OverflowMetric Metric)
+                                   instr::OverflowMetric Metric,
+                                   vm::EngineKind Engine)
     : M(M), Orig(F) {
   Instr = instr::instrumentOverflow(F, Metric);
-  Eng = std::make_unique<Engine>(M);
+  Eng = std::make_unique<exec::Engine>(M);
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
-  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
-      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = vm::makeWeakDistanceFactory(Engine, *Eng, Instr.Wrapped,
+                                        Instr.W, Instr.WInit, *WeakCtx);
 }
 
 bool OverflowDetector::overflowsAt(int SiteId,
@@ -68,7 +69,7 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
 
   // One engine serves every round; its factory snapshots the current L
   // (the site-enabled table) each time a round's workers are minted.
-  core::SearchEngine Search(*Factory, nullptr);
+  core::SearchEngine Search(*Factory.Factory, nullptr);
   core::SearchOptions SOpts;
   SOpts.Starts = std::max(1u, Opts.StartsPerRound);
   SOpts.MaxEvals = Opts.EvalsPerRound * SOpts.Starts;

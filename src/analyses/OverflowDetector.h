@@ -29,6 +29,7 @@
 #include "instrument/Observers.h"
 #include "instrument/OverflowPass.h"
 #include "opt/Optimizer.h"
+#include "vm/VMWeakDistance.h"
 
 #include <memory>
 #include <vector>
@@ -90,7 +91,8 @@ public:
 
   OverflowDetector(ir::Module &M, ir::Function &F,
                    instr::OverflowMetric Metric =
-                       instr::OverflowMetric::UlpGap);
+                       instr::OverflowMetric::UlpGap,
+                   vm::EngineKind Engine = vm::EngineKind::VM);
 
   /// Runs Algorithm 3 to completion (one round per site, as the paper's
   /// termination argument requires).
@@ -98,6 +100,9 @@ public:
 
   const instr::SiteTable &sites() const { return Instr.Sites; }
   instr::IRWeakDistance &weak() { return *Weak; }
+
+  /// Which execution tier each round's search workers run on.
+  const vm::FactoryBundle &executionTier() const { return Factory; }
 
   /// Replays the original function and reports whether the operation at
   /// \p SiteId overflows on \p X.
@@ -111,7 +116,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
-  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
+  vm::FactoryBundle Factory;
 };
 
 } // namespace wdm::analyses

@@ -29,16 +29,17 @@ private:
 };
 
 PathReachability::PathReachability(ir::Module &M, ir::Function &F,
-                                   const instr::PathSpec &Spec)
+                                   const instr::PathSpec &Spec,
+                                   vm::EngineKind Engine)
     : M(M), Orig(F), Spec(Spec) {
   Instr = instr::instrumentPath(F, Spec);
-  Eng = std::make_unique<Engine>(M);
+  Eng = std::make_unique<exec::Engine>(M);
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);
   Weak = std::make_unique<instr::IRWeakDistance>(
       *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
-  Factory = std::make_unique<instr::IRWeakDistanceFactory>(
-      *Eng, Instr.Wrapped, Instr.W, Instr.WInit, *WeakCtx);
+  Factory = vm::makeWeakDistanceFactory(Engine, *Eng, Instr.Wrapped,
+                                        Instr.W, Instr.WInit, *WeakCtx);
   Oracle = std::make_unique<MembershipOracle>(*this);
 }
 
@@ -65,6 +66,6 @@ core::ReductionResult
 PathReachability::findOne(opt::Optimizer &Backend,
                           const core::ReductionOptions &Opts,
                           opt::SampleRecorder *Recorder) {
-  core::SearchEngine Engine(*Factory, Oracle.get());
+  core::SearchEngine Engine(*Factory.Factory, Oracle.get());
   return Engine.solve(Backend, Opts, Recorder);
 }

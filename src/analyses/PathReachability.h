@@ -20,6 +20,7 @@
 #include "instrument/IRWeakDistance.h"
 #include "instrument/Observers.h"
 #include "instrument/PathPass.h"
+#include "vm/VMWeakDistance.h"
 
 #include <memory>
 
@@ -28,7 +29,8 @@ namespace wdm::analyses {
 class PathReachability {
 public:
   PathReachability(ir::Module &M, ir::Function &F,
-                   const instr::PathSpec &Spec);
+                   const instr::PathSpec &Spec,
+                   vm::EngineKind Engine = vm::EngineKind::VM);
   ~PathReachability();
 
   instr::IRWeakDistance &weak() { return *Weak; }
@@ -41,6 +43,9 @@ public:
                                 const core::ReductionOptions &Opts,
                                 opt::SampleRecorder *Recorder = nullptr);
 
+  /// Which execution tier search workers actually run on.
+  const vm::FactoryBundle &executionTier() const { return Factory; }
+
 private:
   class MembershipOracle;
 
@@ -52,7 +57,7 @@ private:
   std::unique_ptr<exec::ExecContext> WeakCtx;
   std::unique_ptr<exec::ExecContext> ProbeCtx;
   std::unique_ptr<instr::IRWeakDistance> Weak;
-  std::unique_ptr<instr::IRWeakDistanceFactory> Factory;
+  vm::FactoryBundle Factory;
   std::unique_ptr<MembershipOracle> Oracle;
 };
 

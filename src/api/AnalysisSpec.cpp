@@ -8,6 +8,7 @@
 
 #include "core/SearchEngine.h"
 #include "support/StringUtils.h"
+#include "vm/VMWeakDistance.h"
 
 #include <cerrno>
 #include <cstdlib>
@@ -92,6 +93,13 @@ void SearchConfig::applyEnv() {
     if (errno == 0 && End && End != Env && !*End)
       Seed = static_cast<uint64_t>(V);
   }
+}
+
+vm::EngineKind SearchConfig::engineKind() const {
+  vm::EngineKind K = vm::EngineKind::VM;
+  if (!Engine.empty())
+    vm::engineKindByName(Engine, K); // Validated at parse time.
+  return K;
 }
 
 void SearchConfig::applyTo(core::SearchOptions &Opts) const {
@@ -191,6 +199,8 @@ json::Value AnalysisSpec::toJson() const {
       Bs.push(Value::string(B));
     S.set("backends", Bs);
   }
+  if (!Search.Engine.empty())
+    S.set("engine", Value::string(Search.Engine));
   if (!S.members().empty())
     Doc.set("search", S);
   return Doc;
@@ -363,6 +373,15 @@ Expected<AnalysisSpec> AnalysisSpec::fromJson(const json::Value &V) {
           return E::error(typeError("backends", "array of names"));
         Spec.Search.Backends.push_back(X->at(I).asString());
       }
+    }
+    if (const Value *X = S->find("engine")) {
+      if (!X->isString())
+        return E::error(typeError("engine", "string"));
+      vm::EngineKind K;
+      if (!vm::engineKindByName(X->asString(), K))
+        return E::error("spec: engine must be 'interp' or 'vm', got '" +
+                        X->asString() + "'");
+      Spec.Search.Engine = X->asString();
     }
   }
 

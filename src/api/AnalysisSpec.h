@@ -40,6 +40,10 @@ namespace wdm::core {
 struct SearchOptions;
 } // namespace wdm::core
 
+namespace wdm::vm {
+enum class EngineKind : uint8_t;
+} // namespace wdm::vm
+
 namespace wdm::api {
 
 /// The six analysis problems Algorithm 2 uniformly solves.
@@ -86,6 +90,14 @@ struct SearchConfig {
   /// "powell", "random", "ulp". Empty = the paper's default
   /// (basinhopping only).
   std::vector<std::string> Backends;
+  /// Weak-distance execution tier: "interp" | "vm". Empty = unset,
+  /// which resolves to the compiled tier ("vm"); lowering-rejected
+  /// subjects fall back to the interpreter automatically and the Report
+  /// says so. Ignored by fpsat, whose CNF distance is native code.
+  std::string Engine;
+
+  /// The resolved execution tier (unset and "vm" both map to VM).
+  vm::EngineKind engineKind() const;
 
   /// The shared env-override policy of the CLI, examples, and benches:
   /// a config whose Starts/Threads/Seed are set from $WDM_STARTS /

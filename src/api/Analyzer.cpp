@@ -10,6 +10,7 @@
 #include "api/Subjects.h"
 #include "api/TaskRegistry.h"
 #include "ir/Parser.h"
+#include "vm/VMWeakDistance.h"
 
 #include <chrono>
 #include <fstream>
@@ -38,6 +39,15 @@ Expected<Report> Analyzer::run() {
   auto Clock0 = std::chrono::steady_clock::now();
 
   TaskContext Ctx(Spec);
+
+  // Programmatically built specs bypass the JSON parser's validation;
+  // the strict-engine contract must hold on this path too.
+  if (!Spec.Search.Engine.empty()) {
+    vm::EngineKind K;
+    if (!vm::engineKindByName(Spec.Search.Engine, K))
+      return E::error("spec: engine must be 'interp' or 'vm', got '" +
+                      Spec.Search.Engine + "'");
+  }
 
   // Resolve the module and subject function.
   if (Spec.Module.K != ModuleSource::Kind::None) {

@@ -52,6 +52,10 @@ json::Value Report::toJson() const {
   Doc.set("findings", Fs);
 
   Doc.set("evals", Value::number(Evals));
+  if (!Engine.empty())
+    Doc.set("engine", Value::string(Engine));
+  if (!EngineFallback.empty())
+    Doc.set("engine_fallback", Value::string(EngineFallback));
   Doc.set("seconds", Value::number(Seconds));
   Doc.set("threads_used", Value::number(ThreadsUsed));
   Doc.set("starts_used", Value::number(StartsUsed));

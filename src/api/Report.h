@@ -55,6 +55,12 @@ struct Report {
   unsigned StartsUsed = 0;
   unsigned UnsoundCandidates = 0;
   double WStar = 0; ///< Smallest weak distance seen (0 when found).
+  /// Execution tier the weak distance actually ran on: "vm", "interp",
+  /// or "native" (fpsat's CNF distance is compiled into the binary).
+  std::string Engine;
+  /// Why the compiled tier fell back to the interpreter (empty unless
+  /// engine=vm was requested and the lowering rejected the subject).
+  std::string EngineFallback;
 
   /// Task-specific aggregate payload, e.g. {"num_ops": 23} for overflow
   /// or {"covered": 5, "total": 6} for coverage.

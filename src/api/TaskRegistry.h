@@ -45,6 +45,9 @@ struct TaskContext {
   /// the direct-class calls bit-for-bit).
   core::SearchOptions searchOptions(core::SearchOptions Defaults) const;
 
+  /// The spec's resolved execution tier (unset defaults to the VM).
+  vm::EngineKind engineKind() const { return Spec.Search.engineKind(); }
+
   opt::Optimizer &primaryBackend() const { return *Backends.front(); }
 };
 

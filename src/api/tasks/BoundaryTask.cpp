@@ -21,13 +21,14 @@ Expected<Report> runBoundary(TaskContext &Ctx) {
   else if (Ctx.Spec.BoundaryForm == "minulp")
     Form = instr::BoundaryForm::MinUlp;
 
-  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form);
+  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form, Ctx.engineKind());
   core::SearchOptions Opts = Ctx.searchOptions({});
   core::SearchResult R = BVA.findOne(Ctx.primaryBackend(), Opts);
 
   Report Rep;
   Rep.Success = R.Found;
   tasks::fillAggregates(Rep, R);
+  tasks::fillEngine(Rep, BVA.executionTier());
   if (R.Found) {
     Finding F;
     F.Kind = "boundary";

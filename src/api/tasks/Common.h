@@ -11,8 +11,16 @@
 #include "api/Report.h"
 #include "api/TaskRegistry.h"
 #include "core/SearchEngine.h"
+#include "vm/VMWeakDistance.h"
 
 namespace wdm::api::tasks {
+
+/// Records which execution tier the analysis actually ran on (and why
+/// the compiled tier fell back, when it did).
+inline void fillEngine(Report &Rep, const vm::FactoryBundle &Tier) {
+  Rep.Engine = Tier.effectiveName();
+  Rep.EngineFallback = Tier.FallbackReason;
+}
 
 /// Copies the uniform counters of a SearchEngine run into a report.
 inline void fillAggregates(Report &Rep, const core::SearchResult &R) {
@@ -52,6 +60,19 @@ overflowOptions(const TaskContext &Ctx) {
   Opts.Portfolio = S.Portfolio;
   Opts.MaxRounds = Ctx.Spec.NFP;
   return Opts;
+}
+
+/// The detector shared by the overflow and inconsistency adapters, with
+/// the spec's metric default applied and the execution tier selected.
+inline analyses::OverflowDetector
+makeOverflowDetector(TaskContext &Ctx, instr::OverflowMetric Default) {
+  instr::OverflowMetric Metric = Default;
+  if (Ctx.Spec.OverflowMetric == "absgap")
+    Metric = instr::OverflowMetric::AbsGap;
+  else if (Ctx.Spec.OverflowMetric == "ulpgap")
+    Metric = instr::OverflowMetric::UlpGap;
+  return analyses::OverflowDetector(*Ctx.M, *Ctx.F, Metric,
+                                    Ctx.engineKind());
 }
 
 /// The per-site overflow findings of a detector report, as "overflow"

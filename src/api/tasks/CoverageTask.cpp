@@ -17,7 +17,7 @@ using wdm::json::Value;
 namespace {
 
 Expected<Report> runCoverage(TaskContext &Ctx) {
-  analyses::BranchCoverage Cov(*Ctx.M, *Ctx.F);
+  analyses::BranchCoverage Cov(*Ctx.M, *Ctx.F, Ctx.engineKind());
   analyses::BranchCoverage::Options Opts;
   Opts.Reduce = Ctx.searchOptions(Opts.Reduce);
   if (Ctx.Spec.MaxStall)
@@ -28,6 +28,7 @@ Expected<Report> runCoverage(TaskContext &Ctx) {
   Report Rep;
   Rep.Success = R.Total == R.Covered;
   Rep.Evals = R.Evals;
+  tasks::fillEngine(Rep, Cov.executionTier());
   Rep.ThreadsUsed =
       Opts.Reduce.Threads
           ? Opts.Reduce.Threads

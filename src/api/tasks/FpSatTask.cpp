@@ -32,6 +32,9 @@ Expected<Report> runFpSat(TaskContext &Ctx) {
   Rep.Function = C->toString();
   Rep.Success = R.Sat;
   Rep.Evals = R.Evals;
+  // The CNF weak distance is compiled into the binary already; the
+  // engine field is accepted for uniformity but changes nothing here.
+  Rep.Engine = "native";
   Rep.WStar = R.Sat ? 0.0 : R.WStar;
   if (R.Sat) {
     Finding F;

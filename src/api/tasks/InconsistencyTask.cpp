@@ -34,11 +34,8 @@ Expected<Report> runInconsistency(TaskContext &Ctx) {
 
   // Paper-faithful Table 3/5 configuration by default: Algorithm 3's
   // MAX - |a| metric (the ULP-gap improvement is an explicit opt-in).
-  instr::OverflowMetric Metric = instr::OverflowMetric::AbsGap;
-  if (Ctx.Spec.OverflowMetric == "ulpgap")
-    Metric = instr::OverflowMetric::UlpGap;
-
-  analyses::OverflowDetector Detector(*Ctx.M, *Ctx.F, Metric);
+  analyses::OverflowDetector Detector =
+      tasks::makeOverflowDetector(Ctx, instr::OverflowMetric::AbsGap);
   analyses::OverflowDetector::Options Opts = tasks::overflowOptions(Ctx);
   analyses::OverflowReport R = Detector.run(Opts);
 
@@ -69,6 +66,7 @@ Expected<Report> runInconsistency(TaskContext &Ctx) {
   Report Rep;
   Rep.Success = !Distinct.empty();
   Rep.Evals = R.Evals;
+  tasks::fillEngine(Rep, Detector.executionTier());
   Rep.ThreadsUsed = Opts.Threads
                         ? Opts.Threads
                         : std::max(1u, std::thread::hardware_concurrency());

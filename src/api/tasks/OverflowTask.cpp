@@ -16,17 +16,15 @@ using wdm::json::Value;
 namespace {
 
 Expected<Report> runOverflow(TaskContext &Ctx) {
-  instr::OverflowMetric Metric = instr::OverflowMetric::UlpGap;
-  if (Ctx.Spec.OverflowMetric == "absgap")
-    Metric = instr::OverflowMetric::AbsGap;
-
-  analyses::OverflowDetector Detector(*Ctx.M, *Ctx.F, Metric);
+  analyses::OverflowDetector Detector =
+      tasks::makeOverflowDetector(Ctx, instr::OverflowMetric::UlpGap);
   analyses::OverflowDetector::Options Opts = tasks::overflowOptions(Ctx);
   analyses::OverflowReport R = Detector.run(Opts);
 
   Report Rep;
   Rep.Success = R.numOverflows() > 0;
   Rep.Evals = R.Evals;
+  tasks::fillEngine(Rep, Detector.executionTier());
   Rep.ThreadsUsed = Opts.Threads
                         ? Opts.Threads
                         : std::max(1u, std::thread::hardware_concurrency());

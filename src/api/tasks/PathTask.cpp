@@ -36,13 +36,14 @@ Expected<Report> runPath(TaskContext &Ctx) {
     PS.Legs.push_back({Branches[Leg.Branch], Leg.Taken});
   }
 
-  analyses::PathReachability PR(*Ctx.M, *Ctx.F, PS);
+  analyses::PathReachability PR(*Ctx.M, *Ctx.F, PS, Ctx.engineKind());
   core::SearchOptions Opts = Ctx.searchOptions({});
   core::SearchResult R = PR.findOne(Ctx.primaryBackend(), Opts);
 
   Report Rep;
   Rep.Success = R.Found;
   tasks::fillAggregates(Rep, R);
+  tasks::fillEngine(Rep, PR.executionTier());
   if (R.Found) {
     Finding F;
     F.Kind = "path";

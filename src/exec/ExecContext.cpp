@@ -10,30 +10,41 @@ using namespace wdm::exec;
 using namespace wdm::ir;
 
 ExecContext::ExecContext(const Module &M) : M(M) {
+  syncLayout();
   resetGlobals();
   SiteDisabled.assign(static_cast<size_t>(M.numSiteIds()), 0);
 }
 
-void ExecContext::resetGlobals() {
-  Globals.clear();
-  for (size_t I = 0; I < M.numGlobals(); ++I) {
+void ExecContext::syncLayout() {
+  // Globals are only ever appended, so existing indices stay valid.
+  for (size_t I = Init.size(); I < M.numGlobals(); ++I) {
     const GlobalVar *G = M.global(I);
-    if (G->type() == Type::Double)
-      Globals[G] = RTValue::ofDouble(G->initDouble());
-    else
-      Globals[G] = RTValue::ofInt(G->initInt());
+    Index[G] = static_cast<unsigned>(I);
+    Init.push_back(G->type() == Type::Double
+                       ? RTValue::ofDouble(G->initDouble())
+                       : RTValue::ofInt(G->initInt()));
   }
 }
 
-RTValue ExecContext::getGlobal(const GlobalVar *G) const {
-  auto It = Globals.find(G);
-  assert(It != Globals.end() && "global from another module");
+void ExecContext::resetGlobals() {
+  if (Init.size() != M.numGlobals())
+    syncLayout();
+  Values = Init;
+}
+
+unsigned ExecContext::globalIndexOf(const GlobalVar *G) const {
+  auto It = Index.find(G);
+  assert(It != Index.end() && "global from another module");
   return It->second;
+}
+
+RTValue ExecContext::getGlobal(const GlobalVar *G) const {
+  return Values[globalIndexOf(G)];
 }
 
 void ExecContext::setGlobal(const GlobalVar *G, RTValue V) {
   assert(V.type() == G->type() && "type-mismatched global store");
-  Globals[G] = V;
+  Values[globalIndexOf(G)] = V;
 }
 
 bool ExecContext::isSiteEnabled(int Id) const {

@@ -10,6 +10,11 @@
 /// and the per-site enabled bits that realize Algorithm 3's evolving set L
 /// ("if (l is not in L)") without re-instrumenting between rounds.
 ///
+/// Globals live in a dense slot array indexed by module position
+/// (slot i holds Module::global(i)), so the compiled tier (src/vm/) can
+/// pre-resolve every loadg/storeg to a plain array access while the
+/// interpreter keeps the pointer-keyed interface.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WDM_EXEC_EXECCONTEXT_H
@@ -30,10 +35,19 @@ public:
   explicit ExecContext(const ir::Module &M);
 
   /// Resets every global to its initializer. Site bits are left alone.
+  /// Globals added to the module after construction are picked up here.
   void resetGlobals();
 
   RTValue getGlobal(const ir::GlobalVar *G) const;
   void setGlobal(const ir::GlobalVar *G, RTValue V);
+
+  /// Dense index of \p G (its module position); asserts on foreign
+  /// globals. Compiled code resolves this once at lowering time.
+  unsigned globalIndexOf(const ir::GlobalVar *G) const;
+
+  /// The dense global slot array; slot globalIndexOf(G) holds G's value.
+  RTValue *globalSlots() { return Values.data(); }
+  const RTValue *globalSlots() const { return Values.data(); }
 
   /// Sites default to enabled; ids beyond the tracked range read enabled.
   bool isSiteEnabled(int Id) const;
@@ -46,6 +60,12 @@ public:
   /// evaluator agrees on which sites are live.
   void adoptSiteState(const ExecContext &Other);
 
+  /// Raw site-disabled table (1 = disabled), for the compiled tier's
+  /// inline site_enabled opcode. Stable for the duration of a run.
+  const std::vector<uint8_t> &siteDisabledTable() const {
+    return SiteDisabled;
+  }
+
   /// Optional execution observer; not owned.
   ExecObserver *observer() const { return Observer; }
   void setObserver(ExecObserver *O) { Observer = O; }
@@ -53,8 +73,12 @@ public:
   const ir::Module &module() const { return M; }
 
 private:
+  void syncLayout(); ///< Rebuilds Index/Init when the module grew.
+
   const ir::Module &M;
-  std::unordered_map<const ir::GlobalVar *, RTValue> Globals;
+  std::vector<RTValue> Values; ///< Current values, by module position.
+  std::vector<RTValue> Init;   ///< Initializer snapshot, same indexing.
+  std::unordered_map<const ir::GlobalVar *, unsigned> Index;
   std::vector<uint8_t> SiteDisabled; // indexed by site id; 1 = disabled
   ExecObserver *Observer = nullptr;
 };

@@ -163,6 +163,11 @@ ExecResult Engine::runFrame(const Function *F,
   const BasicBlock *BB = F->entry();
   assert(BB && "function has no entry block");
 
+  // Observers cannot be attached mid-run, so resolve the notification
+  // target once per frame — the common zero-observer case then pays no
+  // per-instruction dispatch at all.
+  ExecObserver *const Obs = Ctx.observer();
+
   size_t InstIdx = 0;
   while (true) {
     if (InstIdx >= BB->size()) {
@@ -195,62 +200,63 @@ ExecResult Engine::runFrame(const Function *F,
         OpBuf[Idx] = ValueOf(I->operand(Idx));
     }
 
+    // FP computation results canonicalize NaNs (see canonicalizeNaN)
+    // so the interpreter and the VM agree bit-for-bit; data moves below
+    // (select, load/store, globals, ret) keep raw bits.
+    auto FP = [](double V) { return RTValue::ofDouble(canonicalizeNaN(V)); };
+
     RTValue Out;
     switch (I->opcode()) {
     case Opcode::FAdd:
-      Out = RTValue::ofDouble(OpBuf[0].asDouble() + OpBuf[1].asDouble());
+      Out = FP(OpBuf[0].asDouble() + OpBuf[1].asDouble());
       break;
     case Opcode::FSub:
-      Out = RTValue::ofDouble(OpBuf[0].asDouble() - OpBuf[1].asDouble());
+      Out = FP(OpBuf[0].asDouble() - OpBuf[1].asDouble());
       break;
     case Opcode::FMul:
-      Out = RTValue::ofDouble(OpBuf[0].asDouble() * OpBuf[1].asDouble());
+      Out = FP(OpBuf[0].asDouble() * OpBuf[1].asDouble());
       break;
     case Opcode::FDiv:
-      Out = RTValue::ofDouble(OpBuf[0].asDouble() / OpBuf[1].asDouble());
+      Out = FP(OpBuf[0].asDouble() / OpBuf[1].asDouble());
       break;
     case Opcode::FRem:
-      Out = RTValue::ofDouble(
-          std::fmod(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
+      Out = FP(std::fmod(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
       break;
     case Opcode::FNeg:
-      Out = RTValue::ofDouble(-OpBuf[0].asDouble());
+      Out = FP(-OpBuf[0].asDouble());
       break;
     case Opcode::FAbs:
-      Out = RTValue::ofDouble(std::fabs(OpBuf[0].asDouble()));
+      Out = FP(std::fabs(OpBuf[0].asDouble()));
       break;
     case Opcode::Sqrt:
-      Out = RTValue::ofDouble(std::sqrt(OpBuf[0].asDouble()));
+      Out = FP(std::sqrt(OpBuf[0].asDouble()));
       break;
     case Opcode::Sin:
-      Out = RTValue::ofDouble(std::sin(OpBuf[0].asDouble()));
+      Out = FP(std::sin(OpBuf[0].asDouble()));
       break;
     case Opcode::Cos:
-      Out = RTValue::ofDouble(std::cos(OpBuf[0].asDouble()));
+      Out = FP(std::cos(OpBuf[0].asDouble()));
       break;
     case Opcode::Tan:
-      Out = RTValue::ofDouble(std::tan(OpBuf[0].asDouble()));
+      Out = FP(std::tan(OpBuf[0].asDouble()));
       break;
     case Opcode::Exp:
-      Out = RTValue::ofDouble(std::exp(OpBuf[0].asDouble()));
+      Out = FP(std::exp(OpBuf[0].asDouble()));
       break;
     case Opcode::Log:
-      Out = RTValue::ofDouble(std::log(OpBuf[0].asDouble()));
+      Out = FP(std::log(OpBuf[0].asDouble()));
       break;
     case Opcode::Pow:
-      Out = RTValue::ofDouble(
-          std::pow(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
+      Out = FP(std::pow(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
       break;
     case Opcode::FMin:
-      Out = RTValue::ofDouble(
-          std::fmin(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
+      Out = FP(std::fmin(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
       break;
     case Opcode::FMax:
-      Out = RTValue::ofDouble(
-          std::fmax(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
+      Out = FP(std::fmax(OpBuf[0].asDouble(), OpBuf[1].asDouble()));
       break;
     case Opcode::Floor:
-      Out = RTValue::ofDouble(std::floor(OpBuf[0].asDouble()));
+      Out = FP(std::floor(OpBuf[0].asDouble()));
       break;
     case Opcode::FCmp:
       Out = RTValue::ofBool(
@@ -370,7 +376,7 @@ ExecResult Engine::runFrame(const Function *F,
       continue;
     case Opcode::CondBr: {
       bool Taken = OpBuf[0].asBool();
-      if (ExecObserver *Obs = Ctx.observer())
+      if (Obs)
         Obs->onBranch(I, Taken);
       BB = I->successor(Taken ? 0 : 1);
       InstIdx = 0;
@@ -393,7 +399,7 @@ ExecResult Engine::runFrame(const Function *F,
     if (I->type() != Type::Void)
       Values[Layout.ValueIndex.at(I)] = Out;
 
-    if (ExecObserver *Obs = Ctx.observer())
+    if (Obs)
       if (!SkipOperandEval && I->type() != Type::Void)
         Obs->onInstruction(I, OpBuf, NumOps, Out);
 

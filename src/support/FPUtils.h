@@ -67,6 +67,18 @@ double nextDown(double X);
 /// True if X is +/-inf or NaN.
 bool isNonFinite(double X);
 
+/// Canonicalizes a NaN to the positive quiet NaN (finite values and
+/// infinities pass through untouched). The execution tiers apply this to
+/// every floating-point *computation* result: x86 propagates the NaN
+/// payload of whichever operand the compiler happened to put in the
+/// destination register, so without canonicalization two correct
+/// compilations of the same arithmetic can disagree on NaN bits — and
+/// the interpreter and the VM must agree bit-for-bit. Plain data moves
+/// (select, load/store, globals, arguments) still preserve raw bits.
+inline double canonicalizeNaN(double X) {
+  return X == X ? X : std::numeric_limits<double>::quiet_NaN();
+}
+
 /// Largest finite double, i.e. the MAX of Algorithm 3's overflow check.
 inline constexpr double MaxDouble = std::numeric_limits<double>::max();
 

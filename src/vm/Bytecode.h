@@ -1,0 +1,182 @@
+//===--- Bytecode.h - Flat register bytecode for the compiled tier -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled execution tier's program representation: each instrumented
+/// ir::Function lowers to a flat array of fixed-width register instructions
+/// with every operand pre-resolved at compile time —
+///
+///  - registers are untyped 64-bit frame slots laid out as
+///    [arguments][pooled constants][instruction results][alloca slots],
+///    so an operand is always a plain index (no Value* chasing, no hash
+///    lookups, no RTValue type tags on the hot path);
+///  - comparison predicates and global/site accesses are specialized into
+///    dedicated opcodes (FCmpLT, GLoadD, SiteEnabled, ...) so dispatch
+///    carries no secondary switches — in particular the instrumentation
+///    opcodes read and write ExecContext state (dense global slots, the
+///    raw site-enabled table) in-line;
+///  - branches are pc offsets backpatched by the lowering; the 1:1
+///    instruction mapping keeps the VM's step accounting bit-identical
+///    to the interpreter's.
+///
+/// Lowering (Lowering.h) produces this; Machine.h executes it. Functions
+/// the lowering cannot fit into the fixed-width encoding are marked
+/// !Ok with a reason, and the factory layer (VMWeakDistance.h) falls
+/// back to the interpreter for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_VM_BYTECODE_H
+#define WDM_VM_BYTECODE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wdm::vm {
+
+/// One specialized opcode per dynamic behavior; comparison predicates and
+/// global types are baked in so the dispatch loop never branches twice.
+enum class Op : uint8_t {
+  // Double arithmetic and intrinsics (R[Dest].D = op(R[A].D, R[B].D)).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FRem,
+  FNeg,
+  FAbs,
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Exp,
+  Log,
+  Pow,
+  FMin,
+  FMax,
+  Floor,
+  // Comparisons, one opcode per predicate; results are canonical 0/1 in
+  // R[Dest].I.
+  FCmpEQ,
+  FCmpNE,
+  FCmpLT,
+  FCmpLE,
+  FCmpGT,
+  FCmpGE,
+  ICmpEQ,
+  ICmpNE,
+  ICmpLT,
+  ICmpLE,
+  ICmpGT,
+  ICmpGE,
+  // Integer arithmetic/bitwise (wrap-around via unsigned, like the
+  // interpreter).
+  IAdd,
+  ISub,
+  IMul,
+  IAnd,
+  IOr,
+  IXor,
+  IShl,
+  ILShr,
+  // Boolean connectives over canonical 0/1 integers.
+  BAnd,
+  BOr,
+  BNot,
+  // Conversions.
+  SIToFP,
+  FPToSI,
+  HighWord,
+  UlpDiff,
+  // R[Dest] = R[A].I ? R[B] : R[C] (raw 8-byte copy).
+  Select,
+  // Alloca: R[Dest].I = Imm (the slot ordinal, the value the interpreter
+  // produces); the slot's storage is the frame register SlotReg(Imm2).
+  SlotAddr,
+  SlotLoad,  ///< R[Dest] = R[Imm2] (Imm2 = slot register).
+  SlotStore, ///< R[Imm2] = R[A].
+  // Globals, pre-resolved to ExecContext dense slot Imm.
+  GLoadD,
+  GLoadI,
+  GStoreD,
+  GStoreI,
+  // Instrumentation gate: R[Dest].I = site Imm enabled (raw table read).
+  SiteEnabled,
+  // Call: Imm2 = callee function index; Imm = offset into CallArgPool
+  // where the callee's argument registers are listed; Dest = result
+  // register (unused for void callees).
+  Call,
+  // Control flow; branch targets are instruction indices.
+  Jmp,    ///< pc = Imm.
+  CondBr, ///< pc = R[A].I ? Imm : Imm2; Dest = Branches[] index.
+  RetD,   ///< Return R[A] as double.
+  RetI,   ///< Return R[A] as int.
+  RetB,   ///< Return R[A] as bool.
+  RetVoid,
+  Trap, ///< Imm = trap id, Imm2 = TrapMessages index.
+};
+
+/// Fixed-width instruction. Dest/A/B/C are frame-register indices; Imm
+/// and Imm2 are opcode-specific immediates (see Op). 16 bytes.
+struct Inst {
+  Op Opc = Op::RetVoid;
+  uint16_t Dest = 0;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  uint16_t Imm2 = 0;
+  int32_t Imm = 0;
+};
+
+static_assert(sizeof(Inst) <= 16, "keep the hot array cache-friendly");
+
+/// One lowered function. When !Ok the function (and transitively its
+/// callers) executes on the interpreter instead; Code is empty then.
+struct CompiledFunction {
+  const ir::Function *Source = nullptr;
+  bool Ok = false;
+  std::string RejectReason; ///< Why lowering refused (when !Ok).
+
+  std::vector<Inst> Code;
+  /// Raw bit patterns preloaded into registers [NumArgs,
+  /// NumArgs + NumConsts) at frame entry (doubles, ints, and bools share
+  /// the 64-bit slot).
+  std::vector<uint64_t> ConstBits;
+  unsigned NumArgs = 0;
+  unsigned NumConsts = 0;
+  unsigned FirstSlotReg = 0; ///< Register of alloca slot ordinal 0.
+  unsigned NumSlots = 0;
+  unsigned NumRegs = 0; ///< Total frame size in registers.
+  ir::Type RetType = ir::Type::Void;
+
+  /// Source condbr of Branches[Inst::Dest], for ExecObserver::onBranch.
+  std::vector<const ir::Instruction *> Branches;
+  /// Flattened per-call argument register lists (Call::Imm indexes here).
+  std::vector<uint16_t> CallArgPool;
+  /// Trap messages (Trap::Imm2 indexes here).
+  std::vector<std::string> TrapMessages;
+};
+
+/// A whole lowered module. Function order matches the ir::Module, so
+/// ExecContext's dense global indexing (module position) is shared.
+struct CompiledModule {
+  const ir::Module *M = nullptr;
+  std::vector<CompiledFunction> Functions;
+  std::unordered_map<const ir::Function *, unsigned> Index;
+
+  const CompiledFunction *lookup(const ir::Function *F) const {
+    auto It = Index.find(F);
+    return It == Index.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+} // namespace wdm::vm
+
+#endif // WDM_VM_BYTECODE_H

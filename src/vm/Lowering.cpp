@@ -1,0 +1,431 @@
+//===--- Lowering.cpp - ir::Module -> bytecode compiler --------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Lowering.h"
+
+#include "support/Casting.h"
+#include "support/FPUtils.h"
+
+#include <cassert>
+
+using namespace wdm;
+using namespace wdm::vm;
+using namespace wdm::ir;
+
+namespace {
+
+/// Per-function lowering state.
+class FunctionLowering {
+public:
+  FunctionLowering(const Function &F, const CompiledModule &CM,
+                   const std::unordered_map<const GlobalVar *, unsigned>
+                       &GlobalIdx,
+                   const Limits &L)
+      : F(F), CM(CM), GlobalIdx(GlobalIdx), L(L) {}
+
+  CompiledFunction run();
+
+private:
+  bool assignRegisters(CompiledFunction &Out);
+  bool emit(CompiledFunction &Out);
+  uint16_t regOf(const Value *V) const;
+
+  void reject(CompiledFunction &Out, std::string Why) {
+    Out.Ok = false;
+    Out.RejectReason = std::move(Why);
+    Out.Code.clear();
+  }
+
+  const Function &F;
+  const CompiledModule &CM;
+  const std::unordered_map<const GlobalVar *, unsigned> &GlobalIdx;
+  const Limits &L;
+
+  std::unordered_map<const Value *, unsigned> Reg;
+  std::unordered_map<const Instruction *, unsigned> SlotOrdinal;
+};
+
+bool FunctionLowering::assignRegisters(CompiledFunction &Out) {
+  unsigned Next = 0;
+  for (unsigned I = 0; I < F.numArgs(); ++I)
+    Reg[F.arg(I)] = Next++;
+  Out.NumArgs = Next;
+
+  // Pool constants in first-use order; each gets a preloaded register.
+  F.forEachInst([&](const Instruction *I) {
+    // loadg/storeg name their global directly; load/store name a slot.
+    // Neither evaluates that operand, so it never needs a register.
+    unsigned FirstEvaluated = 0;
+    if (I->opcode() == Opcode::Load || I->opcode() == Opcode::Store ||
+        I->opcode() == Opcode::LoadGlobal ||
+        I->opcode() == Opcode::StoreGlobal)
+      FirstEvaluated = 1;
+    for (unsigned K = FirstEvaluated; K < I->numOperands(); ++K) {
+      const Value *V = I->operand(K);
+      uint64_t Bits;
+      if (const auto *CD = dyn_cast<ConstantDouble>(V))
+        Bits = bitsOf(CD->value());
+      else if (const auto *CI = dyn_cast<ConstantInt>(V))
+        Bits = static_cast<uint64_t>(CI->value());
+      else if (const auto *CB = dyn_cast<ConstantBool>(V))
+        Bits = CB->value() ? 1 : 0;
+      else
+        continue;
+      if (Reg.emplace(V, Next).second) {
+        ++Next;
+        Out.ConstBits.push_back(Bits);
+      }
+    }
+  });
+  Out.NumConsts = static_cast<unsigned>(Out.ConstBits.size());
+
+  // Instruction results.
+  F.forEachInst([&](const Instruction *I) {
+    if (I->type() != Type::Void)
+      Reg[I] = Next++;
+  });
+
+  // Alloca slots live in the frame too.
+  Out.FirstSlotReg = Next;
+  F.forEachInst([&](const Instruction *I) {
+    if (I->opcode() == Opcode::Alloca) {
+      SlotOrdinal[I] = Out.NumSlots++;
+      ++Next;
+    }
+  });
+  Out.NumRegs = Next;
+
+  unsigned MaxRegs = std::min(L.MaxRegs, 65'535u);
+  if (Out.NumRegs > MaxRegs) {
+    reject(Out, "function '" + F.name() + "' needs " +
+                    std::to_string(Out.NumRegs) + " registers (limit " +
+                    std::to_string(MaxRegs) + ")");
+    return false;
+  }
+  return true;
+}
+
+uint16_t FunctionLowering::regOf(const Value *V) const {
+  auto It = Reg.find(V);
+  assert(It != Reg.end() && "operand without a register");
+  return static_cast<uint16_t>(It->second);
+}
+
+bool FunctionLowering::emit(CompiledFunction &Out) {
+  struct Fixup {
+    size_t InstIdx;
+    const BasicBlock *Target;
+    bool FalseArm; ///< Patch Imm2 instead of Imm.
+  };
+  std::vector<Fixup> Fixups;
+  std::unordered_map<const BasicBlock *, size_t> BlockPc;
+
+  unsigned MaxCode = std::min(L.MaxCode, 65'535u);
+
+  for (size_t BI = 0; BI < F.numBlocks(); ++BI) {
+    const BasicBlock *BB = F.block(BI);
+    BlockPc[BB] = Out.Code.size();
+    for (const auto &InstPtr : *BB) {
+      const Instruction *I = InstPtr.get();
+      Inst E;
+      auto Bin = [&](Op O) {
+        E.Opc = O;
+        E.Dest = regOf(I);
+        E.A = regOf(I->operand(0));
+        E.B = regOf(I->operand(1));
+      };
+      auto Un = [&](Op O) {
+        E.Opc = O;
+        E.Dest = regOf(I);
+        E.A = regOf(I->operand(0));
+      };
+
+      switch (I->opcode()) {
+      case Opcode::FAdd:
+        Bin(Op::FAdd);
+        break;
+      case Opcode::FSub:
+        Bin(Op::FSub);
+        break;
+      case Opcode::FMul:
+        Bin(Op::FMul);
+        break;
+      case Opcode::FDiv:
+        Bin(Op::FDiv);
+        break;
+      case Opcode::FRem:
+        Bin(Op::FRem);
+        break;
+      case Opcode::FNeg:
+        Un(Op::FNeg);
+        break;
+      case Opcode::FAbs:
+        Un(Op::FAbs);
+        break;
+      case Opcode::Sqrt:
+        Un(Op::Sqrt);
+        break;
+      case Opcode::Sin:
+        Un(Op::Sin);
+        break;
+      case Opcode::Cos:
+        Un(Op::Cos);
+        break;
+      case Opcode::Tan:
+        Un(Op::Tan);
+        break;
+      case Opcode::Exp:
+        Un(Op::Exp);
+        break;
+      case Opcode::Log:
+        Un(Op::Log);
+        break;
+      case Opcode::Pow:
+        Bin(Op::Pow);
+        break;
+      case Opcode::FMin:
+        Bin(Op::FMin);
+        break;
+      case Opcode::FMax:
+        Bin(Op::FMax);
+        break;
+      case Opcode::Floor:
+        Un(Op::Floor);
+        break;
+      case Opcode::FCmp:
+        Bin(static_cast<Op>(static_cast<int>(Op::FCmpEQ) +
+                            static_cast<int>(I->pred())));
+        break;
+      case Opcode::ICmp:
+        Bin(static_cast<Op>(static_cast<int>(Op::ICmpEQ) +
+                            static_cast<int>(I->pred())));
+        break;
+      case Opcode::IAdd:
+        Bin(Op::IAdd);
+        break;
+      case Opcode::ISub:
+        Bin(Op::ISub);
+        break;
+      case Opcode::IMul:
+        Bin(Op::IMul);
+        break;
+      case Opcode::IAnd:
+        Bin(Op::IAnd);
+        break;
+      case Opcode::IOr:
+        Bin(Op::IOr);
+        break;
+      case Opcode::IXor:
+        Bin(Op::IXor);
+        break;
+      case Opcode::IShl:
+        Bin(Op::IShl);
+        break;
+      case Opcode::ILShr:
+        Bin(Op::ILShr);
+        break;
+      case Opcode::BAnd:
+        Bin(Op::BAnd);
+        break;
+      case Opcode::BOr:
+        Bin(Op::BOr);
+        break;
+      case Opcode::BNot:
+        Un(Op::BNot);
+        break;
+      case Opcode::SIToFP:
+        Un(Op::SIToFP);
+        break;
+      case Opcode::FPToSI:
+        Un(Op::FPToSI);
+        break;
+      case Opcode::HighWord:
+        Un(Op::HighWord);
+        break;
+      case Opcode::UlpDiff:
+        Bin(Op::UlpDiff);
+        break;
+      case Opcode::Select:
+        E.Opc = Op::Select;
+        E.Dest = regOf(I);
+        E.A = regOf(I->operand(0));
+        E.B = regOf(I->operand(1));
+        E.C = regOf(I->operand(2));
+        break;
+      case Opcode::Alloca: {
+        unsigned Ordinal = SlotOrdinal.at(I);
+        E.Opc = Op::SlotAddr;
+        E.Dest = regOf(I);
+        E.Imm = static_cast<int32_t>(Ordinal);
+        break;
+      }
+      case Opcode::Load: {
+        const auto *Slot = cast<Instruction>(I->operand(0));
+        E.Opc = Op::SlotLoad;
+        E.Dest = regOf(I);
+        E.Imm2 =
+            static_cast<uint16_t>(Out.FirstSlotReg + SlotOrdinal.at(Slot));
+        break;
+      }
+      case Opcode::Store: {
+        const auto *Slot = cast<Instruction>(I->operand(0));
+        E.Opc = Op::SlotStore;
+        E.A = regOf(I->operand(1));
+        E.Imm2 =
+            static_cast<uint16_t>(Out.FirstSlotReg + SlotOrdinal.at(Slot));
+        break;
+      }
+      case Opcode::LoadGlobal: {
+        const auto *G = cast<GlobalVar>(I->operand(0));
+        E.Opc = G->type() == Type::Double ? Op::GLoadD : Op::GLoadI;
+        E.Dest = regOf(I);
+        E.Imm = static_cast<int32_t>(GlobalIdx.at(G));
+        break;
+      }
+      case Opcode::StoreGlobal: {
+        const auto *G = cast<GlobalVar>(I->operand(0));
+        E.Opc = G->type() == Type::Double ? Op::GStoreD : Op::GStoreI;
+        E.A = regOf(I->operand(1));
+        E.Imm = static_cast<int32_t>(GlobalIdx.at(G));
+        break;
+      }
+      case Opcode::SiteEnabled:
+        E.Opc = Op::SiteEnabled;
+        E.Dest = regOf(I);
+        E.Imm = I->id();
+        break;
+      case Opcode::Call: {
+        auto CalleeIt = CM.Index.find(I->callee());
+        assert(CalleeIt != CM.Index.end() && "callee outside the module");
+        if (CalleeIt->second > 65'535) {
+          reject(Out, "callee index of '" + I->callee()->name() +
+                          "' exceeds the 16-bit encoding");
+          return false;
+        }
+        E.Opc = Op::Call;
+        E.Dest = I->type() != Type::Void ? regOf(I) : 0;
+        E.Imm2 = static_cast<uint16_t>(CalleeIt->second);
+        E.Imm = static_cast<int32_t>(Out.CallArgPool.size());
+        for (unsigned K = 0; K < I->numOperands(); ++K)
+          Out.CallArgPool.push_back(regOf(I->operand(K)));
+        break;
+      }
+      case Opcode::Br:
+        E.Opc = Op::Jmp;
+        Fixups.push_back({Out.Code.size(), I->successor(0), false});
+        break;
+      case Opcode::CondBr:
+        E.Opc = Op::CondBr;
+        E.A = regOf(I->operand(0));
+        E.Dest = static_cast<uint16_t>(Out.Branches.size());
+        Out.Branches.push_back(I);
+        Fixups.push_back({Out.Code.size(), I->successor(0), false});
+        Fixups.push_back({Out.Code.size(), I->successor(1), true});
+        break;
+      case Opcode::Ret:
+        if (I->numOperands() == 1) {
+          switch (I->operand(0)->type()) {
+          case Type::Double:
+            E.Opc = Op::RetD;
+            break;
+          case Type::Int:
+            E.Opc = Op::RetI;
+            break;
+          case Type::Bool:
+            E.Opc = Op::RetB;
+            break;
+          case Type::Void:
+            assert(false && "void-typed return operand");
+            E.Opc = Op::RetVoid;
+            break;
+          }
+          E.A = regOf(I->operand(0));
+        } else {
+          E.Opc = Op::RetVoid;
+        }
+        break;
+      case Opcode::Trap:
+        E.Opc = Op::Trap;
+        E.Imm = I->id();
+        E.Imm2 = static_cast<uint16_t>(Out.TrapMessages.size());
+        Out.TrapMessages.push_back(I->annotation());
+        break;
+      }
+
+      Out.Code.push_back(E);
+      if (Out.Code.size() > MaxCode) {
+        reject(Out, "function '" + F.name() + "' exceeds the code limit (" +
+                        std::to_string(MaxCode) + " instructions)");
+        return false;
+      }
+    }
+    assert(BB->terminator() && "unterminated block reached the lowering");
+  }
+
+  for (const Fixup &Fx : Fixups) {
+    size_t Pc = BlockPc.at(Fx.Target);
+    if (Fx.FalseArm)
+      Out.Code[Fx.InstIdx].Imm2 = static_cast<uint16_t>(Pc);
+    else
+      Out.Code[Fx.InstIdx].Imm = static_cast<int32_t>(Pc);
+  }
+  return true;
+}
+
+CompiledFunction FunctionLowering::run() {
+  CompiledFunction Out;
+  Out.Source = &F;
+  Out.RetType = F.returnType();
+  Out.Ok = true;
+  if (!assignRegisters(Out))
+    return Out;
+  if (!emit(Out))
+    return Out;
+  return Out;
+}
+
+} // namespace
+
+CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
+  CompiledModule CM;
+  CM.M = &M;
+
+  // Dense global indexing by module position — the ExecContext contract.
+  std::unordered_map<const GlobalVar *, unsigned> GlobalIdx;
+  for (size_t I = 0; I < M.numGlobals(); ++I)
+    GlobalIdx[M.global(I)] = static_cast<unsigned>(I);
+
+  unsigned Idx = 0;
+  for (const auto &F : M)
+    CM.Index[F.get()] = Idx++;
+  CM.Functions.reserve(Idx);
+
+  for (const auto &F : M)
+    CM.Functions.push_back(FunctionLowering(*F, CM, GlobalIdx, L).run());
+
+  // A caller of a rejected function must fall back too: propagate
+  // rejection through the call graph to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (CompiledFunction &CF : CM.Functions) {
+      if (!CF.Ok)
+        continue;
+      for (const Inst &I : CF.Code) {
+        if (I.Opc != Op::Call || CM.Functions[I.Imm2].Ok)
+          continue;
+        CF.Ok = false;
+        CF.RejectReason = "calls '" +
+                          CM.Functions[I.Imm2].Source->name() +
+                          "', which the lowering rejected";
+        CF.Code.clear();
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return CM;
+}

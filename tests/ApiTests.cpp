@@ -14,6 +14,7 @@
 #include "ir/Parser.h"
 #include "opt/BasinHopping.h"
 #include "support/Json.h"
+#include "vm/VMWeakDistance.h"
 
 #include <gtest/gtest.h>
 
@@ -127,6 +128,7 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   Spec.Search.WildStartProb = 0.375;
   Spec.Search.Threads = 3;
   Spec.Search.Backends = {"basinhopping", "de"};
+  Spec.Search.Engine = "interp";
 
   std::string Text = Spec.toJsonText();
   Expected<AnalysisSpec> Back = AnalysisSpec::parse(Text);
@@ -157,9 +159,53 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   EXPECT_EQ(Back->Search.WildStartProb, Spec.Search.WildStartProb);
   EXPECT_EQ(Back->Search.Threads, Spec.Search.Threads);
   EXPECT_EQ(Back->Search.Backends, Spec.Search.Backends);
+  EXPECT_EQ(Back->Search.Engine, Spec.Search.Engine);
 
   // Serialize -> parse -> serialize is a fixed point.
   EXPECT_EQ(Back->toJsonText(), Text);
+}
+
+TEST(SpecTest, EngineFieldDefaultsAndValidation) {
+  // Unset engine resolves to the compiled tier and stays unset in JSON.
+  Expected<AnalysisSpec> Unset = AnalysisSpec::parse(
+      R"({"task": "boundary", "module": {"builtin": "fig2"}})");
+  ASSERT_TRUE(Unset.hasValue()) << Unset.error();
+  EXPECT_TRUE(Unset->Search.Engine.empty());
+  EXPECT_EQ(Unset->Search.engineKind(), vm::EngineKind::VM);
+  EXPECT_EQ(Unset->toJsonText().find("\"engine\""), std::string::npos);
+
+  // Both spellings parse.
+  for (const char *Name : {"interp", "vm"}) {
+    Expected<AnalysisSpec> Ok = AnalysisSpec::parse(
+        std::string(R"({"task": "boundary", "module": {"builtin": "fig2"},
+                        "search": {"engine": ")") +
+        Name + R"("}})");
+    ASSERT_TRUE(Ok.hasValue()) << Name << ": " << Ok.error();
+    EXPECT_EQ(Ok->Search.Engine, Name);
+  }
+
+  // Unknown values are strict validation errors, not silent defaults.
+  Expected<AnalysisSpec> Bad = AnalysisSpec::parse(
+      R"({"task": "boundary", "module": {"builtin": "fig2"},
+          "search": {"engine": "jit"}})");
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().find("engine"), std::string::npos);
+
+  // Wrong type is an error too.
+  EXPECT_FALSE(AnalysisSpec::parse(
+                   R"({"task": "boundary", "module": {"builtin": "fig2"},
+                       "search": {"engine": 3}})")
+                   .hasValue());
+
+  // Programmatically built specs (which bypass the JSON parser) hit the
+  // same strict validation inside the Analyzer.
+  AnalysisSpec Direct;
+  Direct.Task = TaskKind::Boundary;
+  Direct.Module = ModuleSource::builtin("fig2");
+  Direct.Search.Engine = "native";
+  Expected<Report> R = Analyzer::analyze(Direct);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().find("engine"), std::string::npos);
 }
 
 TEST(SpecTest, UnsetSearchFieldsStayUnset) {
@@ -364,6 +410,64 @@ TEST(EquivalenceTest, NfpLimitsRounds) {
   EXPECT_LE(R->count("overflow"), 3u);
 }
 
+TEST(EquivalenceTest, EnginesProduceIdenticalReports) {
+  // The compiled tier's bar: engine=vm and engine=interp agree
+  // bit-for-bit through the whole declarative pipeline.
+  auto Run = [&](const char *Engine) {
+    AnalysisSpec Spec;
+    Spec.Task = TaskKind::Boundary;
+    Spec.Module = ModuleSource::inlineText(QuickstartIr);
+    Spec.Search.Seed = 2019;
+    Spec.Search.MaxEvals = 40'000;
+    Spec.Search.Engine = Engine;
+    Expected<Report> R = Analyzer::analyze(Spec);
+    if (!R.hasValue()) {
+      ADD_FAILURE() << R.error();
+      return Report{};
+    }
+    return R.take();
+  };
+  Report RV = Run("vm");
+  Report RI = Run("interp");
+
+  EXPECT_EQ(RV.Engine, "vm");
+  EXPECT_TRUE(RV.EngineFallback.empty()) << RV.EngineFallback;
+  EXPECT_EQ(RI.Engine, "interp");
+
+  ASSERT_EQ(RV.Success, RI.Success);
+  ASSERT_EQ(RV.Findings.size(), RI.Findings.size());
+  for (size_t K = 0; K < RV.Findings.size(); ++K) {
+    EXPECT_EQ(RV.Findings[K].Input, RI.Findings[K].Input);
+    EXPECT_EQ(RV.Findings[K].SiteId, RI.Findings[K].SiteId);
+  }
+  EXPECT_EQ(RV.Evals, RI.Evals);
+  EXPECT_EQ(RV.StartsUsed, RI.StartsUsed);
+  EXPECT_EQ(RV.UnsoundCandidates, RI.UnsoundCandidates);
+
+  // An unset engine is the vm default.
+  AnalysisSpec Default;
+  Default.Task = TaskKind::Boundary;
+  Default.Module = ModuleSource::inlineText(QuickstartIr);
+  Default.Search.Seed = 2019;
+  Default.Search.MaxEvals = 40'000;
+  Expected<Report> RD = Analyzer::analyze(Default);
+  ASSERT_TRUE(RD.hasValue()) << RD.error();
+  EXPECT_EQ(RD->Engine, "vm");
+  EXPECT_EQ(RD->Evals, RV.Evals);
+}
+
+TEST(EquivalenceTest, FpSatReportsNativeEngine) {
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::FpSat;
+  Spec.Constraint = "(= x 1.5)";
+  Spec.Search.Seed = 7;
+  Spec.Search.MaxEvals = 20'000;
+  Spec.Search.Engine = "vm"; // Accepted, but fpsat is native code.
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  EXPECT_EQ(R->Engine, "native");
+}
+
 //===----------------------------------------------------------------------===//
 // Report serialization
 //===----------------------------------------------------------------------===//
@@ -384,6 +488,8 @@ TEST(ReportTest, JsonSerializesAndParses) {
   EXPECT_EQ(Doc->find("success")->asBool(), R->Success);
   EXPECT_EQ(Doc->find("findings")->size(), R->Findings.size());
   EXPECT_EQ(Doc->find("evals")->asUint(), R->Evals);
+  ASSERT_NE(Doc->find("engine"), nullptr);
+  EXPECT_EQ(Doc->find("engine")->asString(), "vm");
   EXPECT_EQ(Doc->find("extra")->find("total")->asUint(),
             R->Extra.find("total")->asUint());
 }

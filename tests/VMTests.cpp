@@ -1,0 +1,562 @@
+//===--- VMTests.cpp - Compiled tier vs interpreter equivalence -----------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// The compiled tier's contract is *bit-for-bit* agreement with the
+// interpreter: same return values, same step counts, same traps, same
+// branch traces, same global/site end states — on every builtin subject
+// and on randomly generated modules, under every rounding mode and
+// budget. These tests are the contract's enforcement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/BoundaryAnalysis.h"
+#include "analyses/OverflowDetector.h"
+#include "api/Subjects.h"
+#include "gsl/Bessel.h"
+#include "instrument/Observers.h"
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "opt/BasinHopping.h"
+#include "subjects/SinModel.h"
+#include "support/FPUtils.h"
+#include "support/RNG.h"
+#include "vm/Lowering.h"
+#include "vm/Machine.h"
+#include "vm/VMWeakDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wdm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Differential harness
+//===----------------------------------------------------------------------===//
+
+std::vector<uint64_t> globalBits(const exec::ExecContext &Ctx,
+                                 const ir::Module &M) {
+  std::vector<uint64_t> Bits;
+  for (size_t I = 0; I < M.numGlobals(); ++I) {
+    exec::RTValue V = Ctx.getGlobal(M.global(I));
+    if (V.type() == ir::Type::Double)
+      Bits.push_back(bitsOf(V.asDouble()));
+    else
+      Bits.push_back(static_cast<uint64_t>(V.asInt()));
+  }
+  return Bits;
+}
+
+void expectSameResult(const exec::ExecResult &I, const exec::ExecResult &V,
+                      const std::string &Ctx) {
+  EXPECT_EQ(static_cast<int>(I.Kind), static_cast<int>(V.Kind)) << Ctx;
+  EXPECT_EQ(I.Steps, V.Steps) << Ctx;
+  EXPECT_EQ(I.TrapId, V.TrapId) << Ctx;
+  EXPECT_EQ(I.TrapMessage, V.TrapMessage) << Ctx;
+  ASSERT_EQ(static_cast<int>(I.ReturnValue.type()),
+            static_cast<int>(V.ReturnValue.type()))
+      << Ctx;
+  switch (I.ReturnValue.type()) {
+  case ir::Type::Double:
+    EXPECT_EQ(bitsOf(I.ReturnValue.asDouble()),
+              bitsOf(V.ReturnValue.asDouble()))
+        << Ctx;
+    break;
+  case ir::Type::Int:
+    EXPECT_EQ(I.ReturnValue.asInt(), V.ReturnValue.asInt()) << Ctx;
+    break;
+  case ir::Type::Bool:
+    EXPECT_EQ(I.ReturnValue.asBool(), V.ReturnValue.asBool()) << Ctx;
+    break;
+  case ir::Type::Void:
+    break;
+  }
+}
+
+void expectSameTrace(const instr::BranchTraceObserver &I,
+                     const instr::BranchTraceObserver &V,
+                     const std::string &Ctx) {
+  ASSERT_EQ(I.visits().size(), V.visits().size()) << Ctx;
+  for (size_t K = 0; K < I.visits().size(); ++K) {
+    EXPECT_EQ(I.visits()[K].Branch, V.visits()[K].Branch) << Ctx;
+    EXPECT_EQ(I.visits()[K].TakenTrue, V.visits()[K].TakenTrue) << Ctx;
+  }
+}
+
+/// Deterministic input battery: ordinary magnitudes, wild bit patterns,
+/// and the IEEE specials every engine disagreement hides behind.
+std::vector<double> drawInput(RNG &Rand, unsigned Dim) {
+  static const double Specials[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      1.0e308,
+      -1.0e308,
+      4.9e-324,
+      -1.0,
+      1.0,
+  };
+  std::vector<double> X(Dim);
+  for (double &V : X) {
+    double P = Rand.uniform();
+    if (P < 0.5)
+      V = Rand.uniform(-100.0, 100.0);
+    else if (P < 0.8)
+      V = Rand.anyFiniteDouble();
+    else
+      V = Specials[Rand.below(sizeof(Specials) / sizeof(Specials[0]))];
+  }
+  return X;
+}
+
+/// Runs every all-double-arg function of \p M through both engines on
+/// \p NumInputs inputs (optionally with some sites disabled) and asserts
+/// full observable equality.
+void diffModule(const ir::Module &M, uint64_t Seed, unsigned NumInputs,
+                bool DisableSomeSites,
+                const exec::ExecOptions &Opts = {}) {
+  exec::Engine E(M);
+  vm::CompiledModule CM = vm::compile(M);
+
+  exec::ExecContext CtxI(M), CtxV(M);
+  if (DisableSomeSites)
+    for (int Id = 0; Id < M.numSiteIds(); Id += 2) {
+      CtxI.setSiteEnabled(Id, false);
+      CtxV.setSiteEnabled(Id, false);
+    }
+
+  instr::BranchTraceObserver ObsI, ObsV;
+  CtxI.setObserver(&ObsI);
+  CtxV.setObserver(&ObsV);
+
+  vm::Machine Mach(CM);
+  RNG Rand(Seed);
+
+  for (const auto &FPtr : M) {
+    const ir::Function *F = FPtr.get();
+    bool AllDouble = true;
+    for (unsigned I = 0; I < F->numArgs(); ++I)
+      AllDouble &= F->arg(I)->type() == ir::Type::Double;
+    if (!AllDouble)
+      continue;
+    const vm::CompiledFunction *CF = CM.lookup(F);
+    ASSERT_NE(CF, nullptr);
+    ASSERT_TRUE(CF->Ok) << F->name() << ": " << CF->RejectReason;
+
+    for (unsigned K = 0; K < NumInputs; ++K) {
+      std::vector<double> X = drawInput(Rand, F->numArgs());
+      std::vector<exec::RTValue> Args;
+      for (double V : X)
+        Args.push_back(exec::RTValue::ofDouble(V));
+
+      std::string Where = M.name() + "::" + F->name() + " input #" +
+                          std::to_string(K);
+      CtxI.resetGlobals();
+      CtxV.resetGlobals();
+      ObsI.clear();
+      ObsV.clear();
+
+      exec::ExecResult RI = E.run(F, Args, CtxI, Opts);
+      exec::ExecResult RV = Mach.run(*CF, Args, CtxV, Opts);
+
+      expectSameResult(RI, RV, Where);
+      expectSameTrace(ObsI, ObsV, Where);
+      EXPECT_EQ(globalBits(CtxI, M), globalBits(CtxV, M)) << Where;
+      EXPECT_EQ(CtxI.siteDisabledTable(), CtxV.siteDisabledTable())
+          << Where;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin subjects
+//===----------------------------------------------------------------------===//
+
+TEST(VMLoweringTest, EveryBuiltinSubjectCompiles) {
+  for (const api::BuiltinInfo &Info : api::builtinSubjects()) {
+    ir::Module M(Info.Name);
+    auto Sub = api::buildBuiltinSubject(M, Info.Name);
+    ASSERT_TRUE(Sub.hasValue()) << Info.Name;
+    vm::CompiledModule CM = vm::compile(M);
+    for (const vm::CompiledFunction &CF : CM.Functions)
+      EXPECT_TRUE(CF.Ok) << Info.Name << "::" << CF.Source->name() << ": "
+                         << CF.RejectReason;
+  }
+}
+
+TEST(VMDifferentialTest, BuiltinSubjectsMatchInterpreter) {
+  uint64_t Seed = 0x5eed;
+  for (const api::BuiltinInfo &Info : api::builtinSubjects()) {
+    ir::Module M(Info.Name);
+    auto Sub = api::buildBuiltinSubject(M, Info.Name);
+    ASSERT_TRUE(Sub.hasValue()) << Info.Name;
+    diffModule(M, Seed++, 20, /*DisableSomeSites=*/false);
+  }
+}
+
+TEST(VMDifferentialTest, InstrumentedSubjectsMatchWithSiteState) {
+  // Instrumentation introduces site_enabled gates and the w global; the
+  // site-state-sensitive behavior (Algorithm 3's evolving L) must agree
+  // too, including with half the sites disabled.
+  uint64_t Seed = 0x11;
+  for (const char *Name : {"fig2", "sin", "bessel", "airy"}) {
+    ir::Module M(Name);
+    auto Sub = api::buildBuiltinSubject(M, Name);
+    ASSERT_TRUE(Sub.hasValue()) << Name;
+    instr::OverflowInstrumentation OI =
+        instr::instrumentOverflow(*Sub->F);
+    ASSERT_NE(OI.Wrapped, nullptr);
+    diffModule(M, Seed++, 15, /*DisableSomeSites=*/false);
+    diffModule(M, Seed++, 15, /*DisableSomeSites=*/true);
+  }
+}
+
+TEST(VMDifferentialTest, RoundingModesMatch) {
+  ir::Module M("sin");
+  subjects::SinModel P = subjects::buildSinModel(M);
+  ASSERT_NE(P.F, nullptr);
+  for (exec::RoundingMode RM :
+       {exec::RoundingMode::NearestEven, exec::RoundingMode::TowardZero,
+        exec::RoundingMode::Upward, exec::RoundingMode::Downward}) {
+    exec::ExecOptions Opts;
+    Opts.Rounding = RM;
+    diffModule(M, 0x40d + static_cast<uint64_t>(RM), 12,
+               /*DisableSomeSites=*/false, Opts);
+  }
+}
+
+TEST(VMDifferentialTest, StepBudgetsMatch) {
+  ir::Module M("sin");
+  subjects::buildSinModel(M);
+  for (uint64_t MaxSteps : {1ull, 2ull, 7ull, 33ull, 100ull}) {
+    exec::ExecOptions Opts;
+    Opts.MaxSteps = MaxSteps;
+    diffModule(M, 0x57e9 + MaxSteps, 6, /*DisableSomeSites=*/false, Opts);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Randomly generated modules
+//===----------------------------------------------------------------------===//
+
+/// Generates a verifier-clean random module: forward-only CFGs over
+/// doubles/ints/bools, globals, allocas, site gates, select, a helper
+/// call, and an occasional trap — every construct the lowering handles.
+void buildRandomModule(ir::Module &M, RNG &Rand) {
+  ir::IRBuilder B(M);
+  ir::GlobalVar *GD = M.addGlobalDouble("gd", 1.5);
+  ir::GlobalVar *GI = M.addGlobalInt("gi", 7);
+  for (int K = 0; K < 4; ++K)
+    M.allocateSiteId();
+
+  // A small always-terminating helper the main function can call.
+  ir::Function *Helper = M.addFunction("helper", ir::Type::Double);
+  {
+    ir::Argument *A = Helper->addArg(ir::Type::Double, "a");
+    ir::Argument *Bv = Helper->addArg(ir::Type::Double, "b");
+    ir::BasicBlock *HEntry = Helper->addBlock("entry");
+    ir::BasicBlock *HT = Helper->addBlock("t");
+    ir::BasicBlock *HF = Helper->addBlock("f");
+    B.setInsertAppend(HEntry);
+    ir::Instruction *C = B.fcmp(ir::CmpPred::LT, A, Bv);
+    B.condbr(C, HT, HF);
+    B.setInsertAppend(HT);
+    B.ret(B.fadd(A, B.sin(Bv)));
+    B.setInsertAppend(HF);
+    B.ret(B.fmul(A, B.fsub(Bv, B.lit(0.5))));
+  }
+
+  unsigned NumArgs = 1 + static_cast<unsigned>(Rand.below(3));
+  ir::Function *F = M.addFunction("f", ir::Type::Double);
+  std::vector<ir::Value *> ArgVals;
+  for (unsigned K = 0; K < NumArgs; ++K)
+    ArgVals.push_back(F->addArg(ir::Type::Double, "x" + std::to_string(K)));
+
+  unsigned NumBlocks = 3 + static_cast<unsigned>(Rand.below(5));
+  std::vector<ir::BasicBlock *> Blocks;
+  for (unsigned K = 0; K < NumBlocks; ++K)
+    Blocks.push_back(F->addBlock("b" + std::to_string(K)));
+
+  // Dominance discipline: only entry-block definitions (which dominate
+  // everything) and current-block definitions are used as operands.
+  std::vector<ir::Value *> EntryD = ArgVals, EntryI, EntryB;
+  std::vector<ir::Instruction *> Allocas;
+
+  for (unsigned BI = 0; BI < NumBlocks; ++BI) {
+    ir::BasicBlock *BB = Blocks[BI];
+    B.setInsertAppend(BB);
+    bool IsEntry = BI == 0;
+    std::vector<ir::Value *> D = EntryD, IV = EntryI, BV = EntryB;
+
+    if (IsEntry) {
+      // A couple of stack slots, entry-only so every use is dominated.
+      for (int K = 0; K < 2; ++K) {
+        ir::Instruction *Slot = B.alloca_(ir::Type::Double);
+        B.store(Slot, D[Rand.below(D.size())]);
+        Allocas.push_back(Slot);
+      }
+    }
+
+    unsigned NumOps = 2 + static_cast<unsigned>(Rand.below(5));
+    for (unsigned K = 0; K < NumOps; ++K) {
+      ir::Value *X = D[Rand.below(D.size())];
+      ir::Value *Y = D[Rand.below(D.size())];
+      switch (Rand.below(14)) {
+      case 0:
+        D.push_back(B.fadd(X, Y));
+        break;
+      case 1:
+        D.push_back(B.fmul(X, Y));
+        break;
+      case 2:
+        D.push_back(B.fdiv(X, B.fadd(Y, B.lit(0.25))));
+        break;
+      case 3:
+        D.push_back(B.sin(X));
+        break;
+      case 4:
+        D.push_back(B.fmin(X, B.sqrt(B.fabs(Y))));
+        break;
+      case 5:
+        BV.push_back(B.fcmp(
+            static_cast<ir::CmpPred>(Rand.below(6)), X, Y));
+        break;
+      case 6:
+        IV.push_back(B.highword(X));
+        break;
+      case 7:
+        if (!IV.empty()) {
+          ir::Value *I1 = IV[Rand.below(IV.size())];
+          ir::Value *I2 = IV[Rand.below(IV.size())];
+          IV.push_back(B.iadd(B.ixor(I1, I2), B.litInt(3)));
+          BV.push_back(
+              B.icmp(static_cast<ir::CmpPred>(Rand.below(6)), I1, I2));
+        }
+        break;
+      case 8:
+        if (!BV.empty())
+          D.push_back(B.select(BV[Rand.below(BV.size())], X, Y));
+        break;
+      case 9:
+        B.storeg(GD, X);
+        D.push_back(B.loadg(GD));
+        break;
+      case 10:
+        IV.push_back(B.loadg(GI));
+        break;
+      case 11:
+        // Ids 0..3 are allocated; 4 exercises the beyond-range path
+        // (reads enabled in both tiers).
+        BV.push_back(B.siteEnabled(static_cast<int>(Rand.below(5))));
+        break;
+      case 12:
+        if (!Allocas.empty()) {
+          ir::Instruction *Slot = Allocas[Rand.below(Allocas.size())];
+          B.store(Slot, X);
+          D.push_back(B.load(Slot));
+        }
+        break;
+      case 13:
+        D.push_back(B.call(Helper, {X, Y}));
+        break;
+      }
+    }
+    if (IsEntry) {
+      EntryD = D;
+      EntryI = IV;
+      EntryB = BV;
+    }
+
+    // Terminator: forward-only control flow, so every run terminates.
+    if (BI + 1 == NumBlocks) {
+      B.ret(D[Rand.below(D.size())]);
+    } else if (Rand.chance(0.05)) {
+      B.trap(100 + static_cast<int>(BI), "random trap");
+    } else if (!BV.empty() && Rand.chance(0.7) && BI + 2 < NumBlocks) {
+      size_t T1 = BI + 1 + Rand.below(NumBlocks - BI - 1);
+      size_t T2 = BI + 1 + Rand.below(NumBlocks - BI - 1);
+      B.condbr(BV[Rand.below(BV.size())], Blocks[T1], Blocks[T2]);
+    } else {
+      B.br(Blocks[BI + 1 + Rand.below(NumBlocks - BI - 1)]);
+    }
+  }
+}
+
+TEST(VMDifferentialTest, RandomModulesMatchInterpreter) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    ir::Module M("random" + std::to_string(Seed));
+    RNG Rand(Seed * 0x9e37);
+    buildRandomModule(M, Rand);
+    Status S = ir::verifyModule(M);
+    ASSERT_TRUE(S.ok()) << "seed " << Seed << ": " << S.message();
+    diffModule(M, Seed, 12, /*DisableSomeSites=*/false);
+    diffModule(M, Seed + 1000, 6, /*DisableSomeSites=*/true);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Weak-distance and search-level equivalence
+//===----------------------------------------------------------------------===//
+
+const char *QuickstartIr = R"(
+module "quickstart"
+func @prog(%x: double) -> double {
+entry:
+  %xs = alloca double
+  store %xs, %x
+  %c1 = fcmp.le %x, 1.0
+  condbr %c1, inc, mid
+inc:
+  %x1 = fadd %x, 1.0
+  store %xs, %x1
+  br mid
+mid:
+  %xv = load %xs
+  %y = fmul %xv, %xv
+  %c2 = fcmp.le %y, 4.0
+  condbr %c2, dec, done
+dec:
+  %x2 = fsub %xv, 1.0
+  store %xs, %x2
+  br done
+done:
+  %r = load %xs
+  ret %r
+}
+)";
+
+TEST(VMEquivalenceTest, WeakDistanceValuesMatchBitForBit) {
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  analyses::BoundaryAnalysis BVA(M, *M.functionByName("prog"));
+  ASSERT_EQ(BVA.executionTier().Effective, vm::EngineKind::VM);
+
+  auto VMEval = BVA.factory().make();
+  RNG Rand(0xd1ff);
+  for (unsigned K = 0; K < 500; ++K) {
+    std::vector<double> X = drawInput(Rand, 1);
+    double WI = BVA.weak()(X); // Driver-side interpreter evaluator.
+    double WV = (*VMEval)(X);
+    EXPECT_EQ(bitsOf(WI), bitsOf(WV)) << X[0];
+  }
+}
+
+TEST(VMEquivalenceTest, BoundarySearchIdenticalAcrossEngines) {
+  auto Run = [&](vm::EngineKind Engine) {
+    auto Parsed = ir::parseModule(QuickstartIr);
+    EXPECT_TRUE(Parsed.hasValue());
+    ir::Module &M = **Parsed;
+    analyses::BoundaryAnalysis BVA(M, *M.functionByName("prog"),
+                                   instr::BoundaryForm::Product, Engine);
+    opt::BasinHopping Backend;
+    core::ReductionOptions Opts;
+    Opts.Seed = 2019;
+    Opts.MaxEvals = 40'000;
+    return BVA.findOne(Backend, Opts);
+  };
+  core::ReductionResult RI = Run(vm::EngineKind::Interp);
+  core::ReductionResult RV = Run(vm::EngineKind::VM);
+  EXPECT_EQ(RI.Found, RV.Found);
+  EXPECT_EQ(RI.Witness, RV.Witness);
+  EXPECT_EQ(RI.Evals, RV.Evals);
+  EXPECT_EQ(RI.StartsUsed, RV.StartsUsed);
+  EXPECT_EQ(bitsOf(RI.WStar), bitsOf(RV.WStar));
+  EXPECT_EQ(RI.UnsoundCandidates, RV.UnsoundCandidates);
+}
+
+TEST(VMEquivalenceTest, OverflowRoundsIdenticalAcrossEngines) {
+  auto Run = [&](vm::EngineKind Engine) {
+    ir::Module M;
+    gsl::SfFunction Bessel = gsl::buildBesselKnuScaledAsympx(M);
+    analyses::OverflowDetector Det(M, *Bessel.F,
+                                   instr::OverflowMetric::UlpGap, Engine);
+    analyses::OverflowDetector::Options Opts;
+    Opts.Seed = 0xbe55;
+    Opts.EvalsPerRound = 2'000;
+    Opts.MaxRounds = 4;
+    return Det.run(Opts);
+  };
+  analyses::OverflowReport RI = Run(vm::EngineKind::Interp);
+  analyses::OverflowReport RV = Run(vm::EngineKind::VM);
+  EXPECT_EQ(RI.Evals, RV.Evals);
+  ASSERT_EQ(RI.Findings.size(), RV.Findings.size());
+  for (size_t K = 0; K < RI.Findings.size(); ++K) {
+    EXPECT_EQ(RI.Findings[K].SiteId, RV.Findings[K].SiteId);
+    EXPECT_EQ(RI.Findings[K].Found, RV.Findings[K].Found);
+    EXPECT_EQ(RI.Findings[K].Input, RV.Findings[K].Input);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback
+//===----------------------------------------------------------------------===//
+
+TEST(VMFallbackTest, TinyLimitsRejectAndFallBack) {
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  ir::Function *F = M.functionByName("prog");
+
+  vm::Limits Tiny;
+  Tiny.MaxRegs = 2;
+  vm::CompiledModule CM = vm::compile(M, Tiny);
+  const vm::CompiledFunction *CF = CM.lookup(F);
+  ASSERT_NE(CF, nullptr);
+  EXPECT_FALSE(CF->Ok);
+  EXPECT_FALSE(CF->RejectReason.empty());
+
+  // The drop-in factory mints working interpreter evaluators instead.
+  instr::BoundaryInstrumentation BI = instr::instrumentBoundary(*F);
+  exec::Engine E(M);
+  exec::ExecContext Parent(M);
+  vm::VMWeakDistanceFactory Factory(E, BI.Wrapped, BI.W, BI.WInit, Parent,
+                                    {}, Tiny);
+  EXPECT_FALSE(Factory.usingVM());
+  EXPECT_FALSE(Factory.fallbackReason().empty());
+
+  auto Eval = Factory.make();
+  instr::IRWeakDistance Direct(E, BI.Wrapped, BI.W, BI.WInit, Parent);
+  for (double X : {-3.0, 0.5, 1.0, 2.0, 1e300})
+    EXPECT_EQ(bitsOf(Direct({X})), bitsOf((*Eval)({X})));
+
+  // And the bundle reports the fallback for the api layer.
+  vm::FactoryBundle Bundle = vm::makeWeakDistanceFactory(
+      vm::EngineKind::VM, E, BI.Wrapped, BI.W, BI.WInit, Parent, {}, Tiny);
+  EXPECT_EQ(Bundle.Effective, vm::EngineKind::Interp);
+  EXPECT_FALSE(Bundle.FallbackReason.empty());
+}
+
+TEST(VMFallbackTest, CallersOfRejectedCalleesFallBackToo) {
+  ir::Module M("transitive");
+  ir::IRBuilder B(M);
+
+  ir::Function *Big = M.addFunction("big", ir::Type::Double);
+  ir::Argument *BA = Big->addArg(ir::Type::Double, "x");
+  B.setInsertAppend(Big->addBlock("entry"));
+  ir::Value *Acc = BA;
+  for (int K = 0; K < 40; ++K)
+    Acc = B.fadd(Acc, B.lit(static_cast<double>(K)));
+  B.ret(Acc);
+
+  ir::Function *Caller = M.addFunction("caller", ir::Type::Double);
+  ir::Argument *CA = Caller->addArg(ir::Type::Double, "x");
+  B.setInsertAppend(Caller->addBlock("entry"));
+  B.ret(B.call(Big, {CA}));
+
+  vm::Limits Tiny;
+  Tiny.MaxRegs = 30; // Rejects big (needs > 30 regs), fits caller.
+  vm::CompiledModule CM = vm::compile(M, Tiny);
+  EXPECT_FALSE(CM.lookup(Big)->Ok);
+  EXPECT_FALSE(CM.lookup(Caller)->Ok);
+  EXPECT_NE(CM.lookup(Caller)->RejectReason.find("big"),
+            std::string::npos);
+}
+
+} // namespace

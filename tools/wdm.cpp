@@ -55,6 +55,8 @@ int usage() {
          "module's only one)\n"
          "  --evals=<n> --starts=<n> --seed=<n> --threads=<n>\n"
          "  --backends=<a,b,...>       portfolio by name\n"
+         "  --engine=<e>               execution tier: vm (default) | "
+         "interp\n"
          "  --path=<leg,leg,...>       path legs, e.g. 0:taken,1:not\n"
          "  --boundary-form=<f>        product|min|minulp\n"
          "  --overflow-metric=<m>      ulpgap|absgap\n"
@@ -93,8 +95,14 @@ void printReport(const Report &R) {
       std::cout << "  — " << RC->asString();
     std::cout << "\n";
   }
-  std::cout << "evals:     " << R.Evals << "\n"
-            << "seconds:   " << formatf("%.3f", R.Seconds) << "\n"
+  std::cout << "evals:     " << R.Evals << "\n";
+  if (!R.Engine.empty()) {
+    std::cout << "engine:    " << R.Engine;
+    if (!R.EngineFallback.empty())
+      std::cout << " (fallback: " << R.EngineFallback << ")";
+    std::cout << "\n";
+  }
+  std::cout << "seconds:   " << formatf("%.3f", R.Seconds) << "\n"
             << "threads:   " << R.ThreadsUsed << "\n";
   if (R.UnsoundCandidates)
     std::cout << "unsound:   " << R.UnsoundCandidates
@@ -125,7 +133,12 @@ int cmdTasks() {
   std::cout << "\nbackends:\n ";
   for (const std::string &B : backendNames())
     std::cout << " " << B;
-  std::cout << "\n\nbuiltin subjects:\n";
+  std::cout << "\n\nengines:\n"
+               "  vm          compiled tier: bytecode + threaded-code VM "
+               "(default)\n"
+               "  interp      tree-walking interpreter (automatic "
+               "fallback target)\n";
+  std::cout << "\nbuiltin subjects:\n";
   for (const BuiltinInfo &I : builtinSubjects())
     std::cout << "  " << formatf("%-12s", I.Name) << I.Summary << "\n";
   return 0;
@@ -238,6 +251,8 @@ int cmdAnalyze(int Argc, char **Argv) {
     } else if (Key == "--backends") {
       for (const std::string &B : splitString(Val, ','))
         Spec.Search.Backends.push_back(B);
+    } else if (Key == "--engine") {
+      Spec.Search.Engine = Val;
     } else if (Key == "--path") {
       if (!parsePathLegs(Val, Spec.Path))
         return fail("bad --path (expected e.g. 0:taken,1:not)");
