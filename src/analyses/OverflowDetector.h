@@ -76,6 +76,9 @@ public:
     /// core::SearchOptions::Threads; only effective with
     /// StartsPerRound > 1).
     unsigned Threads = 1;
+    /// Evaluation block size for the per-round search's population
+    /// backends (core::SearchOptions::Batch; 0 = auto by tier).
+    unsigned Batch = 0;
     /// Algorithm 3's nFP: maximum rounds before returning. 0 (the
     /// default) runs one round per site — the run-to-completion mode the
     /// paper's termination argument describes.

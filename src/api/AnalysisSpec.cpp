@@ -117,6 +117,8 @@ void SearchConfig::applyTo(core::SearchOptions &Opts) const {
     Opts.WildStartProb = *WildStartProb;
   if (Threads)
     Opts.Threads = *Threads;
+  if (Batch)
+    Opts.Batch = *Batch;
 }
 
 //===----------------------------------------------------------------------===//
@@ -193,6 +195,8 @@ json::Value AnalysisSpec::toJson() const {
     S.set("wild_start_prob", Value::number(*Search.WildStartProb));
   if (Search.Threads)
     S.set("threads", Value::number(*Search.Threads));
+  if (Search.Batch)
+    S.set("batch", Value::number(*Search.Batch));
   if (!Search.Backends.empty()) {
     Value Bs = Value::array();
     for (const std::string &B : Search.Backends)
@@ -343,7 +347,7 @@ Expected<AnalysisSpec> AnalysisSpec::fromJson(const json::Value &V) {
     } NumFields[] = {{"max_evals", false},     {"starts", false},
                      {"seed", false},          {"start_lo", true},
                      {"start_hi", true},       {"wild_start_prob", false},
-                     {"threads", false}};
+                     {"threads", false},       {"batch", false}};
     for (const auto &F : NumFields)
       if (const Value *X = S->find(F.Name)) {
         if (!X->isNumber() && !(F.AllowNegative && isNonFiniteString(*X)))
@@ -365,6 +369,8 @@ Expected<AnalysisSpec> AnalysisSpec::fromJson(const json::Value &V) {
       Spec.Search.WildStartProb = X->asDouble();
     if (const Value *X = S->find("threads"))
       Spec.Search.Threads = static_cast<unsigned>(X->asUint());
+    if (const Value *X = S->find("batch"))
+      Spec.Search.Batch = static_cast<unsigned>(X->asUint());
     if (const Value *X = S->find("backends")) {
       if (!X->isArray())
         return E::error("spec: 'backends' must be an array of names");

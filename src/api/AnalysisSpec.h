@@ -86,6 +86,11 @@ struct SearchConfig {
   std::optional<double> StartHi;
   std::optional<double> WildStartProb;
   std::optional<unsigned> Threads;
+  /// Evaluation block size for the population backends (JSON "batch",
+  /// CLI --batch=). 0 = auto: each search worker adopts its evaluator's
+  /// preferred size — 32 on the VM tier, 8 on the interpreter. Results
+  /// are bit-for-bit invariant in this knob.
+  std::optional<unsigned> Batch;
   /// Backend portfolio by name: "basinhopping", "de", "neldermead",
   /// "powell", "random", "ulp". Empty = the paper's default
   /// (basinhopping only).

@@ -23,22 +23,34 @@ IRWeakDistance::IRWeakDistance(const Engine &E, const Function *F,
            "weak distances require dom(Prog) = F^N (Definition 2.1)");
 }
 
-double IRWeakDistance::operator()(const std::vector<double> &X) {
-  assert(X.size() == F->numArgs() && "input dimension mismatch");
+double IRWeakDistance::evalStaged() {
   Ctx.resetGlobals();
   Ctx.setGlobal(WVar, RTValue::ofDouble(WInit));
-
-  std::vector<RTValue> Args;
-  Args.reserve(X.size());
-  for (double V : X)
-    Args.push_back(RTValue::ofDouble(V));
-
-  Last = E.run(F, Args, Ctx, Opts);
+  Last = E.run(F, ArgBuf, Ctx, Opts);
   if (Last.Kind == ExecResult::Outcome::StepLimitExceeded)
     return std::numeric_limits<double>::infinity();
   // Normal returns and traps both leave w meaningful: traps are program
   // behavior (e.g. assertion failures), not evaluation failures.
   return Ctx.getGlobal(WVar).asDouble();
+}
+
+double IRWeakDistance::operator()(const std::vector<double> &X) {
+  assert(X.size() == F->numArgs() && "input dimension mismatch");
+  ArgBuf.resize(X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    ArgBuf[I] = RTValue::ofDouble(X[I]);
+  return evalStaged();
+}
+
+void IRWeakDistance::evalBatch(const double *Xs, std::size_t K,
+                               double *Fs) {
+  const unsigned N = F->numArgs();
+  ArgBuf.resize(N);
+  for (std::size_t L = 0; L < K; ++L) {
+    for (unsigned I = 0; I < N; ++I)
+      ArgBuf[I] = RTValue::ofDouble(Xs[L * N + I]);
+    Fs[L] = evalStaged();
+  }
 }
 
 int64_t IRWeakDistance::readIntGlobal(const GlobalVar *G) const {
@@ -64,6 +76,10 @@ public:
 
   unsigned dim() const override { return W.dim(); }
   double operator()(const std::vector<double> &X) override { return W(X); }
+  void evalBatch(const double *Xs, std::size_t K, double *Fs) override {
+    W.evalBatch(Xs, K, Fs);
+  }
+  unsigned preferredBatch() const override { return W.preferredBatch(); }
   std::string name() const override { return W.name(); }
 
 private:

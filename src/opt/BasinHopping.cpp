@@ -11,12 +11,104 @@
 #include "opt/UlpSearch.h"
 #include "support/FPUtils.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
 
 using namespace wdm;
 using namespace wdm::opt;
+
+namespace {
+
+/// Shared proposal kernel: per-coordinate ordered-bit jump from \p From;
+/// occasional full redraw keeps the chain irreducible over all of F.
+void propose(double *Out, const double *From, unsigned Dim,
+             double StepBits, RNG &Rand) {
+  for (unsigned I = 0; I < Dim; ++I) {
+    if (Rand.chance(0.1)) {
+      Out[I] = Rand.anyFiniteDouble();
+      continue;
+    }
+    int64_t Base = orderedBits(From[I]);
+    double Jump = Rand.normal() * std::ldexp(1.0, static_cast<int>(StepBits));
+    // Clamp the jump into int64 range before converting.
+    Jump = std::fmax(std::fmin(Jump, 4.4e18), -4.4e18);
+    Out[I] = clampedFromOrderedBits(Base + static_cast<int64_t>(Jump));
+  }
+}
+
+/// Adapts the proposal scale toward a ~50% acceptance rate, the SciPy
+/// basinhopping heuristic, expressed in bits. Applied every 10 proposals.
+void adaptStep(double &StepBits, unsigned Accepted, unsigned Proposed) {
+  if (Proposed % 10 != 0)
+    return;
+  double Rate =
+      static_cast<double>(Accepted) / static_cast<double>(Proposed);
+  if (Rate > 0.6)
+    StepBits = std::fmin(StepBits + 2.0, 62.0);
+  else if (Rate < 0.4)
+    StepBits = std::fmax(StepBits - 2.0, 4.0);
+}
+
+/// LocalMethod::None — pure Monte Carlo over proposals, restructured for
+/// batching: proposals come in fixed rounds of MCRound, all centered at
+/// the round-start state, harvested through Objective::evalBatch
+/// (chunked by Opts.Batch) and then Metropolis-processed in order. The
+/// round size is a constant, NOT Opts.Batch, so the chain — and
+/// therefore every result bit — is invariant in the evaluation block
+/// size; Batch only changes how many proposals reach the execution tier
+/// per call. (The speculative recentering delay versus the historical
+/// one-proposal-at-a-time chain is a deliberate, documented change; this
+/// mode's only in-tree user is the local-minimizer ablation bench.)
+MinimizeResult pureMonteCarlo(Objective &Obj,
+                              const std::vector<double> &Start, RNG &Rand,
+                              const MinimizeOptions &Opts,
+                              uint64_t Before) {
+  constexpr unsigned MCRound = 32;
+  unsigned Dim = Obj.dim();
+
+  std::vector<double> X = Start;
+  double F = Obj.eval(Start);
+
+  double StepBits = static_cast<double>(Opts.StepBits);
+  unsigned Accepted = 0, Proposed = 0;
+
+  std::vector<double> Props(static_cast<std::size_t>(MCRound) * Dim);
+  std::vector<double> Fs(MCRound);
+
+  unsigned Hop = 0;
+  while (Hop < Opts.Hops && !Obj.done()) {
+    unsigned Round = std::min(MCRound, Opts.Hops - Hop);
+    for (unsigned K = 0; K < Round; ++K)
+      propose(Props.data() + static_cast<std::size_t>(K) * Dim, X.data(),
+              Dim, StepBits, Rand);
+
+    std::size_t Used =
+        evalChunked(Obj, Props.data(), Round, Opts.Batch, Fs.data());
+    for (std::size_t K = 0; K < Used; ++K) {
+      ++Proposed;
+      ++Hop;
+      double FNew = Fs[K];
+      bool Accept = FNew <= F;
+      if (!Accept && Opts.Temperature > 0.0) {
+        double Ratio = (F - FNew) / Opts.Temperature;
+        Accept = Rand.chance(std::exp(Ratio));
+      }
+      if (Accept) {
+        X.assign(Props.data() + K * Dim, Props.data() + (K + 1) * Dim);
+        F = FNew;
+        ++Accepted;
+      }
+      adaptStep(StepBits, Accepted, Proposed);
+    }
+    if (Used < Round)
+      break; // the objective is done mid-round
+  }
+  return harvest(Obj, Before);
+}
+
+} // namespace
 
 MinimizeResult BasinHopping::minimize(Objective &Obj,
                                       const std::vector<double> &Start,
@@ -40,17 +132,12 @@ MinimizeResult BasinHopping::minimize(Objective &Obj,
     Inner = std::make_unique<Powell>();
     break;
   case LocalMethod::None:
-    break;
+    return pureMonteCarlo(Obj, Start, Rand, Opts, Before);
   }
 
   MinimizeOptions InnerOpts = Opts;
 
   auto Descend = [&](const std::vector<double> &From) {
-    if (!Inner) {
-      double F = Obj.done() ? std::numeric_limits<double>::infinity()
-                            : Obj.eval(From);
-      return std::pair<std::vector<double>, double>(From, F);
-    }
     MinimizeResult R = Inner->minimize(Obj, From, Rand, InnerOpts);
     // The inner harvest reports the global best; re-evaluate its endpoint
     // locality by just using the best-so-far (monotone, adequate for the
@@ -64,21 +151,8 @@ MinimizeResult BasinHopping::minimize(Objective &Obj,
   unsigned Accepted = 0, Proposed = 0;
 
   for (unsigned Hop = 0; Hop < Opts.Hops && !Obj.done(); ++Hop) {
-    // Propose: per-coordinate ordered-bit jump; occasional full redraw
-    // keeps the chain irreducible over all of F.
     std::vector<double> Proposal(Dim);
-    for (unsigned I = 0; I < Dim; ++I) {
-      if (Rand.chance(0.1)) {
-        Proposal[I] = Rand.anyFiniteDouble();
-        continue;
-      }
-      int64_t Base = orderedBits(X[I]);
-      double Jump = Rand.normal() * std::ldexp(1.0, static_cast<int>(StepBits));
-      // Clamp the jump into int64 range before converting.
-      Jump = std::fmax(std::fmin(Jump, 4.4e18), -4.4e18);
-      Proposal[I] =
-          clampedFromOrderedBits(Base + static_cast<int64_t>(Jump));
-    }
+    propose(Proposal.data(), X.data(), Dim, StepBits, Rand);
 
     auto [XNew, FNew] = Descend(Proposal);
     ++Proposed;
@@ -94,16 +168,7 @@ MinimizeResult BasinHopping::minimize(Objective &Obj,
       ++Accepted;
     }
 
-    // Adapt the proposal scale toward a ~50% acceptance rate, the SciPy
-    // basinhopping heuristic, expressed in bits.
-    if (Proposed % 10 == 0) {
-      double Rate =
-          static_cast<double>(Accepted) / static_cast<double>(Proposed);
-      if (Rate > 0.6)
-        StepBits = std::fmin(StepBits + 2.0, 62.0);
-      else if (Rate < 0.4)
-        StepBits = std::fmax(StepBits - 2.0, 4.0);
-    }
+    adaptStep(StepBits, Accepted, Proposed);
   }
   return harvest(Obj, Before);
 }

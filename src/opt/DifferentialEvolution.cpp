@@ -2,6 +2,14 @@
 //
 // Part of the wdm project (PLDI 2019 weak-distance minimization repro).
 //
+// Generational DE/rand/1/bin: each generation's NP trial vectors are
+// built from the *previous* generation's population, then evaluated as
+// one block through Objective::evalBatch (chunked by Opts.Batch), then
+// selected. Deferring selection to the generation boundary is what makes
+// the evaluation batchable at all — and it makes the search trajectory
+// independent of the evaluation block size, which the batch-vs-scalar
+// identity tests assert bit-for-bit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "opt/DifferentialEvolution.h"
@@ -28,20 +36,25 @@ MinimizeResult DifferentialEvolution::minimize(
 
   auto Clip = [&](double V) { return std::fmin(std::fmax(V, Lo), Hi); };
 
-  // Initialize: the provided start plus uniform draws over the box.
-  std::vector<std::vector<double>> Pop(NP, std::vector<double>(Dim));
+  // Flat row-major population and one generation-sized trial block, both
+  // allocated once: evalBatch consumes rows straight out of these
+  // buffers, and the generation loop never reconstructs them.
+  std::vector<double> Pop(static_cast<std::size_t>(NP) * Dim);
   std::vector<double> Fit(NP);
+  std::vector<double> Trials(static_cast<std::size_t>(NP) * Dim);
+  std::vector<double> TrialF(NP);
+
+  // Initialize: the provided start plus uniform draws over the box.
   for (unsigned I = 0; I < Dim; ++I)
-    Pop[0][I] = Clip(Start[I]);
+    Pop[I] = Clip(Start[I]);
   for (unsigned P = 1; P < NP; ++P)
     for (unsigned I = 0; I < Dim; ++I)
-      Pop[P][I] = Rand.uniform(Lo, Hi);
-  for (unsigned P = 0; P < NP && !Obj.done(); ++P)
-    Fit[P] = Obj.eval(Pop[P]);
+      Pop[static_cast<std::size_t>(P) * Dim + I] = Rand.uniform(Lo, Hi);
+  evalChunked(Obj, Pop.data(), NP, Opts.Batch, Fit.data());
 
-  std::vector<double> Trial(Dim);
   while (!Obj.done()) {
-    for (unsigned P = 0; P < NP && !Obj.done(); ++P) {
+    // Build the whole generation's trials from the current population.
+    for (unsigned P = 0; P < NP; ++P) {
       // Pick three distinct partners != P.
       unsigned R1, R2, R3;
       do
@@ -57,16 +70,25 @@ MinimizeResult DifferentialEvolution::minimize(
       // Dithered differential weight stabilizes convergence (Storn).
       double F = Opts.DEWeight + 0.3 * (Rand.uniform() - 0.5);
       unsigned ForcedDim = static_cast<unsigned>(Rand.below(Dim));
+      const double *B1 = Pop.data() + static_cast<std::size_t>(R1) * Dim;
+      const double *B2 = Pop.data() + static_cast<std::size_t>(R2) * Dim;
+      const double *B3 = Pop.data() + static_cast<std::size_t>(R3) * Dim;
+      const double *Cur = Pop.data() + static_cast<std::size_t>(P) * Dim;
+      double *Trial = Trials.data() + static_cast<std::size_t>(P) * Dim;
       for (unsigned I = 0; I < Dim; ++I) {
         bool Cross = I == ForcedDim || Rand.chance(Opts.DECrossover);
-        Trial[I] = Cross
-                       ? Clip(Pop[R1][I] + F * (Pop[R2][I] - Pop[R3][I]))
-                       : Pop[P][I];
+        Trial[I] = Cross ? Clip(B1[I] + F * (B2[I] - B3[I])) : Cur[I];
       }
-      double FT = Obj.eval(Trial);
-      if (FT <= Fit[P]) {
-        Pop[P] = Trial;
-        Fit[P] = FT;
+    }
+
+    // One block of NP evaluations; the consumed prefix is all that the
+    // budget / early stop let through.
+    std::size_t Used =
+        evalChunked(Obj, Trials.data(), NP, Opts.Batch, TrialF.data());
+    for (std::size_t P = 0; P < Used; ++P) {
+      if (TrialF[P] <= Fit[P]) {
+        std::copy_n(Trials.data() + P * Dim, Dim, Pop.data() + P * Dim);
+        Fit[P] = TrialF[P];
       }
     }
   }

@@ -121,6 +121,27 @@ enum class Op : uint8_t {
   RetB,   ///< Return R[A] as bool.
   RetVoid,
   Trap, ///< Imm = trap id, Imm2 = TrapMessages index.
+  /// Superinstruction: the instrumentation's read-modify-write idiom
+  /// `t = loadg g; r = fop t, x; storeg g, r` fused into one dispatch
+  /// (the peephole in Lowering.cpp). Fields: Imm = global slot, Dest =
+  /// the loadg's result register (still written, in case a later use or
+  /// a branch into the fused span reads it), A/B = the fop's operand
+  /// registers, C = the fop's result register, Imm2 = the fop kind
+  /// (FusedFOp). Executes with the exact step accounting of the three
+  /// source instructions (+2 beyond the dispatch step, with the step
+  /// limit checked at each virtual boundary), then skips the two
+  /// now-redundant instructions, which stay in place as branch targets.
+  FusedGRmwD,
+};
+
+/// The double binops eligible for FusedGRmwD (Inst::Imm2).
+enum class FusedFOp : uint16_t {
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FMin,
+  FMax,
 };
 
 /// Fixed-width instruction. Dest/A/B/C are frame-register indices; Imm

@@ -387,6 +387,64 @@ CompiledFunction FunctionLowering::run() {
   return Out;
 }
 
+/// Peephole over the emitted code: fuse every adjacent triple
+///   [i]   GLoadD  g -> t
+///   [i+1] F{Add,Sub,Mul,Div,Min,Max}  a, b -> r
+///   [i+2] GStoreD g <- r
+/// into one FusedGRmwD at [i]. The two fused-away instructions are left
+/// in place (never reached on the fallthrough path — the fused handler
+/// skips them) so branch targets into the middle of the span keep their
+/// original, unfused semantics, and no pc needs re-patching. The fused
+/// handler performs all three effects — t and r are still written —
+/// so later uses of either register see exactly the unfused values.
+void fuseSuperinstructions(CompiledFunction &CF) {
+  auto FusedKind = [](Op O, FusedFOp &Out) {
+    switch (O) {
+    case Op::FAdd:
+      Out = FusedFOp::FAdd;
+      return true;
+    case Op::FSub:
+      Out = FusedFOp::FSub;
+      return true;
+    case Op::FMul:
+      Out = FusedFOp::FMul;
+      return true;
+    case Op::FDiv:
+      Out = FusedFOp::FDiv;
+      return true;
+    case Op::FMin:
+      Out = FusedFOp::FMin;
+      return true;
+    case Op::FMax:
+      Out = FusedFOp::FMax;
+      return true;
+    default:
+      return false;
+    }
+  };
+
+  for (size_t I = 0; I + 2 < CF.Code.size(); ++I) {
+    Inst &Load = CF.Code[I];
+    const Inst &FOp = CF.Code[I + 1];
+    const Inst &Store = CF.Code[I + 2];
+    FusedFOp Kind;
+    if (Load.Opc != Op::GLoadD || !FusedKind(FOp.Opc, Kind) ||
+        Store.Opc != Op::GStoreD || Store.Imm != Load.Imm ||
+        Store.A != FOp.Dest)
+      continue;
+    Inst Fused;
+    Fused.Opc = Op::FusedGRmwD;
+    Fused.Imm = Load.Imm;   // global slot
+    Fused.Dest = Load.Dest; // t
+    Fused.A = FOp.A;
+    Fused.B = FOp.B;
+    Fused.C = FOp.Dest; // r
+    Fused.Imm2 = static_cast<uint16_t>(Kind);
+    Load = Fused;
+    I += 2; // the tail of this triple cannot start another one
+  }
+}
+
 } // namespace
 
 CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
@@ -405,6 +463,11 @@ CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
 
   for (const auto &F : M)
     CM.Functions.push_back(FunctionLowering(*F, CM, GlobalIdx, L).run());
+
+  if (L.Fuse)
+    for (CompiledFunction &CF : CM.Functions)
+      if (CF.Ok)
+        fuseSuperinstructions(CF);
 
   // A caller of a rejected function must fall back too: propagate
   // rejection through the call graph to a fixpoint.

@@ -127,6 +127,7 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   Spec.Search.StartHi = 17.25;
   Spec.Search.WildStartProb = 0.375;
   Spec.Search.Threads = 3;
+  Spec.Search.Batch = 16;
   Spec.Search.Backends = {"basinhopping", "de"};
   Spec.Search.Engine = "interp";
 
@@ -158,6 +159,7 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   EXPECT_EQ(Back->Search.StartHi, Spec.Search.StartHi);
   EXPECT_EQ(Back->Search.WildStartProb, Spec.Search.WildStartProb);
   EXPECT_EQ(Back->Search.Threads, Spec.Search.Threads);
+  EXPECT_EQ(Back->Search.Batch, Spec.Search.Batch);
   EXPECT_EQ(Back->Search.Backends, Spec.Search.Backends);
   EXPECT_EQ(Back->Search.Engine, Spec.Search.Engine);
 

@@ -54,6 +54,8 @@ int usage() {
          "  --func=<name>              subject function (default: the "
          "module's only one)\n"
          "  --evals=<n> --starts=<n> --seed=<n> --threads=<n>\n"
+         "  --batch=<n>                evaluation block size (0 = auto: "
+         "vm 32, interp 8)\n"
          "  --backends=<a,b,...>       portfolio by name\n"
          "  --engine=<e>               execution tier: vm (default) | "
          "interp\n"
@@ -248,6 +250,10 @@ int cmdAnalyze(int Argc, char **Argv) {
       if (!Uint(Val, N))
         return fail("bad --threads");
       Spec.Search.Threads = static_cast<unsigned>(N);
+    } else if (Key == "--batch") {
+      if (!Uint(Val, N))
+        return fail("bad --batch");
+      Spec.Search.Batch = static_cast<unsigned>(N);
     } else if (Key == "--backends") {
       for (const std::string &B : splitString(Val, ','))
         Spec.Search.Backends.push_back(B);
