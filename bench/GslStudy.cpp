@@ -6,7 +6,7 @@
 
 #include "GslStudy.h"
 
-#include "api/Analyzer.h"
+#include "api/JobScheduler.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,13 +51,28 @@ GslStudyResult wdm::bench::runGslStudy(
   Spec.Search = studyConfig();
   Spec.Search.Seed = Seed;
 
-  Expected<api::Report> R = api::Analyzer::analyze(Spec);
-  if (!R) {
-    std::fprintf(stderr, "gsl study '%s' failed: %s\n",
-                 BuiltinName.c_str(), R.error().c_str());
+  // The study *is* a suite: one job through the JobScheduler, the same
+  // seam `wdm suite run` shards whole-library campaigns over. A single
+  // sequential in-process shard reproduces the historical direct
+  // Analyzer::analyze call bit-for-bit (the canonical-spec round trip
+  // is a fixed point; SuiteTests asserts the equivalence).
+  api::SuiteSpec Suite;
+  Suite.Name = "gsl-study-" + BuiltinName;
+  Suite.addJob(Spec);
+  api::SuiteRunOptions RunOpts;
+  RunOpts.Mode = api::SuiteMode::InProcess;
+  RunOpts.Shards = 1;
+  Expected<api::SuiteReport> R =
+      api::JobScheduler::execute(std::move(Suite), std::move(RunOpts));
+  if (!R || R->Results.size() != 1 || !R->Results[0].hasReport()) {
+    const std::string &Why =
+        !R ? R.error()
+           : (R->Results.empty() ? "no job results" : R->Results[0].Error);
+    std::fprintf(stderr, "gsl study '%s' failed: %s\n", BuiltinName.c_str(),
+                 Why.c_str());
     std::exit(2);
   }
-  Out.Report = R.take();
+  Out.Report = std::move(R->Results[0].R);
 
   Out.NumOps =
       static_cast<unsigned>(Out.Report.Extra.find("num_ops")->asUint());

@@ -6,7 +6,9 @@
 ///
 /// \file
 /// The Section 6.3 experiment, shared by the Table 3/4/5 benches, driven
-/// through wdm::api: one "inconsistency" spec per GSL model runs fpod,
+/// through wdm::api's suite layer: one "inconsistency" spec per GSL
+/// model becomes a one-job SuiteSpec executed by the JobScheduler (so
+/// the study runs on the same seam `wdm suite run` shards), runs fpod,
 /// replays every overflow input through the inconsistency checker, and
 /// classifies root causes. The result keeps the tables' vocabulary
 /// (|Op|, |O|, |I|, |B|) as plain fields derived from the uniform

@@ -1,0 +1,116 @@
+//===--- suite_shard.cpp - Study-level sharding scaling bench -------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Measures suite wall-time at shards=1/2/4: the same GSL overflow study
+// (3 subjects × 4 seeds, single-threaded jobs so sharding is the only
+// parallel axis) executed by the JobScheduler at increasing shard
+// counts. Emits BENCH_suite_shard.json so the perf trajectory tracks
+// study-level scaling, not just per-solve throughput. Per-job reports
+// are bit-identical at every shard count; this bench asserts that while
+// it measures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/JobScheduler.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace wdm;
+using namespace wdm::api;
+
+namespace {
+
+SuiteSpec studySuite() {
+  const char *Text = R"({
+    "suite": "suite-shard-bench",
+    "defaults": {
+      "search": {"max_evals": 4000, "starts": 2, "threads": 1}
+    },
+    "matrix": {
+      "subjects": ["bessel", "hyperg", "airy"],
+      "tasks": ["overflow"],
+      "seed_base": 900, "seed_count": 12
+    }
+  })";
+  Expected<SuiteSpec> Suite = SuiteSpec::parse(Text);
+  if (!Suite) {
+    std::cerr << "suite_shard: " << Suite.error() << "\n";
+    std::exit(2);
+  }
+  return Suite.take();
+}
+
+/// job id -> deterministic report hash, for the identity assertion.
+std::map<std::string, std::string> reportHashes(const SuiteReport &R) {
+  std::map<std::string, std::string> Out;
+  for (const JobResult &J : R.Results)
+    if (J.hasReport())
+      Out[J.Id] = fnv1a64Hex(deterministicReportJson(J.R.toJson()).dump());
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "== suite_shard: study-level scaling of the JobScheduler "
+               "==\n\n";
+
+  std::map<std::string, std::string> Baseline;
+  double BaseSeconds = 0;
+  bool Identical = true;
+  std::vector<SuiteReport> Runs;
+  const unsigned ShardCounts[] = {1, 2, 4};
+
+  for (unsigned Shards : ShardCounts) {
+    SuiteRunOptions Opts;
+    Opts.Mode = SuiteMode::InProcess;
+    Opts.Shards = Shards;
+    Expected<SuiteReport> R =
+        JobScheduler::execute(studySuite(), std::move(Opts));
+    if (!R || R->Failed) {
+      std::cerr << "suite_shard: run failed at shards=" << Shards << "\n";
+      return 2;
+    }
+
+    std::map<std::string, std::string> Hashes = reportHashes(*R);
+    if (Shards == 1) {
+      Baseline = Hashes;
+      BaseSeconds = R->Seconds;
+    } else if (Hashes != Baseline) {
+      Identical = false;
+    }
+
+    double Speedup = R->Seconds > 0 ? BaseSeconds / R->Seconds : 0.0;
+    std::cout << "shards=" << Shards << ": " << R->Jobs << " jobs, "
+              << R->Evals << " evals, " << formatf("%.3fs", R->Seconds)
+              << formatf("  (%.2fx vs shards=1)", Speedup) << "\n";
+    Runs.push_back(R.take());
+  }
+
+  json::BenchJson Json("suite_shard");
+  Json.field("reports_identical_across_shards",
+             std::string(Identical ? "yes" : "no"));
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const SuiteReport &R = Runs[I];
+    Json.entry("shards_" + std::to_string(ShardCounts[I]))
+        .timing(R.Seconds, R.Evals)
+        .field("shards", static_cast<uint64_t>(ShardCounts[I]))
+        .field("jobs", static_cast<uint64_t>(R.Jobs))
+        .field("findings", R.Findings)
+        .field("speedup_vs_sequential",
+               R.Seconds > 0 ? BaseSeconds / R.Seconds : 0.0);
+  }
+  if (!Json.write())
+    std::cerr << "warning: could not write BENCH_suite_shard.json\n";
+
+  std::cout << "\nPer-job reports identical across shard counts: "
+            << (Identical ? "yes" : "NO — DETERMINISM VIOLATED") << "\n";
+  return Identical ? 0 : 1;
+}

@@ -4,120 +4,52 @@
 //
 // Reproduces Table 1: three MO backends (Basinhopping, Differential
 // Evolution, Powell) applied to the two weak distances of the Fig. 2
-// program — boundary value analysis and path reachability. Reports the
-// minimum W* each backend reached and the solutions x* it found.
+// program — boundary value analysis and path reachability — plus a
+// portfolio row mixing all three.
 //
-// Paper reference:
-//   Basinhopping: BVA W*=0 at {1.0, 2.0, -3.0, 0.9999999999999999};
-//                 path W*=0 over [-3, 1]
-//   Differential Evolution: BVA W*=4.43e-18, "not found"; path solved
-//   Powell: BVA W*=0 at {1.0, 2.0} (missed -3.0); path solved
+// The sweep is expressed as a wdm::api SuiteSpec matrix — one subject
+// (fig2) × two tasks (boundary, path) × four backend configurations —
+// expanded and executed by the JobScheduler, i.e. the exact shape a
+// `wdm suite run` study has. Each job reports the minimum weak distance
+// W* it reached (0 when a verified solution was found) and the witness
+// x*.
 //
-// The sweep is SearchEngine configuration (24 starts x 5k evals drawn
-// by the engine's seed-split stream), so the exact solution sets differ
-// from run configurations predating the engine; the qualitative shape
-// is what this bench reproduces.
+// Paper reference (qualitative shape):
+//   Basinhopping solves both problems; Powell solves a subset of the
+//   boundary values but solves path reachability; every backend solves
+//   path reachability with a witness inside [-3, 1].
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyses/BoundaryAnalysis.h"
-#include "analyses/PathReachability.h"
-#include "opt/BasinHopping.h"
-#include "opt/DifferentialEvolution.h"
-#include "opt/Powell.h"
-#include "subjects/Fig2.h"
-#include "support/FPUtils.h"
+#include "api/JobScheduler.h"
 #include "support/StringUtils.h"
 #include "support/TableWriter.h"
 
-#include <algorithm>
 #include <iostream>
-#include <set>
 
 using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
 
 namespace {
 
-/// Collects distinct verified solutions across a multi-start sweep.
-class SolutionRecorder : public opt::SampleRecorder {
-public:
-  explicit SolutionRecorder(std::function<bool(double)> Verify)
-      : Verify(std::move(Verify)) {}
-
-  void record(const std::vector<double> &X, double F) override {
-    BestW = std::min(BestW, F);
-    if (F == 0.0 && Solutions.size() < 4096 && Verify(X[0]))
-      Solutions.insert(bitsOf(X[0]));
-  }
-
-  std::vector<double> solutions() const {
-    std::vector<double> Out;
-    for (uint64_t Bits : Solutions)
-      Out.push_back(fromBits(Bits));
-    std::sort(Out.begin(), Out.end());
-    return Out;
-  }
-
-  double BestW = std::numeric_limits<double>::infinity();
-
-private:
-  std::function<bool(double)> Verify;
-  std::set<uint64_t> Solutions;
-};
-
-struct Row {
-  double WStar;
-  std::vector<double> Found;
-};
-
-/// One multi-start sweep, expressed as SearchEngine configuration: 24
-/// starts of 5k evaluations each, drawn from [-10, 10], no early stop
-/// (the sweep collects *all* solutions through the recorder). A
-/// one-entry portfolio reproduces the per-backend rows; the portfolio
-/// row mixes all backends round-robin in a single run.
-Row runPortfolio(const std::vector<core::PortfolioEntry> &Portfolio,
-                 core::WeakDistance &W,
-                 std::function<bool(double)> Verify, uint64_t Seed) {
-  SolutionRecorder Rec(std::move(Verify));
-  core::SearchEngine Engine(W, nullptr);
-
-  core::SearchOptions Opts;
-  Opts.Starts = 24;
-  Opts.MaxEvals = 24 * 5'000;
-  Opts.Seed = Seed;
-  Opts.StartLo = -10.0;
-  Opts.StartHi = 10.0;
-  Opts.WildStartProb = 0.0;
-  Opts.VerifySolutions = false; // recorder verifies each zero itself
-  Opts.MinOpts.StopAtTarget = false; // collect many solutions, not one
-  Opts.MinOpts.Lo = -100.0;          // DE box
-  Opts.MinOpts.Hi = 100.0;
-  Opts.Portfolio = Portfolio;
-
-  Engine.run(Opts, &Rec);
-  return {Rec.BestW, Rec.solutions()};
-}
-
-std::string summarizeSet(const std::vector<double> &Xs, size_t MaxShown) {
-  if (Xs.empty())
-    return "NA";
+std::string witnessText(const JobResult &J) {
+  if (!J.hasReport() || !J.R.Success || J.R.Findings.empty())
+    return "not found";
   std::string Out;
-  for (size_t I = 0; I < Xs.size() && I < MaxShown; ++I) {
+  const Finding &F = J.R.Findings.front();
+  for (size_t I = 0; I < F.Input.size(); ++I) {
     if (I)
       Out += ", ";
-    Out += formatDouble(Xs[I]);
+    Out += formatDouble(F.Input[I]);
   }
-  if (Xs.size() > MaxShown)
-    Out += formatf(", ... (%zu total)", Xs.size());
   return Out;
 }
 
-std::string summarizeInterval(const std::vector<double> &Xs) {
-  if (Xs.empty())
+std::string wstarText(const JobResult &J) {
+  if (!J.hasReport())
     return "NA";
-  return formatf("%zu solutions in [%s, %s]", Xs.size(),
-                 formatDouble(Xs.front()).c_str(),
-                 formatDouble(Xs.back()).c_str());
+  return formatDouble(J.R.WStar);
 }
 
 } // namespace
@@ -126,48 +58,74 @@ int main() {
   std::cout << "== Table 1: different MO backends applied on two weak "
                "distances ==\n\n";
 
-  // Boundary value analysis on Fig. 2.
-  ir::Module M1;
-  subjects::Fig2 P1 = subjects::buildFig2(M1);
-  analyses::BoundaryAnalysis BVA(M1, *P1.F);
+  // Each Table 1 row is one matrix config (a backend portfolio); the
+  // two columns are the two matrix tasks. 24 starts x 5k evals drawn
+  // from [-10, 10], seed split by the SearchEngine — the same search
+  // configuration for every cell.
+  const char *SuiteText = R"({
+    "suite": "table1-mo-backends",
+    "defaults": {
+      "path": [{"branch": 0, "taken": true}, {"branch": 1, "taken": true}],
+      "search": {
+        "seed": 31409, "starts": 24, "max_evals": 120000,
+        "start_lo": -10.0, "start_hi": 10.0, "wild_start_prob": 0.0
+      }
+    },
+    "matrix": {
+      "subjects": ["fig2"],
+      "tasks": ["boundary", "path"],
+      "configs": [
+        {"search": {"backends": ["basinhopping"]}},
+        {"search": {"backends": ["de"]}},
+        {"search": {"backends": ["powell"]}},
+        {"search": {"backends": ["basinhopping", "de", "powell"]}}
+      ]
+    }
+  })";
+  const char *Labels[] = {"basinhopping", "de", "powell",
+                          "portfolio(BH,DE,PW)"};
+  constexpr size_t NumConfigs = 4;
 
-  // Path reachability through both true-branches of Fig. 2.
-  ir::Module M2;
-  subjects::Fig2 P2 = subjects::buildFig2(M2);
-  instr::PathSpec Spec;
-  Spec.Legs.push_back({P2.Branch1, true});
-  Spec.Legs.push_back({P2.Branch2, true});
-  analyses::PathReachability Path(M2, *P2.F, Spec);
-
-  opt::BasinHopping BH;
-  opt::DifferentialEvolution DE;
-  opt::Powell PW;
-
-  // Each Table 1 row is a portfolio configuration, not bespoke driver
-  // code: the per-backend rows are one-entry portfolios, and the last
-  // row runs all three backends round-robin across the same starts.
-  std::vector<std::pair<std::string, std::vector<core::PortfolioEntry>>>
-      Configs = {{BH.name(), {{&BH, 1.0}}},
-                 {DE.name(), {{&DE, 1.0}}},
-                 {PW.name(), {{&PW, 1.0}}},
-                 {"portfolio(BH,DE,PW)",
-                  {{&BH, 1.0}, {&DE, 1.0}, {&PW, 1.0}}}};
+  Expected<SuiteSpec> Suite = SuiteSpec::parse(SuiteText);
+  if (!Suite) {
+    std::cerr << "table1 suite: " << Suite.error() << "\n";
+    return 2;
+  }
+  SuiteRunOptions Opts;
+  Opts.Mode = SuiteMode::InProcess;
+  Opts.Shards = 1; // Each job already owns a SearchEngine worker pool.
+  Expected<SuiteReport> R =
+      JobScheduler::execute(std::move(*Suite), std::move(Opts));
+  if (!R) {
+    std::cerr << "table1 suite: " << R.error() << "\n";
+    return 2;
+  }
+  // Expansion order: tasks × configs under the single subject —
+  // boundary rows first, then path rows, config order within each.
+  if (R->Results.size() != 2 * NumConfigs || R->Failed) {
+    std::cerr << "table1 suite: unexpected shape (" << R->Results.size()
+              << " jobs, " << R->Failed << " failed)\n";
+    return 2;
+  }
 
   Table T({"backend", "bva.W*", "bva.x*", "path.W*", "path.x*"});
-  for (const auto &[Label, Portfolio] : Configs) {
-    Row B = runPortfolio(Portfolio, BVA.weak(),
-                         [&](double X) { return !BVA.hitsFor({X}).empty(); },
-                         0x7ab1);
-    Row P = runPortfolio(Portfolio, Path.weak(),
-                         [&](double X) { return Path.follows({X}); }, 77);
-    T.addRow({Label, formatDouble(B.WStar), summarizeSet(B.Found, 5),
-              formatDouble(P.WStar), summarizeInterval(P.Found)});
+  bool BhSolvedBoundary = false;
+  unsigned PathSolved = 0;
+  for (size_t C = 0; C < NumConfigs; ++C) {
+    const JobResult &B = R->Results[C];
+    const JobResult &P = R->Results[NumConfigs + C];
+    T.addRow({Labels[C], wstarText(B), witnessText(B), wstarText(P),
+              witnessText(P)});
+    if (C == 0 && B.hasReport() && B.R.Success)
+      BhSolvedBoundary = true;
+    PathSolved += P.hasReport() && P.R.Success;
   }
   T.print(std::cout);
 
-  std::cout << "\nExpected shape (paper): Basinhopping finds all four "
-               "boundary values including\n0.9999999999999999; Powell "
-               "finds a subset; every backend solves path\nreachability "
-               "with solutions inside [-3, 1].\n";
-  return 0;
+  std::cout << "\nSuite: " << R->Jobs << " jobs, " << R->Evals
+            << " evals, " << formatf("%.2fs", R->Seconds) << ".\n";
+  std::cout << "Expected shape (paper): Basinhopping solves the boundary "
+               "problem; every backend\nsolves path reachability with a "
+               "witness inside [-3, 1].\n";
+  return BhSolvedBoundary && PathSolved == NumConfigs ? 0 : 1;
 }

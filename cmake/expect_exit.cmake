@@ -1,0 +1,10 @@
+# Runs ${EXE} with the |-separated ${ARGS} list and fails unless the
+# exit code is exactly ${EXPECT}. ctest's plain COMMAND form can only
+# assert "zero" or (via WILL_FAIL) "nonzero"; the wdm exit-code contract
+# distinguishes 0 = clean, 1 = findings, 2 = spec error, 3 = internal
+# error, and the smoke tests pin the exact value.
+string(REPLACE "|" ";" args "${ARGS}")
+execute_process(COMMAND ${EXE} ${args} RESULT_VARIABLE rc)
+if(NOT rc EQUAL "${EXPECT}")
+  message(FATAL_ERROR "expected exit code ${EXPECT}, got '${rc}': ${EXE} ${ARGS}")
+endif()

@@ -168,6 +168,14 @@ struct AnalysisSpec {
   static Expected<AnalysisSpec> parse(std::string_view JsonText);
 };
 
+/// The human label of a spec's subject: the module source text, or the
+/// constraint for the module-free fpsat task. The one spelling shared
+/// by suite events, reports, and the CLI.
+inline const std::string &subjectText(const AnalysisSpec &Spec) {
+  return Spec.Task == TaskKind::FpSat ? Spec.Constraint
+                                      : Spec.Module.Text;
+}
+
 } // namespace wdm::api
 
 #endif // WDM_API_ANALYSISSPEC_H

@@ -1,0 +1,528 @@
+//===--- JobScheduler.cpp - Sharded, streaming, resumable suite runs --------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/JobScheduler.h"
+
+#include "api/Analyzer.h"
+#include "support/Hash.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <thread>
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+const char *wdm::api::suiteModeName(SuiteMode M) {
+  switch (M) {
+  case SuiteMode::InProcess:
+    return "inprocess";
+  case SuiteMode::Subprocess:
+    return "subprocess";
+  case SuiteMode::Dry:
+    return "dry";
+  }
+  return "?";
+}
+
+bool wdm::api::suiteModeByName(const std::string &Name, SuiteMode &Out) {
+  for (SuiteMode M :
+       {SuiteMode::InProcess, SuiteMode::Subprocess, SuiteMode::Dry}) {
+    if (Name == suiteModeName(M)) {
+      Out = M;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Subprocess worker plumbing
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one `wdm run-job -` child.
+struct WorkerRun {
+  bool SpawnOk = false;
+  std::string SpawnError;
+  bool Signaled = false;
+  int Signal = 0;
+  int ExitCode = 0;
+  std::string Out; ///< Child stdout (the report JSON line).
+  std::string Err; ///< Child stderr (diagnostics).
+};
+
+/// Forks/execs `Exe run-job -`, feeds \p SpecText on stdin, and drains
+/// stdout/stderr through a poll loop (no deadlock regardless of how the
+/// child interleaves its writes). The driver may be multi-threaded: the
+/// child only calls async-signal-safe functions before exec.
+WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText) {
+  WorkerRun R;
+  int In[2], Out[2], Err[2];
+  // O_CLOEXEC is load-bearing: shard threads fork concurrently, and a
+  // plain pipe fd inherited into a *sibling's* child would keep that
+  // sibling's stdin open past our close() — its worker then never sees
+  // EOF and the suite deadlocks. dup2 clears the flag on the stdio
+  // copies, so the child keeps exactly the three ends it needs.
+  if (pipe2(In, O_CLOEXEC) != 0) {
+    R.SpawnError = "pipe failed";
+    return R;
+  }
+  if (pipe2(Out, O_CLOEXEC) != 0) {
+    close(In[0]), close(In[1]);
+    R.SpawnError = "pipe failed";
+    return R;
+  }
+  if (pipe2(Err, O_CLOEXEC) != 0) {
+    close(In[0]), close(In[1]), close(Out[0]), close(Out[1]);
+    R.SpawnError = "pipe failed";
+    return R;
+  }
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    for (int Fd : {In[0], In[1], Out[0], Out[1], Err[0], Err[1]})
+      close(Fd);
+    R.SpawnError = "fork failed";
+    return R;
+  }
+  if (Pid == 0) {
+    // Child: wire the pipes onto stdio and become the worker. The
+    // originals are O_CLOEXEC, so exec drops them by itself.
+    dup2(In[0], 0);
+    dup2(Out[1], 1);
+    dup2(Err[1], 2);
+    execl(Exe.c_str(), Exe.c_str(), "run-job", "-",
+          static_cast<char *>(nullptr));
+    _exit(127); // exec failed; 127 is the shell convention.
+  }
+
+  close(In[0]), close(Out[1]), close(Err[1]);
+
+  size_t Written = 0;
+  bool WriteDone = false, OutDone = false, ErrDone = false;
+  char Buf[4096];
+  while (!WriteDone || !OutDone || !ErrDone) {
+    struct pollfd Fds[3];
+    int N = 0;
+    int WriteIdx = -1, OutIdx = -1, ErrIdx = -1;
+    if (!WriteDone) {
+      WriteIdx = N;
+      Fds[N++] = {In[1], POLLOUT, 0};
+    }
+    if (!OutDone) {
+      OutIdx = N;
+      Fds[N++] = {Out[0], POLLIN, 0};
+    }
+    if (!ErrDone) {
+      ErrIdx = N;
+      Fds[N++] = {Err[0], POLLIN, 0};
+    }
+    if (poll(Fds, static_cast<nfds_t>(N), -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (WriteIdx >= 0 && (Fds[WriteIdx].revents & (POLLOUT | POLLERR))) {
+      ssize_t W = write(In[1], SpecText.data() + Written,
+                        SpecText.size() - Written);
+      if (W > 0)
+        Written += static_cast<size_t>(W);
+      // EINTR is a retry, not end-of-stream: treating it as done would
+      // truncate the spec and fail the job spuriously.
+      if ((W < 0 && errno != EINTR) || Written == SpecText.size()) {
+        close(In[1]);
+        WriteDone = true;
+      }
+    }
+    auto Drain = [&](int Idx, int Fd, std::string &Sink, bool &Done) {
+      if (Idx < 0 || !(Fds[Idx].revents & (POLLIN | POLLHUP | POLLERR)))
+        return;
+      ssize_t Got = read(Fd, Buf, sizeof(Buf));
+      if (Got > 0) {
+        Sink.append(Buf, static_cast<size_t>(Got));
+      } else if (!(Got < 0 && errno == EINTR)) {
+        close(Fd);
+        Done = true;
+      }
+    };
+    Drain(OutIdx, Out[0], R.Out, OutDone);
+    Drain(ErrIdx, Err[0], R.Err, ErrDone);
+  }
+  if (!WriteDone)
+    close(In[1]);
+  if (!OutDone)
+    close(Out[0]);
+  if (!ErrDone)
+    close(Err[0]);
+
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+    ;
+  R.SpawnOk = true;
+  if (WIFSIGNALED(Status)) {
+    R.Signaled = true;
+    R.Signal = WTERMSIG(Status);
+  } else {
+    R.ExitCode = WEXITSTATUS(Status);
+  }
+  return R;
+}
+
+std::string selfExecutable() {
+  char Buf[4096];
+  ssize_t N = readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = '\0';
+  return Buf;
+}
+
+/// Scoped SIGPIPE suppression: a shard dying mid-handshake must surface
+/// as a job failure (EPIPE on the write), not kill the driver. The
+/// previous process disposition is restored on scope exit so embedding
+/// api::JobScheduler does not permanently change signal behavior.
+class ScopedIgnoreSigpipe {
+public:
+  ScopedIgnoreSigpipe() : Old(std::signal(SIGPIPE, SIG_IGN)) {}
+  ~ScopedIgnoreSigpipe() {
+    if (Old != SIG_ERR)
+      std::signal(SIGPIPE, Old);
+  }
+
+private:
+  void (*Old)(int);
+};
+
+/// One trimmed line of worker stderr for a failure diagnostic.
+std::string firstLine(const std::string &Text) {
+  size_t End = Text.find('\n');
+  return std::string(
+      trim(End == std::string::npos ? Text : Text.substr(0, End)));
+}
+
+//===----------------------------------------------------------------------===//
+// Event log
+//===----------------------------------------------------------------------===//
+
+/// Serializes NDJSON events and progress lines; one flush per event so
+/// the log is a valid checkpoint after a mid-suite kill.
+class EventSink {
+public:
+  EventSink(std::ofstream *Log, std::ostream *Progress)
+      : Log(Log), Progress(Progress) {}
+
+  void event(const Value &Doc) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Log)
+      *Log << Doc.dump() << "\n" << std::flush;
+  }
+
+  void progress(const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Progress)
+      *Progress << Line << "\n" << std::flush;
+  }
+
+private:
+  std::mutex M;
+  std::ofstream *Log;
+  std::ostream *Progress;
+};
+
+Value jobEvent(const char *Kind, const SuiteJob &Job) {
+  return Value::object()
+      .set("event", Value::string(Kind))
+      .set("job", Value::string(Job.Id))
+      .set("index", Value::number(static_cast<uint64_t>(Job.Index)))
+      .set("task", Value::string(taskKindName(Job.Spec.Task)))
+      .set("subject", Value::string(subjectText(Job.Spec)));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JobScheduler
+//===----------------------------------------------------------------------===//
+
+Expected<SuiteReport> JobScheduler::run() {
+  using E = Expected<SuiteReport>;
+  auto Clock0 = std::chrono::steady_clock::now();
+
+  if (Opts.Resume && Opts.EventLog.empty())
+    return E::error("suite: --resume needs an event log path");
+
+  Expected<std::vector<SuiteJob>> Expanded =
+      Suite.expand(Opts.ApplyEnvOverrides);
+  if (!Expanded)
+    return E::error(Expanded.error());
+  std::vector<SuiteJob> &Jobs = *Expanded;
+
+  SuiteReport Rep;
+  Rep.Suite = Suite.Name;
+  Rep.Mode = suiteModeName(Opts.Mode);
+  Rep.Jobs = static_cast<unsigned>(Jobs.size());
+  Rep.Results.resize(Jobs.size());
+  for (const SuiteJob &Job : Jobs) {
+    JobResult &JR = Rep.Results[Job.Index];
+    JR.Id = Job.Id;
+    JR.Index = Job.Index;
+    JR.Spec = Job.Spec;
+    JR.CanonicalSpec = Job.CanonicalSpec;
+  }
+
+  if (Opts.Mode == SuiteMode::Dry) {
+    Rep.Shards = std::max(1u, Opts.Shards);
+    Rep.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Clock0)
+                      .count();
+    return Rep;
+  }
+
+  // -- Checkpoint: load finished records keyed by spec hash -------------
+  std::map<std::string, Value> Done;
+  if (Opts.Resume) {
+    // A missing log is simply a fresh run; unreadable-but-present is
+    // indistinguishable from missing at this layer, and either way the
+    // suite re-executes everything (correct, just not incremental).
+    if (Expected<std::vector<Value>> Events =
+            json::readNdjsonFile(Opts.EventLog)) {
+      for (const Value &Ev : *Events) {
+        const Value *Kind = Ev.find("event");
+        if (!Kind || Kind->asString() != "job_finished")
+          continue;
+        const Value *Id = Ev.find("job");
+        const Value *Hash = Ev.find("spec_hash");
+        const Value *Report = Ev.find("report");
+        if (Id && Hash && Report && Id->asString() == Hash->asString())
+          Done[Id->asString()] = *Report;
+      }
+    }
+  }
+
+  std::ofstream Log;
+  if (!Opts.EventLog.empty()) {
+    Log.open(Opts.EventLog, Opts.Resume ? std::ios::app : std::ios::trunc);
+    if (!Log)
+      return E::error("suite: cannot open event log '" + Opts.EventLog +
+                      "'");
+  }
+  EventSink Sink(Log.is_open() ? &Log : nullptr, Opts.Progress);
+
+  // Mark checkpoint-satisfied jobs before scheduling; a record that no
+  // longer parses as a Report is dropped and the job re-runs.
+  for (SuiteJob &Job : Jobs) {
+    auto It = Done.find(Job.Id);
+    if (It == Done.end())
+      continue;
+    Expected<Report> Stored = Report::fromJson(It->second);
+    if (!Stored)
+      continue;
+    JobResult &JR = Rep.Results[Job.Index];
+    JR.S = JobResult::State::Skipped;
+    JR.R = Stored.take();
+  }
+
+  unsigned Pending = 0;
+  for (const JobResult &JR : Rep.Results)
+    Pending += JR.S == JobResult::State::Listed;
+
+  unsigned Shards = Opts.Shards ? Opts.Shards
+                                : std::max(1u,
+                                           std::thread::hardware_concurrency());
+  Shards = std::max(1u, std::min(Shards, std::max(1u, Pending)));
+  Rep.Shards = Shards;
+
+  std::string WorkerExe = Opts.WorkerExe;
+  std::optional<ScopedIgnoreSigpipe> NoSigpipe;
+  if (Opts.Mode == SuiteMode::Subprocess) {
+    if (WorkerExe.empty())
+      WorkerExe = selfExecutable();
+    if (WorkerExe.empty())
+      return E::error("suite: cannot resolve the worker executable "
+                      "(pass SuiteRunOptions::WorkerExe)");
+    NoSigpipe.emplace();
+  }
+
+  unsigned AlreadySkipped = static_cast<unsigned>(Jobs.size()) - Pending;
+  Sink.event(Value::object()
+                 .set("event", Value::string("suite_started"))
+                 .set("suite", Value::string(Suite.Name))
+                 .set("mode", Value::string(Rep.Mode))
+                 .set("shards", Value::number(Shards))
+                 .set("jobs", Value::number(static_cast<uint64_t>(Jobs.size())))
+                 .set("resumed", Value::number(AlreadySkipped)));
+  for (const SuiteJob &Job : Jobs)
+    if (Rep.Results[Job.Index].S == JobResult::State::Skipped) {
+      Sink.event(jobEvent("job_skipped", Job));
+      Sink.progress("[" + Job.Id + "] " + Job.subject() +
+                    ": skipped (checkpointed)");
+    }
+
+  // -- Execute -----------------------------------------------------------
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < Jobs.size();
+         I = Next.fetch_add(1)) {
+      const SuiteJob &Job = Jobs[I];
+      JobResult &JR = Rep.Results[I];
+      if (JR.S == JobResult::State::Skipped)
+        continue;
+      Sink.event(jobEvent("job_started", Job));
+      Sink.progress("[" + Job.Id + "] " + Job.subject() + ": started");
+
+      if (Opts.Mode == SuiteMode::InProcess) {
+        // Run from the canonical text, exactly like a subprocess shard
+        // — mode identity holds by construction.
+        Expected<AnalysisSpec> Spec =
+            AnalysisSpec::parse(Job.CanonicalSpec);
+        Expected<Report> R =
+            Spec ? Analyzer::analyze(*Spec)
+                 : Expected<Report>::error(Spec.error());
+        if (R) {
+          JR.S = JobResult::State::Executed;
+          JR.R = R.take();
+        } else {
+          JR.S = JobResult::State::Failed;
+          JR.Error = R.error();
+        }
+      } else {
+        WorkerRun W = spawnRunJob(WorkerExe, Job.CanonicalSpec + "\n");
+        if (!W.SpawnOk) {
+          JR.S = JobResult::State::Failed;
+          JR.Error = "worker spawn: " + W.SpawnError;
+        } else if (W.Signaled) {
+          JR.S = JobResult::State::Failed;
+          JR.Error =
+              "worker killed by signal " + std::to_string(W.Signal);
+        } else if (W.ExitCode > 1) {
+          JR.S = JobResult::State::Failed;
+          std::string Diag = firstLine(W.Err);
+          JR.Error = "worker exit " + std::to_string(W.ExitCode) +
+                     (Diag.empty() ? "" : ": " + Diag);
+        } else {
+          Expected<Report> R = Report::parse(W.Out);
+          if (R) {
+            JR.S = JobResult::State::Executed;
+            JR.R = R.take();
+          } else {
+            JR.S = JobResult::State::Failed;
+            JR.Error = "worker report: " + R.error();
+          }
+        }
+      }
+
+      if (JR.S == JobResult::State::Executed) {
+        Value ReportJson = JR.R.toJson();
+        std::string ReportHash =
+            fnv1a64Hex(deterministicReportJson(ReportJson).dump());
+        Sink.event(jobEvent("job_finished", Job)
+                       .set("spec_hash", Value::string(Job.Id))
+                       .set("report_hash", Value::string(ReportHash))
+                       .set("report", std::move(ReportJson)));
+        Sink.progress(
+            "[" + Job.Id + "] " + Job.subject() + ": done — " +
+            std::to_string(JR.R.Findings.size()) + " finding(s), " +
+            std::to_string(JR.R.Evals) + " evals, " +
+            formatf("%.2fs", JR.R.Seconds));
+      } else {
+        Sink.event(jobEvent("job_failed", Job)
+                       .set("spec_hash", Value::string(Job.Id))
+                       .set("error", Value::string(JR.Error)));
+        Sink.progress("[" + Job.Id + "] " + Job.subject() +
+                      ": FAILED — " + JR.Error);
+      }
+    }
+  };
+
+  if (Shards == 1) {
+    Worker(); // Sequential on the caller's thread.
+  } else {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T < Shards; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // -- Aggregate in expansion order --------------------------------------
+  for (const JobResult &JR : Rep.Results) {
+    switch (JR.S) {
+    case JobResult::State::Listed:
+      break;
+    case JobResult::State::Executed:
+      ++Rep.Executed;
+      break;
+    case JobResult::State::Skipped:
+      ++Rep.Skipped;
+      break;
+    case JobResult::State::Failed:
+      ++Rep.Failed;
+      break;
+    }
+    if (!JR.hasReport())
+      continue;
+    Rep.Succeeded += JR.R.Success;
+    Rep.Findings += JR.R.Findings.size();
+    Rep.Evals += JR.R.Evals;
+    Rep.JobSeconds += JR.R.Seconds;
+
+    const char *Task = taskKindName(JR.Spec.Task);
+    auto It = std::find_if(Rep.PerTask.begin(), Rep.PerTask.end(),
+                           [&](const SuiteReport::TaskStats &T) {
+                             return T.Task == Task;
+                           });
+    if (It == Rep.PerTask.end()) {
+      Rep.PerTask.push_back({});
+      It = std::prev(Rep.PerTask.end());
+      It->Task = Task;
+    }
+    ++It->Jobs;
+    It->Succeeded += JR.R.Success;
+    It->Findings += JR.R.Findings.size();
+    It->Evals += JR.R.Evals;
+    It->Seconds += JR.R.Seconds;
+  }
+  // Present tasks in canonical kind order, independent of finish order.
+  std::sort(Rep.PerTask.begin(), Rep.PerTask.end(),
+            [](const SuiteReport::TaskStats &A,
+               const SuiteReport::TaskStats &B) {
+              TaskKind KA = TaskKind::Boundary, KB = TaskKind::Boundary;
+              taskKindByName(A.Task, KA);
+              taskKindByName(B.Task, KB);
+              return KA < KB;
+            });
+
+  Rep.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Clock0)
+                    .count();
+
+  Value DoneEv = Rep.toJson();
+  // The per-job summaries are already in the per-job events; keep
+  // suite_done to the aggregates.
+  Value Trimmed = Value::object().set("event", Value::string("suite_done"));
+  for (const auto &[Key, V] : DoneEv.members())
+    if (Key != "results")
+      Trimmed.set(Key, V);
+  Sink.event(Trimmed);
+  return Rep;
+}

@@ -1,0 +1,96 @@
+//===--- JobScheduler.h - Sharded, streaming, resumable suite runs -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an expanded SuiteSpec three ways behind one interface:
+///
+///  - `inprocess`  — a pool of Shards driver threads, each running jobs
+///    through Analyzer::analyze (every job still owns its SearchEngine
+///    worker pool internally).
+///  - `subprocess` — a pool of Shards concurrent `wdm run-job` child
+///    processes, one fork/exec per job: true process-level sharding,
+///    crash-isolated so one aborting solve cannot kill the study.
+///  - `dry`        — expand and list, execute nothing.
+///
+/// Results stream as they finish into an NDJSON event log
+/// (`suite_started` / `job_started` / `job_finished` with the full
+/// Report / `job_failed` / `job_skipped` / `suite_done`), flushed per
+/// event. The same log is the checkpoint: a rerun with Resume skips
+/// every job whose `job_finished` record carries the job's
+/// content-addressed spec hash, and folds the stored report into the
+/// final SuiteReport exactly as if the job had just run.
+///
+/// Determinism bar: for a fixed suite, the per-job Reports (minus wall
+/// clock — see deterministicReportJson) are bit-identical across
+/// inprocess, subprocess, and any shard count, because every worker
+/// executes the identical canonical spec text; and a resumed run's
+/// SuiteReport equals an uninterrupted one in all deterministic fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_JOBSCHEDULER_H
+#define WDM_API_JOBSCHEDULER_H
+
+#include "api/SuiteReport.h"
+#include "api/SuiteSpec.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace wdm::api {
+
+enum class SuiteMode : uint8_t { InProcess, Subprocess, Dry };
+
+const char *suiteModeName(SuiteMode M);
+/// Parses "inprocess" | "subprocess" | "dry"; false on unknown names.
+bool suiteModeByName(const std::string &Name, SuiteMode &Out);
+
+struct SuiteRunOptions {
+  SuiteMode Mode = SuiteMode::InProcess;
+  /// Concurrent jobs (driver threads or child processes). 0 = one per
+  /// hardware thread; clamped to the number of pending jobs.
+  unsigned Shards = 1;
+  /// Skip jobs already checkpointed in EventLog (which then opens in
+  /// append mode instead of being truncated).
+  bool Resume = false;
+  /// Overlay $WDM_STARTS/$WDM_THREADS/$WDM_SEED onto every job before
+  /// canonicalization — the CLI policy. Programmatic studies with fixed
+  /// seeds (bench/GslStudy) leave this off.
+  bool ApplyEnvOverrides = false;
+  /// NDJSON event log / checkpoint path; empty = no log (Resume then
+  /// has nothing to read and is an error).
+  std::string EventLog;
+  /// Worker binary for subprocess mode; empty = this process's own
+  /// executable (correct when the driver *is* the wdm CLI).
+  std::string WorkerExe;
+  /// Optional human progress stream (one line per job event).
+  std::ostream *Progress = nullptr;
+};
+
+class JobScheduler {
+public:
+  JobScheduler(SuiteSpec Suite, SuiteRunOptions Opts)
+      : Suite(std::move(Suite)), Opts(std::move(Opts)) {}
+
+  /// Expands, executes, and aggregates. Errors are driver-level only
+  /// (bad suite, unopenable log); individual job failures land in the
+  /// SuiteReport as Failed results.
+  Expected<SuiteReport> run();
+
+  /// One-shot convenience.
+  static Expected<SuiteReport> execute(SuiteSpec Suite,
+                                       SuiteRunOptions Opts) {
+    return JobScheduler(std::move(Suite), std::move(Opts)).run();
+  }
+
+private:
+  SuiteSpec Suite;
+  SuiteRunOptions Opts;
+};
+
+} // namespace wdm::api
+
+#endif // WDM_API_JOBSCHEDULER_H

@@ -67,3 +67,91 @@ json::Value Report::toJson() const {
 }
 
 std::string Report::toJsonText() const { return toJson().dump() + "\n"; }
+
+Expected<Report> Report::fromJson(const json::Value &V) {
+  using E = Expected<Report>;
+  if (!V.isObject())
+    return E::error("report: expected a JSON object");
+
+  Report R;
+  const Value *Task = V.find("task");
+  if (!Task || !Task->isString() ||
+      !taskKindByName(Task->asString(), R.Task))
+    return E::error("report: missing or unknown 'task'");
+  if (const Value *F = V.find("function"))
+    R.Function = F->asString();
+  if (const Value *S = V.find("success"))
+    R.Success = S->asBool();
+
+  const Value *Fs = V.find("findings");
+  if (Fs && !Fs->isArray())
+    return E::error("report: 'findings' must be an array");
+  for (size_t I = 0; Fs && I < Fs->size(); ++I) {
+    const Value &Item = Fs->at(I);
+    if (!Item.isObject())
+      return E::error("report: each finding must be an object");
+    Finding F;
+    if (const Value *K = Item.find("kind"))
+      F.Kind = K->asString();
+    if (const Value *In = Item.find("input")) {
+      if (!In->isArray())
+        return E::error("report: finding 'input' must be an array");
+      for (size_t J = 0; J < In->size(); ++J)
+        F.Input.push_back(In->at(J).asDouble());
+    }
+    if (const Value *S = Item.find("site"))
+      F.SiteId = static_cast<int>(S->asInt(-1));
+    if (const Value *D = Item.find("description"))
+      F.Description = D->asString();
+    if (const Value *D = Item.find("details"))
+      F.Details = *D;
+    R.Findings.push_back(std::move(F));
+  }
+
+  if (const Value *X = V.find("evals"))
+    R.Evals = X->asUint();
+  if (const Value *X = V.find("engine"))
+    R.Engine = X->asString();
+  if (const Value *X = V.find("engine_fallback"))
+    R.EngineFallback = X->asString();
+  if (const Value *X = V.find("seconds"))
+    R.Seconds = X->asDouble();
+  if (const Value *X = V.find("threads_used"))
+    R.ThreadsUsed = static_cast<unsigned>(X->asUint(1));
+  if (const Value *X = V.find("starts_used"))
+    R.StartsUsed = static_cast<unsigned>(X->asUint());
+  if (const Value *X = V.find("unsound_candidates"))
+    R.UnsoundCandidates = static_cast<unsigned>(X->asUint());
+  if (const Value *X = V.find("w_star"))
+    R.WStar = X->asDouble();
+  if (const Value *X = V.find("extra"))
+    R.Extra = *X;
+  return R;
+}
+
+Expected<Report> Report::parse(std::string_view JsonText) {
+  Expected<Value> Doc = Value::parse(JsonText);
+  if (!Doc)
+    return Expected<Report>::error("report: " + Doc.error());
+  return fromJson(*Doc);
+}
+
+json::Value wdm::api::deterministicReportJson(const json::Value &ReportJson) {
+  if (!ReportJson.isObject())
+    return ReportJson;
+  Value Out = Value::object();
+  for (const auto &[Key, V] : ReportJson.members()) {
+    if (Key == "seconds")
+      continue;
+    if (Key == "extra" && V.isObject()) {
+      Value Extra = Value::object();
+      for (const auto &[EKey, EV] : V.members())
+        if (EKey != "detector_seconds")
+          Extra.set(EKey, EV);
+      Out.set(Key, std::move(Extra));
+      continue;
+    }
+    Out.set(Key, V);
+  }
+  return Out;
+}

@@ -72,7 +72,19 @@ struct Report {
 
   json::Value toJson() const;
   std::string toJsonText() const;
+  /// Inverse of toJson: toJson(fromJson(toJson(R))) is byte-identical to
+  /// toJson(R). This is how suite checkpoints and subprocess shards hand
+  /// reports back to the driver.
+  static Expected<Report> fromJson(const json::Value &V);
+  static Expected<Report> parse(std::string_view JsonText);
 };
+
+/// \p ReportJson with the wall-clock fields removed: top-level "seconds"
+/// and the inconsistency task's "extra"."detector_seconds". What remains
+/// is deterministic for a fixed spec — it is the payload the suite
+/// layer's report_hash covers, and the identity bar across
+/// inprocess/subprocess/shard-count run configurations.
+json::Value deterministicReportJson(const json::Value &ReportJson);
 
 } // namespace wdm::api
 

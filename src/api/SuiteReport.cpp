@@ -1,0 +1,85 @@
+//===--- SuiteReport.cpp - Aggregate result of a suite run ------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SuiteReport.h"
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+const char *JobResult::stateName() const {
+  switch (S) {
+  case State::Listed:
+    return "listed";
+  case State::Executed:
+    return "executed";
+  case State::Skipped:
+    return "skipped";
+  case State::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+int SuiteReport::exitCode() const {
+  if (Failed)
+    return 3;
+  return Findings ? 1 : 0;
+}
+
+json::Value SuiteReport::toJson() const {
+  Value Doc = Value::object();
+  if (!Suite.empty())
+    Doc.set("suite", Value::string(Suite));
+  Doc.set("mode", Value::string(Mode));
+  Doc.set("shards", Value::number(Shards));
+  Doc.set("jobs", Value::number(Jobs));
+  Doc.set("executed", Value::number(Executed));
+  Doc.set("skipped", Value::number(Skipped));
+  Doc.set("failed", Value::number(Failed));
+  Doc.set("succeeded", Value::number(Succeeded));
+  Doc.set("findings", Value::number(Findings));
+  Doc.set("evals", Value::number(Evals));
+  Doc.set("seconds", Value::number(Seconds));
+  Doc.set("job_seconds", Value::number(JobSeconds));
+
+  Value Tasks = Value::array();
+  for (const TaskStats &T : PerTask)
+    Tasks.push(Value::object()
+                   .set("task", Value::string(T.Task))
+                   .set("jobs", Value::number(T.Jobs))
+                   .set("succeeded", Value::number(T.Succeeded))
+                   .set("findings", Value::number(T.Findings))
+                   .set("evals", Value::number(T.Evals))
+                   .set("seconds", Value::number(T.Seconds)));
+  Doc.set("per_task", std::move(Tasks));
+
+  Value Rs = Value::array();
+  for (const JobResult &J : Results) {
+    Value Item = Value::object();
+    Item.set("job", Value::string(J.Id));
+    Item.set("index", Value::number(static_cast<uint64_t>(J.Index)));
+    Item.set("task", Value::string(taskKindName(J.Spec.Task)));
+    Item.set("subject", Value::string(subjectText(J.Spec)));
+    Item.set("state", Value::string(J.stateName()));
+    if (J.hasReport()) {
+      Item.set("success", Value::boolean(J.R.Success));
+      Item.set("findings",
+               Value::number(static_cast<uint64_t>(J.R.Findings.size())));
+      Item.set("evals", Value::number(J.R.Evals));
+      Item.set("seconds", Value::number(J.R.Seconds));
+    }
+    if (!J.Error.empty())
+      Item.set("error", Value::string(J.Error));
+    Rs.push(std::move(Item));
+  }
+  Doc.set("results", std::move(Rs));
+  return Doc;
+}
+
+std::string SuiteReport::toJsonText() const {
+  return toJson().dump() + "\n";
+}

@@ -1,0 +1,94 @@
+//===--- SuiteReport.h - Aggregate result of a suite run -------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform result of one JobScheduler run: per-job outcomes in
+/// deterministic expansion order plus the study-level aggregates the
+/// paper's tables are built from (per-task finding counts, evals, wall
+/// time). A resumed run's SuiteReport equals an uninterrupted one in
+/// every deterministic field — skipped jobs contribute their
+/// checkpointed reports exactly as if they had just run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_SUITEREPORT_H
+#define WDM_API_SUITEREPORT_H
+
+#include "api/Report.h"
+#include "api/SuiteSpec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wdm::api {
+
+/// One job's outcome within a suite run.
+struct JobResult {
+  enum class State : uint8_t {
+    Listed,   ///< Dry run: expanded but not executed.
+    Executed, ///< Ran in this invocation.
+    Skipped,  ///< Satisfied from the checkpoint log (--resume).
+    Failed,   ///< Worker error (crashed shard, invalid module, ...).
+  };
+
+  std::string Id; ///< Content-addressed SuiteJob id (= spec hash).
+  size_t Index = 0;
+  AnalysisSpec Spec;
+  std::string CanonicalSpec;
+  State S = State::Listed;
+  std::string Error; ///< Failure diagnostic (Failed only).
+  Report R;          ///< Valid for Executed and Skipped.
+
+  bool hasReport() const {
+    return S == State::Executed || S == State::Skipped;
+  }
+  const char *stateName() const;
+};
+
+struct SuiteReport {
+  std::string Suite;
+  std::string Mode; ///< "inprocess" | "subprocess" | "dry".
+  unsigned Shards = 1;
+
+  unsigned Jobs = 0;
+  unsigned Executed = 0;
+  unsigned Skipped = 0;
+  unsigned Failed = 0;
+  unsigned Succeeded = 0; ///< Jobs whose Report.Success is true.
+  uint64_t Findings = 0;
+  uint64_t Evals = 0;
+  double Seconds = 0;    ///< Driver wall clock for this invocation.
+  double JobSeconds = 0; ///< Sum of per-job report seconds.
+
+  /// Per-task aggregates, in canonical TaskKind order, present tasks
+  /// only.
+  struct TaskStats {
+    std::string Task;
+    unsigned Jobs = 0;
+    unsigned Succeeded = 0;
+    uint64_t Findings = 0;
+    uint64_t Evals = 0;
+    double Seconds = 0;
+  };
+  std::vector<TaskStats> PerTask;
+
+  /// Per-job outcomes in expansion order.
+  std::vector<JobResult> Results;
+
+  /// The shared wdm exit-code contract: 3 when any job failed, else 1
+  /// when any findings were produced, else 0.
+  int exitCode() const;
+
+  /// Aggregates + per-task stats + per-job summaries (not the full
+  /// per-job reports — the NDJSON event log carries those).
+  json::Value toJson() const;
+  std::string toJsonText() const;
+};
+
+} // namespace wdm::api
+
+#endif // WDM_API_SUITEREPORT_H

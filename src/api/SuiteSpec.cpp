@@ -1,0 +1,259 @@
+//===--- SuiteSpec.cpp - Declarative suites of analysis jobs ----------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SuiteSpec.h"
+
+#include "support/Hash.h"
+
+#include <set>
+
+using namespace wdm;
+using namespace wdm::api;
+using wdm::json::Value;
+
+std::vector<uint64_t> SuiteMatrix::seedList() const {
+  std::vector<uint64_t> Out = Seeds;
+  for (unsigned I = 0; I < SeedCount; ++I)
+    Out.push_back(SeedBase + I);
+  return Out;
+}
+
+std::string SuiteJob::subject() const {
+  return std::string(taskKindName(Spec.Task)) + ' ' + subjectText(Spec);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Validates one merged job document and canonicalizes it. \p Where
+/// names the job's provenance for diagnostics.
+std::string finishJob(const Value &Merged, const std::string &Where,
+                      bool ApplyEnv, std::vector<SuiteJob> &Out) {
+  Expected<AnalysisSpec> Spec = AnalysisSpec::fromJson(Merged);
+  if (!Spec)
+    return "suite " + Where + ": " + Spec.error();
+  if (ApplyEnv)
+    Spec->Search.applyEnv();
+  SuiteJob Job;
+  Job.CanonicalSpec = Spec->toJson().dump();
+  Job.Id = fnv1a64Hex(Job.CanonicalSpec);
+  Job.Spec = Spec.take();
+  Job.Index = Out.size();
+  Out.push_back(std::move(Job));
+  return "";
+}
+
+} // namespace
+
+Expected<std::vector<SuiteJob>>
+SuiteSpec::expand(bool ApplyEnvOverrides) const {
+  using E = Expected<std::vector<SuiteJob>>;
+  std::vector<SuiteJob> Out;
+
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    Value Merged = json::deepMerge(Defaults, Jobs[I]);
+    if (std::string Err = finishJob(Merged, "job #" + std::to_string(I),
+                                    ApplyEnvOverrides, Out);
+        !Err.empty())
+      return E::error(Err);
+  }
+
+  if (!Matrix.empty()) {
+    std::vector<Value> Configs = Matrix.Configs;
+    if (Configs.empty())
+      Configs.push_back(Value::object());
+    std::vector<uint64_t> Seeds = Matrix.seedList();
+    for (const std::string &Subject : Matrix.Subjects) {
+      for (TaskKind Task : Matrix.Tasks) {
+        for (size_t CI = 0; CI < Configs.size(); ++CI) {
+          Value Cell = json::deepMerge(Defaults, Configs[CI]);
+          Cell.set("task", Value::string(taskKindName(Task)));
+          Cell.set("module",
+                   Value::object().set("builtin", Value::string(Subject)));
+          std::string Where = std::string("matrix cell ") + Subject + "/" +
+                              taskKindName(Task) + "/config #" +
+                              std::to_string(CI);
+          if (Seeds.empty()) {
+            if (std::string Err =
+                    finishJob(Cell, Where, ApplyEnvOverrides, Out);
+                !Err.empty())
+              return E::error(Err);
+            continue;
+          }
+          for (uint64_t Seed : Seeds) {
+            Value Search = Value::object();
+            if (const Value *S = Cell.find("search"))
+              Search = *S;
+            Search.set("seed", Value::number(Seed));
+            Value WithSeed = Cell;
+            WithSeed.set("search", std::move(Search));
+            if (std::string Err =
+                    finishJob(WithSeed, Where + "/seed " +
+                                            std::to_string(Seed),
+                              ApplyEnvOverrides, Out);
+                !Err.empty())
+              return E::error(Err);
+          }
+        }
+      }
+    }
+  }
+
+  if (Out.empty())
+    return E::error("suite: no jobs (need 'jobs' and/or 'matrix')");
+
+  // Content-addressed IDs make duplicates literal re-runs of the same
+  // work under the same identity; reject them instead of silently
+  // racing two writers of one checkpoint record.
+  std::set<std::string> Seen;
+  for (const SuiteJob &Job : Out)
+    if (!Seen.insert(Job.Id).second)
+      return E::error("suite: duplicate job " + Job.Id + " (" +
+                      Job.subject() + ") — two entries expand to the "
+                      "identical spec");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON round trip
+//===----------------------------------------------------------------------===//
+
+json::Value SuiteSpec::toJson() const {
+  Value Doc = Value::object();
+  if (!Name.empty())
+    Doc.set("suite", Value::string(Name));
+  if (Defaults.isObject() && !Defaults.members().empty())
+    Doc.set("defaults", Defaults);
+  if (!Jobs.empty()) {
+    Value Js = Value::array();
+    for (const Value &J : Jobs)
+      Js.push(J);
+    Doc.set("jobs", std::move(Js));
+  }
+  if (!Matrix.empty()) {
+    Value M = Value::object();
+    Value Subjects = Value::array();
+    for (const std::string &S : Matrix.Subjects)
+      Subjects.push(Value::string(S));
+    M.set("subjects", std::move(Subjects));
+    Value Tasks = Value::array();
+    for (TaskKind T : Matrix.Tasks)
+      Tasks.push(Value::string(taskKindName(T)));
+    M.set("tasks", std::move(Tasks));
+    if (!Matrix.Configs.empty()) {
+      Value Cs = Value::array();
+      for (const Value &C : Matrix.Configs)
+        Cs.push(C);
+      M.set("configs", std::move(Cs));
+    }
+    if (!Matrix.Seeds.empty()) {
+      Value Seeds = Value::array();
+      for (uint64_t S : Matrix.Seeds)
+        Seeds.push(Value::number(S));
+      M.set("seeds", std::move(Seeds));
+    }
+    if (Matrix.SeedCount) {
+      M.set("seed_base", Value::number(Matrix.SeedBase));
+      M.set("seed_count", Value::number(Matrix.SeedCount));
+    }
+    Doc.set("matrix", std::move(M));
+  }
+  return Doc;
+}
+
+std::string SuiteSpec::toJsonText() const { return toJson().dump() + "\n"; }
+
+Expected<SuiteSpec> SuiteSpec::fromJson(const json::Value &V) {
+  using E = Expected<SuiteSpec>;
+  if (!V.isObject())
+    return E::error("suite: expected a JSON object");
+
+  SuiteSpec Suite;
+  if (const Value *N = V.find("suite")) {
+    if (!N->isString())
+      return E::error("suite: 'suite' must be a string");
+    Suite.Name = N->asString();
+  }
+  if (const Value *D = V.find("defaults")) {
+    if (!D->isObject())
+      return E::error("suite: 'defaults' must be an object");
+    Suite.Defaults = *D;
+  }
+  if (const Value *Js = V.find("jobs")) {
+    if (!Js->isArray())
+      return E::error("suite: 'jobs' must be an array of spec objects");
+    for (size_t I = 0; I < Js->size(); ++I) {
+      if (!Js->at(I).isObject())
+        return E::error("suite: job #" + std::to_string(I) +
+                        " must be a spec object");
+      Suite.Jobs.push_back(Js->at(I));
+    }
+  }
+  if (const Value *M = V.find("matrix")) {
+    if (!M->isObject())
+      return E::error("suite: 'matrix' must be an object");
+    const Value *Subjects = M->find("subjects");
+    if (!Subjects || !Subjects->isArray() || Subjects->size() == 0)
+      return E::error("suite: matrix needs a non-empty 'subjects' array");
+    for (size_t I = 0; I < Subjects->size(); ++I) {
+      if (!Subjects->at(I).isString() || Subjects->at(I).asString().empty())
+        return E::error("suite: matrix subjects must be builtin names");
+      Suite.Matrix.Subjects.push_back(Subjects->at(I).asString());
+    }
+    const Value *Tasks = M->find("tasks");
+    if (!Tasks || !Tasks->isArray() || Tasks->size() == 0)
+      return E::error("suite: matrix needs a non-empty 'tasks' array");
+    for (size_t I = 0; I < Tasks->size(); ++I) {
+      TaskKind K;
+      if (!Tasks->at(I).isString() ||
+          !taskKindByName(Tasks->at(I).asString(), K))
+        return E::error("suite: unknown matrix task '" +
+                        Tasks->at(I).asString() + "'");
+      Suite.Matrix.Tasks.push_back(K);
+    }
+    if (const Value *Cs = M->find("configs")) {
+      if (!Cs->isArray())
+        return E::error("suite: matrix 'configs' must be an array");
+      for (size_t I = 0; I < Cs->size(); ++I) {
+        if (!Cs->at(I).isObject())
+          return E::error("suite: each matrix config must be an object");
+        Suite.Matrix.Configs.push_back(Cs->at(I));
+      }
+    }
+    if (const Value *Seeds = M->find("seeds")) {
+      if (!Seeds->isArray())
+        return E::error("suite: matrix 'seeds' must be an array");
+      for (size_t I = 0; I < Seeds->size(); ++I) {
+        if (!Seeds->at(I).isNumber())
+          return E::error("suite: matrix seeds must be numbers");
+        Suite.Matrix.Seeds.push_back(Seeds->at(I).asUint());
+      }
+    }
+    if (const Value *B = M->find("seed_base")) {
+      if (!B->isNumber())
+        return E::error("suite: 'seed_base' must be a number");
+      Suite.Matrix.SeedBase = B->asUint();
+    }
+    if (const Value *C = M->find("seed_count")) {
+      if (!C->isNumber())
+        return E::error("suite: 'seed_count' must be a number");
+      Suite.Matrix.SeedCount = static_cast<unsigned>(C->asUint());
+    }
+  }
+  if (Suite.Jobs.empty() && Suite.Matrix.empty())
+    return E::error("suite: needs 'jobs' and/or 'matrix'");
+  return Suite;
+}
+
+Expected<SuiteSpec> SuiteSpec::parse(std::string_view JsonText) {
+  Expected<Value> Doc = Value::parse(JsonText);
+  if (!Doc)
+    return Expected<SuiteSpec>::error("suite: " + Doc.error());
+  return fromJson(*Doc);
+}

@@ -1,0 +1,48 @@
+//===--- Hash.h - Stable content hashing -----------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a 64-bit hashing for content-addressed identifiers. The suite
+/// layer derives job IDs from the canonical spec text with this hash, so
+/// IDs are stable across runs, processes, and machines — they depend on
+/// the job's content, never on its position in a suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_HASH_H
+#define WDM_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wdm {
+
+/// FNV-1a over \p Text (64-bit offset basis / prime).
+inline uint64_t fnv1a64(std::string_view Text) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : Text) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// The 16-digit lowercase-hex spelling of fnv1a64(Text).
+inline std::string fnv1a64Hex(std::string_view Text) {
+  static const char Digits[] = "0123456789abcdef";
+  uint64_t H = fnv1a64(Text);
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[static_cast<size_t>(I)] = Digits[H & 0xf];
+    H >>= 4;
+  }
+  return Out;
+}
+
+} // namespace wdm
+
+#endif // WDM_SUPPORT_HASH_H

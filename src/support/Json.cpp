@@ -520,6 +520,35 @@ Expected<Value> Value::parse(std::string_view Text) {
   return Parser(Text).run();
 }
 
+Value wdm::json::deepMerge(Value Base, const Value &Overlay) {
+  if (Overlay.isNull())
+    return Base;
+  if (!Base.isObject() || !Overlay.isObject())
+    return Overlay;
+  for (const auto &[Key, V] : Overlay.members()) {
+    const Value *Existing = Base.find(Key);
+    Base.set(Key, Existing ? deepMerge(*Existing, V) : V);
+  }
+  return Base;
+}
+
+Expected<std::vector<Value>>
+wdm::json::readNdjsonFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Expected<std::vector<Value>>::error("cannot open '" + Path + "'");
+  std::vector<Value> Out;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (trim(Line).empty())
+      continue;
+    if (Expected<Value> Doc = Value::parse(Line))
+      Out.push_back(Doc.take());
+    // else: a crash-truncated or foreign line; not a checkpoint record.
+  }
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // BenchJson
 //===----------------------------------------------------------------------===//

@@ -114,6 +114,20 @@ private:
   void dumpTo(std::string &Out) const;
 };
 
+/// Structural merge of two documents: objects merge member-by-member
+/// recursively (overlay members win; base members the overlay does not
+/// mention survive), every other kind — including arrays — is replaced
+/// by the overlay. A null overlay leaves the base untouched. This is the
+/// suite layer's defaults-then-overrides composition rule.
+Value deepMerge(Value Base, const Value &Overlay);
+
+/// Reads a newline-delimited-JSON file: one document per line. Blank
+/// lines and unparseable lines are skipped — a driver killed mid-write
+/// leaves a truncated final line, and the checkpoint reader must treat
+/// it as "that record never happened" rather than fail. Only a file
+/// that cannot be opened is an error.
+Expected<std::vector<Value>> readNdjsonFile(const std::string &Path);
+
 /// Accumulates one benchmark report and serializes it as
 /// {"bench": ..., "threads": ..., "entries": [{...}, ...]}.
 /// field() calls before the first entry() attach to the report root;

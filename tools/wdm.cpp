@@ -4,22 +4,30 @@
 //
 // One binary over the whole declarative surface:
 //
-//   wdm tasks                      list task kinds, backends, builtins
+//   wdm tasks [--json]             list task kinds, backends, builtins
 //   wdm run spec.json [--json o]   run a JSON AnalysisSpec
 //   wdm analyze --task=overflow --builtin=bessel --threads=4 [--json o]
 //   wdm analyze --task=boundary --func=f file.wir
+//   wdm suite run suite.json --shards=4 --mode=subprocess --resume
+//   wdm suite expand suite.json    print the expanded job list
+//   wdm run-job <spec.json | ->    internal suite worker (report on stdout)
 //
 // $WDM_STARTS / $WDM_THREADS / $WDM_SEED override the spec's search
 // config (the shared SearchConfig::applyEnv policy), and explicit flags
-// override both. The exit code reflects the findings: 0 when the task
-// succeeded (witness found / all covered / overflows or inconsistencies
-// found / sat), 1 when the search came up empty, 2 on usage or spec
-// errors. This is the seam a sharding driver fans out over processes.
+// override both. run-job executes its spec verbatim — the suite driver
+// already folded the env knobs into the canonical job specs.
+//
+// Exit-code contract, shared by `run`, `run-job`, and `suite run`:
+//   0  ran clean, no findings
+//   1  findings were produced (witnesses, overflows, tests, models, ...)
+//   2  usage, spec, or subject-resolution error
+//   3  internal/execution error (crashed or failing suite worker, I/O)
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/Analyzer.h"
 #include "api/Backends.h"
+#include "api/JobScheduler.h"
 #include "api/Subjects.h"
 #include "support/StringUtils.h"
 
@@ -37,13 +45,19 @@ int usage() {
   std::cerr
       << "usage: wdm <command> [options]\n\n"
          "commands:\n"
-         "  tasks                      list task kinds, backends, and "
+         "  tasks [--json]             list task kinds, backends, and "
          "builtin subjects\n"
          "  run <spec.json> [--json <out.json>]\n"
          "                             run one JSON analysis spec\n"
          "  analyze --task=<kind> [subject] [options] [file.wir]\n"
          "                             build a spec from flags and run "
-         "it\n\n"
+         "it\n"
+         "  suite run <suite.json> [suite options]\n"
+         "                             run a suite of jobs (see below)\n"
+         "  suite expand <suite.json>  print the expanded job list as "
+         "NDJSON\n"
+         "  run-job <spec.json | ->    internal suite worker: spec in, "
+         "report JSON on stdout\n\n"
          "analyze subject (one of):\n"
          "  <file.wir>                 positional or --module=<file>: "
          "textual IR file\n"
@@ -63,13 +77,46 @@ int usage() {
          "  --boundary-form=<f>        product|min|minulp\n"
          "  --overflow-metric=<m>      ulpgap|absgap\n"
          "  --nfp=<n>                  overflow: max Algorithm 3 rounds\n"
-         "  --json <out.json>          also write the report as JSON\n";
+         "  --json <out.json>          also write the report as JSON\n\n"
+         "suite options:\n"
+         "  --shards=<n>               concurrent jobs (0 = one per "
+         "hardware thread)\n"
+         "  --mode=<m>                 inprocess (default) | subprocess "
+         "| dry\n"
+         "  --ndjson <log.ndjson>      stream events (doubles as the "
+         "checkpoint)\n"
+         "  --resume                   skip jobs already finished in "
+         "the --ndjson log\n"
+         "  --json <out.json>          write the aggregate SuiteReport\n"
+         "  --worker <exe>             subprocess worker binary "
+         "(default: this wdm)\n\n"
+         "exit codes (run, run-job, suite run):\n"
+         "  0 = ran clean, no findings   1 = findings produced\n"
+         "  2 = usage/spec error         3 = internal/worker error\n";
   return 2;
 }
 
 int fail(const std::string &Msg) {
   std::cerr << "wdm: " << Msg << "\n";
   return 2;
+}
+
+/// The shared exit-code contract: findings drive the code, like a
+/// linter — "success" of the task (witness found) means findings exist.
+int exitCodeFor(const Report &R) { return R.Findings.empty() ? 0 : 1; }
+
+Expected<std::string> readInput(const std::string &Path) {
+  using E = Expected<std::string>;
+  std::ostringstream Buf;
+  if (Path == "-") {
+    Buf << std::cin.rdbuf();
+    return Buf.str();
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return E::error("cannot open '" + Path + "'");
+  Buf << In.rdbuf();
+  return Buf.str();
 }
 
 void printReport(const Report &R) {
@@ -123,10 +170,51 @@ int finish(const AnalysisSpec &Spec, const std::string &JsonOut) {
     Out << R->toJsonText();
     std::cout << "report:    " << JsonOut << "\n";
   }
-  return R->Success ? 0 : 1;
+  return exitCodeFor(*R);
 }
 
-int cmdTasks() {
+int cmdTasks(int Argc, char **Argv) {
+  bool Json = false;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else
+      return fail(std::string("unexpected argument '") + Argv[I] + "'");
+  }
+
+  if (Json) {
+    using json::Value;
+    Value Doc = Value::object();
+    Value Tasks = Value::array();
+    for (TaskKind K :
+         {TaskKind::Boundary, TaskKind::Path, TaskKind::Coverage,
+          TaskKind::Overflow, TaskKind::Inconsistency, TaskKind::FpSat})
+      Tasks.push(Value::string(taskKindName(K)));
+    Doc.set("tasks", std::move(Tasks));
+    Value Backends = Value::array();
+    for (const std::string &B : backendNames())
+      Backends.push(Value::string(B));
+    Doc.set("backends", std::move(Backends));
+    Value Engines = Value::array();
+    Engines.push(Value::string("vm"));
+    Engines.push(Value::string("interp"));
+    Doc.set("engines", std::move(Engines));
+    Value Modes = Value::array();
+    for (SuiteMode M :
+         {SuiteMode::InProcess, SuiteMode::Subprocess, SuiteMode::Dry})
+      Modes.push(Value::string(suiteModeName(M)));
+    Doc.set("suite_modes", std::move(Modes));
+    Value Builtins = Value::array();
+    for (const BuiltinInfo &I : builtinSubjects())
+      Builtins.push(Value::object()
+                        .set("name", Value::string(I.Name))
+                        .set("function", Value::string(I.Function))
+                        .set("summary", Value::string(I.Summary)));
+    Doc.set("builtins", std::move(Builtins));
+    std::cout << Doc.dump() << "\n";
+    return 0;
+  }
+
   std::cout << "task kinds:\n";
   for (TaskKind K :
        {TaskKind::Boundary, TaskKind::Path, TaskKind::Coverage,
@@ -165,17 +253,205 @@ int cmdRun(int Argc, char **Argv) {
   if (SpecPath.empty())
     return usage();
 
-  std::ifstream In(SpecPath, std::ios::binary);
-  if (!In)
-    return fail("cannot open spec '" + SpecPath + "'");
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-
-  Expected<AnalysisSpec> Spec = AnalysisSpec::parse(Buf.str());
+  Expected<std::string> Text = readInput(SpecPath);
+  if (!Text)
+    return fail(Text.error());
+  Expected<AnalysisSpec> Spec = AnalysisSpec::parse(*Text);
   if (!Spec)
     return fail(SpecPath + ": " + Spec.error());
   Spec->Search.applyEnv();
   return finish(*Spec, JsonOut);
+}
+
+/// The suite worker: spec text in (file or stdin), report JSON out.
+/// No env overlay — the driver canonicalized the spec already — and no
+/// human-readable report: stdout is the machine seam.
+int cmdRunJob(int Argc, char **Argv) {
+  std::string SpecPath, JsonOut;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--json needs an output path");
+      JsonOut = Argv[++I];
+    } else if (startsWith(A, "--json=")) {
+      JsonOut = A.substr(7);
+    } else if (SpecPath.empty() && (A == "-" || !startsWith(A, "--"))) {
+      SpecPath = A;
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+  if (SpecPath.empty())
+    return usage();
+
+  Expected<std::string> Text = readInput(SpecPath);
+  if (!Text)
+    return fail(Text.error());
+  Expected<AnalysisSpec> Spec = AnalysisSpec::parse(*Text);
+  if (!Spec)
+    return fail(SpecPath + ": " + Spec.error());
+  Expected<Report> R = Analyzer::analyze(*Spec);
+  if (!R)
+    return fail(R.error());
+  std::cout << R->toJsonText() << std::flush;
+  if (!JsonOut.empty()) {
+    std::ofstream Out(JsonOut);
+    if (!Out) {
+      std::cerr << "wdm: cannot write '" << JsonOut << "'\n";
+      return 3;
+    }
+    Out << R->toJsonText();
+  }
+  return exitCodeFor(*R);
+}
+
+void printSuiteReport(const SuiteReport &R) {
+  if (!R.Suite.empty())
+    std::cout << "suite:     " << R.Suite << "\n";
+  std::cout << "mode:      " << R.Mode << " (shards: " << R.Shards
+            << ")\n"
+            << "jobs:      " << R.Jobs << "\n"
+            << "executed:  " << R.Executed << "\n"
+            << "skipped:   " << R.Skipped << "\n"
+            << "failed:    " << R.Failed << "\n"
+            << "findings:  " << R.Findings << "\n"
+            << "evals:     " << R.Evals << "\n"
+            << "seconds:   " << formatf("%.3f", R.Seconds)
+            << " (job time " << formatf("%.3f", R.JobSeconds) << ")\n";
+  for (const SuiteReport::TaskStats &T : R.PerTask)
+    std::cout << "  " << formatf("%-14s", T.Task.c_str()) << T.Jobs
+              << " job(s), " << T.Succeeded << " succeeded, "
+              << T.Findings << " finding(s), " << T.Evals << " evals, "
+              << formatf("%.3fs", T.Seconds) << "\n";
+  for (const JobResult &J : R.Results)
+    if (J.S == JobResult::State::Failed)
+      std::cout << "  FAILED " << J.Id << " ("
+                << taskKindName(J.Spec.Task) << " " << subjectText(J.Spec)
+                << "): " << J.Error << "\n";
+}
+
+int cmdSuite(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Sub = Argv[0];
+  std::string SuitePath;
+  SuiteRunOptions Opts;
+  Opts.ApplyEnvOverrides = true;
+  Opts.Progress = &std::cout;
+  std::string JsonOut;
+
+  auto Uint = [](const std::string &V, uint64_t &Out) {
+    char *End = nullptr;
+    Out = std::strtoull(V.c_str(), &End, 0);
+    return End && !*End && !V.empty();
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
+    uint64_t N = 0;
+    if (Key == "--shards") {
+      if (!Uint(Val, N))
+        return fail("bad --shards");
+      Opts.Shards = static_cast<unsigned>(N);
+    } else if (Key == "--mode") {
+      if (!suiteModeByName(Val, Opts.Mode))
+        return fail("unknown mode '" + Val +
+                    "' (expected inprocess|subprocess|dry)");
+    } else if (A == "--resume") {
+      Opts.Resume = true;
+    } else if (A == "--ndjson") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--ndjson needs an output path");
+      Opts.EventLog = Argv[++I];
+    } else if (Key == "--ndjson") {
+      Opts.EventLog = Val;
+    } else if (A == "--worker") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--worker needs an executable path");
+      Opts.WorkerExe = Argv[++I];
+    } else if (Key == "--worker") {
+      Opts.WorkerExe = Val;
+    } else if (A == "--json") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--json needs an output path");
+      JsonOut = Argv[++I];
+    } else if (Key == "--json") {
+      JsonOut = Val;
+    } else if (!startsWith(A, "--") && SuitePath.empty()) {
+      SuitePath = A;
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+  if (SuitePath.empty())
+    return usage();
+
+  Expected<std::string> Text = readInput(SuitePath);
+  if (!Text)
+    return fail(Text.error());
+  Expected<SuiteSpec> Suite = SuiteSpec::parse(*Text);
+  if (!Suite)
+    return fail(SuitePath + ": " + Suite.error());
+
+  if (Sub == "expand") {
+    Expected<std::vector<SuiteJob>> Jobs = Suite->expand(true);
+    if (!Jobs)
+      return fail(Jobs.error());
+    for (const SuiteJob &Job : *Jobs) {
+      json::Value Line =
+          json::Value::object()
+              .set("job", json::Value::string(Job.Id))
+              .set("index",
+                   json::Value::number(static_cast<uint64_t>(Job.Index)));
+      // Re-parse the canonical text so the printed spec is exactly what
+      // a worker will receive.
+      Line.set("spec", *json::Value::parse(Job.CanonicalSpec));
+      std::cout << Line.dump() << "\n";
+    }
+    return 0;
+  }
+  if (Sub != "run")
+    return fail("unknown suite subcommand '" + Sub +
+                "' (try: run, expand)");
+
+  if (Opts.Resume && Opts.EventLog.empty())
+    return fail("--resume needs --ndjson <log> (the checkpoint)");
+
+  Expected<SuiteReport> R =
+      JobScheduler::execute(std::move(*Suite), std::move(Opts));
+  if (!R)
+    return fail(R.error());
+
+  bool Dry = R->Mode == suiteModeName(SuiteMode::Dry);
+  if (Dry) {
+    for (const JobResult &J : R->Results)
+      std::cout << J.Id << "  " << taskKindName(J.Spec.Task) << "  "
+                << subjectText(J.Spec)
+                << (J.Spec.Search.Seed
+                        ? "  seed=" + std::to_string(*J.Spec.Search.Seed)
+                        : "")
+                << "\n";
+    std::cout << "jobs:      " << R->Jobs << " (dry run)\n";
+  } else {
+    printSuiteReport(*R);
+  }
+  if (!JsonOut.empty()) {
+    std::ofstream Out(JsonOut);
+    if (!Out) {
+      std::cerr << "wdm: cannot write '" << JsonOut << "'\n";
+      return 3;
+    }
+    Out << R->toJsonText();
+    std::cout << "report:    " << JsonOut << "\n";
+  }
+  return Dry ? 0 : R->exitCode();
 }
 
 bool parsePathLegs(const std::string &Text,
@@ -301,14 +577,19 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
   if (Cmd == "tasks")
-    return cmdTasks();
+    return cmdTasks(Argc - 2, Argv + 2);
   if (Cmd == "run")
     return cmdRun(Argc - 2, Argv + 2);
+  if (Cmd == "run-job")
+    return cmdRunJob(Argc - 2, Argv + 2);
+  if (Cmd == "suite")
+    return cmdSuite(Argc - 2, Argv + 2);
   if (Cmd == "analyze")
     return cmdAnalyze(Argc - 2, Argv + 2);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
     usage();
     return 0;
   }
-  return fail("unknown command '" + Cmd + "' (try: tasks, run, analyze)");
+  return fail("unknown command '" + Cmd +
+              "' (try: tasks, run, analyze, suite, run-job)");
 }
