@@ -10,6 +10,11 @@
 // are bit-identical at every shard count; this bench asserts that while
 // it measures.
 //
+// Scaling is only *required* when the machine can actually scale: the
+// JSON records hardware_concurrency, and the multi-shard speedup
+// assertion applies only on >= 2 hardware threads. On a 1-core box the
+// ~1.0x result is expected and annotated, not a failure.
+//
 //===----------------------------------------------------------------------===//
 
 #include "api/JobScheduler.h"
@@ -17,9 +22,11 @@
 #include "support/Json.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace wdm;
@@ -94,9 +101,21 @@ int main() {
     Runs.push_back(R.take());
   }
 
+  const unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  double BestMultiShardSpeedup = 0;
+  for (size_t I = 0; I < Runs.size(); ++I)
+    if (ShardCounts[I] > 1 && Runs[I].Seconds > 0)
+      BestMultiShardSpeedup =
+          std::max(BestMultiShardSpeedup, BaseSeconds / Runs[I].Seconds);
+
   json::BenchJson Json("suite_shard");
   Json.field("reports_identical_across_shards",
              std::string(Identical ? "yes" : "no"));
+  Json.field("hardware_concurrency", static_cast<uint64_t>(HW));
+  if (HW < 2)
+    Json.field("scaling_note",
+               std::string("single hardware thread: multi-shard speedup "
+                           "is expected to be ~1.0x and is not asserted"));
   for (size_t I = 0; I < Runs.size(); ++I) {
     const SuiteReport &R = Runs[I];
     Json.entry("shards_" + std::to_string(ShardCounts[I]))
@@ -112,5 +131,24 @@ int main() {
 
   std::cout << "\nPer-job reports identical across shard counts: "
             << (Identical ? "yes" : "NO — DETERMINISM VIOLATED") << "\n";
-  return Identical ? 0 : 1;
+  if (!Identical)
+    return 1;
+
+  // Multi-core scaling is part of the contract only where the hardware
+  // offers it.
+  if (HW >= 2) {
+    if (BestMultiShardSpeedup < 1.2) {
+      std::cerr << "suite_shard: best multi-shard speedup "
+                << formatf("%.2fx", BestMultiShardSpeedup) << " on " << HW
+                << " hardware threads (need >= 1.2x)\n";
+      return 1;
+    }
+    std::cout << "Multi-shard scaling on " << HW << " hardware threads: "
+              << formatf("%.2fx", BestMultiShardSpeedup) << " (ok)\n";
+  } else {
+    std::cout << "Single hardware thread: multi-shard speedup not "
+                 "asserted (recorded "
+              << formatf("%.2fx", BestMultiShardSpeedup) << ")\n";
+  }
+  return 0;
 }

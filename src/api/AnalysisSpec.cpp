@@ -8,6 +8,7 @@
 
 #include "core/SearchEngine.h"
 #include "support/StringUtils.h"
+#include "jit/JITWeakDistance.h"
 #include "vm/VMWeakDistance.h"
 
 #include <cerrno>
@@ -385,7 +386,8 @@ Expected<AnalysisSpec> AnalysisSpec::fromJson(const json::Value &V) {
         return E::error(typeError("engine", "string"));
       vm::EngineKind K;
       if (!vm::engineKindByName(X->asString(), K))
-        return E::error("spec: engine must be 'interp' or 'vm', got '" +
+        return E::error("spec: engine must be one of " +
+                        jit::engineNamesForErrors() + ", got '" +
                         X->asString() + "'");
       Spec.Search.Engine = X->asString();
     }

@@ -95,10 +95,12 @@ struct SearchConfig {
   /// "powell", "random", "ulp". Empty = the paper's default
   /// (basinhopping only).
   std::vector<std::string> Backends;
-  /// Weak-distance execution tier: "interp" | "vm". Empty = unset,
-  /// which resolves to the compiled tier ("vm"); lowering-rejected
-  /// subjects fall back to the interpreter automatically and the Report
-  /// says so. Ignored by fpsat, whose CNF distance is native code.
+  /// Weak-distance execution tier: "interp" | "vm" | "jit". Empty =
+  /// unset, which resolves to the compiled tier ("vm"). "jit" parses on
+  /// every platform; where the native tier is unavailable (or rejects
+  /// the subject) the chain degrades jit -> vm -> interp automatically
+  /// and the Report says so via engine/engine_fallback. Ignored by
+  /// fpsat, whose CNF distance is native code already.
   std::string Engine;
 
   /// The resolved execution tier (unset and "vm" both map to VM).

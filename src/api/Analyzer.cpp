@@ -10,6 +10,7 @@
 #include "api/Subjects.h"
 #include "api/TaskRegistry.h"
 #include "ir/Parser.h"
+#include "jit/JITWeakDistance.h"
 #include "vm/VMWeakDistance.h"
 
 #include <chrono>
@@ -45,7 +46,8 @@ Expected<Report> Analyzer::run() {
   if (!Spec.Search.Engine.empty()) {
     vm::EngineKind K;
     if (!vm::engineKindByName(Spec.Search.Engine, K))
-      return E::error("spec: engine must be 'interp' or 'vm', got '" +
+      return E::error("spec: engine must be one of " +
+                      jit::engineNamesForErrors() + ", got '" +
                       Spec.Search.Engine + "'");
   }
 

@@ -66,9 +66,18 @@ int toFeRound(RoundingMode RM) {
 class RoundingScope {
 public:
   explicit RoundingScope(RoundingMode RM) : Saved(fegetround()) {
-    fesetround(toFeRound(RM));
+    // fesetround rewrites both the x87 control word and MXCSR — tens of
+    // ns per eval. In the dominant case (ambient and requested mode are
+    // both to-nearest) both writes are skippable.
+    if (Saved != toFeRound(RM))
+      fesetround(toFeRound(RM));
+    else
+      Saved = -1;
   }
-  ~RoundingScope() { fesetround(Saved); }
+  ~RoundingScope() {
+    if (Saved != -1)
+      fesetround(Saved);
+  }
 
 private:
   int Saved;

@@ -1,0 +1,130 @@
+//===--- JITCompile.h - vm::Bytecode -> x86-64 template JIT ----*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native execution tier's compiler interface: a baseline template
+/// JIT (copy-and-patch style, no LLVM) that maps each vm::Bytecode
+/// opcode to a short hand-written x86-64 fragment — scalar SSE2 for the
+/// FP arithmetic and compares (so the dynamic rounding mode installed
+/// via fesetround/MXCSR is respected for free), out-of-line helper
+/// calls for calls, observers, and the conversions that must hit the
+/// exact libm/support symbols the VM uses — assembled into one mmap'd
+/// W^X executable buffer with backpatched branch targets.
+///
+/// Semantics are bit-for-bit the VM's (and therefore the
+/// interpreter's): same step accounting at every virtual instruction
+/// boundary, same NaN canonicalization, same trap/branch/global
+/// behavior, all four rounding modes. The graceful-degradation contract
+/// mirrors the VM-over-interpreter one: any function the JIT cannot
+/// take (vm lowering rejected it, the emitted code exceeds
+/// Limits.MaxCodeBytes, the host is not x86-64/POSIX, or the
+/// executable mapping fails) is marked !Ok with a reason, callers of
+/// rejected functions reject transitively, and the factory layer
+/// (JITWeakDistance.h) falls back to the VM tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_JIT_JITCOMPILE_H
+#define WDM_JIT_JITCOMPILE_H
+
+#include "jit/JITRuntime.h"
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wdm::jit {
+
+/// Emission capacity bounds. Tests shrink MaxCodeBytes to force (and
+/// exercise) the per-function VM fallback, exactly like vm::Limits.
+struct Limits {
+  /// Per-function ceiling on emitted native bytes.
+  size_t MaxCodeBytes = 1u << 20;
+};
+
+/// True when this build can emit and run native code on this host
+/// (x86-64 with POSIX mmap). When false, compile() rejects every
+/// function and the factory chain degrades to the VM.
+bool available();
+
+/// One JIT-compiled function. When !Ok the function (and transitively
+/// its callers) executes on the VM tier instead.
+struct CompiledFunction {
+  const vm::CompiledFunction *VF = nullptr;
+  bool Ok = false;
+  std::string RejectReason; ///< Why emission refused (when !Ok).
+  size_t EntryOffset = 0;   ///< Entry point offset in the code buffer.
+};
+
+/// Owns one mmap'd executable mapping (W^X: written while
+/// PROT_READ|PROT_WRITE, then flipped to PROT_READ|PROT_EXEC).
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer() { release(); }
+  CodeBuffer(CodeBuffer &&O) noexcept : Base(O.Base), Size(O.Size) {
+    O.Base = nullptr;
+    O.Size = 0;
+  }
+  CodeBuffer &operator=(CodeBuffer &&O) noexcept {
+    if (this != &O) {
+      release();
+      Base = O.Base;
+      Size = O.Size;
+      O.Base = nullptr;
+      O.Size = 0;
+    }
+    return *this;
+  }
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Maps RW, copies \p N bytes, remaps RX. False on any failure.
+  bool allocate(const uint8_t *Bytes, size_t N);
+  const uint8_t *base() const { return Base; }
+  size_t size() const { return Size; }
+
+private:
+  void release();
+  uint8_t *Base = nullptr;
+  size_t Size = 0;
+};
+
+/// Emitted native entry: outcome(JitRT*, frame). Outcome values are
+/// exec::ExecResult::Outcome (0 Ok, 1 Trapped, 2 StepLimitExceeded).
+using NativeFn = uint32_t (*)(JitRT *, Reg *);
+
+/// A whole JIT-compiled module, parallel to the vm::CompiledModule it
+/// was emitted from (\p VM must outlive this and stay unmoved — the
+/// native code embeds pointers into its pools).
+struct CompiledModule {
+  const vm::CompiledModule *VM = nullptr;
+  std::vector<CompiledFunction> Functions; ///< Parallel to VM->Functions.
+  CodeBuffer Code;
+  /// Max frame size (in registers) over every Call target, for sizing
+  /// the callee-frame arena up front (native code cannot re-base its
+  /// frame pointer the way the VM re-bases after stack growth).
+  unsigned MaxCalleeRegs = 0;
+
+  NativeFn entry(unsigned Idx) const {
+    return reinterpret_cast<NativeFn>(
+        const_cast<uint8_t *>(Code.base()) + Functions[Idx].EntryOffset);
+  }
+  const CompiledFunction *lookup(const ir::Function *F) const {
+    auto It = VM->Index.find(F);
+    return It == VM->Index.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+/// Emits native code for every Ok function of \p CM; functions the JIT
+/// cannot take are marked !Ok with a reason (callers reject
+/// transitively, mirroring vm::compile).
+CompiledModule compile(const vm::CompiledModule &CM, const Limits &L = {});
+
+} // namespace wdm::jit
+
+#endif // WDM_JIT_JITCOMPILE_H

@@ -1,0 +1,85 @@
+//===--- JITRuntime.cpp - Out-of-line helpers for emitted code -------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// Like Machine.cpp, this TU is compiled with -frounding-math (see
+// CMakeLists): the helpers run under whatever rounding mode the
+// evaluation installed, and the compiler must not fold or reorder FP
+// work across that dynamic state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JITRuntime.h"
+
+#include "exec/Interpreter.h"
+#include "jit/JITCompile.h"
+#include "support/FPUtils.h"
+
+#include <cmath>
+#include <cstdint>
+
+using namespace wdm;
+using namespace wdm::jit;
+
+extern "C" uint32_t wdm_jit_call(JitRT *RT, uint32_t CalleeIdx,
+                                 Reg *CallerFrame, const uint16_t *ArgRegs,
+                                 uint32_t DestReg) {
+  const auto &JM = *static_cast<const CompiledModule *>(RT->JM);
+  const vm::CompiledFunction &VF = *JM.Functions[CalleeIdx].VF;
+  // The VM's depth accounting: exhaustion surfaces as StepLimitExceeded.
+  if (RT->Depth + 1 >= RT->MaxCallDepth)
+    return 2;
+  Reg *Frame = RT->ArenaTop;
+  if (Frame + VF.NumRegs > RT->ArenaEnd)
+    return 2; // unreachable: the arena is sized for MaxCallDepth frames
+  for (unsigned K = 0; K < VF.NumArgs; ++K)
+    Frame[K].U = CallerFrame[ArgRegs[K]].U;
+  for (unsigned K = 0; K < VF.NumConsts; ++K)
+    Frame[VF.NumArgs + K].U = VF.ConstBits[K];
+  for (unsigned K = 0; K < VF.NumSlots; ++K)
+    Frame[VF.FirstSlotReg + K].U = 0;
+  RT->ArenaTop = Frame + VF.NumRegs;
+  ++RT->Depth;
+  const uint32_t Out = JM.entry(CalleeIdx)(RT, Frame);
+  --RT->Depth;
+  RT->ArenaTop = Frame;
+  if (Out != 0)
+    return Out;
+  switch (VF.RetType) {
+  case ir::Type::Double:
+  case ir::Type::Int:
+    CallerFrame[DestReg].U = RT->RetBits;
+    break;
+  case ir::Type::Bool:
+    // The RetB fragment already normalized the payload to 0/1.
+    CallerFrame[DestReg].I = RT->RetBits ? 1 : 0;
+    break;
+  case ir::Type::Void:
+    break;
+  }
+  return 0;
+}
+
+extern "C" void wdm_jit_onbranch(JitRT *RT, const void *BranchInst,
+                                 uint32_t Taken) {
+  static_cast<exec::ExecObserver *>(RT->Obs)->onBranch(
+      static_cast<const ir::Instruction *>(BranchInst), Taken != 0);
+}
+
+extern "C" int64_t wdm_jit_fptosi(double X) {
+  // The interpreter's (and VM's) saturating conversion, bit-for-bit.
+  // Pure compares plus a truncating cast — rounding-mode insensitive.
+  if (std::isnan(X))
+    return 0;
+  constexpr double Lo = -9.223372036854775808e18;
+  constexpr double Hi = 9.223372036854775807e18;
+  if (X <= Lo)
+    return INT64_MIN;
+  if (X >= Hi)
+    return INT64_MAX;
+  return static_cast<int64_t>(X);
+}
+
+extern "C" double wdm_jit_ulpdiff(double A, double B) {
+  return ulpDistanceAsDouble(A, B);
+}

@@ -1,0 +1,111 @@
+//===--- JITRuntime.h - Native<->runtime contract for the JIT --*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ABI between emitted native code and the C++ runtime: the JitRT
+/// block the generated code keeps in a register (field offsets are part
+/// of the emitted encoding, so they are pinned by static_asserts below)
+/// and the out-of-line helper functions the code calls for everything
+/// that is not a short straight-line fragment — calls, observer
+/// notifications, and the two bit-level conversions that must forward to
+/// the exact functions the VM tier uses.
+///
+/// Emitted code register convention (all callee-saved, so helper calls
+/// need no spills):
+///   rbx = frame base (Reg*)        r14 = JitRT*
+///   r12 = Steps                    r15 = raw globals base
+///   r13 = MaxSteps                 rbp = fragment-local scratch
+///
+/// Native entry signature: uint32_t fn(JitRT *rt, Reg *frame); the
+/// return value is an ExecResult::Outcome (0 Ok, 1 Trapped,
+/// 2 StepLimitExceeded). Steps thread through rt->Steps at entry, exit,
+/// and around wdm_jit_call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_JIT_JITRUNTIME_H
+#define WDM_JIT_JITRUNTIME_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wdm::jit {
+
+/// One untyped 64-bit frame register — layout-identical to the VM's.
+union Reg {
+  double D;
+  int64_t I;
+  uint64_t U;
+};
+
+static_assert(sizeof(Reg) == 8, "frame registers are raw 64-bit slots");
+
+/// The per-run runtime block. Emitted code addresses these fields by
+/// fixed offset from r14; keep the layout in sync with the asserts.
+struct JitRT {
+  uint64_t Steps = 0;              ///< off 0: live in r12 while running.
+  uint64_t MaxSteps = 0;           ///< off 8
+  uint64_t *Globals = nullptr;     ///< off 16: raw 8-byte global mirror.
+  void *Obs = nullptr;             ///< off 24: exec::ExecObserver*, may be null.
+  const uint8_t *Dis = nullptr;    ///< off 32: site-disabled table base.
+  int64_t NDis = 0;                ///< off 40: site-disabled table size.
+  uint64_t QNaN = 0;               ///< off 48: canonical quiet-NaN bits.
+  uint64_t RetBits = 0;            ///< off 56: return payload (raw bits).
+  const void *TrapMsg = nullptr;   ///< off 64: const std::string* on trap.
+  int32_t TrapId = 0;              ///< off 72
+  uint32_t Depth = 0;              ///< off 76: current call depth.
+  uint32_t MaxCallDepth = 0;       ///< off 80
+  uint32_t Pad = 0;                ///< off 84
+  Reg *ArenaTop = nullptr;         ///< off 88: callee-frame bump pointer.
+  Reg *ArenaEnd = nullptr;         ///< off 96
+  const void *JM = nullptr;        ///< off 104: const jit::CompiledModule*.
+};
+
+static_assert(offsetof(JitRT, Steps) == 0, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, MaxSteps) == 8, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, Globals) == 16, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, Obs) == 24, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, Dis) == 32, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, NDis) == 40, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, QNaN) == 48, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, RetBits) == 56, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, TrapMsg) == 64, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, TrapId) == 72, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, Depth) == 76, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, MaxCallDepth) == 80, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, ArenaTop) == 88, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, ArenaEnd) == 96, "JitRT layout is ABI");
+static_assert(offsetof(JitRT, JM) == 104, "JitRT layout is ABI");
+
+} // namespace wdm::jit
+
+extern "C" {
+
+/// Runs callee \p CalleeIdx of rt->JM on a frame carved from the arena:
+/// depth check (VM accounting), argument copy from \p CallerFrame via
+/// \p ArgRegs, constant/slot init, native invoke, and result write-back
+/// into CallerFrame[DestReg]. Returns the callee's outcome; the caller
+/// fragment spills/reloads Steps through rt->Steps around this call.
+uint32_t wdm_jit_call(wdm::jit::JitRT *RT, uint32_t CalleeIdx,
+                      wdm::jit::Reg *CallerFrame, const uint16_t *ArgRegs,
+                      uint32_t DestReg);
+
+/// ExecObserver::onBranch trampoline; only emitted behind a null check
+/// of rt->Obs. \p BranchInst is the source ir::Instruction*, resolved
+/// at compile time.
+void wdm_jit_onbranch(wdm::jit::JitRT *RT, const void *BranchInst,
+                      uint32_t Taken);
+
+/// The VM's saturating double->int64 conversion, bit-for-bit.
+int64_t wdm_jit_fptosi(double X);
+
+/// Forwards to wdm::ulpDistanceAsDouble — the same function the VM
+/// tier calls, so results are identical by construction.
+double wdm_jit_ulpdiff(double A, double B);
+
+} // extern "C"
+
+#endif // WDM_JIT_JITRUNTIME_H

@@ -34,7 +34,8 @@ void propose(double *Out, const double *From, unsigned Dim,
     double Jump = Rand.normal() * std::ldexp(1.0, static_cast<int>(StepBits));
     // Clamp the jump into int64 range before converting.
     Jump = std::fmax(std::fmin(Jump, 4.4e18), -4.4e18);
-    Out[I] = clampedFromOrderedBits(Base + static_cast<int64_t>(Jump));
+    Out[I] =
+        clampedFromOrderedBits(orderedBitsAdd(Base, static_cast<int64_t>(Jump)));
   }
 }
 

@@ -54,8 +54,8 @@ MinimizeResult UlpPatternSearch::minimize(Objective &Obj,
       std::vector<double> Candidate(Dim);
       for (unsigned I = 0; I < Dim; ++I) {
         bool Neg = Dim <= 6 ? ((Pattern >> I) & 1u) : Rand.chance(0.5);
-        Candidate[I] = clampedFromOrderedBits(orderedBits(X[I]) +
-                                              (Neg ? -Delta : Delta));
+        Candidate[I] = clampedFromOrderedBits(
+            orderedBitsAdd(orderedBits(X[I]), Neg ? -Delta : Delta));
       }
       if (Candidate == X)
         continue;
@@ -82,7 +82,8 @@ MinimizeResult UlpPatternSearch::minimize(Objective &Obj,
       for (int Sign = +1; Sign >= -1; Sign -= 2) {
         if (Exhausted())
           break;
-        double Candidate = clampedFromOrderedBits(Base + Sign * Delta);
+        double Candidate =
+            clampedFromOrderedBits(orderedBitsAdd(Base, Sign * Delta));
         if (Candidate == X[I])
           continue;
         double Saved = X[I];

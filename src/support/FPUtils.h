@@ -58,6 +58,15 @@ int64_t maxOrderedFinite();
 /// line without stepping into infinities or NaNs.
 double clampedFromOrderedBits(int64_t Ordered);
 
+/// Two's-complement addition on the ordered-bits scale. The searchers'
+/// large jumps may leave the int64 range; wrapping (followed by the
+/// caller's clamp) is the established trajectory, so keep it — but as
+/// defined unsigned arithmetic rather than signed overflow.
+inline int64_t orderedBitsAdd(int64_t Base, int64_t Delta) {
+  return static_cast<int64_t>(static_cast<uint64_t>(Base) +
+                              static_cast<uint64_t>(Delta));
+}
+
 /// Next representable double above \p X (toward +inf).
 double nextUp(double X);
 

@@ -132,6 +132,17 @@ enum class Op : uint8_t {
   /// limit checked at each virtual boundary), then skips the two
   /// now-redundant instructions, which stay in place as branch targets.
   FusedGRmwD,
+  /// Superinstruction: `r = fcmp.pred a, b; condbr r, t, f` fused into
+  /// one dispatch. Fields: Dest = the compare's result register (still
+  /// written for later uses), A/B = the compare operands, Imm2 = the
+  /// predicate (FusedCmp). The original CondBr stays in place at pc+1
+  /// and doubles as the fused handler's data carrier — its Dest is the
+  /// Branches[] index for the observer and its Imm/Imm2 are the branch
+  /// targets. Step accounting is exactly the unfused pair's: the
+  /// dispatch step covers the compare, then the condbr's step is
+  /// charged (and the limit checked) before the observer fires and the
+  /// jump is taken.
+  FusedFCmpBr,
 };
 
 /// The double binops eligible for FusedGRmwD (Inst::Imm2).
@@ -142,6 +153,17 @@ enum class FusedFOp : uint16_t {
   FDiv,
   FMin,
   FMax,
+};
+
+/// The compare predicates eligible for FusedFCmpBr (Inst::Imm2), in
+/// FCmpEQ..FCmpGE opcode order.
+enum class FusedCmp : uint16_t {
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE,
 };
 
 /// Fixed-width instruction. Dest/A/B/C are frame-register indices; Imm

@@ -445,6 +445,51 @@ void fuseSuperinstructions(CompiledFunction &CF) {
   }
 }
 
+/// Second peephole, run after the RMW fusion: fuse every adjacent pair
+///   [i]   FCmp{EQ,NE,LT,LE,GT,GE}  a, b -> r
+///   [i+1] CondBr r, t, f
+/// into one FusedFCmpBr at [i]. The CondBr is left in place — it is
+/// both a potential branch target (with its original, unfused
+/// semantics) and the fused handler's data carrier (Branches index and
+/// pc targets are read from Code[pc+1]), so nothing needs re-patching.
+void fuseCmpBranches(CompiledFunction &CF) {
+  auto PredOf = [](Op O, FusedCmp &Out) {
+    switch (O) {
+    case Op::FCmpEQ:
+      Out = FusedCmp::EQ;
+      return true;
+    case Op::FCmpNE:
+      Out = FusedCmp::NE;
+      return true;
+    case Op::FCmpLT:
+      Out = FusedCmp::LT;
+      return true;
+    case Op::FCmpLE:
+      Out = FusedCmp::LE;
+      return true;
+    case Op::FCmpGT:
+      Out = FusedCmp::GT;
+      return true;
+    case Op::FCmpGE:
+      Out = FusedCmp::GE;
+      return true;
+    default:
+      return false;
+    }
+  };
+
+  for (size_t I = 0; I + 1 < CF.Code.size(); ++I) {
+    Inst &Cmp = CF.Code[I];
+    const Inst &Br = CF.Code[I + 1];
+    FusedCmp Pred;
+    if (!PredOf(Cmp.Opc, Pred) || Br.Opc != Op::CondBr || Br.A != Cmp.Dest)
+      continue;
+    Cmp.Opc = Op::FusedFCmpBr;
+    Cmp.Imm2 = static_cast<uint16_t>(Pred);
+    ++I; // the CondBr cannot start another pair
+  }
+}
+
 } // namespace
 
 CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
@@ -466,8 +511,10 @@ CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
 
   if (L.Fuse)
     for (CompiledFunction &CF : CM.Functions)
-      if (CF.Ok)
+      if (CF.Ok) {
         fuseSuperinstructions(CF);
+        fuseCmpBranches(CF);
+      }
 
   // A caller of a rejected function must fall back too: propagate
   // rejection through the call graph to a fixpoint.

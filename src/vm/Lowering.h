@@ -30,11 +30,12 @@ namespace wdm::vm {
 struct Limits {
   unsigned MaxRegs = 60'000;
   unsigned MaxCode = 60'000;
-  /// Superinstruction fusion of the instrumentation read-modify-write
-  /// idiom `loadg w; f{add,sub,mul,div,min,max}; storeg w` into one
-  /// FusedGRmwD dispatch. Semantics (including step accounting) are
-  /// bit-for-bit the unfused ones; tests flip this off to diff the two
-  /// encodings against each other.
+  /// Superinstruction fusion: the instrumentation read-modify-write
+  /// idiom `loadg w; f{add,sub,mul,div,min,max}; storeg w` becomes one
+  /// FusedGRmwD dispatch, and `fcmp.pred; condbr` pairs become one
+  /// FusedFCmpBr. Semantics (including step accounting) are bit-for-bit
+  /// the unfused ones; tests flip this off to diff the two encodings
+  /// against each other.
   bool Fuse = true;
 };
 

@@ -53,9 +53,18 @@ int toFeRound(RoundingMode RM) {
 class RoundingScope {
 public:
   explicit RoundingScope(RoundingMode RM) : Saved(fegetround()) {
-    fesetround(toFeRound(RM));
+    // fesetround rewrites both the x87 control word and MXCSR — tens of
+    // ns per eval. In the dominant case (ambient and requested mode are
+    // both to-nearest) both writes are skippable.
+    if (Saved != toFeRound(RM))
+      fesetround(toFeRound(RM));
+    else
+      Saved = -1;
   }
-  ~RoundingScope() { fesetround(Saved); }
+  ~RoundingScope() {
+    if (Saved != -1)
+      fesetround(Saved);
+  }
 
 private:
   int Saved;
@@ -77,6 +86,27 @@ inline double fusedEval(FusedFOp Kind, double X, double Y) {
     return std::fmin(X, Y);
   case FusedFOp::FMax:
     return std::fmax(X, Y);
+  }
+  return 0;
+}
+
+/// The compare of a FusedFCmpBr superinstruction — exactly the fused
+/// FCmp opcode's (NaN makes every ordered predicate false and NE true,
+/// like the C operators the unfused handlers use).
+inline int64_t fusedCmpEval(FusedCmp Pred, double X, double Y) {
+  switch (Pred) {
+  case FusedCmp::EQ:
+    return X == Y;
+  case FusedCmp::NE:
+    return X != Y;
+  case FusedCmp::LT:
+    return X < Y;
+  case FusedCmp::LE:
+    return X <= Y;
+  case FusedCmp::GT:
+    return X > Y;
+  case FusedCmp::GE:
+    return X >= Y;
   }
   return 0;
 }
@@ -184,7 +214,7 @@ ExecResult Machine::runFrame(const CompiledFunction &F, size_t Base,
       &&L_SlotAddr, &&L_SlotLoad, &&L_SlotStore, &&L_GLoadD,
       &&L_GLoadI, &&L_GStoreD, &&L_GStoreI, &&L_SiteEnabled, &&L_Call,
       &&L_Jmp,    &&L_CondBr, &&L_RetD,   &&L_RetI,   &&L_RetB,
-      &&L_RetVoid, &&L_Trap,  &&L_FusedGRmwD,
+      &&L_RetVoid, &&L_Trap,  &&L_FusedGRmwD, &&L_FusedFCmpBr,
   };
 #define VM_CASE(op) L_##op:
 #define VM_NEXT()                                                         \
@@ -533,6 +563,22 @@ ExecResult Machine::runFrame(const CompiledFunction &F, size_t Base,
     GS[IP->Imm] = RTValue::ofDouble(V);
     IP += 2; // skip the fused-away fop and storeg
     VM_NEXT();
+  }
+  VM_CASE(FusedFCmpBr) {
+    // The dispatch step covered the compare; the condbr costs one more,
+    // checked at its virtual boundary before the observer fires (an
+    // unfused run crossing the limit there never reached the condbr
+    // either — but had already written the compare result).
+    const int64_t T = fusedCmpEval(static_cast<FusedCmp>(IP->Imm2),
+                                   R[IP->A].D, R[IP->B].D);
+    R[IP->Dest].I = T; // the compare result may have later uses
+    if (++Steps > MaxSteps)
+      goto L_StepLimit;
+    const Inst &Br = IP[1]; // the fused-away condbr carries the targets
+    const bool Taken = T != 0;
+    if (Obs)
+      Obs->onBranch(F.Branches[Br.Dest], Taken);
+    VM_JUMP(Taken ? Br.Imm : Br.Imm2);
   }
 
 #ifndef WDM_VM_THREADED
@@ -959,6 +1005,53 @@ void Machine::runBatch(const CompiledFunction &F, const double *Xs,
       }
       E = W;
       Pc += 3;
+      break;
+    }
+    case Op::FusedFCmpBr: {
+      // The generic lane-step charge above covered the compare; the
+      // condbr costs one more per lane, checked at its own virtual
+      // boundary (over-limit lanes retire with the compare result
+      // already written, exactly like an unfused run).
+      FOR_GROUP BREG(I.Dest).I = fusedCmpEval(
+          static_cast<FusedCmp>(I.Imm2), BREG(I.A).D, BREG(I.B).D);
+      {
+        uint32_t W = B;
+        FOR_GROUP {
+          const uint32_t L = LANE;
+          if (++BSteps[L] > MaxSteps)
+            Retire(L, ExecResult::Outcome::StepLimitExceeded, 0);
+          else
+            BLanes[W++] = L;
+        }
+        E = W;
+        if (B == E)
+          break;
+      }
+      // Then the CondBr partition, reading the just-written compare
+      // result; the fused-away condbr at pc+1 carries the targets.
+      const Inst &Br = Code[Pc + 1];
+      uint32_t W = B, NumNot = 0;
+      FOR_GROUP {
+        const uint32_t L = LANE;
+        if (BS[static_cast<size_t>(I.Dest) * K + L].I != 0)
+          BLanes[W++] = L;
+        else
+          BScratch[NumNot++] = L;
+      }
+      const uint32_t NumTaken = W - B;
+      for (uint32_t N = 0; N < NumNot; ++N)
+        BLanes[W++] = BScratch[N];
+      if (NumNot == 0) {
+        Pc = static_cast<size_t>(Br.Imm);
+        break;
+      }
+      if (NumTaken == 0) {
+        Pc = static_cast<size_t>(Br.Imm2);
+        break;
+      }
+      Work.push_back({static_cast<size_t>(Br.Imm2), B + NumTaken, E});
+      E = B + NumTaken;
+      Pc = static_cast<size_t>(Br.Imm);
       break;
     }
     case Op::Call: {

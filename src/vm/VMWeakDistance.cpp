@@ -20,6 +20,8 @@ const char *wdm::vm::engineKindName(EngineKind K) {
     return "interp";
   case EngineKind::VM:
     return "vm";
+  case EngineKind::JIT:
+    return "jit";
   }
   return "?";
 }
@@ -31,6 +33,10 @@ bool wdm::vm::engineKindByName(const std::string &Name, EngineKind &Out) {
   }
   if (Name == "vm") {
     Out = EngineKind::VM;
+    return true;
+  }
+  if (Name == "jit") {
+    Out = EngineKind::JIT;
     return true;
   }
   return false;
@@ -110,26 +116,6 @@ std::unique_ptr<core::WeakDistance> VMWeakDistanceFactory::make() {
                                           Parent, Opts);
 }
 
-//===----------------------------------------------------------------------===//
-// makeWeakDistanceFactory
-//===----------------------------------------------------------------------===//
-
-FactoryBundle wdm::vm::makeWeakDistanceFactory(
-    EngineKind Requested, const Engine &E, const Function *F,
-    const GlobalVar *WVar, double WInit, const ExecContext &Parent,
-    ExecOptions Opts, const Limits &L) {
-  FactoryBundle B;
-  B.Requested = Requested;
-  if (Requested == EngineKind::Interp) {
-    B.Factory = std::make_unique<instr::IRWeakDistanceFactory>(
-        E, F, WVar, WInit, Parent, Opts);
-    B.Effective = EngineKind::Interp;
-    return B;
-  }
-  auto VF = std::make_unique<VMWeakDistanceFactory>(E, F, WVar, WInit,
-                                                    Parent, Opts, L);
-  B.Effective = VF->usingVM() ? EngineKind::VM : EngineKind::Interp;
-  B.FallbackReason = VF->fallbackReason();
-  B.Factory = std::move(VF);
-  return B;
-}
+// makeWeakDistanceFactory is defined in src/jit/JITWeakDistance.cpp so
+// the EngineKind::JIT case can mint jit factories without this layer
+// depending on the jit one.

@@ -34,14 +34,17 @@
 
 namespace wdm::vm {
 
-/// The two execution tiers behind every weak-distance evaluation.
+/// The execution tiers behind every weak-distance evaluation.
 enum class EngineKind : uint8_t {
   Interp, ///< exec::Engine, the tree-walking interpreter.
   VM,     ///< vm::Machine over lowered bytecode (the default).
+  JIT,    ///< jit:: native code compiled from the lowered bytecode.
 };
 
 const char *engineKindName(EngineKind K);
-/// Parses "interp" / "vm"; false on anything else.
+/// Parses "interp" / "vm" / "jit"; false on anything else. "jit" parses
+/// on every platform — availability is a factory concern (unavailable
+/// hosts fall back to the VM and report it via FactoryBundle).
 bool engineKindByName(const std::string &Name, EngineKind &Out);
 
 /// One compiled weak-distance evaluator: owns its ExecContext and its
@@ -127,7 +130,9 @@ struct FactoryBundle {
   std::unique_ptr<core::WeakDistanceFactory> Factory;
   EngineKind Requested = EngineKind::VM;
   EngineKind Effective = EngineKind::Interp;
-  /// Set when Requested == VM but the lowering forced the interpreter.
+  /// Set when the effective tier is below the requested one (the
+  /// lowering rejected the subject, or the JIT is unavailable / refused
+  /// and fell through to the VM or further).
   std::string FallbackReason;
 
   const char *effectiveName() const { return engineKindName(Effective); }
@@ -135,8 +140,11 @@ struct FactoryBundle {
 };
 
 /// Builds the factory for \p Requested: the interpreter factory as-is,
-/// or a VMWeakDistanceFactory whose effective tier reflects lowering
-/// success. Argument shape matches instr::IRWeakDistanceFactory.
+/// a VMWeakDistanceFactory whose effective tier reflects lowering
+/// success, or a jit::JITWeakDistanceFactory degrading through the full
+/// jit -> vm -> interp chain. Argument shape matches
+/// instr::IRWeakDistanceFactory. (Defined in src/jit/ so the JIT tier
+/// can be selected without the vm layer depending on it.)
 FactoryBundle makeWeakDistanceFactory(EngineKind Requested,
                                       const exec::Engine &E,
                                       const ir::Function *F,

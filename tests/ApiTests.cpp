@@ -176,8 +176,9 @@ TEST(SpecTest, EngineFieldDefaultsAndValidation) {
   EXPECT_EQ(Unset->Search.engineKind(), vm::EngineKind::VM);
   EXPECT_EQ(Unset->toJsonText().find("\"engine\""), std::string::npos);
 
-  // Both spellings parse.
-  for (const char *Name : {"interp", "vm"}) {
+  // All three tier spellings parse ("jit" on every platform — hosts
+  // without the native tier degrade at factory time, not parse time).
+  for (const char *Name : {"interp", "vm", "jit"}) {
     Expected<AnalysisSpec> Ok = AnalysisSpec::parse(
         std::string(R"({"task": "boundary", "module": {"builtin": "fig2"},
                         "search": {"engine": ")") +
@@ -186,12 +187,14 @@ TEST(SpecTest, EngineFieldDefaultsAndValidation) {
     EXPECT_EQ(Ok->Search.Engine, Name);
   }
 
-  // Unknown values are strict validation errors, not silent defaults.
+  // Unknown values are strict validation errors, not silent defaults,
+  // and the message lists the valid names.
   Expected<AnalysisSpec> Bad = AnalysisSpec::parse(
       R"({"task": "boundary", "module": {"builtin": "fig2"},
-          "search": {"engine": "jit"}})");
+          "search": {"engine": "llvm"}})");
   ASSERT_FALSE(Bad.hasValue());
   EXPECT_NE(Bad.error().find("engine"), std::string::npos);
+  EXPECT_NE(Bad.error().find("'jit'"), std::string::npos);
 
   // Wrong type is an error too.
   EXPECT_FALSE(AnalysisSpec::parse(

@@ -275,6 +275,88 @@ TEST(SuperinstructionTest, LoweringFusesTheRmwIdiom) {
   EXPECT_GT(countFused(*Instr.lookup(BI.Wrapped)), 0u);
 }
 
+unsigned countFusedCmpBr(const vm::CompiledFunction &CF) {
+  unsigned N = 0;
+  for (const vm::Inst &I : CF.Code)
+    N += I.Opc == vm::Op::FusedFCmpBr;
+  return N;
+}
+
+TEST(SuperinstructionTest, LoweringFusesCompareBranchPairs) {
+  auto Parsed = ir::parseModule(BatchSubjectIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  vm::CompiledModule Fused = vm::compile(M);
+  // Each function ends its entry block with `fcmp; condbr` on the
+  // compare's result — exactly the fusible pair.
+  const vm::CompiledFunction *Acc = Fused.lookup(M.functionByName("acc"));
+  const vm::CompiledFunction *Help =
+      Fused.lookup(M.functionByName("helper"));
+  ASSERT_TRUE(Acc && Acc->Ok && Help && Help->Ok);
+  EXPECT_EQ(countFusedCmpBr(*Acc), 1u);
+  EXPECT_EQ(countFusedCmpBr(*Help), 1u);
+
+  vm::Limits NoFuse;
+  NoFuse.Fuse = false;
+  vm::CompiledModule Plain = vm::compile(M, NoFuse);
+  EXPECT_EQ(countFusedCmpBr(*Plain.lookup(M.functionByName("acc"))), 0u);
+  EXPECT_EQ(countFusedCmpBr(*Plain.lookup(M.functionByName("helper"))),
+            0u);
+}
+
+TEST(SuperinstructionTest, FusedCompareBranchKeepsTraceAndAccounting) {
+  // The fused pair must charge exactly two steps (compare, then branch,
+  // each checked at its own virtual boundary) and fire the observer only
+  // once the branch step fits — bit-identical to the unfused pair and
+  // the interpreter at every budget crossing the pair.
+  auto Parsed = ir::parseModule(BatchSubjectIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  const ir::Function *Acc = M.functionByName("acc");
+
+  exec::Engine E(M);
+  vm::CompiledModule Fused = vm::compile(M);
+  vm::Limits NoFuse;
+  NoFuse.Fuse = false;
+  vm::CompiledModule Plain = vm::compile(M, NoFuse);
+  ASSERT_GT(countFusedCmpBr(*Fused.lookup(Acc)), 0u);
+  vm::Machine MF(Fused), MP(Plain);
+
+  RNG Rand(0xcb5);
+  for (unsigned K = 0; K < 60; ++K) {
+    std::vector<exec::RTValue> Args = {
+        exec::RTValue::ofDouble(Rand.uniform(-20.0, 20.0)),
+        exec::RTValue::ofDouble(Rand.uniform(-20.0, 20.0))};
+    for (uint64_t MaxSteps : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull,
+                              8ull, 9ull, 12ull, 2'000'000ull}) {
+      exec::ExecOptions Opts;
+      Opts.MaxSteps = MaxSteps;
+      exec::ExecContext CI(M), CF2(M), CP(M);
+      instr::BranchTraceObserver OI, OF, OP;
+      CI.setObserver(&OI);
+      CF2.setObserver(&OF);
+      CP.setObserver(&OP);
+      exec::ExecResult RI = E.run(Acc, Args, CI, Opts);
+      exec::ExecResult RF = MF.run(*Fused.lookup(Acc), Args, CF2, Opts);
+      exec::ExecResult RP = MP.run(*Plain.lookup(Acc), Args, CP, Opts);
+      std::string Ctx = "steps " + std::to_string(MaxSteps);
+      EXPECT_EQ(static_cast<int>(RI.Kind), static_cast<int>(RF.Kind))
+          << Ctx;
+      EXPECT_EQ(static_cast<int>(RI.Kind), static_cast<int>(RP.Kind))
+          << Ctx;
+      EXPECT_EQ(RI.Steps, RF.Steps) << Ctx;
+      EXPECT_EQ(RI.Steps, RP.Steps) << Ctx;
+      ASSERT_EQ(OI.visits().size(), OF.visits().size()) << Ctx;
+      ASSERT_EQ(OI.visits().size(), OP.visits().size()) << Ctx;
+      for (size_t V = 0; V < OI.visits().size(); ++V) {
+        EXPECT_EQ(OI.visits()[V].Branch, OF.visits()[V].Branch) << Ctx;
+        EXPECT_EQ(OI.visits()[V].TakenTrue, OF.visits()[V].TakenTrue)
+            << Ctx;
+      }
+    }
+  }
+}
+
 TEST(SuperinstructionTest, FusedMatchesUnfusedAndInterpreterEverywhere) {
   auto Parsed = ir::parseModule(BatchSubjectIr);
   ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();

@@ -1,12 +1,14 @@
-//===--- VMTests.cpp - Compiled tier vs interpreter equivalence -----------------===//
+//===--- VMTests.cpp - Compiled tiers vs interpreter equivalence ----------------===//
 //
 // Part of the wdm project (PLDI 2019 weak-distance minimization repro).
 //
-// The compiled tier's contract is *bit-for-bit* agreement with the
+// The compiled tiers' contract is *bit-for-bit* agreement with the
 // interpreter: same return values, same step counts, same traps, same
 // branch traces, same global/site end states — on every builtin subject
 // and on randomly generated modules, under every rounding mode and
-// budget. These tests are the contract's enforcement.
+// budget. The differential harness runs every available tier (the VM
+// always, the JIT on hosts that have it) against the interpreter
+// reference; these tests are the contract's enforcement.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,8 @@
 #include "ir/IRBuilder.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "jit/JITCompile.h"
+#include "jit/JITWeakDistance.h"
 #include "opt/BasinHopping.h"
 #include "subjects/SinModel.h"
 #include "support/FPUtils.h"
@@ -115,25 +119,31 @@ std::vector<double> drawInput(RNG &Rand, unsigned Dim) {
   return X;
 }
 
-/// Runs every all-double-arg function of \p M through both engines on
-/// \p NumInputs inputs (optionally with some sites disabled) and asserts
-/// full observable equality.
+/// Runs every all-double-arg function of \p M through the interpreter
+/// reference and every available compiled tier (VM always, JIT on hosts
+/// that have it) on \p NumInputs inputs (optionally with some sites
+/// disabled) and asserts full observable equality against the
+/// interpreter.
 void diffModule(const ir::Module &M, uint64_t Seed, unsigned NumInputs,
                 bool DisableSomeSites,
                 const exec::ExecOptions &Opts = {}) {
   exec::Engine E(M);
   vm::CompiledModule CM = vm::compile(M);
+  jit::CompiledModule JM = jit::compile(CM);
+  const bool Jit = jit::available();
 
-  exec::ExecContext CtxI(M), CtxV(M);
+  exec::ExecContext CtxI(M), CtxV(M), CtxJ(M);
   if (DisableSomeSites)
     for (int Id = 0; Id < M.numSiteIds(); Id += 2) {
       CtxI.setSiteEnabled(Id, false);
       CtxV.setSiteEnabled(Id, false);
+      CtxJ.setSiteEnabled(Id, false);
     }
 
-  instr::BranchTraceObserver ObsI, ObsV;
+  instr::BranchTraceObserver ObsI, ObsV, ObsJ;
   CtxI.setObserver(&ObsI);
   CtxV.setObserver(&ObsV);
+  CtxJ.setObserver(&ObsJ);
 
   vm::Machine Mach(CM);
   RNG Rand(Seed);
@@ -148,6 +158,12 @@ void diffModule(const ir::Module &M, uint64_t Seed, unsigned NumInputs,
     const vm::CompiledFunction *CF = CM.lookup(F);
     ASSERT_NE(CF, nullptr);
     ASSERT_TRUE(CF->Ok) << F->name() << ": " << CF->RejectReason;
+    const jit::CompiledFunction *JF = JM.lookup(F);
+    if (Jit) {
+      // The JIT must take everything the VM lowering takes.
+      ASSERT_NE(JF, nullptr);
+      ASSERT_TRUE(JF->Ok) << F->name() << ": " << JF->RejectReason;
+    }
 
     for (unsigned K = 0; K < NumInputs; ++K) {
       std::vector<double> X = drawInput(Rand, F->numArgs());
@@ -165,11 +181,24 @@ void diffModule(const ir::Module &M, uint64_t Seed, unsigned NumInputs,
       exec::ExecResult RI = E.run(F, Args, CtxI, Opts);
       exec::ExecResult RV = Mach.run(*CF, Args, CtxV, Opts);
 
-      expectSameResult(RI, RV, Where);
-      expectSameTrace(ObsI, ObsV, Where);
-      EXPECT_EQ(globalBits(CtxI, M), globalBits(CtxV, M)) << Where;
+      expectSameResult(RI, RV, Where + " [vm]");
+      expectSameTrace(ObsI, ObsV, Where + " [vm]");
+      EXPECT_EQ(globalBits(CtxI, M), globalBits(CtxV, M))
+          << Where << " [vm]";
       EXPECT_EQ(CtxI.siteDisabledTable(), CtxV.siteDisabledTable())
-          << Where;
+          << Where << " [vm]";
+
+      if (Jit) {
+        CtxJ.resetGlobals();
+        ObsJ.clear();
+        exec::ExecResult RJ = jit::run(JM, *JF, Args, CtxJ, Opts);
+        expectSameResult(RI, RJ, Where + " [jit]");
+        expectSameTrace(ObsI, ObsJ, Where + " [jit]");
+        EXPECT_EQ(globalBits(CtxI, M), globalBits(CtxJ, M))
+            << Where << " [jit]";
+        EXPECT_EQ(CtxI.siteDisabledTable(), CtxJ.siteDisabledTable())
+            << Where << " [jit]";
+      }
     }
   }
 }
@@ -401,6 +430,65 @@ TEST(VMDifferentialTest, RandomModulesMatchInterpreter) {
 }
 
 //===----------------------------------------------------------------------===//
+// Full tier x rounding x budget sweep
+//===----------------------------------------------------------------------===//
+
+/// One parameterized pass over every (rounding mode, step budget) cell;
+/// diffModule itself fans each cell out across every available engine
+/// tier, so a new tier joins the whole sweep by existing.
+class TierSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<exec::RoundingMode, uint64_t>> {};
+
+TEST_P(TierSweepTest, RandomModulesAgreeAcrossAllTiers) {
+  exec::ExecOptions Opts;
+  Opts.Rounding = std::get<0>(GetParam());
+  Opts.MaxSteps = std::get<1>(GetParam());
+  const uint64_t Salt = static_cast<uint64_t>(Opts.Rounding) * 1000 +
+                        Opts.MaxSteps;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    ir::Module M("sweep" + std::to_string(Seed));
+    RNG Rand(Seed * 0x51ee7);
+    buildRandomModule(M, Rand);
+    Status S = ir::verifyModule(M);
+    ASSERT_TRUE(S.ok()) << "seed " << Seed << ": " << S.message();
+    diffModule(M, Seed + Salt, 5, /*DisableSomeSites=*/Seed % 2 == 0,
+               Opts);
+  }
+}
+
+std::string tierSweepName(
+    const ::testing::TestParamInfo<TierSweepTest::ParamType> &Info) {
+  const char *RM = "?";
+  switch (std::get<0>(Info.param)) {
+  case exec::RoundingMode::NearestEven:
+    RM = "NearestEven";
+    break;
+  case exec::RoundingMode::TowardZero:
+    RM = "TowardZero";
+    break;
+  case exec::RoundingMode::Upward:
+    RM = "Upward";
+    break;
+  case exec::RoundingMode::Downward:
+    RM = "Downward";
+    break;
+  }
+  return std::string(RM) + "_Budget" +
+         std::to_string(std::get<1>(Info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, TierSweepTest,
+    ::testing::Combine(
+        ::testing::Values(exec::RoundingMode::NearestEven,
+                          exec::RoundingMode::TowardZero,
+                          exec::RoundingMode::Upward,
+                          exec::RoundingMode::Downward),
+        ::testing::Values(1ull, 9ull, 150ull, 2'000'000ull)),
+    tierSweepName);
+
+//===----------------------------------------------------------------------===//
 // Weak-distance and search-level equivalence
 //===----------------------------------------------------------------------===//
 
@@ -557,6 +645,141 @@ TEST(VMFallbackTest, CallersOfRejectedCalleesFallBackToo) {
   EXPECT_FALSE(CM.lookup(Caller)->Ok);
   EXPECT_NE(CM.lookup(Caller)->RejectReason.find("big"),
             std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT tier: equivalence and fallback
+//===----------------------------------------------------------------------===//
+
+TEST(JITEquivalenceTest, WeakDistanceValuesMatchBitForBit) {
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  ir::Function *F = M.functionByName("prog");
+  instr::BoundaryInstrumentation BI = instr::instrumentBoundary(*F);
+  exec::Engine E(M);
+  exec::ExecContext Parent(M);
+
+  // Whether native code runs or the chain degrades, minted evaluators
+  // must agree with the interpreter bit for bit.
+  jit::JITWeakDistanceFactory Factory(E, BI.Wrapped, BI.W, BI.WInit,
+                                      Parent);
+  EXPECT_EQ(Factory.usingJIT(), jit::available())
+      << Factory.fallbackReason();
+  auto Eval = Factory.make();
+  instr::IRWeakDistance Direct(E, BI.Wrapped, BI.W, BI.WInit, Parent);
+  RNG Rand(0x717);
+  for (unsigned K = 0; K < 500; ++K) {
+    std::vector<double> X = drawInput(Rand, 1);
+    EXPECT_EQ(bitsOf(Direct(X)), bitsOf((*Eval)(X))) << X[0];
+  }
+}
+
+TEST(JITEquivalenceTest, BatchEvaluationMatchesScalar) {
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  instr::BoundaryInstrumentation BI =
+      instr::instrumentBoundary(*M.functionByName("prog"));
+  exec::Engine E(M);
+  exec::ExecContext Parent(M);
+  jit::JITWeakDistanceFactory Factory(E, BI.Wrapped, BI.W, BI.WInit,
+                                      Parent);
+  auto Scalar = Factory.make();
+  auto Batched = Factory.make();
+  RNG Rand(0xba7c);
+  constexpr std::size_t K = 24;
+  std::vector<double> Xs(K), Want(K), Got(K);
+  for (std::size_t L = 0; L < K; ++L) {
+    Xs[L] = drawInput(Rand, 1)[0];
+    Want[L] = (*Scalar)({Xs[L]});
+  }
+  Batched->evalBatch(Xs.data(), K, Got.data());
+  for (std::size_t L = 0; L < K; ++L)
+    EXPECT_EQ(bitsOf(Want[L]), bitsOf(Got[L])) << Xs[L];
+}
+
+TEST(JITFallbackTest, TinyCodeLimitRejectsAndFallsBackToVM) {
+  auto Parsed = ir::parseModule(QuickstartIr);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.error();
+  ir::Module &M = **Parsed;
+  ir::Function *F = M.functionByName("prog");
+  instr::BoundaryInstrumentation BI = instr::instrumentBoundary(*F);
+  exec::Engine E(M);
+  exec::ExecContext Parent(M);
+
+  jit::Limits TinyJ;
+  TinyJ.MaxCodeBytes = 16; // No function fits in 16 bytes.
+  jit::JITWeakDistanceFactory Factory(E, BI.Wrapped, BI.W, BI.WInit,
+                                      Parent, {}, {}, TinyJ);
+  EXPECT_FALSE(Factory.usingJIT());
+  EXPECT_FALSE(Factory.fallbackReason().empty());
+  EXPECT_TRUE(Factory.vmFallback().usingVM());
+
+  // The minted (VM-backed) evaluators still agree with the interpreter.
+  auto Eval = Factory.make();
+  instr::IRWeakDistance Direct(E, BI.Wrapped, BI.W, BI.WInit, Parent);
+  for (double X : {-3.0, 0.5, 1.0, 2.0, 1e300})
+    EXPECT_EQ(bitsOf(Direct({X})), bitsOf((*Eval)({X})));
+
+  // With default limits the bundle reports whatever this host supports:
+  // the JIT where available, the VM (with a reason) elsewhere.
+  vm::FactoryBundle Bundle = vm::makeWeakDistanceFactory(
+      vm::EngineKind::JIT, E, BI.Wrapped, BI.W, BI.WInit, Parent);
+  EXPECT_EQ(Bundle.Requested, vm::EngineKind::JIT);
+  if (jit::available()) {
+    EXPECT_EQ(Bundle.Effective, vm::EngineKind::JIT);
+    EXPECT_TRUE(Bundle.FallbackReason.empty()) << Bundle.FallbackReason;
+  } else {
+    EXPECT_EQ(Bundle.Effective, vm::EngineKind::VM);
+    EXPECT_FALSE(Bundle.FallbackReason.empty());
+  }
+}
+
+TEST(JITFallbackTest, CallersOfRejectedCalleesFallBackToo) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable on this host";
+  ir::Module M("transitive");
+  ir::IRBuilder B(M);
+
+  ir::Function *Big = M.addFunction("big", ir::Type::Double);
+  ir::Argument *BA = Big->addArg(ir::Type::Double, "x");
+  B.setInsertAppend(Big->addBlock("entry"));
+  ir::Value *Acc = BA;
+  for (int K = 0; K < 200; ++K)
+    Acc = B.fadd(Acc, B.lit(static_cast<double>(K)));
+  B.ret(Acc);
+
+  ir::Function *Caller = M.addFunction("caller", ir::Type::Double);
+  ir::Argument *CA = Caller->addArg(ir::Type::Double, "x");
+  B.setInsertAppend(Caller->addBlock("entry"));
+  B.ret(B.call(Big, {CA}));
+
+  vm::CompiledModule CM = vm::compile(M);
+  ASSERT_TRUE(CM.lookup(Big)->Ok);
+  ASSERT_TRUE(CM.lookup(Caller)->Ok);
+
+  // Size the native-code budget so big's 200 fadd fragments bust it
+  // while caller's call+ret stub would fit on its own: the rejection
+  // must still spread to the caller (no mixed native/VM call chains).
+  jit::Limits TinyJ;
+  TinyJ.MaxCodeBytes = 1024;
+  jit::CompiledModule JM = jit::compile(CM, TinyJ);
+  EXPECT_FALSE(JM.lookup(Big)->Ok);
+  ASSERT_NE(JM.lookup(Caller), nullptr);
+  EXPECT_FALSE(JM.lookup(Caller)->Ok);
+  EXPECT_NE(JM.lookup(Caller)->RejectReason.find("big"),
+            std::string::npos)
+      << JM.lookup(Caller)->RejectReason;
+}
+
+TEST(JITFallbackTest, EngineNamesForErrorsListAvailability) {
+  std::string Names = jit::engineNamesForErrors();
+  EXPECT_NE(Names.find("'interp'"), std::string::npos);
+  EXPECT_NE(Names.find("'vm'"), std::string::npos);
+  EXPECT_NE(Names.find("'jit'"), std::string::npos);
+  EXPECT_EQ(Names.find("unavailable") == std::string::npos,
+            jit::available());
 }
 
 } // namespace

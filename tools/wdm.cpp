@@ -29,7 +29,9 @@
 #include "api/Backends.h"
 #include "api/JobScheduler.h"
 #include "api/Subjects.h"
+#include "jit/JITWeakDistance.h"
 #include "support/StringUtils.h"
+#include "vm/VMWeakDistance.h"
 
 #include <cstring>
 #include <fstream>
@@ -72,7 +74,7 @@ int usage() {
          "vm 32, interp 8)\n"
          "  --backends=<a,b,...>       portfolio by name\n"
          "  --engine=<e>               execution tier: vm (default) | "
-         "interp\n"
+         "interp | jit\n"
          "  --path=<leg,leg,...>       path legs, e.g. 0:taken,1:not\n"
          "  --boundary-form=<f>        product|min|minulp\n"
          "  --overflow-metric=<m>      ulpgap|absgap\n"
@@ -198,6 +200,9 @@ int cmdTasks(int Argc, char **Argv) {
     Value Engines = Value::array();
     Engines.push(Value::string("vm"));
     Engines.push(Value::string("interp"));
+    Engines.push(Value::object()
+                     .set("name", Value::string("jit"))
+                     .set("available", Value::boolean(jit::available())));
     Doc.set("engines", std::move(Engines));
     Value Modes = Value::array();
     for (SuiteMode M :
@@ -227,7 +232,11 @@ int cmdTasks(int Argc, char **Argv) {
                "  vm          compiled tier: bytecode + threaded-code VM "
                "(default)\n"
                "  interp      tree-walking interpreter (automatic "
-               "fallback target)\n";
+               "fallback target)\n"
+               "  jit         native tier: template-JIT x86-64 code ";
+  std::cout << (jit::available() ? "(available)"
+                                 : "(unavailable on this platform)")
+            << "\n";
   std::cout << "\nbuiltin subjects:\n";
   for (const BuiltinInfo &I : builtinSubjects())
     std::cout << "  " << formatf("%-12s", I.Name) << I.Summary << "\n";
@@ -534,6 +543,10 @@ int cmdAnalyze(int Argc, char **Argv) {
       for (const std::string &B : splitString(Val, ','))
         Spec.Search.Backends.push_back(B);
     } else if (Key == "--engine") {
+      vm::EngineKind EK;
+      if (!vm::engineKindByName(Val, EK))
+        return fail("bad --engine '" + Val + "': must be one of " +
+                    jit::engineNamesForErrors());
       Spec.Search.Engine = Val;
     } else if (Key == "--path") {
       if (!parsePathLegs(Val, Spec.Path))
