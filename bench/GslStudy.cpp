@@ -37,7 +37,8 @@ unsigned wdm::bench::gslStudyThreads() { return *studyConfig().Threads; }
 
 GslStudyResult wdm::bench::runGslStudy(
     const std::string &BuiltinName, uint64_t Seed,
-    const std::vector<std::vector<double>> &ExtraProbes) {
+    const std::vector<std::vector<double>> &ExtraProbes,
+    const std::string &Prune) {
   GslStudyResult Out;
   Out.Name = BuiltinName;
 
@@ -50,6 +51,7 @@ GslStudyResult wdm::bench::runGslStudy(
   Spec.Probes = ExtraProbes;
   Spec.Search = studyConfig();
   Spec.Search.Seed = Seed;
+  Spec.Search.Prune = Prune;
 
   // The study *is* a suite: one job through the JobScheduler, the same
   // seam `wdm suite run` shards whole-library campaigns over. A single

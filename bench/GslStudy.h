@@ -61,9 +61,12 @@ struct GslStudyResult {
 /// via the shared api::SearchConfig::applyEnv policy, so the same binary
 /// measures the sequential baseline and the parallel engine; results are
 /// identical at every thread count for a fixed seed.
+/// \p Prune, when non-empty, selects the static pre-pass mode
+/// ("off" | "sites" | "sites+box") exactly as `wdm --prune=` would.
 GslStudyResult runGslStudy(const std::string &BuiltinName, uint64_t Seed,
                            const std::vector<std::vector<double>> &
-                               ExtraProbes = {});
+                               ExtraProbes = {},
+                           const std::string &Prune = "");
 
 /// The $WDM_STARTS / $WDM_THREADS configuration runGslStudy resolved.
 unsigned gslStudyStartsPerRound();

@@ -1,0 +1,874 @@
+//===--- AbsInt.cpp - Flow-sensitive interval abstract interpretation ------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/AbsInt.h"
+
+#include "ir/Dominators.h"
+#include "support/Casting.h"
+#include "support/FPUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+using namespace wdm;
+using namespace wdm::absint;
+using namespace wdm::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Abstract machine state
+//===----------------------------------------------------------------------===//
+
+/// One program point's knowledge: SSA values (arguments and instruction
+/// results), alloca cell contents, and global-variable cells. Missing Env
+/// and Cells keys mean "not defined on any path into this point"; the
+/// defs-dominate-uses rule makes reading a one-sided key at a join sound
+/// (any use is unreachable from the side that lacks the definition).
+struct AbsState {
+  bool Reachable = false;
+  std::unordered_map<const Value *, AbstractValue> Env;
+  std::unordered_map<const Instruction *, AbstractValue> Cells;
+  std::unordered_map<const GlobalVar *, AbstractValue> Globals;
+
+  static AbsState unreachable() { return {}; }
+
+  void joinInPlace(const AbsState &O) {
+    if (!O.Reachable)
+      return;
+    if (!Reachable) {
+      *this = O;
+      return;
+    }
+    for (const auto &[K, V] : O.Env) {
+      auto It = Env.find(K);
+      if (It == Env.end())
+        Env.emplace(K, V);
+      else
+        It->second = It->second.join(V);
+    }
+    for (const auto &[K, V] : O.Cells) {
+      auto It = Cells.find(K);
+      if (It == Cells.end())
+        Cells.emplace(K, V);
+      else
+        It->second = It->second.join(V);
+    }
+    for (const auto &[K, V] : O.Globals) {
+      auto It = Globals.find(K);
+      if (It == Globals.end())
+        Globals.emplace(K, V);
+      else
+        It->second = It->second.join(V);
+    }
+  }
+
+  void widenFrom(const AbsState &Prev) {
+    if (!Prev.Reachable)
+      return;
+    for (auto &[K, V] : Env) {
+      auto It = Prev.Env.find(K);
+      if (It != Prev.Env.end())
+        V = It->second.widen(V);
+    }
+    for (auto &[K, V] : Cells) {
+      auto It = Prev.Cells.find(K);
+      if (It != Prev.Cells.end())
+        V = It->second.widen(V);
+    }
+    for (auto &[K, V] : Globals) {
+      auto It = Prev.Globals.find(K);
+      if (It != Prev.Globals.end())
+        V = It->second.widen(V);
+    }
+  }
+
+  bool operator==(const AbsState &O) const {
+    if (Reachable != O.Reachable)
+      return false;
+    if (!Reachable)
+      return true;
+    return Env == O.Env && Cells == O.Cells && Globals == O.Globals;
+  }
+};
+
+AbstractValue zeroOf(Type Ty) {
+  switch (Ty) {
+  case Type::Double:
+    return AbstractValue::ofDouble(FPInterval::point(0.0));
+  case Type::Int:
+    return AbstractValue::ofInt(IntInterval::point(0));
+  case Type::Bool:
+    return AbstractValue::ofBool(BoolAbs::point(false));
+  case Type::Void:
+    break;
+  }
+  return AbstractValue::topOf(Ty);
+}
+
+/// What a call contributes back to its caller.
+struct CallSummary {
+  bool MayReturn = false;
+  AbstractValue Ret;
+  std::unordered_map<const GlobalVar *, AbstractValue> ExitGlobals;
+};
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+/// Shared across the entry function and all inlined callees.
+struct SharedCtx {
+  AnalysisOptions Opts;
+  unsigned Visits = 0;
+  bool Complete = true;
+  /// Facts joined across every context (entry function and callees).
+  std::unordered_map<const Instruction *, AbstractValue> Facts;
+  /// Per-condbr edge feasibility (MayTrue/MayFalse = direction may be
+  /// taken), joined across contexts.
+  std::unordered_map<const Instruction *, BoolAbs> EdgeFeas;
+  /// Per-comparison joined operand values, for boundary classification.
+  std::unordered_map<const Instruction *, std::pair<AbstractValue, AbstractValue>>
+      CmpOps;
+  /// Functions whose facts are unusable (recursion or depth cap made the
+  /// inlining give up somewhere).
+  std::unordered_set<const Function *> FactsInvalid;
+  /// Call stack for recursion detection.
+  std::vector<const Function *> Stack;
+
+  void invalidateFrom(const Function *F) {
+    // Facts of F and everything it can call are no longer certificates.
+    std::deque<const Function *> Work{F};
+    while (!Work.empty()) {
+      const Function *Cur = Work.front();
+      Work.pop_front();
+      if (!FactsInvalid.insert(Cur).second)
+        continue;
+      Cur->forEachInst([&](const Instruction *I) {
+        if (I->opcode() == Opcode::Call)
+          Work.push_back(I->callee());
+      });
+    }
+  }
+};
+
+class Engine {
+public:
+  Engine(const Function &F, SharedCtx &Ctx) : F(F), Ctx(Ctx), Dom(F) {
+    for (const BasicBlock *BB : Dom.rpo())
+      RPOIndex[BB] = static_cast<unsigned>(RPOIndex.size());
+    for (const auto &BB : F)
+      for (const BasicBlock *S : successors(BB.get()))
+        Preds[S].push_back(BB.get());
+    for (const auto &BB : F) {
+      for (const BasicBlock *P : Preds[BB.get()])
+        if (Dom.reachable(BB.get()) && Dom.reachable(P) &&
+            Dom.dominates(BB.get(), P)) {
+          LoopHeads.insert(BB.get());
+          break;
+        }
+    }
+  }
+
+  /// Runs to fixpoint from \p Entry, then (optionally) records facts.
+  /// Returns the call summary of this activation.
+  CallSummary run(AbsState Entry, bool Record) {
+    InState.clear();
+    JoinCount.clear();
+    const BasicBlock *EntryBB = F.entry();
+    if (!EntryBB)
+      return {};
+    InState[EntryBB] = std::move(Entry);
+
+    // Chaotic iteration in RPO priority with widening at loop heads.
+    std::vector<const BasicBlock *> Work{EntryBB};
+    auto Pop = [&]() {
+      auto Best = Work.begin();
+      for (auto It = Work.begin(); It != Work.end(); ++It)
+        if (RPOIndex[*It] < RPOIndex[*Best])
+          Best = It;
+      const BasicBlock *BB = *Best;
+      Work.erase(Best);
+      return BB;
+    };
+    while (!Work.empty() && Ctx.Complete) {
+      const BasicBlock *BB = Pop();
+      if (++Ctx.Visits > Ctx.Opts.MaxBlockVisits) {
+        Ctx.Complete = false;
+        break;
+      }
+      auto Edges = transferBlock(BB, InState[BB], /*Record=*/false);
+      for (auto &[Succ, St] : Edges) {
+        AbsState New = InState[Succ];
+        AbsState Prev = New;
+        New.joinInPlace(St);
+        if (LoopHeads.count(Succ) &&
+            ++JoinCount[Succ] > Ctx.Opts.WidenDelay)
+          New.widenFrom(Prev);
+        if (!(New == InState[Succ])) {
+          InState[Succ] = std::move(New);
+          if (std::find(Work.begin(), Work.end(), Succ) == Work.end())
+            Work.push_back(Succ);
+        }
+      }
+    }
+
+    // Narrowing: recompute in-states as exact joins of predecessor edges
+    // for a few decreasing passes (loop-head states shrink back from the
+    // widened infinities where the branch conditions allow).
+    for (unsigned Pass = 0; Pass < Ctx.Opts.NarrowPasses && Ctx.Complete;
+         ++Pass) {
+      std::unordered_map<const BasicBlock *,
+                         std::vector<std::pair<const BasicBlock *, AbsState>>>
+          EdgeIn;
+      for (const BasicBlock *BB : Dom.rpo()) {
+        if (!InState[BB].Reachable)
+          continue;
+        if (++Ctx.Visits > Ctx.Opts.MaxBlockVisits) {
+          Ctx.Complete = false;
+          break;
+        }
+        auto Edges = transferBlock(BB, InState[BB], /*Record=*/false);
+        for (auto &[Succ, St] : Edges)
+          EdgeIn[Succ].emplace_back(BB, std::move(St));
+      }
+      if (!Ctx.Complete)
+        break;
+      for (const BasicBlock *BB : Dom.rpo()) {
+        if (BB == F.entry())
+          continue;
+        AbsState Joined;
+        for (auto &[P, St] : EdgeIn[BB])
+          Joined.joinInPlace(St);
+        InState[BB] = std::move(Joined);
+      }
+    }
+
+    // Final pass: compute the summary and (when requested) record facts.
+    CallSummary Sum;
+    Sum.Ret = AbstractValue::bottomOf(F.returnType());
+    for (const BasicBlock *BB : Dom.rpo()) {
+      if (!InState[BB].Reachable)
+        continue;
+      auto Edges = transferBlock(BB, InState[BB], Record, &Sum);
+      (void)Edges;
+    }
+    return Sum;
+  }
+
+  const std::unordered_map<const BasicBlock *, AbsState> &inStates() const {
+    return InState;
+  }
+
+private:
+  using EdgeList = std::vector<std::pair<const BasicBlock *, AbsState>>;
+
+  AbstractValue lookup(const Value *V, const AbsState &S) const {
+    if (const auto *CD = dyn_cast<ConstantDouble>(V))
+      return AbstractValue::ofDouble(FPInterval::point(CD->value()));
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return AbstractValue::ofInt(IntInterval::point(CI->value()));
+    if (const auto *CB = dyn_cast<ConstantBool>(V))
+      return AbstractValue::ofBool(BoolAbs::point(CB->value()));
+    auto It = S.Env.find(V);
+    if (It != S.Env.end())
+      return It->second;
+    return AbstractValue::topOf(V->type());
+  }
+
+  AbstractValue evalCall(const Instruction *I, AbsState &S, bool Record) {
+    const Function *Callee = I->callee();
+    bool Recursive = std::find(Ctx.Stack.begin(), Ctx.Stack.end(), Callee) !=
+                     Ctx.Stack.end();
+    if (Recursive || Ctx.Stack.size() >= Ctx.Opts.MaxCallDepth ||
+        !Ctx.Complete) {
+      // Give up on the call: result top, globals havoc, callee facts are
+      // no longer certificates.
+      Ctx.invalidateFrom(Callee);
+      for (auto &[G, V] : S.Globals)
+        V = AbstractValue::topOf(G->type());
+      return AbstractValue::topOf(I->type());
+    }
+    AbsState Entry;
+    Entry.Reachable = true;
+    for (unsigned K = 0; K < Callee->numArgs(); ++K)
+      Entry.Env[Callee->arg(K)] = lookup(I->operand(K), S);
+    Entry.Globals = S.Globals;
+    Ctx.Stack.push_back(Callee);
+    Engine Inner(*Callee, Ctx);
+    CallSummary Sum = Inner.run(std::move(Entry), Record);
+    Ctx.Stack.pop_back();
+    if (!Ctx.Complete) {
+      Ctx.invalidateFrom(Callee);
+      for (auto &[G, V] : S.Globals)
+        V = AbstractValue::topOf(G->type());
+      return AbstractValue::topOf(I->type());
+    }
+    if (!Sum.MayReturn) {
+      // Every path traps: execution cannot continue past the call.
+      S.Reachable = false;
+      return AbstractValue::bottomOf(I->type());
+    }
+    S.Globals = Sum.ExitGlobals;
+    return Sum.Ret;
+  }
+
+  AbstractValue evalInst(const Instruction *I, AbsState &S, bool Record) {
+    auto D = [&](unsigned K) { return lookup(I->operand(K), S).D; };
+    auto N = [&](unsigned K) { return lookup(I->operand(K), S).I; };
+    auto B = [&](unsigned K) { return lookup(I->operand(K), S).B; };
+    switch (I->opcode()) {
+    case Opcode::FAdd:
+      return AbstractValue::ofDouble(absFAdd(D(0), D(1)));
+    case Opcode::FSub:
+      return AbstractValue::ofDouble(absFSub(D(0), D(1)));
+    case Opcode::FMul: {
+      FPInterval R = absFMul(D(0), D(1));
+      if (I->operand(0) == I->operand(1)) {
+        // x*x is a square: never negative (same-sign product, and
+        // (-0)*(-0) = +0) and NaN only when x itself is, never via the
+        // zero-times-inf interior rule (x can't be 0 and inf at once).
+        if (!R.numEmpty() && R.Lo < 0.0)
+          R.Lo = 0.0;
+        R.MayNaN = D(0).MayNaN;
+      }
+      return AbstractValue::ofDouble(R);
+    }
+    case Opcode::FDiv:
+      return AbstractValue::ofDouble(absFDiv(D(0), D(1)));
+    case Opcode::FRem:
+      return AbstractValue::ofDouble(absFRem(D(0), D(1)));
+    case Opcode::FNeg:
+      return AbstractValue::ofDouble(absFNeg(D(0)));
+    case Opcode::FAbs:
+      return AbstractValue::ofDouble(absFAbs(D(0)));
+    case Opcode::Sqrt:
+      return AbstractValue::ofDouble(absSqrt(D(0)));
+    case Opcode::Sin:
+      return AbstractValue::ofDouble(absSin(D(0)));
+    case Opcode::Cos:
+      return AbstractValue::ofDouble(absCos(D(0)));
+    case Opcode::Tan:
+      return AbstractValue::ofDouble(absTan(D(0)));
+    case Opcode::Exp:
+      return AbstractValue::ofDouble(absExp(D(0)));
+    case Opcode::Log:
+      return AbstractValue::ofDouble(absLog(D(0)));
+    case Opcode::Pow:
+      return AbstractValue::ofDouble(absPow(D(0), D(1)));
+    case Opcode::FMin:
+      return AbstractValue::ofDouble(absFMin(D(0), D(1)));
+    case Opcode::FMax:
+      return AbstractValue::ofDouble(absFMax(D(0), D(1)));
+    case Opcode::Floor:
+      return AbstractValue::ofDouble(absFloor(D(0)));
+    case Opcode::FCmp: {
+      if (Record) {
+        auto &Slot = Ctx.CmpOps[I];
+        AbstractValue A = lookup(I->operand(0), S);
+        AbstractValue Bv = lookup(I->operand(1), S);
+        if (Slot.first.Ty == Type::Void) {
+          Slot = {A, Bv};
+        } else {
+          Slot.first = Slot.first.join(A);
+          Slot.second = Slot.second.join(Bv);
+        }
+      }
+      return AbstractValue::ofBool(absFCmp(I->pred(), D(0), D(1)));
+    }
+    case Opcode::ICmp: {
+      if (Record) {
+        auto &Slot = Ctx.CmpOps[I];
+        AbstractValue A = lookup(I->operand(0), S);
+        AbstractValue Bv = lookup(I->operand(1), S);
+        if (Slot.first.Ty == Type::Void) {
+          Slot = {A, Bv};
+        } else {
+          Slot.first = Slot.first.join(A);
+          Slot.second = Slot.second.join(Bv);
+        }
+      }
+      return AbstractValue::ofBool(absICmp(I->pred(), N(0), N(1)));
+    }
+    case Opcode::IAdd:
+      return AbstractValue::ofInt(absIAdd(N(0), N(1)));
+    case Opcode::ISub:
+      return AbstractValue::ofInt(absISub(N(0), N(1)));
+    case Opcode::IMul:
+      return AbstractValue::ofInt(absIMul(N(0), N(1)));
+    case Opcode::IAnd:
+      return AbstractValue::ofInt(absIAnd(N(0), N(1)));
+    case Opcode::IOr:
+      return AbstractValue::ofInt(absIOr(N(0), N(1)));
+    case Opcode::IXor:
+      return AbstractValue::ofInt(absIXor(N(0), N(1)));
+    case Opcode::IShl:
+      return AbstractValue::ofInt(absIShl(N(0), N(1)));
+    case Opcode::ILShr:
+      return AbstractValue::ofInt(absILShr(N(0), N(1)));
+    case Opcode::BAnd: {
+      BoolAbs A = B(0), Bb = B(1);
+      if (A.isBottom() || Bb.isBottom())
+        return AbstractValue::bottomOf(Type::Bool);
+      return AbstractValue::ofBool(
+          {A.MayTrue && Bb.MayTrue, A.MayFalse || Bb.MayFalse});
+    }
+    case Opcode::BOr: {
+      BoolAbs A = B(0), Bb = B(1);
+      if (A.isBottom() || Bb.isBottom())
+        return AbstractValue::bottomOf(Type::Bool);
+      return AbstractValue::ofBool(
+          {A.MayTrue || Bb.MayTrue, A.MayFalse && Bb.MayFalse});
+    }
+    case Opcode::BNot: {
+      BoolAbs A = B(0);
+      return AbstractValue::ofBool({A.MayFalse, A.MayTrue});
+    }
+    case Opcode::SIToFP:
+      return AbstractValue::ofDouble(absSIToFP(N(0)));
+    case Opcode::FPToSI:
+      return AbstractValue::ofInt(absFPToSI(D(0)));
+    case Opcode::HighWord:
+      return AbstractValue::ofInt(absHighWord(D(0)));
+    case Opcode::UlpDiff:
+      return AbstractValue::ofDouble(absUlpDiff(D(0), D(1)));
+    case Opcode::Select: {
+      BoolAbs C = B(0);
+      AbstractValue R = AbstractValue::bottomOf(I->type());
+      if (C.MayTrue)
+        R = R.join(lookup(I->operand(1), S));
+      if (C.MayFalse)
+        R = R.join(lookup(I->operand(2), S));
+      return R;
+    }
+    case Opcode::Alloca: {
+      auto It = S.Cells.find(I);
+      AbstractValue Zero = zeroOf(I->type());
+      if (It == S.Cells.end())
+        S.Cells.emplace(I, Zero);
+      else
+        // Loop re-entry: the VM's frame slot keeps its old value while a
+        // fresh interpreter slot would read zero; cover both.
+        It->second = It->second.join(Zero);
+      // The runtime value is the slot ordinal, a small nonnegative int.
+      return AbstractValue::ofInt(
+          IntInterval::range(0, std::numeric_limits<int64_t>::max()));
+    }
+    case Opcode::Load: {
+      const auto *Slot = cast<Instruction>(I->operand(0));
+      auto It = S.Cells.find(Slot);
+      return It != S.Cells.end() ? It->second : zeroOf(I->type());
+    }
+    case Opcode::Store: {
+      const auto *Slot = cast<Instruction>(I->operand(0));
+      S.Cells[Slot] = lookup(I->operand(1), S);
+      return AbstractValue::bottomOf(Type::Void);
+    }
+    case Opcode::LoadGlobal: {
+      const auto *G = cast<GlobalVar>(I->operand(0));
+      auto It = S.Globals.find(G);
+      if (It != S.Globals.end())
+        return It->second;
+      return G->type() == Type::Double
+                 ? AbstractValue::ofDouble(FPInterval::point(G->initDouble()))
+                 : AbstractValue::ofInt(IntInterval::point(G->initInt()));
+    }
+    case Opcode::StoreGlobal: {
+      const auto *G = cast<GlobalVar>(I->operand(0));
+      S.Globals[G] = lookup(I->operand(1), S);
+      return AbstractValue::bottomOf(Type::Void);
+    }
+    case Opcode::SiteEnabled:
+      // Runtime-gated (Algorithm 3's evolving L): either answer possible.
+      return AbstractValue::ofBool(BoolAbs::top());
+    case Opcode::Call:
+      return evalCall(I, S, Record);
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Trap:
+      break; // handled by transferBlock
+    }
+    return AbstractValue::bottomOf(Type::Void);
+  }
+
+  /// Refines \p S along a condbr edge; returns false when infeasible.
+  bool refineEdge(const Instruction *CondBr, bool TakenTrue, AbsState &S) {
+    const Value *Cond = CondBr->operand(0);
+    bool Want = TakenTrue;
+    // Peel BNot chains so the refinement reaches the comparison.
+    while (const auto *CI = dyn_cast<Instruction>(Cond)) {
+      if (CI->opcode() != Opcode::BNot)
+        break;
+      Want = !Want;
+      Cond = CI->operand(0);
+    }
+    // Pin the condition (and the peeled chain root) on this edge.
+    AbstractValue CondAbs = lookup(CondBr->operand(0), S);
+    if (!CondAbs.B.contains(TakenTrue))
+      return false;
+    if (isa<Instruction>(CondBr->operand(0)) ||
+        isa<Argument>(CondBr->operand(0)))
+      S.Env[CondBr->operand(0)] = AbstractValue::ofBool(BoolAbs::point(TakenTrue));
+
+    const auto *Cmp = dyn_cast<Instruction>(Cond);
+    if (!Cmp ||
+        (Cmp->opcode() != Opcode::FCmp && Cmp->opcode() != Opcode::ICmp))
+      return true;
+    AbstractValue A = lookup(Cmp->operand(0), S);
+    AbstractValue B = lookup(Cmp->operand(1), S);
+    bool Feasible;
+    if (Cmp->opcode() == Opcode::FCmp)
+      Feasible = refineFCmp(Cmp->pred(), Want, A.D, B.D);
+    else
+      Feasible = refineICmp(Cmp->pred(), Want, A.I, B.I);
+    if (!Feasible)
+      return false;
+    auto Writable = [](const Value *V) {
+      return isa<Instruction>(V) || isa<Argument>(V);
+    };
+    if (Writable(Cmp->operand(0)))
+      S.Env[Cmp->operand(0)] = A;
+    if (Cmp->operand(1) != Cmp->operand(0) && Writable(Cmp->operand(1)))
+      S.Env[Cmp->operand(1)] = B;
+    return true;
+  }
+
+  EdgeList transferBlock(const BasicBlock *BB, const AbsState &In,
+                         bool Record, CallSummary *Sum = nullptr) {
+    EdgeList Out;
+    if (!In.Reachable)
+      return Out;
+    AbsState S = In;
+    for (const auto &InstPtr : *BB) {
+      const Instruction *I = InstPtr.get();
+      if (!S.Reachable)
+        return Out;
+      if (I->isTerminator()) {
+        switch (I->opcode()) {
+        case Opcode::Br:
+          Out.emplace_back(I->successor(0), S);
+          break;
+        case Opcode::CondBr: {
+          BoolAbs Feas;
+          for (bool Dir : {true, false}) {
+            AbsState Edge = S;
+            if (refineEdge(I, Dir, Edge)) {
+              (Dir ? Feas.MayTrue : Feas.MayFalse) = true;
+              Out.emplace_back(I->successor(Dir ? 0 : 1), std::move(Edge));
+            }
+          }
+          if (Record) {
+            auto It = Ctx.EdgeFeas.find(I);
+            if (It == Ctx.EdgeFeas.end())
+              Ctx.EdgeFeas.emplace(I, Feas);
+            else
+              It->second = It->second.join(Feas);
+          }
+          break;
+        }
+        case Opcode::Ret:
+          if (Sum) {
+            Sum->MayReturn = true;
+            if (I->numOperands() > 0)
+              Sum->Ret = Sum->Ret.join(lookup(I->operand(0), S));
+            for (const auto &[G, V] : S.Globals) {
+              auto It = Sum->ExitGlobals.find(G);
+              if (It == Sum->ExitGlobals.end())
+                Sum->ExitGlobals.emplace(G, V);
+              else
+                It->second = It->second.join(V);
+            }
+          }
+          break;
+        case Opcode::Trap:
+          break; // execution stops; nothing to propagate
+        default:
+          break;
+        }
+        return Out;
+      }
+      AbstractValue R = evalInst(I, S, Record);
+      if (!S.Reachable)
+        return Out; // a no-return call ended the block
+      if (I->type() != Type::Void) {
+        if (R.isBottom())
+          // No concrete value can exist here; the rest of the block (and
+          // its successors) is unreachable from this state.
+          return Out;
+        S.Env[I] = R;
+        if (Record) {
+          auto It = Ctx.Facts.find(I);
+          if (It == Ctx.Facts.end())
+            Ctx.Facts.emplace(I, R);
+          else
+            It->second = It->second.join(R);
+        }
+      }
+    }
+    return Out; // unterminated block (under construction): dead end
+  }
+
+  const Function &F;
+  SharedCtx &Ctx;
+  DominatorInfo Dom;
+  std::unordered_map<const BasicBlock *, unsigned> RPOIndex;
+  std::unordered_map<const BasicBlock *, std::vector<const BasicBlock *>>
+      Preds;
+  std::unordered_set<const BasicBlock *> LoopHeads;
+  std::unordered_map<const BasicBlock *, AbsState> InState;
+  std::unordered_map<const BasicBlock *, unsigned> JoinCount;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FunctionAnalysis
+//===----------------------------------------------------------------------===//
+
+struct FunctionAnalysis::Impl {
+  const Function *F = nullptr;
+  SharedCtx Ctx;
+  std::unordered_map<const BasicBlock *, bool> BlockReach;
+};
+
+FunctionAnalysis::FunctionAnalysis(const Function &F, AnalysisOptions Opts)
+    : P(std::make_unique<Impl>()) {
+  P->F = &F;
+  P->Ctx.Opts = std::move(Opts);
+
+  AbsState Entry;
+  Entry.Reachable = true;
+  unsigned DoubleOrdinal = 0;
+  for (unsigned K = 0; K < F.numArgs(); ++K) {
+    const Argument *A = F.arg(K);
+    AbstractValue V = AbstractValue::topOf(A->type());
+    if (A->type() == Type::Double) {
+      if (DoubleOrdinal < P->Ctx.Opts.ArgRanges.size())
+        V = AbstractValue::ofDouble(P->Ctx.Opts.ArgRanges[DoubleOrdinal]);
+      ++DoubleOrdinal;
+    }
+    Entry.Env[A] = V;
+  }
+  const Module *M = F.parent();
+  for (size_t K = 0; K < M->numGlobals(); ++K) {
+    const GlobalVar *G = M->global(K);
+    Entry.Globals[G] =
+        G->type() == Type::Double
+            ? AbstractValue::ofDouble(FPInterval::point(G->initDouble()))
+            : AbstractValue::ofInt(IntInterval::point(G->initInt()));
+  }
+
+  P->Ctx.Stack.push_back(&F);
+  Engine E(F, P->Ctx);
+  // Fixpoint first (facts recorded only from stable states), then one
+  // recording pass.
+  AbsState EntryCopy = Entry;
+  E.run(std::move(EntryCopy), /*Record=*/false);
+  if (P->Ctx.Complete) {
+    Engine E2(F, P->Ctx);
+    E2.run(std::move(Entry), /*Record=*/true);
+    for (const auto &[BB, St] : E2.inStates())
+      P->BlockReach[BB] = St.Reachable;
+  }
+  P->Ctx.Stack.pop_back();
+}
+
+FunctionAnalysis::~FunctionAnalysis() = default;
+FunctionAnalysis::FunctionAnalysis(FunctionAnalysis &&) noexcept = default;
+FunctionAnalysis &
+FunctionAnalysis::operator=(FunctionAnalysis &&) noexcept = default;
+
+const Function &FunctionAnalysis::function() const { return *P->F; }
+
+bool FunctionAnalysis::complete() const { return P->Ctx.Complete; }
+
+AbstractValue FunctionAnalysis::factFor(const Instruction *I) const {
+  if (!complete() || P->Ctx.FactsInvalid.count(I->parent()->parent()))
+    return AbstractValue::topOf(I->type());
+  auto It = P->Ctx.Facts.find(I);
+  if (It != P->Ctx.Facts.end())
+    return It->second;
+  return AbstractValue::bottomOf(I->type());
+}
+
+bool FunctionAnalysis::instReached(const Instruction *I) const {
+  if (!complete() || P->Ctx.FactsInvalid.count(I->parent()->parent()))
+    return true;
+  if (P->Ctx.Facts.count(I) || P->Ctx.EdgeFeas.count(I))
+    return true;
+  // Void instructions other than condbr have no recorded fact; fall back
+  // to their block's reachability when they belong to the entry function.
+  auto It = P->BlockReach.find(I->parent());
+  return It != P->BlockReach.end() && It->second;
+}
+
+bool FunctionAnalysis::blockReachable(const BasicBlock *BB) const {
+  if (!complete())
+    return true;
+  auto It = P->BlockReach.find(BB);
+  return It != P->BlockReach.end() && It->second;
+}
+
+bool FunctionAnalysis::edgeFeasible(const Instruction *Branch,
+                                    bool TakenTrue) const {
+  if (!complete() || P->Ctx.FactsInvalid.count(Branch->parent()->parent()))
+    return true;
+  auto It = P->Ctx.EdgeFeas.find(Branch);
+  if (It == P->Ctx.EdgeFeas.end())
+    return false; // the condbr itself is unreachable
+  return TakenTrue ? It->second.MayTrue : It->second.MayFalse;
+}
+
+bool FunctionAnalysis::cmpEqualityPossible(const Instruction *Cmp) const {
+  if (!complete() || P->Ctx.FactsInvalid.count(Cmp->parent()->parent()))
+    return true;
+  auto It = P->Ctx.CmpOps.find(Cmp);
+  if (It == P->Ctx.CmpOps.end())
+    return false; // never reached: no boundary to hit
+  const AbstractValue &A = It->second.first;
+  const AbstractValue &B = It->second.second;
+  if (Cmp->opcode() == Opcode::FCmp)
+    // Equality needs a common non-NaN numeric value (NaN != NaN).
+    return absFCmp(CmpPred::EQ, A.D, B.D).MayTrue;
+  return absICmp(CmpPred::EQ, A.I, B.I).MayTrue;
+}
+
+//===----------------------------------------------------------------------===//
+// Site classification
+//===----------------------------------------------------------------------===//
+
+const char *absint::siteVerdictName(SiteVerdict V) {
+  switch (V) {
+  case SiteVerdict::Unknown:
+    return "unknown";
+  case SiteVerdict::ProvedSafe:
+    return "proved_safe";
+  case SiteVerdict::Unreachable:
+    return "unreachable";
+  }
+  return "unknown";
+}
+
+SiteVerdict absint::classifySite(const FunctionAnalysis &FA,
+                                 const instr::Site &S) {
+  if (!FA.complete() || !S.Inst)
+    return SiteVerdict::Unknown;
+  switch (S.Kind) {
+  case instr::SiteKind::Comparison:
+    if (!FA.instReached(S.Inst))
+      return SiteVerdict::Unreachable;
+    return FA.cmpEqualityPossible(S.Inst) ? SiteVerdict::Unknown
+                                          : SiteVerdict::ProvedSafe;
+  case instr::SiteKind::FPOp: {
+    if (!FA.instReached(S.Inst))
+      return SiteVerdict::Unreachable;
+    AbstractValue V = FA.factFor(S.Inst);
+    if (V.Ty != Type::Double)
+      return SiteVerdict::Unknown;
+    if (V.D.isBottom())
+      return SiteVerdict::Unreachable;
+    // The overflow observer fires on |r| >= MaxDouble or NaN.
+    if (!V.D.MayNaN && !V.D.numEmpty() && V.D.Hi < MaxDouble &&
+        V.D.Lo > -MaxDouble)
+      return SiteVerdict::ProvedSafe;
+    return SiteVerdict::Unknown;
+  }
+  case instr::SiteKind::BranchTrue:
+    return FA.edgeFeasible(S.Inst, true) ? SiteVerdict::Unknown
+                                         : SiteVerdict::Unreachable;
+  case instr::SiteKind::BranchFalse:
+    return FA.edgeFeasible(S.Inst, false) ? SiteVerdict::Unknown
+                                          : SiteVerdict::Unreachable;
+  }
+  return SiteVerdict::Unknown;
+}
+
+std::vector<SiteReport> absint::classifySites(const FunctionAnalysis &FA,
+                                              const instr::SiteTable &Sites) {
+  std::vector<SiteReport> Out;
+  Out.reserve(Sites.size());
+  for (const instr::Site &S : Sites) {
+    SiteReport R;
+    R.Id = S.Id;
+    R.Kind = S.Kind;
+    R.Verdict = classifySite(FA, S);
+    if (R.Verdict != SiteVerdict::Unknown) {
+      std::ostringstream OS;
+      OS << siteVerdictName(R.Verdict);
+      if (!S.Description.empty())
+        OS << ": " << S.Description;
+      R.Reason = OS.str();
+    }
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+bool absint::anySiteMaybeTriggers(const FunctionAnalysis &FA,
+                                  const instr::SiteTable &Sites,
+                                  const std::unordered_set<int> &Active) {
+  for (const instr::Site &S : Sites) {
+    if (!Active.count(S.Id))
+      continue;
+    if (classifySite(FA, S) == SiteVerdict::Unknown)
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Start-box shrinking
+//===----------------------------------------------------------------------===//
+
+BoxShrinkResult absint::shrinkStartBox(
+    const Function &F, double Lo, double Hi, const AnalysisOptions &Base,
+    const std::function<bool(const FunctionAnalysis &)> &Feasible,
+    unsigned Segments) {
+  BoxShrinkResult R{Lo, Hi, false};
+  unsigned Dims = F.numDoubleArgs();
+  if (Dims == 0 || Segments == 0 || !(Lo < Hi) || !std::isfinite(Lo) ||
+      !std::isfinite(Hi))
+    return R;
+
+  double NewLo = std::numeric_limits<double>::infinity();
+  double NewHi = -std::numeric_limits<double>::infinity();
+  for (unsigned Dim = 0; Dim < Dims; ++Dim) {
+    double KeptLo = std::numeric_limits<double>::infinity();
+    double KeptHi = -std::numeric_limits<double>::infinity();
+    for (unsigned Seg = 0; Seg < Segments; ++Seg) {
+      double SLo = Lo + (Hi - Lo) * Seg / Segments;
+      double SHi =
+          Seg + 1 == Segments ? Hi : Lo + (Hi - Lo) * (Seg + 1) / Segments;
+      AnalysisOptions Opts = Base;
+      Opts.ArgRanges.assign(Dims, FPInterval::top());
+      Opts.ArgRanges[Dim] = FPInterval::range(SLo, SHi);
+      FunctionAnalysis FA(F, Opts);
+      if (!FA.complete() || Feasible(FA)) {
+        KeptLo = std::min(KeptLo, SLo);
+        KeptHi = std::max(KeptHi, SHi);
+      }
+    }
+    if (KeptLo > KeptHi) {
+      // No feasible slice on this dimension: the pre-pass cannot help
+      // (site pruning will already have retired such targets).
+      return R;
+    }
+    NewLo = std::min(NewLo, KeptLo);
+    NewHi = std::max(NewHi, KeptHi);
+  }
+  NewLo = std::max(NewLo, Lo);
+  NewHi = std::min(NewHi, Hi);
+  if (NewLo > Lo || NewHi < Hi) {
+    R.Lo = NewLo;
+    R.Hi = NewHi;
+    R.Changed = true;
+  }
+  return R;
+}

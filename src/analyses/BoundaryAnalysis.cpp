@@ -28,11 +28,12 @@ private:
   BoundaryAnalysis &Parent;
 };
 
-BoundaryAnalysis::BoundaryAnalysis(ir::Module &M, ir::Function &F,
-                                   instr::BoundaryForm Form,
-                                   vm::EngineKind Engine)
+BoundaryAnalysis::BoundaryAnalysis(
+    ir::Module &M, ir::Function &F, instr::BoundaryForm Form,
+    vm::EngineKind Engine,
+    const std::function<bool(const instr::Site &)> &SkipSite)
     : M(M), Orig(F) {
-  Instr = instr::instrumentBoundary(F, Form);
+  Instr = instr::instrumentBoundary(F, Form, SkipSite);
   Eng = std::make_unique<exec::Engine>(M);
   WeakCtx = std::make_unique<ExecContext>(M);
   ProbeCtx = std::make_unique<ExecContext>(M);

@@ -33,9 +33,14 @@ public:
   /// Instruments \p F (which must live in \p M) and prepares execution.
   /// \p Engine selects the weak-distance execution tier for search
   /// workers (probe replay always interprets — it needs observers).
-  BoundaryAnalysis(ir::Module &M, ir::Function &F,
-                   instr::BoundaryForm Form = instr::BoundaryForm::Product,
-                   vm::EngineKind Engine = vm::EngineKind::VM);
+  /// \p SkipSite (optional) marks comparison sites to leave out of the
+  /// weak distance — the static pre-pass's proved-safe/unreachable set
+  /// (see instr::instrumentBoundary).
+  BoundaryAnalysis(
+      ir::Module &M, ir::Function &F,
+      instr::BoundaryForm Form = instr::BoundaryForm::Product,
+      vm::EngineKind Engine = vm::EngineKind::VM,
+      const std::function<bool(const instr::Site &)> &SkipSite = nullptr);
   ~BoundaryAnalysis();
 
   /// The weak distance W (Fig. 3(a)'s driver program).

@@ -6,6 +6,8 @@
 
 #include "analyses/BranchCoverage.h"
 
+#include <unordered_set>
+
 using namespace wdm;
 using namespace wdm::analyses;
 using namespace wdm::exec;
@@ -74,13 +76,22 @@ CoverageReport BranchCoverage::run(opt::Optimizer &Backend,
   CoverageReport Report;
   Report.Total = static_cast<unsigned>(Instr.Sites.size());
 
+  // Directions proved unreachable never gate the loop and never get
+  // search budget; they stay uncovered in the report (truthfully so).
+  std::unordered_set<int> Excluded;
+  for (int Dir : Opts.ExcludedDirs)
+    if (CoveredDirs.count(Dir) && !CoveredDirs[Dir]) {
+      Excluded.insert(Dir);
+      WeakCtx->setSiteEnabled(Dir, false);
+    }
+
   core::ReductionOptions Reduce = Opts.Reduce;
   unsigned Stall = 0;
   while (Stall < Opts.MaxStall) {
     // Any direction left?
     bool AnyLeft = false;
     for (auto &[Dir, Covered] : CoveredDirs)
-      AnyLeft |= !Covered;
+      AnyLeft |= !Covered && !Excluded.count(Dir);
     if (!AnyLeft)
       break;
 

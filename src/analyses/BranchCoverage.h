@@ -45,6 +45,11 @@ public:
     core::ReductionOptions Reduce;
     /// Stop after this many consecutive fruitless attempts.
     unsigned MaxStall = 3;
+    /// Branch directions (site ids) the static pre-pass proved
+    /// unreachable: excluded from the objective (their sites disabled up
+    /// front, and they no longer count as "directions left"), but still
+    /// reported uncovered in Total/Covered — they really are uncovered.
+    std::vector<int> ExcludedDirs;
   };
 
   BranchCoverage(ir::Module &M, ir::Function &F,

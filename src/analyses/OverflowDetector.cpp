@@ -67,6 +67,12 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
     WeakCtx->setSiteEnabled(SiteId, false);
   };
 
+  // Statically-proved sites enter L before the first round (they can
+  // never fire, so retiring them early only redirects budget).
+  for (int SiteId : Opts.PrunedSites)
+    if (BySite.count(SiteId) && !L.count(SiteId))
+      AddToL(SiteId);
+
   // One engine serves every round; its factory snapshots the current L
   // (the site-enabled table) each time a round's workers are minted.
   core::SearchEngine Search(*Factory.Factory, nullptr);
@@ -103,6 +109,8 @@ OverflowReport OverflowDetector::run(const Options &Opts) {
         OverflowFinding &F = BySite[Target];
         F.Found = true;
         F.Input = XStar;
+        if (Report.EvalsToFirstFinding == 0)
+          Report.EvalsToFirstFinding = Report.Evals;
       }
       // Step (7): track the instruction either way.
       AddToL(Target);

@@ -46,6 +46,7 @@ struct OverflowFinding {
 struct OverflowReport {
   std::vector<OverflowFinding> Findings; ///< One per site, site order.
   uint64_t Evals = 0;
+  uint64_t EvalsToFirstFinding = 0; ///< 0 when nothing was found.
   double Seconds = 0;
   unsigned NumOps = 0;
 
@@ -90,6 +91,11 @@ public:
     /// precedence over Backend (core::SearchOptions semantics).
     std::vector<core::PortfolioEntry> Portfolio;
     opt::MinimizeOptions MinOpts;
+    /// Sites the static pre-pass proved unreachable or overflow-safe:
+    /// retired into Algorithm 3's L before the first round, so no search
+    /// budget chases them. Sound because a proved site cannot fire on
+    /// any input — the findings set is unchanged.
+    std::vector<int> PrunedSites;
   };
 
   OverflowDetector(ir::Module &M, ir::Function &F,

@@ -48,6 +48,28 @@ bool wdm::api::taskKindByName(const std::string &Name, TaskKind &Out) {
   return false;
 }
 
+const char *wdm::api::pruneModeName(PruneMode M) {
+  switch (M) {
+  case PruneMode::Off:
+    return "off";
+  case PruneMode::Sites:
+    return "sites";
+  case PruneMode::SitesBox:
+    return "sites+box";
+  }
+  return "?";
+}
+
+bool wdm::api::pruneModeByName(const std::string &Name, PruneMode &Out) {
+  for (PruneMode M : {PruneMode::Off, PruneMode::Sites, PruneMode::SitesBox}) {
+    if (Name == pruneModeName(M)) {
+      Out = M;
+      return true;
+    }
+  }
+  return false;
+}
+
 ModuleSource ModuleSource::file(std::string Path) {
   return {Kind::File, std::move(Path)};
 }
@@ -101,6 +123,13 @@ vm::EngineKind SearchConfig::engineKind() const {
   if (!Engine.empty())
     vm::engineKindByName(Engine, K); // Validated at parse time.
   return K;
+}
+
+PruneMode SearchConfig::pruneMode() const {
+  PruneMode M = PruneMode::Off;
+  if (!Prune.empty())
+    pruneModeByName(Prune, M); // Validated at parse time.
+  return M;
 }
 
 void SearchConfig::applyTo(core::SearchOptions &Opts) const {
@@ -206,6 +235,8 @@ json::Value AnalysisSpec::toJson() const {
   }
   if (!Search.Engine.empty())
     S.set("engine", Value::string(Search.Engine));
+  if (!Search.Prune.empty())
+    S.set("prune", Value::string(Search.Prune));
   if (!S.members().empty())
     Doc.set("search", S);
   return Doc;
@@ -390,6 +421,16 @@ Expected<AnalysisSpec> AnalysisSpec::fromJson(const json::Value &V) {
                         jit::engineNamesForErrors() + ", got '" +
                         X->asString() + "'");
       Spec.Search.Engine = X->asString();
+    }
+    if (const Value *X = S->find("prune")) {
+      if (!X->isString())
+        return E::error(typeError("prune", "string"));
+      PruneMode M;
+      if (!pruneModeByName(X->asString(), M))
+        return E::error("spec: prune must be one of off|sites|sites+box, "
+                        "got '" +
+                        X->asString() + "'");
+      Spec.Search.Prune = X->asString();
     }
   }
 

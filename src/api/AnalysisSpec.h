@@ -60,6 +60,13 @@ const char *taskKindName(TaskKind K);
 /// Parses "boundary", "path", ...; false on unknown names.
 bool taskKindByName(const std::string &Name, TaskKind &Out);
 
+/// The static pre-pass modes (ISSUE: "search.prune").
+enum class PruneMode : uint8_t { Off, Sites, SitesBox };
+
+const char *pruneModeName(PruneMode M);
+/// Parses "off", "sites", "sites+box"; false on unknown names.
+bool pruneModeByName(const std::string &Name, PruneMode &Out);
+
 /// Where the subject module comes from. Builtin names resolve through
 /// api::buildBuiltinSubject (the GSL models and the subjects/ corpus,
 /// which exist only as builder code, not as text).
@@ -102,9 +109,19 @@ struct SearchConfig {
   /// and the Report says so via engine/engine_fallback. Ignored by
   /// fpsat, whose CNF distance is native code already.
   std::string Engine;
+  /// Static pre-pass (src/absint/): "off" | "sites" | "sites+box".
+  /// Empty = unset, which resolves to "off". "sites" classifies the
+  /// instrumented sites and drops proved ones from the search objective;
+  /// "sites+box" additionally shrinks the start box to the slices from
+  /// which a target is still feasible. Findings are never affected —
+  /// only where the eval budget goes.
+  std::string Prune;
 
   /// The resolved execution tier (unset and "vm" both map to VM).
   vm::EngineKind engineKind() const;
+
+  /// The resolved pre-pass mode (unset and "off" both map to Off).
+  PruneMode pruneMode() const;
 
   /// The shared env-override policy of the CLI, examples, and benches:
   /// a config whose Starts/Threads/Seed are set from $WDM_STARTS /

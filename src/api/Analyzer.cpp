@@ -10,6 +10,7 @@
 #include "api/Subjects.h"
 #include "api/TaskRegistry.h"
 #include "ir/Parser.h"
+#include "ir/Verifier.h"
 #include "jit/JITWeakDistance.h"
 #include "vm/VMWeakDistance.h"
 
@@ -50,6 +51,13 @@ Expected<Report> Analyzer::run() {
                       jit::engineNamesForErrors() + ", got '" +
                       Spec.Search.Engine + "'");
   }
+  if (!Spec.Search.Prune.empty()) {
+    PruneMode M;
+    if (!pruneModeByName(Spec.Search.Prune, M))
+      return E::error("spec: prune must be one of off|sites|sites+box, "
+                      "got '" +
+                      Spec.Search.Prune + "'");
+  }
 
   // Resolve the module and subject function.
   if (Spec.Module.K != ModuleSource::Kind::None) {
@@ -73,6 +81,12 @@ Expected<Report> Analyzer::run() {
       if (!Parsed)
         return E::error("module parse error: " + Parsed.error());
       OwnedModule = Parsed.take();
+      // The parser accepts shapes the rest of the pipeline assumes away
+      // (defs dominating uses, terminator discipline); reject them here
+      // as a spec error instead of tripping assertions downstream.
+      Status VS = ir::verifyModule(*OwnedModule);
+      if (!VS.ok())
+        return E::error("module verification failed: " + VS.message());
     }
     Ctx.M = OwnedModule.get();
 

@@ -63,6 +63,30 @@ json::Value Report::toJson() const {
   Doc.set("w_star", Value::number(WStar));
   if (!Extra.isNull())
     Doc.set("extra", Extra);
+  if (Static.Ran) {
+    Value St = Value::object();
+    St.set("mode", Value::string(Static.Mode));
+    St.set("sites_total", Value::number(Static.SitesTotal));
+    St.set("sites_pruned", Value::number(Static.SitesPruned));
+    St.set("sites_proved_safe", Value::number(Static.SitesProvedSafe));
+    St.set("seconds", Value::number(Static.Seconds));
+    if (Static.BoxShrunk)
+      St.set("box", Value::object()
+                        .set("lo", Value::number(Static.BoxLo))
+                        .set("hi", Value::number(Static.BoxHi)));
+    Value Items = Value::array();
+    for (const StaticItem &It : Static.Items) {
+      Value Row = Value::object();
+      Row.set("kind", Value::string(It.Kind));
+      if (It.SiteId >= 0)
+        Row.set("site", Value::number(It.SiteId));
+      if (!It.Description.empty())
+        Row.set("description", Value::string(It.Description));
+      Items.push(std::move(Row));
+    }
+    St.set("items", Items);
+    Doc.set("static", St);
+  }
   return Doc;
 }
 
@@ -126,6 +150,46 @@ Expected<Report> Report::fromJson(const json::Value &V) {
     R.WStar = X->asDouble();
   if (const Value *X = V.find("extra"))
     R.Extra = *X;
+  if (const Value *St = V.find("static")) {
+    if (!St->isObject())
+      return E::error("report: 'static' must be an object");
+    R.Static.Ran = true;
+    if (const Value *X = St->find("mode"))
+      R.Static.Mode = X->asString();
+    if (const Value *X = St->find("sites_total"))
+      R.Static.SitesTotal = static_cast<unsigned>(X->asUint());
+    if (const Value *X = St->find("sites_pruned"))
+      R.Static.SitesPruned = static_cast<unsigned>(X->asUint());
+    if (const Value *X = St->find("sites_proved_safe"))
+      R.Static.SitesProvedSafe = static_cast<unsigned>(X->asUint());
+    if (const Value *X = St->find("seconds"))
+      R.Static.Seconds = X->asDouble();
+    if (const Value *B = St->find("box")) {
+      if (!B->isObject())
+        return E::error("report: 'static'.'box' must be an object");
+      R.Static.BoxShrunk = true;
+      if (const Value *X = B->find("lo"))
+        R.Static.BoxLo = X->asDouble();
+      if (const Value *X = B->find("hi"))
+        R.Static.BoxHi = X->asDouble();
+    }
+    const Value *Items = St->find("items");
+    if (Items && !Items->isArray())
+      return E::error("report: 'static'.'items' must be an array");
+    for (size_t I = 0; Items && I < Items->size(); ++I) {
+      const Value &Row = Items->at(I);
+      if (!Row.isObject())
+        return E::error("report: each static item must be an object");
+      StaticItem It;
+      if (const Value *K = Row.find("kind"))
+        It.Kind = K->asString();
+      if (const Value *S = Row.find("site"))
+        It.SiteId = static_cast<int>(S->asInt(-1));
+      if (const Value *D = Row.find("description"))
+        It.Description = D->asString();
+      R.Static.Items.push_back(std::move(It));
+    }
+  }
   return R;
 }
 
@@ -149,6 +213,14 @@ json::Value wdm::api::deterministicReportJson(const json::Value &ReportJson) {
         if (EKey != "detector_seconds")
           Extra.set(EKey, EV);
       Out.set(Key, std::move(Extra));
+      continue;
+    }
+    if (Key == "static" && V.isObject()) {
+      Value St = Value::object();
+      for (const auto &[SKey, SV] : V.members())
+        if (SKey != "seconds")
+          St.set(SKey, SV);
+      Out.set(Key, std::move(St));
       continue;
     }
     Out.set(Key, V);

@@ -40,6 +40,31 @@ struct Finding {
   json::Value Details;       ///< Kind-specific payload (object or null).
 };
 
+/// One site verdict of the static pre-pass worth reporting: a site the
+/// search no longer has to visit.
+struct StaticItem {
+  std::string Kind; ///< "unreachable" | "proved_safe".
+  int SiteId = -1;
+  std::string Description; ///< Site/reason text.
+};
+
+/// The "static" findings section: what the absint pre-pass proved before
+/// the search spent its first eval. Absent (Ran == false) when pruning is
+/// off — older logs without the section parse as Ran == false, and the
+/// serialized report is byte-identical to a pre-pass-free build's.
+struct StaticSection {
+  bool Ran = false;
+  std::string Mode; ///< "sites" | "sites+box".
+  unsigned SitesTotal = 0;
+  unsigned SitesPruned = 0; ///< Dropped from the objective (both kinds).
+  unsigned SitesProvedSafe = 0;
+  double Seconds = 0; ///< Pre-pass cost (stripped by deterministic form).
+  bool BoxShrunk = false;
+  double BoxLo = 0; ///< Shrunken start box (valid when BoxShrunk).
+  double BoxHi = 0;
+  std::vector<StaticItem> Items;
+};
+
 struct Report {
   TaskKind Task = TaskKind::Boundary;
   std::string Function; ///< Subject name (constraint text for fpsat).
@@ -66,6 +91,9 @@ struct Report {
   /// or {"covered": 5, "total": 6} for coverage.
   json::Value Extra;
 
+  /// What the static pre-pass proved (when search.prune enabled it).
+  StaticSection Static;
+
   /// Findings whose Kind == \p K.
   unsigned count(const std::string &K) const;
   const Finding *first(const std::string &K) const;
@@ -79,8 +107,9 @@ struct Report {
   static Expected<Report> parse(std::string_view JsonText);
 };
 
-/// \p ReportJson with the wall-clock fields removed: top-level "seconds"
-/// and the inconsistency task's "extra"."detector_seconds". What remains
+/// \p ReportJson with the wall-clock fields removed: top-level "seconds",
+/// the inconsistency task's "extra"."detector_seconds", and the static
+/// pre-pass's "static"."seconds". What remains
 /// is deterministic for a fixed spec — it is the payload the suite
 /// layer's report_hash covers, and the identity bar across
 /// inprocess/subprocess/shard-count run configurations.

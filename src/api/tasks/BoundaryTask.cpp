@@ -7,6 +7,7 @@
 #include "analyses/BoundaryAnalysis.h"
 #include "api/TaskRegistry.h"
 #include "api/tasks/Common.h"
+#include "api/tasks/Prune.h"
 
 using namespace wdm;
 using namespace wdm::api;
@@ -21,12 +22,17 @@ Expected<Report> runBoundary(TaskContext &Ctx) {
   else if (Ctx.Spec.BoundaryForm == "minulp")
     Form = instr::BoundaryForm::MinUlp;
 
-  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form, Ctx.engineKind());
+  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
+  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form, Ctx.engineKind(),
+                                 tasks::skipPredicate(Plan));
+  tasks::classifySites(Plan, BVA.sites());
   core::SearchOptions Opts = Ctx.searchOptions({});
+  tasks::shrinkBox(Plan, *Ctx.F, Opts, BVA.sites());
   core::SearchResult R = BVA.findOne(Ctx.primaryBackend(), Opts);
 
   Report Rep;
   Rep.Success = R.Found;
+  tasks::fillStatic(Rep, Plan);
   tasks::fillAggregates(Rep, R);
   tasks::fillEngine(Rep, BVA.executionTier());
   if (R.Found) {

@@ -7,6 +7,7 @@
 #include "analyses/BranchCoverage.h"
 #include "api/TaskRegistry.h"
 #include "api/tasks/Common.h"
+#include "api/tasks/Prune.h"
 
 #include <thread>
 
@@ -22,10 +23,15 @@ Expected<Report> runCoverage(TaskContext &Ctx) {
   Opts.Reduce = Ctx.searchOptions(Opts.Reduce);
   if (Ctx.Spec.MaxStall)
     Opts.MaxStall = *Ctx.Spec.MaxStall;
+  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
+  tasks::classifySites(Plan, Cov.sites());
+  Opts.ExcludedDirs = tasks::droppedSorted(Plan);
+  tasks::shrinkBox(Plan, *Ctx.F, Opts.Reduce, Cov.sites());
 
   analyses::CoverageReport R = Cov.run(Ctx.primaryBackend(), Opts);
 
   Report Rep;
+  tasks::fillStatic(Rep, Plan);
   Rep.Success = R.Total == R.Covered;
   Rep.Evals = R.Evals;
   tasks::fillEngine(Rep, Cov.executionTier());

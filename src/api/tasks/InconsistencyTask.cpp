@@ -16,6 +16,7 @@
 #include "analyses/Inconsistency.h"
 #include "api/TaskRegistry.h"
 #include "api/tasks/Common.h"
+#include "api/tasks/Prune.h"
 
 #include <thread>
 
@@ -37,6 +38,17 @@ Expected<Report> runInconsistency(TaskContext &Ctx) {
   analyses::OverflowDetector Detector =
       tasks::makeOverflowDetector(Ctx, instr::OverflowMetric::AbsGap);
   analyses::OverflowDetector::Options Opts = tasks::overflowOptions(Ctx);
+  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
+  tasks::classifySites(Plan, Detector.sites());
+  Opts.PrunedSites = tasks::droppedSorted(Plan);
+  {
+    core::SearchOptions Box;
+    Box.StartLo = Opts.StartLo;
+    Box.StartHi = Opts.StartHi;
+    tasks::shrinkBox(Plan, *Ctx.F, Box, Detector.sites());
+    Opts.StartLo = Box.StartLo;
+    Opts.StartHi = Box.StartHi;
+  }
   analyses::OverflowReport R = Detector.run(Opts);
 
   gsl::SfFunction Fn;
@@ -64,6 +76,7 @@ Expected<Report> runInconsistency(TaskContext &Ctx) {
   }
 
   Report Rep;
+  tasks::fillStatic(Rep, Plan);
   Rep.Success = !Distinct.empty();
   Rep.Evals = R.Evals;
   tasks::fillEngine(Rep, Detector.executionTier());
@@ -94,7 +107,9 @@ Expected<Report> runInconsistency(TaskContext &Ctx) {
                   .set("inconsistencies",
                        Value::number(static_cast<uint64_t>(Distinct.size())))
                   .set("bugs", Value::number(Bugs))
-                  .set("detector_seconds", Value::number(R.Seconds));
+                  .set("detector_seconds", Value::number(R.Seconds))
+                  .set("evals_to_first_finding",
+                       Value::number(R.EvalsToFirstFinding));
   return Rep;
 }
 

@@ -6,6 +6,7 @@
 
 #include "api/TaskRegistry.h"
 #include "api/tasks/Common.h"
+#include "api/tasks/Prune.h"
 
 #include <thread>
 
@@ -19,9 +20,21 @@ Expected<Report> runOverflow(TaskContext &Ctx) {
   analyses::OverflowDetector Detector =
       tasks::makeOverflowDetector(Ctx, instr::OverflowMetric::UlpGap);
   analyses::OverflowDetector::Options Opts = tasks::overflowOptions(Ctx);
+  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
+  tasks::classifySites(Plan, Detector.sites());
+  Opts.PrunedSites = tasks::droppedSorted(Plan);
+  {
+    core::SearchOptions Box;
+    Box.StartLo = Opts.StartLo;
+    Box.StartHi = Opts.StartHi;
+    tasks::shrinkBox(Plan, *Ctx.F, Box, Detector.sites());
+    Opts.StartLo = Box.StartLo;
+    Opts.StartHi = Box.StartHi;
+  }
   analyses::OverflowReport R = Detector.run(Opts);
 
   Report Rep;
+  tasks::fillStatic(Rep, Plan);
   Rep.Success = R.numOverflows() > 0;
   Rep.Evals = R.Evals;
   tasks::fillEngine(Rep, Detector.executionTier());
@@ -31,7 +44,9 @@ Expected<Report> runOverflow(TaskContext &Ctx) {
   tasks::appendOverflowFindings(Rep, R);
   Rep.Extra = Value::object()
                   .set("num_ops", Value::number(R.NumOps))
-                  .set("num_overflows", Value::number(R.numOverflows()));
+                  .set("num_overflows", Value::number(R.numOverflows()))
+                  .set("evals_to_first_finding",
+                       Value::number(R.EvalsToFirstFinding));
   return Rep;
 }
 

@@ -7,6 +7,7 @@
 #include "analyses/PathReachability.h"
 #include "api/TaskRegistry.h"
 #include "api/tasks/Common.h"
+#include "api/tasks/Prune.h"
 #include "ir/Instruction.h"
 
 using namespace wdm;
@@ -36,12 +37,61 @@ Expected<Report> runPath(TaskContext &Ctx) {
     PS.Legs.push_back({Branches[Leg.Branch], Leg.Taken});
   }
 
+  // Static pre-pass: a required direction proved infeasible means no
+  // input follows the path — skip the search outright.
+  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
+  std::vector<size_t> DeadLegs;
+  if (Plan.ran() && Plan.FA->complete()) {
+    Plan.SitesTotal = static_cast<unsigned>(PS.Legs.size());
+    for (size_t K = 0; K < PS.Legs.size(); ++K)
+      if (!Plan.FA->edgeFeasible(PS.Legs[K].Branch, PS.Legs[K].DesiredTaken))
+        DeadLegs.push_back(K);
+  }
+  if (!DeadLegs.empty()) {
+    Report Rep;
+    Rep.Success = false;
+    tasks::fillStatic(Rep, Plan);
+    for (size_t K : DeadLegs) {
+      StaticItem It;
+      It.Kind = "unreachable";
+      It.SiteId = static_cast<int>(Ctx.Spec.Path[K].Branch);
+      It.Description = "path leg #" + std::to_string(K) + " (branch " +
+                       std::to_string(Ctx.Spec.Path[K].Branch) + ", " +
+                       (Ctx.Spec.Path[K].Taken ? "true" : "false") +
+                       ") is statically infeasible";
+      Rep.Static.Items.push_back(std::move(It));
+      ++Rep.Static.SitesPruned;
+    }
+    Rep.Engine = "static";
+    return Rep;
+  }
+
   analyses::PathReachability PR(*Ctx.M, *Ctx.F, PS, Ctx.engineKind());
   core::SearchOptions Opts = Ctx.searchOptions({});
+  if (Plan.Mode == PruneMode::SitesBox && Plan.ran()) {
+    absint::BoxShrinkResult B = absint::shrinkStartBox(
+        *Ctx.F, Opts.StartLo, Opts.StartHi, {},
+        [&](const absint::FunctionAnalysis &FA) {
+          if (!FA.complete())
+            return true;
+          for (const instr::PathLeg &Leg : PS.Legs)
+            if (!FA.edgeFeasible(Leg.Branch, Leg.DesiredTaken))
+              return false;
+          return true;
+        });
+    if (B.Changed) {
+      Opts.StartLo = B.Lo;
+      Opts.StartHi = B.Hi;
+      Plan.BoxShrunk = true;
+      Plan.BoxLo = B.Lo;
+      Plan.BoxHi = B.Hi;
+    }
+  }
   core::SearchResult R = PR.findOne(Ctx.primaryBackend(), Opts);
 
   Report Rep;
   Rep.Success = R.Found;
+  tasks::fillStatic(Rep, Plan);
   tasks::fillAggregates(Rep, R);
   tasks::fillEngine(Rep, PR.executionTier());
   if (R.Found) {

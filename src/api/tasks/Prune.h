@@ -1,0 +1,171 @@
+//===--- Prune.h - Static pre-pass plumbing for task adapters --*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared "search.prune" flow of the four IR-backed task adapters:
+/// run the absint pre-pass over the original subject, classify the
+/// instrumented sites, drop proved ones from the search objective, and
+/// (in sites+box mode) shrink the start box. Findings are never affected
+/// — a dropped site provably cannot fire — only where the eval budget
+/// goes. Everything that ran lands in Report::Static.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_TASKS_PRUNE_H
+#define WDM_API_TASKS_PRUNE_H
+
+#include "absint/AbsInt.h"
+#include "api/Report.h"
+#include "api/TaskRegistry.h"
+#include "core/SearchEngine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+
+namespace wdm::api::tasks {
+
+/// One adapter's pre-pass state: the analysis of the original subject
+/// plus everything classified/shrunk so far.
+struct PrunePlan {
+  PruneMode Mode = PruneMode::Off;
+  /// The pre-pass analysis of the original subject (set when Mode != Off
+  /// and the task has an IR subject). Intervals are certificates, so a
+  /// non-Unknown verdict is a proof.
+  std::unique_ptr<absint::FunctionAnalysis> FA;
+  std::vector<absint::SiteReport> Sites;
+  std::unordered_set<int> Dropped; ///< Site ids out of the objective.
+  unsigned SitesTotal = 0;
+  unsigned ProvedSafe = 0;
+  bool BoxShrunk = false;
+  double BoxLo = 0;
+  double BoxHi = 0;
+  std::chrono::steady_clock::time_point Clock0;
+  double Seconds = 0; ///< Pre-pass cost so far (stamped per step).
+
+  bool ran() const { return FA != nullptr; }
+
+  /// Restamps the pre-pass cost; call when a pre-pass step finishes so
+  /// Seconds never includes the search that follows.
+  void stamp() {
+    Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Clock0)
+                  .count();
+  }
+};
+
+/// Runs the pre-pass over \p Ctx's subject when the spec asks for it.
+/// Argument intervals stay top: searchers draw wild starts over all of
+/// F^N, so only input-independent facts are certificates here.
+inline PrunePlan planPrune(const TaskContext &Ctx) {
+  PrunePlan P;
+  P.Mode = Ctx.Spec.Search.pruneMode();
+  P.Clock0 = std::chrono::steady_clock::now();
+  if (P.Mode == PruneMode::Off || !Ctx.F)
+    return P;
+  P.FA = std::make_unique<absint::FunctionAnalysis>(*Ctx.F);
+  P.stamp();
+  return P;
+}
+
+/// A site-skip predicate over \p P for instrumentation-time pruning
+/// (BoundaryAnalysis). Valid while \p P is alive.
+inline std::function<bool(const instr::Site &)>
+skipPredicate(const PrunePlan &P) {
+  if (!P.ran())
+    return nullptr;
+  const absint::FunctionAnalysis *FA = P.FA.get();
+  return [FA](const instr::Site &S) {
+    return absint::classifySite(*FA, S) != absint::SiteVerdict::Unknown;
+  };
+}
+
+/// Classifies \p Sites against the plan's analysis, filling Dropped and
+/// the per-site reports.
+inline void classifySites(PrunePlan &P, const instr::SiteTable &Sites) {
+  P.SitesTotal = static_cast<unsigned>(Sites.size());
+  if (!P.ran())
+    return;
+  P.Sites = absint::classifySites(*P.FA, Sites);
+  for (const absint::SiteReport &R : P.Sites) {
+    if (R.Verdict == absint::SiteVerdict::Unknown)
+      continue;
+    P.Dropped.insert(R.Id);
+    P.ProvedSafe += R.Verdict == absint::SiteVerdict::ProvedSafe;
+  }
+  P.stamp();
+}
+
+/// The pruned sites as a deterministic (sorted) list, the shape the
+/// OverflowDetector/BranchCoverage options take.
+inline std::vector<int> droppedSorted(const PrunePlan &P) {
+  std::vector<int> Out(P.Dropped.begin(), P.Dropped.end());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// In sites+box mode, shrinks [Opts.StartLo, Opts.StartHi] to the
+/// per-dimension slices from which some still-active site is feasible.
+/// A heuristic for start placement only — wild starts roam the full
+/// domain regardless, so findings are unaffected.
+inline void shrinkBox(PrunePlan &P, const ir::Function &F,
+                      core::SearchOptions &Opts,
+                      const instr::SiteTable &Sites) {
+  if (P.Mode != PruneMode::SitesBox || !P.ran())
+    return;
+  std::unordered_set<int> Active;
+  for (const instr::Site &S : Sites)
+    if (!P.Dropped.count(S.Id))
+      Active.insert(S.Id);
+  if (Active.empty())
+    return;
+  absint::BoxShrinkResult R = absint::shrinkStartBox(
+      F, Opts.StartLo, Opts.StartHi, {},
+      [&](const absint::FunctionAnalysis &FA) {
+        return absint::anySiteMaybeTriggers(FA, Sites, Active);
+      });
+  if (R.Changed) {
+    Opts.StartLo = R.Lo;
+    Opts.StartHi = R.Hi;
+    P.BoxShrunk = true;
+    P.BoxLo = R.Lo;
+    P.BoxHi = R.Hi;
+  }
+  P.stamp();
+}
+
+/// Records the finished plan as the report's "static" section (a no-op
+/// when the pre-pass did not run, keeping prune-off reports byte-
+/// identical to a pre-pass-free build's).
+inline void fillStatic(Report &Rep, const PrunePlan &P) {
+  if (!P.ran())
+    return;
+  Rep.Static.Ran = true;
+  Rep.Static.Mode = pruneModeName(P.Mode);
+  Rep.Static.SitesTotal = P.SitesTotal;
+  Rep.Static.SitesPruned = static_cast<unsigned>(P.Dropped.size());
+  Rep.Static.SitesProvedSafe = P.ProvedSafe;
+  Rep.Static.Seconds = P.Seconds;
+  Rep.Static.BoxShrunk = P.BoxShrunk;
+  Rep.Static.BoxLo = P.BoxLo;
+  Rep.Static.BoxHi = P.BoxHi;
+  for (const absint::SiteReport &R : P.Sites) {
+    if (R.Verdict == absint::SiteVerdict::Unknown)
+      continue;
+    StaticItem It;
+    It.Kind = R.Verdict == absint::SiteVerdict::Unreachable
+                  ? "unreachable"
+                  : "proved_safe";
+    It.SiteId = R.Id;
+    It.Description = R.Reason;
+    Rep.Static.Items.push_back(std::move(It));
+  }
+}
+
+} // namespace wdm::api::tasks
+
+#endif // WDM_API_TASKS_PRUNE_H

@@ -21,8 +21,9 @@ using namespace wdm::ir;
 static constexpr double FactorClamp = 1e30;
 static constexpr double ProductClamp = 1e250;
 
-BoundaryInstrumentation instr::instrumentBoundary(Function &F,
-                                                  BoundaryForm Form) {
+BoundaryInstrumentation
+instr::instrumentBoundary(Function &F, BoundaryForm Form,
+                          const std::function<bool(const Site &)> &Skip) {
   BoundaryInstrumentation Result;
   Result.Sites = assignComparisonSites(F);
 
@@ -41,8 +42,17 @@ BoundaryInstrumentation instr::instrumentBoundary(Function &F,
       const Instruction *Inst = BB->inst(I);
       if ((Inst->opcode() == Opcode::FCmp ||
            Inst->opcode() == Opcode::ICmp) &&
-          Inst->id() >= 0)
+          Inst->id() >= 0) {
+        // Pre-pass-proved sites contribute no factor: their distance can
+        // never reach 0, so dropping the update preserves W's zero set
+        // while sparing the searcher a useless gradient.
+        if (Skip) {
+          if (const Site *S = Result.Sites.byId(Inst->id()))
+            if (Skip(*S))
+              continue;
+        }
         CmpIdx.push_back(I);
+      }
     }
     for (size_t K = CmpIdx.size(); K-- > 0;) {
       Instruction *Cmp = BB->inst(CmpIdx[K]);

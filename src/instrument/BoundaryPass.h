@@ -18,6 +18,8 @@
 
 #include "instrument/Sites.h"
 
+#include <functional>
+
 namespace wdm::instr {
 
 enum class BoundaryForm : uint8_t {
@@ -36,9 +38,13 @@ struct BoundaryInstrumentation {
 
 /// Tags comparison sites on \p F, clones it, and injects the boundary
 /// weak-distance updates into the clone. \p F itself is unchanged except
-/// for site-id tags.
+/// for site-id tags. When \p Skip is set, sites it accepts get no W
+/// update (they keep their id and table entry) — the static pre-pass
+/// uses this for comparisons proved unreachable or never-equal, whose
+/// factor can never be 0, so the zero set of W is unchanged.
 BoundaryInstrumentation
-instrumentBoundary(ir::Function &F, BoundaryForm Form = BoundaryForm::Product);
+instrumentBoundary(ir::Function &F, BoundaryForm Form = BoundaryForm::Product,
+                   const std::function<bool(const Site &)> &Skip = nullptr);
 
 } // namespace wdm::instr
 

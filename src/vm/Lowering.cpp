@@ -8,6 +8,7 @@
 
 #include "support/Casting.h"
 #include "support/FPUtils.h"
+#include "vm/Verify.h"
 
 #include <cassert>
 
@@ -537,5 +538,12 @@ CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
       }
     }
   }
+#ifndef NDEBUG
+  {
+    Status VS = verifyBytecode(CM);
+    assert(VS.ok() && "lowering produced unverifiable bytecode");
+    (void)VS;
+  }
+#endif
   return CM;
 }

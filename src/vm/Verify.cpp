@@ -1,0 +1,338 @@
+//===--- Verify.cpp - Bytecode static checker ------------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Verify.h"
+
+#include "ir/Module.h"
+#include "ir/Value.h"
+
+#include <sstream>
+
+using namespace wdm;
+using namespace wdm::vm;
+
+namespace {
+
+bool isTerminator(Op O) {
+  switch (O) {
+  case Op::Jmp:
+  case Op::CondBr:
+  case Op::RetD:
+  case Op::RetI:
+  case Op::RetB:
+  case Op::RetVoid:
+  case Op::Trap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Op fusedFOpOpcode(FusedFOp K) {
+  switch (K) {
+  case FusedFOp::FAdd:
+    return Op::FAdd;
+  case FusedFOp::FSub:
+    return Op::FSub;
+  case FusedFOp::FMul:
+    return Op::FMul;
+  case FusedFOp::FDiv:
+    return Op::FDiv;
+  case FusedFOp::FMin:
+    return Op::FMin;
+  case FusedFOp::FMax:
+    return Op::FMax;
+  }
+  return Op::FAdd;
+}
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const CompiledModule &CM, const CompiledFunction &CF)
+      : CM(CM), CF(CF) {}
+
+  Status run() {
+    if (!CF.Ok)
+      return Status::success();
+    if (!CF.Source)
+      return fail(0, "compiled function has no source");
+    if (Status S = checkFrame(); !S.ok())
+      return S;
+    if (CF.Code.empty())
+      return fail(0, "empty code for an Ok function");
+    if (!isTerminator(CF.Code.back().Opc))
+      return fail(CF.Code.size() - 1, "code does not end in a terminator");
+    for (size_t PC = 0; PC < CF.Code.size(); ++PC)
+      if (Status S = checkInst(PC); !S.ok())
+        return S;
+    return Status::success();
+  }
+
+private:
+  Status fail(size_t PC, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "bytecode verifier: " << CF.Source->name() << "@" << PC << ": "
+       << Msg;
+    return Status::error(OS.str());
+  }
+
+  Status checkFrame() {
+    if (CF.NumArgs != CF.Source->numArgs())
+      return fail(0, "NumArgs does not match the source signature");
+    if (CF.RetType != CF.Source->returnType())
+      return fail(0, "RetType does not match the source signature");
+    if (CF.ConstBits.size() != CF.NumConsts)
+      return fail(0, "ConstBits size does not match NumConsts");
+    if (CF.NumArgs + CF.NumConsts > CF.FirstSlotReg)
+      return fail(0, "argument/constant registers overlap the slot region");
+    if (CF.FirstSlotReg + CF.NumSlots != CF.NumRegs)
+      return fail(0, "FirstSlotReg + NumSlots != NumRegs");
+    if (CF.NumRegs > 65536)
+      return fail(0, "frame exceeds the 16-bit register address space");
+    return Status::success();
+  }
+
+  Status reg(size_t PC, uint16_t R, const char *What) {
+    if (R >= CF.NumRegs)
+      return fail(PC, std::string(What) + " register out of range");
+    return Status::success();
+  }
+
+  Status slotReg(size_t PC, uint16_t R) {
+    if (R < CF.FirstSlotReg || R >= CF.FirstSlotReg + CF.NumSlots)
+      return fail(PC, "slot register outside the slot region");
+    return Status::success();
+  }
+
+  Status target(size_t PC, int32_t T) {
+    if (T < 0 || static_cast<size_t>(T) >= CF.Code.size())
+      return fail(PC, "branch target out of range");
+    if (T != 0 && !isTerminator(CF.Code[T - 1].Opc))
+      return fail(PC, "branch target is not a leader");
+    return Status::success();
+  }
+
+  Status global(size_t PC, int32_t Slot, ir::Type Want) {
+    if (Slot < 0 || static_cast<size_t>(Slot) >= CM.M->numGlobals())
+      return fail(PC, "global slot out of range");
+    if (CM.M->global(Slot)->type() != Want)
+      return fail(PC, "global access type mismatch");
+    return Status::success();
+  }
+
+  Status checkInst(size_t PC) {
+    const Inst &I = CF.Code[PC];
+    auto DAB = [&]() -> Status {
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      if (Status S = reg(PC, I.A, "A"); !S.ok())
+        return S;
+      return reg(PC, I.B, "B");
+    };
+    auto DA = [&]() -> Status {
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      return reg(PC, I.A, "A");
+    };
+    switch (I.Opc) {
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FDiv:
+    case Op::FRem:
+    case Op::Pow:
+    case Op::FMin:
+    case Op::FMax:
+    case Op::FCmpEQ:
+    case Op::FCmpNE:
+    case Op::FCmpLT:
+    case Op::FCmpLE:
+    case Op::FCmpGT:
+    case Op::FCmpGE:
+    case Op::ICmpEQ:
+    case Op::ICmpNE:
+    case Op::ICmpLT:
+    case Op::ICmpLE:
+    case Op::ICmpGT:
+    case Op::ICmpGE:
+    case Op::IAdd:
+    case Op::ISub:
+    case Op::IMul:
+    case Op::IAnd:
+    case Op::IOr:
+    case Op::IXor:
+    case Op::IShl:
+    case Op::ILShr:
+    case Op::BAnd:
+    case Op::BOr:
+    case Op::UlpDiff:
+      return DAB();
+    case Op::FNeg:
+    case Op::FAbs:
+    case Op::Sqrt:
+    case Op::Sin:
+    case Op::Cos:
+    case Op::Tan:
+    case Op::Exp:
+    case Op::Log:
+    case Op::Floor:
+    case Op::BNot:
+    case Op::SIToFP:
+    case Op::FPToSI:
+    case Op::HighWord:
+      return DA();
+    case Op::Select: {
+      if (Status S = DAB(); !S.ok())
+        return S;
+      return reg(PC, I.C, "C");
+    }
+    case Op::SlotAddr: {
+      // Dest receives the slot *ordinal* (the interpreter-visible
+      // value); the slot's storage register is FirstSlotReg + Imm.
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      if (I.Imm < 0 || static_cast<unsigned>(I.Imm) >= CF.NumSlots)
+        return fail(PC, "alloca ordinal out of range");
+      return Status::success();
+    }
+    case Op::SlotLoad: {
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      return slotReg(PC, I.Imm2);
+    }
+    case Op::SlotStore: {
+      if (Status S = reg(PC, I.A, "A"); !S.ok())
+        return S;
+      return slotReg(PC, I.Imm2);
+    }
+    case Op::GLoadD: {
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      return global(PC, I.Imm, ir::Type::Double);
+    }
+    case Op::GLoadI: {
+      if (Status S = reg(PC, I.Dest, "dest"); !S.ok())
+        return S;
+      return global(PC, I.Imm, ir::Type::Int);
+    }
+    case Op::GStoreD: {
+      if (Status S = reg(PC, I.A, "A"); !S.ok())
+        return S;
+      return global(PC, I.Imm, ir::Type::Double);
+    }
+    case Op::GStoreI: {
+      if (Status S = reg(PC, I.A, "A"); !S.ok())
+        return S;
+      return global(PC, I.Imm, ir::Type::Int);
+    }
+    case Op::SiteEnabled:
+      // Imm (the site id) is intentionally unchecked: beyond-range ids
+      // read as enabled by contract.
+      return reg(PC, I.Dest, "dest");
+    case Op::Call: {
+      if (I.Imm2 >= CM.Functions.size())
+        return fail(PC, "call target index out of range");
+      const CompiledFunction &Callee = CM.Functions[I.Imm2];
+      if (!Callee.Source)
+        return fail(PC, "call target has no source");
+      unsigned NA = Callee.Source->numArgs();
+      if (I.Imm < 0 ||
+          static_cast<size_t>(I.Imm) + NA > CF.CallArgPool.size())
+        return fail(PC, "call argument pool slice out of range");
+      for (unsigned K = 0; K < NA; ++K)
+        if (Status S = reg(PC, CF.CallArgPool[I.Imm + K], "pooled arg");
+            !S.ok())
+          return S;
+      if (Callee.Source->returnType() != ir::Type::Void)
+        return reg(PC, I.Dest, "dest");
+      return Status::success();
+    }
+    case Op::Jmp:
+      return target(PC, I.Imm);
+    case Op::CondBr: {
+      if (Status S = reg(PC, I.A, "A"); !S.ok())
+        return S;
+      if (I.Dest >= CF.Branches.size())
+        return fail(PC, "condbr observer index out of range");
+      if (Status S = target(PC, I.Imm); !S.ok())
+        return S;
+      return target(PC, I.Imm2);
+    }
+    case Op::RetD:
+      if (CF.RetType != ir::Type::Double)
+        return fail(PC, "ret opcode does not match the return type");
+      return reg(PC, I.A, "A");
+    case Op::RetI:
+      if (CF.RetType != ir::Type::Int)
+        return fail(PC, "ret opcode does not match the return type");
+      return reg(PC, I.A, "A");
+    case Op::RetB:
+      if (CF.RetType != ir::Type::Bool)
+        return fail(PC, "ret opcode does not match the return type");
+      return reg(PC, I.A, "A");
+    case Op::RetVoid:
+      if (CF.RetType != ir::Type::Void)
+        return fail(PC, "ret opcode does not match the return type");
+      return Status::success();
+    case Op::Trap:
+      if (I.Imm2 >= CF.TrapMessages.size())
+        return fail(PC, "trap message index out of range");
+      return Status::success();
+    case Op::FusedGRmwD: {
+      if (Status S = DAB(); !S.ok())
+        return S;
+      if (Status S = reg(PC, I.C, "C"); !S.ok())
+        return S;
+      if (Status S = global(PC, I.Imm, ir::Type::Double); !S.ok())
+        return S;
+      if (I.Imm2 > static_cast<uint16_t>(FusedFOp::FMax))
+        return fail(PC, "fused F-op kind out of range");
+      if (PC + 2 >= CF.Code.size())
+        return fail(PC, "fused RMW triple truncated");
+      const Inst &FOp = CF.Code[PC + 1];
+      const Inst &Store = CF.Code[PC + 2];
+      if (FOp.Opc != fusedFOpOpcode(static_cast<FusedFOp>(I.Imm2)) ||
+          FOp.A != I.A || FOp.B != I.B || FOp.Dest != I.C)
+        return fail(PC, "fused RMW F-op carrier mismatch");
+      if (Store.Opc != Op::GStoreD || Store.Imm != I.Imm || Store.A != I.C)
+        return fail(PC, "fused RMW store carrier mismatch");
+      return Status::success();
+    }
+    case Op::FusedFCmpBr: {
+      if (Status S = DAB(); !S.ok())
+        return S;
+      if (I.Imm2 > static_cast<uint16_t>(FusedCmp::GE))
+        return fail(PC, "fused compare predicate out of range");
+      if (PC + 1 >= CF.Code.size())
+        return fail(PC, "fused compare-branch pair truncated");
+      const Inst &Br = CF.Code[PC + 1];
+      if (Br.Opc != Op::CondBr || Br.A != I.Dest)
+        return fail(PC, "fused compare-branch carrier mismatch");
+      return Status::success();
+    }
+    }
+    return fail(PC, "unknown opcode");
+  }
+
+  const CompiledModule &CM;
+  const CompiledFunction &CF;
+};
+
+} // namespace
+
+Status vm::verifyFunction(const CompiledModule &CM,
+                          const CompiledFunction &CF) {
+  return FunctionVerifier(CM, CF).run();
+}
+
+Status vm::verifyBytecode(const CompiledModule &CM) {
+  if (!CM.M)
+    return Status::error("bytecode verifier: module has no source");
+  for (const CompiledFunction &CF : CM.Functions)
+    if (Status S = verifyFunction(CM, CF); !S.ok())
+      return S;
+  return Status::success();
+}

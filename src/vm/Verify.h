@@ -1,0 +1,48 @@
+//===--- Verify.h - Bytecode static checker ---------------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verification of lowered bytecode, the VM-tier counterpart of
+/// ir::verifyModule: every register field addresses the frame, every
+/// branch target is a leader, the fusion peepholes left consistent
+/// instruction pairs/triples behind, and the frame layout matches the
+/// source signature. Run after every lowering in debug builds (assert at
+/// the end of vm::compile) and unconditionally by the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_VM_VERIFY_H
+#define WDM_VM_VERIFY_H
+
+#include "support/Error.h"
+#include "vm/Bytecode.h"
+
+namespace wdm::vm {
+
+/// Checks one lowered function (no-op success when !CF.Ok):
+///  - frame accounting: NumArgs + NumConsts <= FirstSlotReg,
+///    FirstSlotReg + NumSlots == NumRegs, ConstBits.size() == NumConsts,
+///    NumArgs and RetType match the source signature;
+///  - every register field used by an opcode is < NumRegs; slot-addressed
+///    registers lie in [FirstSlotReg, FirstSlotReg + NumSlots);
+///  - branch targets are in range and are leaders (index 0 or preceded by
+///    a terminator — fused-away instructions stay in place, so this
+///    survives the peepholes); CondBr observer indices are in range;
+///  - global accesses address existing module globals of the right type;
+///  - calls index real functions with fully-pooled argument lists;
+///  - FusedGRmwD is followed by its matching F-op and GStoreD carriers,
+///    FusedFCmpBr by its CondBr data carrier;
+///  - the ret opcode matches RetType and the code ends in a terminator.
+/// SiteEnabled ids are deliberately not range-checked: the runtime
+/// treats beyond-range sites as enabled and tests rely on that.
+Status verifyFunction(const CompiledModule &CM, const CompiledFunction &CF);
+
+/// Verifies every Ok function in the module.
+Status verifyBytecode(const CompiledModule &CM);
+
+} // namespace wdm::vm
+
+#endif // WDM_VM_VERIFY_H

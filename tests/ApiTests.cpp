@@ -19,6 +19,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <utility>
 
 using namespace wdm;
 using namespace wdm::api;
@@ -130,6 +132,7 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   Spec.Search.Batch = 16;
   Spec.Search.Backends = {"basinhopping", "de"};
   Spec.Search.Engine = "interp";
+  Spec.Search.Prune = "sites+box";
 
   std::string Text = Spec.toJsonText();
   Expected<AnalysisSpec> Back = AnalysisSpec::parse(Text);
@@ -162,6 +165,7 @@ TEST(SpecTest, JsonRoundTripAllFields) {
   EXPECT_EQ(Back->Search.Batch, Spec.Search.Batch);
   EXPECT_EQ(Back->Search.Backends, Spec.Search.Backends);
   EXPECT_EQ(Back->Search.Engine, Spec.Search.Engine);
+  EXPECT_EQ(Back->Search.Prune, Spec.Search.Prune);
 
   // Serialize -> parse -> serialize is a fixed point.
   EXPECT_EQ(Back->toJsonText(), Text);
@@ -497,6 +501,187 @@ TEST(ReportTest, JsonSerializesAndParses) {
   EXPECT_EQ(Doc->find("engine")->asString(), "vm");
   EXPECT_EQ(Doc->find("extra")->find("total")->asUint(),
             R->Extra.find("total")->asUint());
+}
+
+//===----------------------------------------------------------------------===//
+// Static pre-pass: spec field, report section, findings identity
+//===----------------------------------------------------------------------===//
+
+TEST(SpecTest, PruneFieldDefaultsAndValidation) {
+  // Unset prune means no pre-pass and stays unset in JSON.
+  Expected<AnalysisSpec> Unset = AnalysisSpec::parse(
+      R"({"task": "boundary", "module": {"builtin": "fig2"}})");
+  ASSERT_TRUE(Unset.hasValue()) << Unset.error();
+  EXPECT_TRUE(Unset->Search.Prune.empty());
+  EXPECT_EQ(Unset->Search.pruneMode(), PruneMode::Off);
+  EXPECT_EQ(Unset->toJsonText().find("\"prune\""), std::string::npos);
+
+  // All three spellings parse and resolve.
+  const std::pair<const char *, PruneMode> Modes[] = {
+      {"off", PruneMode::Off},
+      {"sites", PruneMode::Sites},
+      {"sites+box", PruneMode::SitesBox},
+  };
+  for (const auto &[Name, Mode] : Modes) {
+    Expected<AnalysisSpec> Ok = AnalysisSpec::parse(
+        std::string(R"({"task": "boundary", "module": {"builtin": "fig2"},
+                        "search": {"prune": ")") +
+        Name + R"("}})");
+    ASSERT_TRUE(Ok.hasValue()) << Name << ": " << Ok.error();
+    EXPECT_EQ(Ok->Search.Prune, Name);
+    EXPECT_EQ(Ok->Search.pruneMode(), Mode);
+  }
+
+  // Unknown values are strict validation errors listing the names.
+  Expected<AnalysisSpec> Bad = AnalysisSpec::parse(
+      R"({"task": "boundary", "module": {"builtin": "fig2"},
+          "search": {"prune": "aggressive"}})");
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().find("prune"), std::string::npos);
+  EXPECT_NE(Bad.error().find("sites+box"), std::string::npos);
+
+  // Wrong type is an error too.
+  EXPECT_FALSE(AnalysisSpec::parse(
+                   R"({"task": "boundary", "module": {"builtin": "fig2"},
+                       "search": {"prune": true}})")
+                   .hasValue());
+
+  // Programmatically built specs hit the same validation in the
+  // Analyzer, like the engine field.
+  AnalysisSpec Direct;
+  Direct.Task = TaskKind::Boundary;
+  Direct.Module = ModuleSource::builtin("fig2");
+  Direct.Search.Prune = "boxes";
+  Expected<Report> R = Analyzer::analyze(Direct);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().find("prune"), std::string::npos);
+}
+
+TEST(SpecTest, AnalyzerVerifiesParsedModules) {
+  // The parser accepts this shape (%v is in scope by parse order), but
+  // its definition does not dominate the use — the Analyzer must run
+  // ir::verifyModule and reject it as a spec error instead of letting
+  // downstream passes trip over it.
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Boundary;
+  Spec.Module = ModuleSource::inlineText(R"(
+module "bad"
+func @f(%x: double) -> double {
+entry:
+  %c = fcmp.lt %x, 0.0
+  condbr %c, a, join
+a:
+  %v = fadd %x, 1.0
+  br join
+join:
+  ret %v
+}
+)");
+  Spec.Function = "f";
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().find("verification"), std::string::npos)
+      << R.error();
+
+  // A well-formed inline module still analyzes.
+  Spec.Module = ModuleSource::inlineText(R"(
+module "good"
+func @f(%x: double) -> double {
+entry:
+  %y = fmul %x, %x
+  ret %y
+}
+)");
+  Spec.Search.MaxEvals = 200;
+  Expected<Report> Ok = Analyzer::analyze(Spec);
+  EXPECT_TRUE(Ok.hasValue()) << Ok.error();
+}
+
+TEST(ReportTest, StaticSectionRoundTrip) {
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Overflow;
+  Spec.Module = ModuleSource::builtin("bessel");
+  Spec.Search.Seed = 0x5a;
+  Spec.Search.MaxEvals = 3000;
+  Spec.Search.Prune = "sites+box";
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  ASSERT_TRUE(R->Static.Ran);
+  EXPECT_EQ(R->Static.Mode, "sites+box");
+  EXPECT_GT(R->Static.SitesTotal, 0u);
+
+  // toJson -> fromJson -> toJson is byte-identical, section included.
+  std::string Text = R->toJsonText();
+  Expected<Report> Back = Report::parse(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_TRUE(Back->Static.Ran);
+  EXPECT_EQ(Back->Static.Mode, R->Static.Mode);
+  EXPECT_EQ(Back->Static.SitesTotal, R->Static.SitesTotal);
+  EXPECT_EQ(Back->Static.SitesPruned, R->Static.SitesPruned);
+  EXPECT_EQ(Back->Static.SitesProvedSafe, R->Static.SitesProvedSafe);
+  EXPECT_EQ(Back->Static.BoxShrunk, R->Static.BoxShrunk);
+  EXPECT_EQ(Back->Static.Items.size(), R->Static.Items.size());
+  EXPECT_EQ(Back->toJsonText(), Text);
+
+  // The deterministic form strips the pre-pass wall clock (and only it).
+  auto Doc = json::Value::parse(Text);
+  ASSERT_TRUE(Doc.hasValue());
+  json::Value Det = deterministicReportJson(*Doc);
+  const json::Value *St = Det.find("static");
+  ASSERT_NE(St, nullptr);
+  EXPECT_EQ(St->find("seconds"), nullptr);
+  EXPECT_NE(St->find("mode"), nullptr);
+}
+
+TEST(ReportTest, StaticSectionAbsentFromOlderLogs) {
+  // Reports serialized before the pre-pass existed (or with prune off)
+  // have no "static" key: they parse with Ran == false and re-serialize
+  // without the section.
+  AnalysisSpec Spec;
+  Spec.Task = TaskKind::Boundary;
+  Spec.Module = ModuleSource::builtin("fig2");
+  Spec.Search.Seed = 1;
+  Spec.Search.MaxEvals = 2000;
+  Expected<Report> R = Analyzer::analyze(Spec);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  EXPECT_FALSE(R->Static.Ran);
+  std::string Text = R->toJsonText();
+  EXPECT_EQ(Text.find("\"static\""), std::string::npos);
+  Expected<Report> Back = Report::parse(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_FALSE(Back->Static.Ran);
+  EXPECT_EQ(Back->toJsonText(), Text);
+}
+
+TEST(EquivalenceTest, PruneModesPreserveFindings) {
+  // The pre-pass only redirects the eval budget; the set of (kind, site)
+  // findings must be identical across prune modes.
+  auto SiteSet = [](const Report &R) {
+    std::set<std::pair<std::string, int>> S;
+    for (const Finding &F : R.Findings)
+      S.insert({F.Kind, F.SiteId});
+    return S;
+  };
+  for (const char *Builtin : {"bessel", "fig2"}) {
+    AnalysisSpec Spec;
+    Spec.Task = TaskKind::Overflow;
+    Spec.Module = ModuleSource::builtin(Builtin);
+    Spec.Search.Seed = 0xf1;
+    Spec.Search.MaxEvals = 4000;
+    Spec.Search.Prune = "off";
+    Expected<Report> Off = Analyzer::analyze(Spec);
+    ASSERT_TRUE(Off.hasValue()) << Off.error();
+    Spec.Search.Prune = "sites+box";
+    Expected<Report> On = Analyzer::analyze(Spec);
+    ASSERT_TRUE(On.hasValue()) << On.error();
+    EXPECT_EQ(SiteSet(*Off), SiteSet(*On)) << Builtin;
+    // Every dropped site is a proof: it must not appear among the
+    // prune-off findings either.
+    for (const StaticItem &It : On->Static.Items)
+      for (const Finding &F : Off->Findings)
+        EXPECT_NE(F.SiteId, It.SiteId) << Builtin << ": proved-safe site "
+                                       << It.SiteId << " fired";
+  }
 }
 
 } // namespace

@@ -241,6 +241,38 @@ TEST(SuiteSpecTest, DefaultsMergeUnderJobFields) {
   EXPECT_EQ(*(*Jobs)[1].Spec.Search.Starts, 3u);     // sibling survives
 }
 
+TEST(SuiteSpecTest, PruneFlowsThroughDefaultsAndJobs) {
+  // search.prune rides the same deep-merge as every search field: the
+  // suite default applies, a job override wins, and bad values fail
+  // expansion with provenance.
+  Expected<SuiteSpec> Suite = SuiteSpec::parse(R"({
+    "defaults": {"search": {"prune": "sites"}},
+    "jobs": [
+      {"task": "boundary", "module": {"builtin": "fig2"}},
+      {"task": "boundary", "module": {"builtin": "fig2"},
+       "search": {"prune": "sites+box"}},
+      {"task": "boundary", "module": {"builtin": "fig2"},
+       "search": {"prune": "off"}}
+    ]
+  })");
+  ASSERT_TRUE(Suite.hasValue()) << Suite.error();
+  Expected<std::vector<SuiteJob>> Jobs = Suite->expand();
+  ASSERT_TRUE(Jobs.hasValue()) << Jobs.error();
+  ASSERT_EQ(Jobs->size(), 3u);
+  EXPECT_EQ((*Jobs)[0].Spec.Search.pruneMode(), api::PruneMode::Sites);
+  EXPECT_EQ((*Jobs)[1].Spec.Search.pruneMode(), api::PruneMode::SitesBox);
+  EXPECT_EQ((*Jobs)[2].Spec.Search.pruneMode(), api::PruneMode::Off);
+
+  Expected<SuiteSpec> Bad = SuiteSpec::parse(R"({
+    "defaults": {"search": {"prune": "everything"}},
+    "jobs": [{"task": "boundary", "module": {"builtin": "fig2"}}]
+  })");
+  ASSERT_TRUE(Bad.hasValue()) << Bad.error();
+  Expected<std::vector<SuiteJob>> BadJobs = Bad->expand();
+  ASSERT_FALSE(BadJobs.hasValue());
+  EXPECT_NE(BadJobs.error().find("prune"), std::string::npos);
+}
+
 TEST(SuiteSpecTest, ExpansionErrors) {
   // Duplicate jobs (identical canonical spec) are rejected.
   Expected<SuiteSpec> Dup = SuiteSpec::parse(R"({

@@ -29,6 +29,9 @@
 #include "vm/Lowering.h"
 #include "vm/Machine.h"
 #include "vm/VMWeakDistance.h"
+#include "vm/Verify.h"
+
+#include "RandomModule.h"
 
 #include <gtest/gtest.h>
 
@@ -91,33 +94,8 @@ void expectSameTrace(const instr::BranchTraceObserver &I,
   }
 }
 
-/// Deterministic input battery: ordinary magnitudes, wild bit patterns,
-/// and the IEEE specials every engine disagreement hides behind.
-std::vector<double> drawInput(RNG &Rand, unsigned Dim) {
-  static const double Specials[] = {
-      0.0,
-      -0.0,
-      std::numeric_limits<double>::infinity(),
-      -std::numeric_limits<double>::infinity(),
-      std::numeric_limits<double>::quiet_NaN(),
-      1.0e308,
-      -1.0e308,
-      4.9e-324,
-      -1.0,
-      1.0,
-  };
-  std::vector<double> X(Dim);
-  for (double &V : X) {
-    double P = Rand.uniform();
-    if (P < 0.5)
-      V = Rand.uniform(-100.0, 100.0);
-    else if (P < 0.8)
-      V = Rand.anyFiniteDouble();
-    else
-      V = Specials[Rand.below(sizeof(Specials) / sizeof(Specials[0]))];
-  }
-  return X;
-}
+using testutil::buildRandomModule;
+using testutil::drawInput;
 
 /// Runs every all-double-arg function of \p M through the interpreter
 /// reference and every available compiled tier (VM always, JIT on hosts
@@ -129,6 +107,12 @@ void diffModule(const ir::Module &M, uint64_t Seed, unsigned NumInputs,
                 const exec::ExecOptions &Opts = {}) {
   exec::Engine E(M);
   vm::CompiledModule CM = vm::compile(M);
+  // Every lowering in the differential suite must pass the bytecode
+  // verifier unconditionally (the compile-time hook is debug-only).
+  {
+    Status VS = vm::verifyBytecode(CM);
+    ASSERT_TRUE(VS.ok()) << VS.message();
+  }
   jit::CompiledModule JM = jit::compile(CM);
   const bool Jit = jit::available();
 
@@ -273,149 +257,6 @@ TEST(VMDifferentialTest, StepBudgetsMatch) {
 //===----------------------------------------------------------------------===//
 // Randomly generated modules
 //===----------------------------------------------------------------------===//
-
-/// Generates a verifier-clean random module: forward-only CFGs over
-/// doubles/ints/bools, globals, allocas, site gates, select, a helper
-/// call, and an occasional trap — every construct the lowering handles.
-void buildRandomModule(ir::Module &M, RNG &Rand) {
-  ir::IRBuilder B(M);
-  ir::GlobalVar *GD = M.addGlobalDouble("gd", 1.5);
-  ir::GlobalVar *GI = M.addGlobalInt("gi", 7);
-  for (int K = 0; K < 4; ++K)
-    M.allocateSiteId();
-
-  // A small always-terminating helper the main function can call.
-  ir::Function *Helper = M.addFunction("helper", ir::Type::Double);
-  {
-    ir::Argument *A = Helper->addArg(ir::Type::Double, "a");
-    ir::Argument *Bv = Helper->addArg(ir::Type::Double, "b");
-    ir::BasicBlock *HEntry = Helper->addBlock("entry");
-    ir::BasicBlock *HT = Helper->addBlock("t");
-    ir::BasicBlock *HF = Helper->addBlock("f");
-    B.setInsertAppend(HEntry);
-    ir::Instruction *C = B.fcmp(ir::CmpPred::LT, A, Bv);
-    B.condbr(C, HT, HF);
-    B.setInsertAppend(HT);
-    B.ret(B.fadd(A, B.sin(Bv)));
-    B.setInsertAppend(HF);
-    B.ret(B.fmul(A, B.fsub(Bv, B.lit(0.5))));
-  }
-
-  unsigned NumArgs = 1 + static_cast<unsigned>(Rand.below(3));
-  ir::Function *F = M.addFunction("f", ir::Type::Double);
-  std::vector<ir::Value *> ArgVals;
-  for (unsigned K = 0; K < NumArgs; ++K)
-    ArgVals.push_back(F->addArg(ir::Type::Double, "x" + std::to_string(K)));
-
-  unsigned NumBlocks = 3 + static_cast<unsigned>(Rand.below(5));
-  std::vector<ir::BasicBlock *> Blocks;
-  for (unsigned K = 0; K < NumBlocks; ++K)
-    Blocks.push_back(F->addBlock("b" + std::to_string(K)));
-
-  // Dominance discipline: only entry-block definitions (which dominate
-  // everything) and current-block definitions are used as operands.
-  std::vector<ir::Value *> EntryD = ArgVals, EntryI, EntryB;
-  std::vector<ir::Instruction *> Allocas;
-
-  for (unsigned BI = 0; BI < NumBlocks; ++BI) {
-    ir::BasicBlock *BB = Blocks[BI];
-    B.setInsertAppend(BB);
-    bool IsEntry = BI == 0;
-    std::vector<ir::Value *> D = EntryD, IV = EntryI, BV = EntryB;
-
-    if (IsEntry) {
-      // A couple of stack slots, entry-only so every use is dominated.
-      for (int K = 0; K < 2; ++K) {
-        ir::Instruction *Slot = B.alloca_(ir::Type::Double);
-        B.store(Slot, D[Rand.below(D.size())]);
-        Allocas.push_back(Slot);
-      }
-    }
-
-    unsigned NumOps = 2 + static_cast<unsigned>(Rand.below(5));
-    for (unsigned K = 0; K < NumOps; ++K) {
-      ir::Value *X = D[Rand.below(D.size())];
-      ir::Value *Y = D[Rand.below(D.size())];
-      switch (Rand.below(14)) {
-      case 0:
-        D.push_back(B.fadd(X, Y));
-        break;
-      case 1:
-        D.push_back(B.fmul(X, Y));
-        break;
-      case 2:
-        D.push_back(B.fdiv(X, B.fadd(Y, B.lit(0.25))));
-        break;
-      case 3:
-        D.push_back(B.sin(X));
-        break;
-      case 4:
-        D.push_back(B.fmin(X, B.sqrt(B.fabs(Y))));
-        break;
-      case 5:
-        BV.push_back(B.fcmp(
-            static_cast<ir::CmpPred>(Rand.below(6)), X, Y));
-        break;
-      case 6:
-        IV.push_back(B.highword(X));
-        break;
-      case 7:
-        if (!IV.empty()) {
-          ir::Value *I1 = IV[Rand.below(IV.size())];
-          ir::Value *I2 = IV[Rand.below(IV.size())];
-          IV.push_back(B.iadd(B.ixor(I1, I2), B.litInt(3)));
-          BV.push_back(
-              B.icmp(static_cast<ir::CmpPred>(Rand.below(6)), I1, I2));
-        }
-        break;
-      case 8:
-        if (!BV.empty())
-          D.push_back(B.select(BV[Rand.below(BV.size())], X, Y));
-        break;
-      case 9:
-        B.storeg(GD, X);
-        D.push_back(B.loadg(GD));
-        break;
-      case 10:
-        IV.push_back(B.loadg(GI));
-        break;
-      case 11:
-        // Ids 0..3 are allocated; 4 exercises the beyond-range path
-        // (reads enabled in both tiers).
-        BV.push_back(B.siteEnabled(static_cast<int>(Rand.below(5))));
-        break;
-      case 12:
-        if (!Allocas.empty()) {
-          ir::Instruction *Slot = Allocas[Rand.below(Allocas.size())];
-          B.store(Slot, X);
-          D.push_back(B.load(Slot));
-        }
-        break;
-      case 13:
-        D.push_back(B.call(Helper, {X, Y}));
-        break;
-      }
-    }
-    if (IsEntry) {
-      EntryD = D;
-      EntryI = IV;
-      EntryB = BV;
-    }
-
-    // Terminator: forward-only control flow, so every run terminates.
-    if (BI + 1 == NumBlocks) {
-      B.ret(D[Rand.below(D.size())]);
-    } else if (Rand.chance(0.05)) {
-      B.trap(100 + static_cast<int>(BI), "random trap");
-    } else if (!BV.empty() && Rand.chance(0.7) && BI + 2 < NumBlocks) {
-      size_t T1 = BI + 1 + Rand.below(NumBlocks - BI - 1);
-      size_t T2 = BI + 1 + Rand.below(NumBlocks - BI - 1);
-      B.condbr(BV[Rand.below(BV.size())], Blocks[T1], Blocks[T2]);
-    } else {
-      B.br(Blocks[BI + 1 + Rand.below(NumBlocks - BI - 1)]);
-    }
-  }
-}
 
 TEST(VMDifferentialTest, RandomModulesMatchInterpreter) {
   for (uint64_t Seed = 1; Seed <= 25; ++Seed) {

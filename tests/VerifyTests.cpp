@@ -1,0 +1,226 @@
+//===--- VerifyTests.cpp - Bytecode verifier tests -----------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// vm::verifyBytecode certifies what the VM dispatch loop assumes without
+// checking: register indices in range, branch targets on instruction
+// leaders, fusion carriers intact, frame layout matching the source
+// signature. Valid lowerings — builtins and randomized modules — must
+// pass; single-field corruptions of each invariant must be caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Subjects.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "vm/Lowering.h"
+#include "vm/Verify.h"
+
+#include <gtest/gtest.h>
+
+#include "RandomModule.h"
+
+using namespace wdm;
+
+namespace {
+
+/// A deterministic module exercising every opcode family the corruption
+/// tests poke at: arithmetic, a fusable compare+branch, calls, jumps,
+/// global loads/stores, and a double return.
+vm::CompiledModule lowerFixture(ir::Module &M) {
+  ir::IRBuilder B(M);
+  ir::GlobalVar *GD = M.addGlobalDouble("gd", 0.0);
+
+  ir::Function *H = M.addFunction("h", ir::Type::Double);
+  ir::Argument *HA = H->addArg(ir::Type::Double, "a");
+  B.setInsertAppend(H->addBlock("entry"));
+  B.ret(B.fmul(HA, B.lit(2.0)));
+
+  ir::Function *F = M.addFunction("f", ir::Type::Double);
+  ir::Argument *X = F->addArg(ir::Type::Double, "x");
+  ir::BasicBlock *Entry = F->addBlock("entry");
+  ir::BasicBlock *BT = F->addBlock("bt");
+  ir::BasicBlock *BE = F->addBlock("be");
+  ir::BasicBlock *BJ = F->addBlock("bj");
+  B.setInsertAppend(Entry);
+  ir::Instruction *C = B.fcmp(ir::CmpPred::LT, X, B.lit(5.0));
+  B.condbr(C, BT, BE);
+  B.setInsertAppend(BT);
+  ir::Instruction *V = B.fadd(X, B.lit(1.0));
+  B.storeg(GD, V);
+  B.storeg(GD, B.call(H, {X}));
+  B.br(BJ);
+  B.setInsertAppend(BE);
+  B.storeg(GD, X);
+  B.br(BJ);
+  B.setInsertAppend(BJ);
+  B.ret(B.loadg(GD));
+
+  Status S = ir::verifyModule(M);
+  EXPECT_TRUE(S.ok()) << S.message();
+  return vm::compile(M);
+}
+
+/// Index of a CompiledFunction with at least one instruction of \p Opc;
+/// SIZE_MAX when absent.
+size_t findWith(const vm::CompiledModule &CM, vm::Op Opc, size_t &Pc) {
+  for (size_t F = 0; F < CM.Functions.size(); ++F) {
+    const vm::CompiledFunction &CF = CM.Functions[F];
+    if (!CF.Ok)
+      continue;
+    for (size_t I = 0; I < CF.Code.size(); ++I)
+      if (CF.Code[I].Opc == Opc) {
+        Pc = I;
+        return F;
+      }
+  }
+  return SIZE_MAX;
+}
+
+TEST(BytecodeVerifierTest, EveryBuiltinSubjectVerifies) {
+  for (const api::BuiltinInfo &Info : api::builtinSubjects()) {
+    ir::Module M(Info.Name);
+    auto Sub = api::buildBuiltinSubject(M, Info.Name);
+    ASSERT_TRUE(Sub.hasValue()) << Info.Name;
+    vm::CompiledModule CM = vm::compile(M);
+    Status S = vm::verifyBytecode(CM);
+    EXPECT_TRUE(S.ok()) << Info.Name << ": " << S.message();
+  }
+}
+
+TEST(BytecodeVerifierTest, RandomModulesVerify) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    ir::Module M("vrand" + std::to_string(Seed));
+    RNG Rand(Seed * 0xc0de);
+    testutil::buildRandomModule(M, Rand);
+    vm::CompiledModule CM = vm::compile(M);
+    Status S = vm::verifyBytecode(CM);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << S.message();
+  }
+}
+
+TEST(BytecodeVerifierTest, RejectedFunctionsAreSkipped) {
+  ir::Module M("tiny");
+  RNG Rand(0x5eed);
+  testutil::buildRandomModule(M, Rand);
+  vm::Limits Tiny;
+  Tiny.MaxRegs = 2; // Rejects everything.
+  vm::CompiledModule CM = vm::compile(M, Tiny);
+  for (const vm::CompiledFunction &CF : CM.Functions)
+    EXPECT_FALSE(CF.Ok);
+  EXPECT_TRUE(vm::verifyBytecode(CM).ok());
+}
+
+TEST(BytecodeVerifierTest, FixtureVerifiesCleanly) {
+  ir::Module M("fixture");
+  vm::CompiledModule CM = lowerFixture(M);
+  for (const vm::CompiledFunction &CF : CM.Functions)
+    ASSERT_TRUE(CF.Ok) << CF.RejectReason;
+  Status S = vm::verifyBytecode(CM);
+  EXPECT_TRUE(S.ok()) << S.message();
+}
+
+TEST(BytecodeVerifierTest, CatchesOutOfRangeRegister) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::FAdd, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  CM.Functions[F].Code[Pc].A =
+      static_cast<uint16_t>(CM.Functions[F].NumRegs);
+  Status S = vm::verifyBytecode(CM);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("register"), std::string::npos)
+      << S.message();
+}
+
+TEST(BytecodeVerifierTest, CatchesBranchToNonLeader) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::Jmp, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  vm::CompiledFunction &CF = CM.Functions[F];
+  size_t AddPc = 0;
+  ASSERT_EQ(findWith(CM, vm::Op::FAdd, AddPc), F);
+  // The instruction after the fadd is mid-block: not a leader.
+  CF.Code[Pc].Imm = static_cast<int32_t>(AddPc + 1);
+  Status S = vm::verifyBytecode(CM);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("leader"), std::string::npos)
+      << S.message();
+}
+
+TEST(BytecodeVerifierTest, CatchesBranchPastEnd) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::CondBr, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  CM.Functions[F].Code[Pc].Imm =
+      static_cast<int32_t>(CM.Functions[F].Code.size());
+  EXPECT_FALSE(vm::verifyBytecode(CM).ok());
+}
+
+TEST(BytecodeVerifierTest, CatchesWrongReturnOpcode) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::RetD, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  CM.Functions[F].Code[Pc].Opc = vm::Op::RetI;
+  Status S = vm::verifyBytecode(CM);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("return"), std::string::npos) << S.message();
+}
+
+TEST(BytecodeVerifierTest, CatchesFrameAccountingMismatch) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  for (vm::CompiledFunction &CF : CM.Functions)
+    if (CF.Ok) {
+      ++CF.NumConsts; // ConstBits no longer matches.
+      break;
+    }
+  EXPECT_FALSE(vm::verifyBytecode(CM).ok());
+}
+
+TEST(BytecodeVerifierTest, CatchesBadGlobalSlot) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::GStoreD, Pc);
+  if (F == SIZE_MAX)
+    F = findWith(CM, vm::Op::FusedGRmwD, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  CM.Functions[F].Code[Pc].Imm = 1000;
+  Status S = vm::verifyBytecode(CM);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("global"), std::string::npos) << S.message();
+}
+
+TEST(BytecodeVerifierTest, CatchesBrokenFusedCmpCarrier) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::FusedFCmpBr, Pc);
+  ASSERT_NE(F, SIZE_MAX); // fcmp immediately feeding condbr must fuse.
+  // Break the carrier: the CondBr at pc+1 must read the fused result.
+  vm::CompiledFunction &CF = CM.Functions[F];
+  CF.Code[Pc + 1].A = static_cast<uint16_t>(CF.Code[Pc].Dest + 1);
+  EXPECT_FALSE(vm::verifyBytecode(CM).ok());
+}
+
+TEST(BytecodeVerifierTest, CatchesBadCallIndex) {
+  ir::Module M("corrupt");
+  vm::CompiledModule CM = lowerFixture(M);
+  size_t Pc = 0;
+  size_t F = findWith(CM, vm::Op::Call, Pc);
+  ASSERT_NE(F, SIZE_MAX);
+  CM.Functions[F].Code[Pc].Imm2 =
+      static_cast<uint16_t>(CM.Functions.size());
+  EXPECT_FALSE(vm::verifyBytecode(CM).ok());
+}
+
+} // namespace

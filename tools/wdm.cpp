@@ -75,6 +75,8 @@ int usage() {
          "  --backends=<a,b,...>       portfolio by name\n"
          "  --engine=<e>               execution tier: vm (default) | "
          "interp | jit\n"
+         "  --prune=<m>                static pre-pass: off (default) | "
+         "sites | sites+box\n"
          "  --path=<leg,leg,...>       path legs, e.g. 0:taken,1:not\n"
          "  --boundary-form=<f>        product|min|minulp\n"
          "  --overflow-metric=<m>      ulpgap|absgap\n"
@@ -151,6 +153,16 @@ void printReport(const Report &R) {
     std::cout << "engine:    " << R.Engine;
     if (!R.EngineFallback.empty())
       std::cout << " (fallback: " << R.EngineFallback << ")";
+    std::cout << "\n";
+  }
+  if (R.Static.Ran) {
+    std::cout << "static:    mode=" << R.Static.Mode << ", pruned "
+              << R.Static.SitesPruned << "/" << R.Static.SitesTotal
+              << " sites (" << R.Static.SitesProvedSafe
+              << " proved safe)";
+    if (R.Static.BoxShrunk)
+      std::cout << ", box [" << R.Static.BoxLo << ", " << R.Static.BoxHi
+                << "]";
     std::cout << "\n";
   }
   std::cout << "seconds:   " << formatf("%.3f", R.Seconds) << "\n"
@@ -548,6 +560,12 @@ int cmdAnalyze(int Argc, char **Argv) {
         return fail("bad --engine '" + Val + "': must be one of " +
                     jit::engineNamesForErrors());
       Spec.Search.Engine = Val;
+    } else if (Key == "--prune") {
+      PruneMode PM;
+      if (!pruneModeByName(Val, PM))
+        return fail("bad --prune '" + Val +
+                    "': must be one of off|sites|sites+box");
+      Spec.Search.Prune = Val;
     } else if (Key == "--path") {
       if (!parsePathLegs(Val, Spec.Path))
         return fail("bad --path (expected e.g. 0:taken,1:not)");
