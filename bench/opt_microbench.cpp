@@ -21,6 +21,8 @@
 #include "gsl/Bessel.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "opt/BasinHopping.h"
 #include "sat/SExprParser.h"
 #include "sat/Solver.h"
@@ -196,6 +198,56 @@ void BM_PrintParseRoundTrip(benchmark::State &State) {
 }
 BENCHMARK(BM_PrintParseRoundTrip)->Unit(benchmark::kMicrosecond);
 
+// ---- Telemetry hook cost (src/obs/) --------------------------------------
+//
+// The instrumented hot paths (SearchEngine per-start accounting,
+// Objective::evalBatch) call these hooks unconditionally; the design bar
+// is that with telemetry off the hook is one relaxed atomic load, so a
+// traced/metered build costs nothing when nobody asked for metrics.
+// --assert-obs-overhead turns that bar into an exit code against the
+// fig2 weak-distance eval (the cheapest per-sample unit of real work).
+
+void BM_ObsCountDisabled(benchmark::State &State) {
+  obs::setEnabled(false);
+  for (auto _ : State)
+    obs::count("bench.obs_hook");
+}
+BENCHMARK(BM_ObsCountDisabled);
+
+void BM_ObsCountEnabled(benchmark::State &State) {
+  obs::setEnabled(true);
+  obs::Counter C = obs::counter("bench.obs_hook_on");
+  for (auto _ : State)
+    C.add(1);
+  obs::setEnabled(false);
+  obs::resetMetrics();
+}
+BENCHMARK(BM_ObsCountEnabled);
+
+void BM_ObsHistogramEnabled(benchmark::State &State) {
+  obs::setEnabled(true);
+  obs::Histogram H = obs::histogram("bench.obs_hist_on");
+  double X = 1.0;
+  for (auto _ : State) {
+    H.observe(X);
+    X += 1.0;
+  }
+  obs::setEnabled(false);
+  obs::resetMetrics();
+}
+BENCHMARK(BM_ObsHistogramEnabled);
+
+void BM_ObsSpanDisabled(benchmark::State &State) {
+  // Tracing off: the span ctor reads one relaxed flag and skips the
+  // clock; this is what every vm::compile / jit::compile / analyze call
+  // pays in a normal run.
+  for (auto _ : State) {
+    obs::ScopedSpan Span("bench.obs_span");
+    benchmark::DoNotOptimize(&Span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
 void BM_CnfDistanceEval(benchmark::State &State) {
   auto C = sat::parseConstraint(
       "(and (< x 1.0) (>= (+ x (tan x)) 2.0) (or (= y 0.0) (> y x)))");
@@ -260,12 +312,21 @@ constexpr EnginePair EnginePairs[] = {
 } // namespace
 
 int main(int argc, char **argv) {
-  // Our flag, stripped before google-benchmark sees the command line:
-  // exit nonzero unless the VM beats the interpreter somewhere.
+  // Our flags, stripped before google-benchmark sees the command line:
+  // --assert-vm-speedup exits nonzero unless the VM beats the
+  // interpreter somewhere; --assert-obs-overhead exits nonzero unless a
+  // disabled telemetry hook costs <= 2% of a fig2 weak-distance eval.
   bool AssertVmSpeedup = false;
+  bool AssertObsOverhead = false;
   for (int I = 1; I < argc;) {
-    if (std::strcmp(argv[I], "--assert-vm-speedup") == 0) {
+    bool Ours = true;
+    if (std::strcmp(argv[I], "--assert-vm-speedup") == 0)
       AssertVmSpeedup = true;
+    else if (std::strcmp(argv[I], "--assert-obs-overhead") == 0)
+      AssertObsOverhead = true;
+    else
+      Ours = false;
+    if (Ours) {
       for (int J = I; J + 1 < argc; ++J)
         argv[J] = argv[J + 1];
       --argc;
@@ -322,6 +383,54 @@ int main(int argc, char **argv) {
     std::cout << "--assert-vm-speedup: VM beat the interpreter on "
               << VmWins << "/" << PairsMeasured << " kernels (best "
               << BestSpeedup << "x)\n";
+  }
+
+  // Telemetry-off hook cost relative to one unit of real per-sample
+  // work (the fig2 VM weak-distance eval): the "zero-overhead when
+  // off" design bar as a number, and as a CI gate.
+  {
+    double HookRate = Console.rate("BM_ObsCountDisabled");
+    double SpanRate = Console.rate("BM_ObsSpanDisabled");
+    double EvalRate = Console.rate("BM_VMBoundaryWeakDistanceEval");
+    if (HookRate > 0 && EvalRate > 0) {
+      double HookFrac = EvalRate / HookRate; // (s/hook) / (s/eval)
+      double SpanFrac = SpanRate > 0 ? EvalRate / SpanRate : 0.0;
+      wdm::bench::BenchJson ObsJson("obs_overhead");
+      ObsJson.entry("count_hook_disabled")
+          .field("hook_ns", 1e9 / HookRate)
+          .field("eval_ns", 1e9 / EvalRate)
+          .field("overhead_frac", HookFrac);
+      if (SpanRate > 0)
+        ObsJson.entry("span_disabled")
+            .field("hook_ns", 1e9 / SpanRate)
+            .field("eval_ns", 1e9 / EvalRate)
+            .field("overhead_frac", SpanFrac);
+      if (!ObsJson.write())
+        std::cerr << "warning: could not write BENCH_obs_overhead.json\n";
+      std::cout << "obs overhead (telemetry off): count hook "
+                << HookFrac * 100 << "% of a fig2 weak-distance eval, "
+                << "span " << SpanFrac * 100 << "%\n";
+      if (AssertObsOverhead) {
+        // The bar covers the hook that rides the per-eval path (the
+        // counter); spans wrap phases — one per compile/solve, each
+        // milliseconds long — so their ns-scale cost is reported above
+        // but not meaningfully comparable to a single eval.
+        constexpr double MaxFrac = 0.02;
+        if (HookFrac > MaxFrac) {
+          std::cerr << "--assert-obs-overhead: disabled count hook costs "
+                    << HookFrac * 100 << "% of a fig2 eval (bar "
+                    << MaxFrac * 100 << "%)\n";
+          return 1;
+        }
+        std::cout << "--assert-obs-overhead: " << HookFrac * 100
+                  << "% <= " << MaxFrac * 100 << "%\n";
+      }
+    } else if (AssertObsOverhead) {
+      std::cerr << "--assert-obs-overhead: required benchmarks "
+                   "(BM_ObsCountDisabled, BM_VMBoundaryWeakDistanceEval) "
+                   "did not run\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -12,6 +12,9 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "jit/JITWeakDistance.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+#include "support/BuildInfo.h"
 #include "vm/VMWeakDistance.h"
 
 #include <chrono>
@@ -39,6 +42,14 @@ Expected<Report> Analyzer::run() {
   using E = Expected<Report>;
   registerBuiltinTasks();
   auto Clock0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan AnalyzeSpan("analyze");
+  // Per-run metrics isolation without resetting the process registry:
+  // snapshot around the run and report the delta. (Concurrent inprocess
+  // suite jobs share the registry, so their deltas can overlap; the
+  // scheduler therefore never enables metrics itself.)
+  json::Value MetricsBefore;
+  if (obs::enabled())
+    MetricsBefore = obs::snapshotJson();
 
   TaskContext Ctx(Spec);
 
@@ -61,6 +72,8 @@ Expected<Report> Analyzer::run() {
 
   // Resolve the module and subject function.
   if (Spec.Module.K != ModuleSource::Kind::None) {
+    obs::ScopedSpan ResolveSpan("module_resolve");
+    obs::count("analyzer.module_resolutions");
     OwnedModule = std::make_unique<ir::Module>("spec");
     if (Spec.Module.K == ModuleSource::Kind::Builtin) {
       Expected<BuiltinSubject> Sub =
@@ -134,7 +147,12 @@ Expected<Report> Analyzer::run() {
     return E::error(std::string("no adapter registered for task '") +
                     taskKindName(Spec.Task) + "'");
 
-  Expected<Report> Rep = Fn(Ctx);
+  Expected<Report> Rep = [&] {
+    obs::ScopedSpan TaskSpan("task");
+    TaskSpan.setArgs(json::Value::object().set(
+        "task", json::Value::string(taskKindName(Spec.Task))));
+    return Fn(Ctx);
+  }();
   if (!Rep)
     return Rep;
 
@@ -144,5 +162,11 @@ Expected<Report> Analyzer::run() {
   Rep->Seconds = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - Clock0)
                      .count();
+  if (obs::enabled()) {
+    Rep->Metrics = obs::deltaJson(MetricsBefore, obs::snapshotJson());
+    // Build provenance rides the metrics section (and only it): the
+    // telemetry-off Report stays byte-identical across binaries.
+    Rep->Metrics.set("build", support::buildInfoJson());
+  }
   return Rep;
 }

@@ -7,6 +7,9 @@
 #include "api/JobScheduler.h"
 
 #include "api/Analyzer.h"
+#include "obs/Progress.h"
+#include "obs/Trace.h"
+#include "support/BuildInfo.h"
 #include "support/Hash.h"
 #include "support/StringUtils.h"
 
@@ -15,6 +18,7 @@
 #include <chrono>
 #include <csignal>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -71,11 +75,20 @@ struct WorkerRun {
   std::string Err; ///< Child stderr (diagnostics).
 };
 
-/// Forks/execs `Exe run-job -`, feeds \p SpecText on stdin, and drains
-/// stdout/stderr through a poll loop (no deadlock regardless of how the
-/// child interleaves its writes). The driver may be multi-threaded: the
-/// child only calls async-signal-safe functions before exec.
-WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText) {
+/// Forks/execs `Exe run-job - [ExtraArgs...]`, feeds \p SpecText on
+/// stdin, and drains stdout/stderr through a poll loop (no deadlock
+/// regardless of how the child interleaves its writes). The driver may
+/// be multi-threaded: the child only calls async-signal-safe functions
+/// before exec.
+///
+/// Child stdout is split on newlines as it streams in: every complete
+/// line that parses as a JSON object with an "event" member is handed
+/// to \p OnEvent (when set) instead of accumulating — this is how a
+/// `--progress-every` child's job_progress heartbeats reach the driver
+/// live. Everything else (the final report line) lands in R.Out.
+WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
+                      const std::vector<std::string> &ExtraArgs = {},
+                      const std::function<void(Value)> &OnEvent = nullptr) {
   WorkerRun R;
   int In[2], Out[2], Err[2];
   // O_CLOEXEC is load-bearing: shard threads fork concurrently, and a
@@ -98,6 +111,16 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText) {
     return R;
   }
 
+  // Built before fork: the child may only call async-signal-safe
+  // functions, and vector growth allocates.
+  std::vector<const char *> Argv;
+  Argv.push_back(Exe.c_str());
+  Argv.push_back("run-job");
+  Argv.push_back("-");
+  for (const std::string &A : ExtraArgs)
+    Argv.push_back(A.c_str());
+  Argv.push_back(nullptr);
+
   pid_t Pid = fork();
   if (Pid < 0) {
     for (int Fd : {In[0], In[1], Out[0], Out[1], Err[0], Err[1]})
@@ -111,8 +134,7 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText) {
     dup2(In[0], 0);
     dup2(Out[1], 1);
     dup2(Err[1], 2);
-    execl(Exe.c_str(), Exe.c_str(), "run-job", "-",
-          static_cast<char *>(nullptr));
+    execv(Exe.c_str(), const_cast<char *const *>(Argv.data()));
     _exit(127); // exec failed; 127 is the shell convention.
   }
 
@@ -156,16 +178,34 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText) {
     }
     auto Drain = [&](int Idx, int Fd, std::string &Sink, bool &Done) {
       if (Idx < 0 || !(Fds[Idx].revents & (POLLIN | POLLHUP | POLLERR)))
-        return;
+        return false;
       ssize_t Got = read(Fd, Buf, sizeof(Buf));
       if (Got > 0) {
         Sink.append(Buf, static_cast<size_t>(Got));
-      } else if (!(Got < 0 && errno == EINTR)) {
+        return true;
+      }
+      if (!(Got < 0 && errno == EINTR)) {
         close(Fd);
         Done = true;
       }
+      return false;
     };
-    Drain(OutIdx, Out[0], R.Out, OutDone);
+    if (Drain(OutIdx, Out[0], R.Out, OutDone) && OnEvent) {
+      // Peel complete event lines off as they arrive so heartbeats are
+      // live; whatever does not parse as an event (the report) stays.
+      size_t Nl;
+      size_t Scan = 0;
+      while ((Nl = R.Out.find('\n', Scan)) != std::string::npos) {
+        std::string Line = R.Out.substr(Scan, Nl - Scan);
+        Expected<Value> Doc = Value::parse(Line);
+        if (Doc && Doc->isObject() && Doc->find("event")) {
+          OnEvent(Doc.take());
+          R.Out.erase(Scan, Nl - Scan + 1);
+        } else {
+          Scan = Nl + 1;
+        }
+      }
+    }
     Drain(ErrIdx, Err[0], R.Err, ErrDone);
   }
   if (!WriteDone)
@@ -225,13 +265,17 @@ std::string firstLine(const std::string &Text) {
 //===----------------------------------------------------------------------===//
 
 /// Serializes NDJSON events and progress lines; one flush per event so
-/// the log is a valid checkpoint after a mid-suite kill.
+/// the log is a valid checkpoint after a mid-suite kill. Every event is
+/// stamped with an absolute "ts" (ISO-8601 UTC) on the way out, so log
+/// lines are attributable without correlating against a wrapper's
+/// timestamps.
 class EventSink {
 public:
   EventSink(std::ofstream *Log, std::ostream *Progress)
       : Log(Log), Progress(Progress) {}
 
-  void event(const Value &Doc) {
+  void event(Value Doc) {
+    Doc.set("ts", Value::string(isoUtcNow()));
     std::lock_guard<std::mutex> Lock(M);
     if (Log)
       *Log << Doc.dump() << "\n" << std::flush;
@@ -239,14 +283,41 @@ public:
 
   void progress(const std::string &Line) {
     std::lock_guard<std::mutex> Lock(M);
-    if (Progress)
+    if (Progress) {
+      closeLiveLocked();
       *Progress << Line << "\n" << std::flush;
+    }
+  }
+
+  /// Rewrites a single status line in place (CR + erase-to-EOL); the
+  /// next regular progress line pushes it out with a newline first.
+  void liveLine(const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Progress) {
+      *Progress << "\r\033[2K" << Line << std::flush;
+      LiveOpen = true;
+    }
+  }
+
+  /// Ends any open live line so the terminal cursor lands on a fresh
+  /// row when the suite finishes.
+  void closeLive() {
+    std::lock_guard<std::mutex> Lock(M);
+    closeLiveLocked();
   }
 
 private:
+  void closeLiveLocked() {
+    if (LiveOpen && Progress) {
+      *Progress << "\n" << std::flush;
+      LiveOpen = false;
+    }
+  }
+
   std::mutex M;
   std::ofstream *Log;
   std::ostream *Progress;
+  bool LiveOpen = false;
 };
 
 Value jobEvent(const char *Kind, const SuiteJob &Job) {
@@ -257,6 +328,25 @@ Value jobEvent(const char *Kind, const SuiteJob &Job) {
       .set("task", Value::string(taskKindName(Job.Spec.Task)))
       .set("subject", Value::string(subjectText(Job.Spec)));
 }
+
+/// Per-job heartbeat rate limiter: at most one job_progress per
+/// PeriodSec per job (final ticks always pass).
+struct ProgressGate {
+  std::mutex Mu;
+  std::map<std::string, std::chrono::steady_clock::time_point> LastEmit;
+
+  bool allow(const std::string &Job, double PeriodSec, bool Final) {
+    auto Now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = LastEmit.find(Job);
+    if (!Final && It != LastEmit.end() &&
+        std::chrono::duration<double>(Now - It->second).count() <
+            PeriodSec)
+      return false;
+    LastEmit[Job] = Now;
+    return true;
+  }
+};
 
 } // namespace
 
@@ -370,7 +460,8 @@ Expected<SuiteReport> JobScheduler::run() {
                  .set("mode", Value::string(Rep.Mode))
                  .set("shards", Value::number(Shards))
                  .set("jobs", Value::number(static_cast<uint64_t>(Jobs.size())))
-                 .set("resumed", Value::number(AlreadySkipped)));
+                 .set("resumed", Value::number(AlreadySkipped))
+                 .set("build", support::buildInfoJson()));
   for (const SuiteJob &Job : Jobs)
     if (Rep.Results[Job.Index].S == JobResult::State::Skipped) {
       Sink.event(jobEvent("job_skipped", Job));
@@ -378,9 +469,57 @@ Expected<SuiteReport> JobScheduler::run() {
                     ": skipped (checkpointed)");
     }
 
+  // -- Progress heartbeats (LiveProgress only) ---------------------------
+  // One publication path for both modes: a job_progress event into the
+  // log plus a rewritten live status line.
+  ProgressGate Gate;
+  auto publishProgress = [&](const Value &Ev) {
+    Sink.event(Ev);
+    auto Num = [&](const char *Key) {
+      const Value *V = Ev.find(Key);
+      return V ? V->asDouble() : 0.0;
+    };
+    const Value *Id = Ev.find("job");
+    Sink.liveLine(formatf(
+        "[%s] start %u/%u, %llu evals (%.0f/s), best w=%s",
+        Id ? Id->asString().c_str() : "?",
+        static_cast<unsigned>(Num("starts_done")),
+        static_cast<unsigned>(Num("starts")),
+        static_cast<unsigned long long>(Num("evals")),
+        Num("evals_per_sec"),
+        formatDoubleCompact(Num("best_w")).c_str()));
+  };
+
+  // Inprocess shards tap the SearchEngine directly; the tick's job tag
+  // is the driver thread's (set around each job below).
+  const bool Heartbeats =
+      Opts.LiveProgress && Opts.Mode == SuiteMode::InProcess;
+  if (Heartbeats)
+    obs::setSearchListener([&](const obs::SearchTick &T) {
+      if (T.Job.empty() ||
+          !Gate.allow(T.Job, Opts.ProgressPeriodSec, T.Final))
+        return;
+      double Rate = T.Seconds > 0 ? T.Evals / T.Seconds : 0;
+      publishProgress(
+          Value::object()
+              .set("event", Value::string("job_progress"))
+              .set("job", Value::string(T.Job))
+              .set("evals", Value::number(T.Evals))
+              .set("best_w", Value::number(T.BestW))
+              .set("evals_per_sec", Value::number(Rate))
+              .set("starts_done", Value::number(T.StartsDone))
+              .set("starts", Value::number(T.Starts)));
+    });
+
+  std::vector<std::string> WorkerArgs;
+  if (Opts.LiveProgress && Opts.Mode == SuiteMode::Subprocess)
+    WorkerArgs.push_back(
+        formatf("--progress-every=%g", Opts.ProgressPeriodSec));
+
   // -- Execute -----------------------------------------------------------
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  auto Worker = [&](unsigned Shard) {
+    obs::setThreadTrackName(formatf("shard %u", Shard));
     for (size_t I = Next.fetch_add(1); I < Jobs.size();
          I = Next.fetch_add(1)) {
       const SuiteJob &Job = Jobs[I];
@@ -390,14 +529,25 @@ Expected<SuiteReport> JobScheduler::run() {
       Sink.event(jobEvent("job_started", Job));
       Sink.progress("[" + Job.Id + "] " + Job.subject() + ": started");
 
+      obs::ScopedSpan JobSpan("job");
+      if (obs::tracing())
+        JobSpan.setArgs(
+            Value::object()
+                .set("job", Value::string(Job.Id))
+                .set("task",
+                     Value::string(taskKindName(Job.Spec.Task)))
+                .set("subject", Value::string(Job.subject())));
+
       if (Opts.Mode == SuiteMode::InProcess) {
         // Run from the canonical text, exactly like a subprocess shard
         // — mode identity holds by construction.
+        obs::setJobTag(Job.Id);
         Expected<AnalysisSpec> Spec =
             AnalysisSpec::parse(Job.CanonicalSpec);
         Expected<Report> R =
             Spec ? Analyzer::analyze(*Spec)
                  : Expected<Report>::error(Spec.error());
+        obs::setJobTag("");
         if (R) {
           JR.S = JobResult::State::Executed;
           JR.R = R.take();
@@ -406,7 +556,20 @@ Expected<SuiteReport> JobScheduler::run() {
           JR.Error = R.error();
         }
       } else {
-        WorkerRun W = spawnRunJob(WorkerExe, Job.CanonicalSpec + "\n");
+        // A --progress-every child streams job_progress lines on
+        // stdout; re-tag them with the job id (the child does not know
+        // it) and publish. The child rate-limits, so no Gate here.
+        std::function<void(Value)> OnEvent;
+        if (Opts.LiveProgress)
+          OnEvent = [&, JobId = Job.Id](Value Ev) {
+            const Value *Kind = Ev.find("event");
+            if (!Kind || Kind->asString() != "job_progress")
+              return;
+            Ev.set("job", Value::string(JobId));
+            publishProgress(Ev);
+          };
+        WorkerRun W = spawnRunJob(WorkerExe, Job.CanonicalSpec + "\n",
+                                  WorkerArgs, OnEvent);
         if (!W.SpawnOk) {
           JR.S = JobResult::State::Failed;
           JR.Error = "worker spawn: " + W.SpawnError;
@@ -455,14 +618,17 @@ Expected<SuiteReport> JobScheduler::run() {
   };
 
   if (Shards == 1) {
-    Worker(); // Sequential on the caller's thread.
+    Worker(0); // Sequential on the caller's thread.
   } else {
     std::vector<std::thread> Pool;
     for (unsigned T = 0; T < Shards; ++T)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back(Worker, T);
     for (std::thread &T : Pool)
       T.join();
   }
+  if (Heartbeats)
+    obs::clearSearchListener();
+  Sink.closeLive();
 
   // -- Aggregate in expansion order --------------------------------------
   for (const JobResult &JR : Rep.Results) {

@@ -68,6 +68,19 @@ struct SuiteRunOptions {
   std::string WorkerExe;
   /// Optional human progress stream (one line per job event).
   std::ostream *Progress = nullptr;
+  /// Stream `job_progress` heartbeats: periodic per-job search ticks
+  /// (cumulative evals, evals/sec, best weak distance) into the event
+  /// log, plus a live status line on Progress. Inprocess shards hook
+  /// the SearchEngine directly; subprocess shards ask their `wdm
+  /// run-job` child to print ticks on stdout (forwarded over the
+  /// existing protocol: any stdout line that parses as an object with
+  /// an "event" member is an event, the final other line is the
+  /// Report). Off by default — the log then has exactly the historical
+  /// event kinds.
+  bool LiveProgress = false;
+  /// Minimum seconds between two job_progress events of one job
+  /// (rate-limits the heartbeat; 0 = every search tick).
+  double ProgressPeriodSec = 2.0;
 };
 
 class JobScheduler {

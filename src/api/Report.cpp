@@ -87,6 +87,8 @@ json::Value Report::toJson() const {
     St.set("items", Items);
     Doc.set("static", St);
   }
+  if (!Metrics.isNull())
+    Doc.set("metrics", Metrics);
   return Doc;
 }
 
@@ -190,6 +192,8 @@ Expected<Report> Report::fromJson(const json::Value &V) {
       R.Static.Items.push_back(std::move(It));
     }
   }
+  if (const Value *M = V.find("metrics"))
+    R.Metrics = *M;
   return R;
 }
 
@@ -205,7 +209,7 @@ json::Value wdm::api::deterministicReportJson(const json::Value &ReportJson) {
     return ReportJson;
   Value Out = Value::object();
   for (const auto &[Key, V] : ReportJson.members()) {
-    if (Key == "seconds")
+    if (Key == "seconds" || Key == "metrics")
       continue;
     if (Key == "extra" && V.isObject()) {
       Value Extra = Value::object();

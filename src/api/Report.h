@@ -94,6 +94,14 @@ struct Report {
   /// What the static pre-pass proved (when search.prune enabled it).
   StaticSection Static;
 
+  /// Telemetry snapshot of this run (obs::deltaJson of the process
+  /// registry around the task), attached only when the caller enabled
+  /// metrics (`wdm --metrics`, api::AnalysisOptions). Null — and absent
+  /// from the JSON — by default, and stripped from the deterministic
+  /// view either way: counter values include wall-clock-dependent data
+  /// (timings, rates) that must not perturb report hashes.
+  json::Value Metrics;
+
   /// Findings whose Kind == \p K.
   unsigned count(const std::string &K) const;
   const Finding *first(const std::string &K) const;
@@ -108,8 +116,9 @@ struct Report {
 };
 
 /// \p ReportJson with the wall-clock fields removed: top-level "seconds",
-/// the inconsistency task's "extra"."detector_seconds", and the static
-/// pre-pass's "static"."seconds". What remains
+/// the inconsistency task's "extra"."detector_seconds", the static
+/// pre-pass's "static"."seconds", and the optional telemetry "metrics"
+/// section (timings and rates live there). What remains
 /// is deterministic for a fixed spec — it is the payload the suite
 /// layer's report_hash covers, and the identity bar across
 /// inprocess/subprocess/shard-count run configurations.

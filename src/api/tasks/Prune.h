@@ -21,6 +21,8 @@
 #include "api/Report.h"
 #include "api/TaskRegistry.h"
 #include "core/SearchEngine.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -67,7 +69,11 @@ inline PrunePlan planPrune(const TaskContext &Ctx) {
   P.Clock0 = std::chrono::steady_clock::now();
   if (P.Mode == PruneMode::Off || !Ctx.F)
     return P;
-  P.FA = std::make_unique<absint::FunctionAnalysis>(*Ctx.F);
+  {
+    obs::ScopedSpan Span("absint_prepass");
+    P.FA = std::make_unique<absint::FunctionAnalysis>(*Ctx.F);
+  }
+  obs::count("absint.prepass_runs");
   P.stamp();
   return P;
 }
@@ -117,6 +123,7 @@ inline void shrinkBox(PrunePlan &P, const ir::Function &F,
                       const instr::SiteTable &Sites) {
   if (P.Mode != PruneMode::SitesBox || !P.ran())
     return;
+  obs::ScopedSpan Span("box_shrink");
   std::unordered_set<int> Active;
   for (const instr::Site &S : Sites)
     if (!P.Dropped.count(S.Id))
@@ -144,6 +151,13 @@ inline void shrinkBox(PrunePlan &P, const ir::Function &F,
 inline void fillStatic(Report &Rep, const PrunePlan &P) {
   if (!P.ran())
     return;
+  if (obs::enabled()) {
+    obs::count("absint.sites_total", P.SitesTotal);
+    obs::count("absint.sites_pruned", P.Dropped.size());
+    obs::count("absint.sites_proved_safe", P.ProvedSafe);
+    if (P.BoxShrunk)
+      obs::count("absint.boxes_shrunk");
+  }
   Rep.Static.Ran = true;
   Rep.Static.Mode = pruneModeName(P.Mode);
   Rep.Static.SitesTotal = P.SitesTotal;

@@ -6,9 +6,14 @@
 
 #include "core/SearchEngine.h"
 
+#include "obs/Progress.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <climits>
 #include <cmath>
 #include <mutex>
@@ -85,6 +90,29 @@ SearchResult SearchEngine::solveWithRng(opt::Optimizer *Backend,
                                         opt::SampleRecorder *Recorder) {
   SearchResult Result;
   unsigned Dim = Factory ? Factory->dim() : W->dim();
+
+  // Telemetry: one span per solve; per-start ticks when a listener is
+  // installed. The job tag is captured here because pool workers are
+  // fresh threads with no thread-local tag of their own.
+  obs::ScopedSpan SearchSpan("search");
+  const bool Ticks = obs::hasSearchListener();
+  const std::string TickJob = Ticks ? obs::jobTag() : std::string();
+  const auto TickClock0 = std::chrono::steady_clock::now();
+  auto emitTick = [&](uint64_t Evals, double BestW, unsigned StartsDone,
+                      const char *BackendName, bool Final) {
+    obs::SearchTick T;
+    T.Job = TickJob;
+    T.Evals = Evals;
+    T.BestW = BestW;
+    T.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - TickClock0)
+                    .count();
+    T.StartsDone = StartsDone;
+    T.Starts = Opts.Starts;
+    T.Backend = BackendName;
+    T.Final = Final;
+    obs::emitSearchTick(std::move(T));
+  };
 
   std::vector<PortfolioEntry> Pool = Opts.Portfolio;
   if (Pool.empty())
@@ -181,19 +209,38 @@ SearchResult SearchEngine::solveWithRng(opt::Optimizer *Backend,
         First = false;
       }
 
+      if (obs::enabled()) {
+        obs::count("search.starts");
+        obs::count("search.evals", MR.Evals);
+        obs::count(std::string("search.backend.") +
+                   Tasks[K].Backend->name());
+      }
+      if (Ticks)
+        emitTick(Result.Evals, Result.WStar, Result.StartsUsed,
+                 Tasks[K].Backend->name(), false);
+
       if (!MR.ReachedTarget)
         continue;
 
       // Candidate zero: Algorithm 2 step (3), optionally hardened by the
       // Section 5.2 soundness check.
-      if (Opts.VerifySolutions && Problem && !Problem->contains(MR.X)) {
-        ++Result.UnsoundCandidates;
-        continue;
+      if (Opts.VerifySolutions && Problem) {
+        obs::count("search.verify_calls");
+        if (!Problem->contains(MR.X)) {
+          ++Result.UnsoundCandidates;
+          obs::count("search.unsound");
+          continue;
+        }
       }
       Result.Found = true;
       Result.Witness = MR.X;
+      if (Ticks)
+        emitTick(Result.Evals, Result.WStar, Result.StartsUsed,
+                 Tasks[K].Backend->name(), true);
       return Result;
     }
+    if (Ticks)
+      emitTick(Result.Evals, Result.WStar, Result.StartsUsed, "", true);
     return Result;
   }
 
@@ -213,6 +260,15 @@ SearchResult SearchEngine::solveWithRng(opt::Optimizer *Backend,
   std::atomic<unsigned> NextStart{0};
   std::atomic<unsigned> FoundIdx{UINT_MAX};
   std::mutex VerifyMu;
+
+  // Tick state shared by the workers (progress-reporting only — the
+  // aggregated Result below never reads it, so the determinism of the
+  // report is untouched by completion order).
+  std::mutex TickMu;
+  uint64_t TickEvals = 0;
+  unsigned TickDone = 0;
+  double TickBestW = 0;
+  bool TickHaveBest = false;
 
   auto WorkerBody = [&](unsigned Tid) {
     WeakDistance &Eval = *Evaluators[Tid];
@@ -245,11 +301,31 @@ SearchResult SearchEngine::solveWithRng(opt::Optimizer *Backend,
       Out.X = MR.X;
       Out.ReachedTarget = MR.ReachedTarget;
       Out.Ran = true;
+
+      if (obs::enabled()) {
+        obs::count("search.starts");
+        obs::count("search.evals", MR.Evals);
+        obs::count(std::string("search.backend.") +
+                   Tasks[K].Backend->name());
+      }
+      if (Ticks) {
+        std::lock_guard<std::mutex> Lock(TickMu);
+        TickEvals += MR.Evals;
+        ++TickDone;
+        if (!TickHaveBest || MR.F < TickBestW) {
+          TickBestW = MR.F;
+          TickHaveBest = true;
+        }
+        emitTick(TickEvals, TickBestW, TickDone,
+                 Tasks[K].Backend->name(), false);
+      }
+
       if (!MR.ReachedTarget)
         continue;
 
       bool Sound = true;
       if (Opts.VerifySolutions && Problem) {
+        obs::count("search.verify_calls");
         // Membership oracles replay shared interpreter state; serialize.
         std::lock_guard<std::mutex> Lock(VerifyMu);
         Sound = Problem->contains(MR.X);
@@ -290,12 +366,15 @@ SearchResult SearchEngine::solveWithRng(opt::Optimizer *Backend,
       continue;
     if (!Out.Verified) {
       ++Result.UnsoundCandidates;
+      obs::count("search.unsound");
       continue;
     }
     Result.Found = true;
     Result.Witness = Out.X;
     break;
   }
+  if (Ticks)
+    emitTick(Result.Evals, Result.WStar, Result.StartsUsed, "", true);
   return Result;
 }
 

@@ -29,6 +29,9 @@
 
 #include "jit/JITCompile.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+
 #include "support/FPUtils.h"
 
 #include <algorithm>
@@ -1168,6 +1171,8 @@ bool FnEmitter::run() {
 
 CompiledModule wdm::jit::compile(const vm::CompiledModule &CM,
                                  const Limits &L) {
+  obs::ScopedSpan Span("jit_compile");
+  obs::count("jit.module_compiles");
   CompiledModule JM;
   JM.VM = &CM;
   JM.Functions.resize(CM.Functions.size());

@@ -6,6 +6,7 @@
 
 #include "jit/JITWeakDistance.h"
 
+#include "obs/Telemetry.h"
 #include "support/FPUtils.h"
 
 #include <cassert>
@@ -460,6 +461,13 @@ vm::FactoryBundle wdm::vm::makeWeakDistanceFactory(
     B.Factory = std::move(JF);
     break;
   }
+  }
+  if (obs::enabled()) {
+    obs::count(std::string("engine.effective.") +
+               engineKindName(B.Effective));
+    if (B.Effective != B.Requested)
+      obs::count(std::string("engine.fallback.") +
+                 engineKindName(B.Requested));
   }
   return B;
 }

@@ -1,0 +1,58 @@
+//===--- Progress.cpp - Search convergence stream ---------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+
+#include <mutex>
+
+using namespace wdm;
+using namespace wdm::obs;
+
+std::atomic<bool> wdm::obs::detail::ListenerFlag{false};
+
+namespace {
+
+struct ListenerSlot {
+  std::mutex Mu;
+  SearchListener Fn;
+
+  static ListenerSlot &get() {
+    static ListenerSlot *S = new ListenerSlot; // Leaked; see Telemetry.
+    return *S;
+  }
+};
+
+std::string &localTag() {
+  thread_local std::string Tag;
+  return Tag;
+}
+
+} // namespace
+
+void wdm::obs::setSearchListener(SearchListener L) {
+  ListenerSlot &S = ListenerSlot::get();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Fn = std::move(L);
+  detail::ListenerFlag.store(static_cast<bool>(S.Fn),
+                             std::memory_order_relaxed);
+}
+
+void wdm::obs::clearSearchListener() { setSearchListener(nullptr); }
+
+void wdm::obs::emitSearchTick(SearchTick Tick) {
+  if (!hasSearchListener())
+    return;
+  if (Tick.Job.empty())
+    Tick.Job = jobTag();
+  ListenerSlot &S = ListenerSlot::get();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Fn)
+    S.Fn(Tick);
+}
+
+void wdm::obs::setJobTag(const std::string &Tag) { localTag() = Tag; }
+
+const std::string &wdm::obs::jobTag() { return localTag(); }

@@ -1,0 +1,83 @@
+//===--- Progress.h - Search convergence stream ----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live half of src/obs/: a process-wide listener the
+/// core::SearchEngine notifies as a multi-start solve progresses — one
+/// tick per completed start, carrying cumulative evals, the best weak
+/// distance so far, throughput, and backend attribution. Consumers:
+///
+///  - `wdm run-job --progress-every=S` installs a listener that prints
+///    `job_progress` NDJSON lines to stdout, which the JobScheduler's
+///    subprocess poll loop forwards into the suite event log (the
+///    existing stdout protocol: any line that parses as an object with
+///    an "event" member is an event, the final non-event line is the
+///    Report);
+///  - the inprocess JobScheduler installs one directly, tagging ticks
+///    with the job id of the driver thread that ran them;
+///  - `wdm suite run --progress` turns the resulting stream into a live
+///    terminal status line.
+///
+/// Like the rest of obs, the whole thing is inert by default: with no
+/// listener installed, the SearchEngine's per-start hook is one relaxed
+/// atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OBS_PROGRESS_H
+#define WDM_OBS_PROGRESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wdm::obs {
+
+namespace detail {
+extern std::atomic<bool> ListenerFlag;
+} // namespace detail
+
+/// One progress tick of a running multi-start search.
+struct SearchTick {
+  /// The per-thread job tag (see setJobTag); empty outside suite runs.
+  std::string Job;
+  uint64_t Evals = 0;      ///< Cumulative objective evaluations.
+  double BestW = 0;        ///< Smallest weak distance seen so far.
+  double Seconds = 0;      ///< Wall time since the solve started.
+  unsigned StartsDone = 0; ///< Completed starts.
+  unsigned Starts = 0;     ///< Total starts of the solve.
+  const char *Backend = ""; ///< Backend of the start that just finished.
+  bool Final = false;       ///< True on the solve's last tick.
+};
+
+using SearchListener = std::function<void(const SearchTick &)>;
+
+/// Installs the process-wide listener (replacing any previous one).
+/// Ticks are delivered under an internal mutex, so the callback needs
+/// no synchronization of its own but must be quick.
+void setSearchListener(SearchListener L);
+void clearSearchListener();
+
+/// True when a listener is installed — the SearchEngine's cheap gate.
+inline bool hasSearchListener() {
+  return detail::ListenerFlag.load(std::memory_order_relaxed);
+}
+
+/// Delivers a tick to the installed listener (no-op without one). The
+/// Job field is filled from the calling thread's tag when empty.
+void emitSearchTick(SearchTick Tick);
+
+/// Tags the calling thread's ticks with a job identity (thread-local;
+/// suite driver threads set it around each job, `wdm run-job` sets it
+/// once on main — worker threads of a SearchEngine pool inherit the
+/// solve-owner's tag because the engine emits ticks itself).
+void setJobTag(const std::string &Tag);
+const std::string &jobTag();
+
+} // namespace wdm::obs
+
+#endif // WDM_OBS_PROGRESS_H

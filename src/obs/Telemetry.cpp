@@ -1,0 +1,335 @@
+//===--- Telemetry.cpp - Process-wide counters/gauges/histograms -----------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+using namespace wdm;
+using namespace wdm::obs;
+using wdm::json::Value;
+
+std::atomic<bool> wdm::obs::detail::EnabledFlag{false};
+
+namespace {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+struct HistData {
+  uint64_t Count = 0;
+  double Sum = 0;
+  uint64_t Buckets[Histogram::NumBuckets] = {};
+
+  void add(const HistData &O) {
+    Count += O.Count;
+    Sum += O.Sum;
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+  }
+};
+
+/// One thread's private slot arrays. Grown lazily to the registry's
+/// current metric count the first time the thread touches a metric with
+/// a larger id; only the owning thread writes, so growth needs no lock
+/// (the merge below reads under the registry mutex while the owner may
+/// be appending — see Shard::snapshotInto).
+struct Shard;
+
+/// The process-wide registry: metric names/kinds, the live-shard list,
+/// and the folded totals of shards whose threads have exited.
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::pair<std::string, MetricKind>> Metrics;
+  std::vector<Shard *> Live;
+  // Retired totals, indexed like Metrics (per kind below).
+  std::vector<uint64_t> RetiredCounters;
+  std::vector<double> GaugeValues; ///< Gauges are global last-write-wins.
+  std::vector<uint64_t> GaugeSeq;  ///< Write sequence for LWW merging.
+  std::vector<HistData> RetiredHists;
+  std::atomic<uint64_t> GaugeClock{0};
+
+  static Registry &get() {
+    // Intentionally leaked: thread_local Shard destructors run during
+    // shutdown and must find a live registry regardless of static
+    // destruction order.
+    static Registry *R = new Registry;
+    return *R;
+  }
+
+  uint32_t intern(const std::string &Name, MetricKind K) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (uint32_t I = 0; I < Metrics.size(); ++I)
+      if (Metrics[I].second == K && Metrics[I].first == Name)
+        return I;
+    Metrics.emplace_back(Name, K);
+    RetiredCounters.push_back(0);
+    GaugeValues.push_back(0);
+    GaugeSeq.push_back(0);
+    RetiredHists.emplace_back();
+    return static_cast<uint32_t>(Metrics.size() - 1);
+  }
+};
+
+struct Shard {
+  std::vector<uint64_t> Counters;
+  std::vector<HistData> Hists;
+
+  Shard() {
+    Registry &R = Registry::get();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Live.push_back(this);
+  }
+
+  ~Shard() {
+    // Fold this thread's totals into the retired accumulators so
+    // metrics survive worker-thread exit (SearchEngine pools are
+    // per-solve).
+    Registry &R = Registry::get();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    for (size_t I = 0; I < Counters.size(); ++I)
+      R.RetiredCounters[I] += Counters[I];
+    for (size_t I = 0; I < Hists.size(); ++I)
+      R.RetiredHists[I].add(Hists[I]);
+    R.Live.erase(std::find(R.Live.begin(), R.Live.end(), this));
+  }
+
+  uint64_t counterAt(uint32_t Id) const {
+    return Id < Counters.size() ? Counters[Id] : 0;
+  }
+  const HistData *histAt(uint32_t Id) const {
+    return Id < Hists.size() ? &Hists[Id] : nullptr;
+  }
+
+  void bumpCounter(uint32_t Id, uint64_t N) {
+    if (Id >= Counters.size())
+      Counters.resize(Id + 1, 0);
+    Counters[Id] += N;
+  }
+
+  void observe(uint32_t Id, double V) {
+    if (Id >= Hists.size())
+      Hists.resize(Id + 1);
+    HistData &H = Hists[Id];
+    ++H.Count;
+    H.Sum += V;
+    unsigned B = 0;
+    if (V > 1.0) {
+      int E = std::ilogb(V);
+      // 2^(E) < v <= 2^(E+1) lands in bucket E+1 except exact powers.
+      B = static_cast<unsigned>(E);
+      if (std::ldexp(1.0, E) < V)
+        ++B;
+      B = std::min(B, Histogram::NumBuckets - 1);
+    }
+    ++H.Buckets[B];
+  }
+
+  void zero() {
+    std::fill(Counters.begin(), Counters.end(), 0);
+    std::fill(Hists.begin(), Hists.end(), HistData());
+  }
+};
+
+Shard &localShard() {
+  thread_local Shard S;
+  return S;
+}
+
+} // namespace
+
+void wdm::obs::setEnabled(bool On) {
+  detail::EnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+void wdm::obs::resetMetrics() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::fill(R.RetiredCounters.begin(), R.RetiredCounters.end(), 0);
+  std::fill(R.GaugeValues.begin(), R.GaugeValues.end(), 0.0);
+  std::fill(R.GaugeSeq.begin(), R.GaugeSeq.end(), 0);
+  std::fill(R.RetiredHists.begin(), R.RetiredHists.end(), HistData());
+  for (Shard *S : R.Live)
+    S->zero();
+}
+
+void Counter::add(uint64_t N) {
+  if (!enabled())
+    return;
+  localShard().bumpCounter(Id, N);
+}
+
+void Gauge::set(double V) {
+  if (!enabled())
+    return;
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.GaugeValues[Id] = V;
+  R.GaugeSeq[Id] = R.GaugeClock.fetch_add(1) + 1;
+}
+
+void Histogram::observe(double V) {
+  if (!enabled())
+    return;
+  localShard().observe(Id, V);
+}
+
+Counter wdm::obs::counter(const std::string &Name) {
+  return Counter(Registry::get().intern(Name, MetricKind::Counter));
+}
+
+Gauge wdm::obs::gauge(const std::string &Name) {
+  return Gauge(Registry::get().intern(Name, MetricKind::Gauge));
+}
+
+Histogram wdm::obs::histogram(const std::string &Name) {
+  return Histogram(Registry::get().intern(Name, MetricKind::Histogram));
+}
+
+void wdm::obs::count(const std::string &Name, uint64_t N) {
+  if (!enabled())
+    return;
+  counter(Name).add(N);
+}
+
+json::Value wdm::obs::snapshotJson() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+
+  Value Counters = Value::object();
+  Value Gauges = Value::object();
+  Value Hists = Value::object();
+  for (uint32_t Id = 0; Id < R.Metrics.size(); ++Id) {
+    const auto &[Name, Kind] = R.Metrics[Id];
+    switch (Kind) {
+    case MetricKind::Counter: {
+      uint64_t Total = R.RetiredCounters[Id];
+      for (const Shard *S : R.Live)
+        Total += S->counterAt(Id);
+      if (Total)
+        Counters.set(Name, Value::number(Total));
+      break;
+    }
+    case MetricKind::Gauge:
+      if (R.GaugeSeq[Id])
+        Gauges.set(Name, Value::number(R.GaugeValues[Id]));
+      break;
+    case MetricKind::Histogram: {
+      HistData Total = R.RetiredHists[Id];
+      for (const Shard *S : R.Live)
+        if (const HistData *H = S->histAt(Id))
+          Total.add(*H);
+      if (!Total.Count)
+        break;
+      Value Buckets = Value::array();
+      for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+        if (!Total.Buckets[B])
+          continue;
+        Value Row = Value::array();
+        Row.push(Value::number(B));
+        Row.push(Value::number(Total.Buckets[B]));
+        Buckets.push(std::move(Row));
+      }
+      Hists.set(Name, Value::object()
+                          .set("count", Value::number(Total.Count))
+                          .set("sum", Value::number(Total.Sum))
+                          .set("buckets", std::move(Buckets)));
+      break;
+    }
+    }
+  }
+  return Value::object()
+      .set("counters", std::move(Counters))
+      .set("gauges", std::move(Gauges))
+      .set("histograms", std::move(Hists));
+}
+
+namespace {
+
+/// After - Before for two bucket arrays ([[bucket, n], ...]).
+Value diffBuckets(const Value *Before, const Value &After) {
+  Value Out = Value::array();
+  for (size_t I = 0; I < After.size(); ++I) {
+    const Value &Row = After.at(I);
+    uint64_t B = Row.at(0).asUint();
+    uint64_t N = Row.at(1).asUint();
+    if (Before)
+      for (size_t J = 0; J < Before->size(); ++J)
+        if (Before->at(J).at(0).asUint() == B) {
+          uint64_t Prev = Before->at(J).at(1).asUint();
+          N = N > Prev ? N - Prev : 0;
+          break;
+        }
+    if (N) {
+      Value NewRow = Value::array();
+      NewRow.push(Value::number(B));
+      NewRow.push(Value::number(N));
+      Out.push(std::move(NewRow));
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+json::Value wdm::obs::deltaJson(const json::Value &Before,
+                                const json::Value &After) {
+  Value Out = Value::object();
+
+  // Counters: numeric subtraction, zero deltas dropped.
+  Value Counters = Value::object();
+  if (const Value *AC = After.find("counters")) {
+    const Value *BC = Before.find("counters");
+    for (const auto &[Name, V] : AC->members()) {
+      uint64_t N = V.asUint();
+      if (BC)
+        if (const Value *Prev = BC->find(Name))
+          N = N > Prev->asUint() ? N - Prev->asUint() : 0;
+      if (N)
+        Counters.set(Name, Value::number(N));
+    }
+  }
+  Out.set("counters", std::move(Counters));
+
+  // Gauges: last value wins (a delta of an instantaneous value is the
+  // value itself).
+  if (const Value *AG = After.find("gauges"))
+    Out.set("gauges", *AG);
+  else
+    Out.set("gauges", Value::object());
+
+  // Histograms: count/sum/buckets subtract member-wise.
+  Value Hists = Value::object();
+  if (const Value *AH = After.find("histograms")) {
+    const Value *BH = Before.find("histograms");
+    for (const auto &[Name, V] : AH->members()) {
+      const Value *Prev = BH ? BH->find(Name) : nullptr;
+      uint64_t Count = V.find("count") ? V.find("count")->asUint() : 0;
+      double Sum = V.find("sum") ? V.find("sum")->asDouble() : 0;
+      if (Prev) {
+        uint64_t PC = Prev->find("count") ? Prev->find("count")->asUint() : 0;
+        Count = Count > PC ? Count - PC : 0;
+        Sum -= Prev->find("sum") ? Prev->find("sum")->asDouble() : 0;
+      }
+      if (!Count)
+        continue;
+      const Value *AB = V.find("buckets");
+      Hists.set(Name,
+                Value::object()
+                    .set("count", Value::number(Count))
+                    .set("sum", Value::number(Sum))
+                    .set("buckets",
+                         AB ? diffBuckets(Prev ? Prev->find("buckets")
+                                               : nullptr,
+                                          *AB)
+                            : Value::array()));
+    }
+  }
+  Out.set("histograms", std::move(Hists));
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===--- Telemetry.h - Process-wide counters/gauges/histograms -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metric half of src/obs/: a process-wide registry of named
+/// counters, gauges, and (log2-bucketed) histograms, designed so the
+/// hot paths the search spends its life on pay nothing when telemetry
+/// is off and almost nothing when it is on:
+///
+///  - **Off by default.** Every mutation is gated on one relaxed atomic
+///    bool; disabled, a hook is a load + a predicted branch. Nothing in
+///    a Report, an event log, or an exit code changes unless a caller
+///    explicitly flips telemetry on.
+///  - **Thread-local sharding.** Each thread that touches a metric gets
+///    its own slot array; increments are plain (unsynchronized) adds to
+///    thread-local memory — no hot-path locks, no cache-line ping-pong.
+///    snapshot() merges live shards and the folded totals of exited
+///    threads under the registry mutex.
+///  - **Stable handles.** counter()/gauge()/histogram() intern by name
+///    and return handles that are cheap to keep in static locals at the
+///    instrumentation site; name-based convenience entry points exist
+///    for cold paths (per-start backend attribution).
+///
+/// The snapshot is a json::Value so it can ride on api::Report
+/// ("metrics" section) and the NDJSON event stream without a second
+/// serialization path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_OBS_TELEMETRY_H
+#define WDM_OBS_TELEMETRY_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace wdm::obs {
+
+namespace detail {
+extern std::atomic<bool> EnabledFlag;
+} // namespace detail
+
+/// True when telemetry collection is on (process-wide). The relaxed
+/// load is the entire disabled-state cost of every hook.
+inline bool enabled() {
+  return detail::EnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Flips collection on/off. Off is the default; nothing observable
+/// changes until a caller (CLI --trace/--metrics, a test, a driver)
+/// turns it on.
+void setEnabled(bool On);
+
+/// Zeroes every metric (live shards and retired totals). For tests and
+/// per-run isolation.
+void resetMetrics();
+
+/// A monotonically increasing counter. Handles are stable for the
+/// process lifetime; keep them in static locals at the hook site.
+class Counter {
+public:
+  /// Adds \p N when telemetry is enabled; no-op otherwise.
+  void add(uint64_t N = 1);
+
+private:
+  friend Counter counter(const std::string &Name);
+  explicit Counter(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// A last-write-wins instantaneous value (e.g. resolved batch size).
+class Gauge {
+public:
+  void set(double V);
+
+private:
+  friend Gauge gauge(const std::string &Name);
+  explicit Gauge(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// A histogram over log2 buckets of the observed value: bucket k counts
+/// observations with 2^(k-1) < v <= 2^k (bucket 0 takes v <= 1).
+/// Tracks count and sum besides the buckets, so means survive merging.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void observe(double V);
+
+private:
+  friend Histogram histogram(const std::string &Name);
+  explicit Histogram(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+/// Interns \p Name (idempotent) and returns its handle. Safe from any
+/// thread; intended for setup paths, not per-eval hot loops.
+Counter counter(const std::string &Name);
+Gauge gauge(const std::string &Name);
+Histogram histogram(const std::string &Name);
+
+/// Cold-path convenience: counter(Name).add(N) with the interning
+/// lookup inline. For per-start / per-compile attribution where a
+/// static handle is awkward (dynamic names).
+void count(const std::string &Name, uint64_t N = 1);
+
+/// Merged view of every metric:
+///   {"counters": {name: n, ...},
+///    "gauges": {name: v, ...},
+///    "histograms": {name: {"count": n, "sum": s,
+///                          "buckets": [[log2_upper, n], ...]}, ...}}
+/// Zero-valued counters/histograms registered but never bumped are
+/// omitted, so the snapshot of an idle registry is empty objects.
+/// Key order is the registration order (deterministic for a fixed
+/// code path).
+json::Value snapshotJson();
+
+/// Member-wise numeric difference After - Before over two snapshots
+/// (counter values and histogram counts/sums/buckets subtract; gauges
+/// keep the After value; names missing in Before pass through). The
+/// per-run "metrics" section of a Report is the delta over that run.
+json::Value deltaJson(const json::Value &Before, const json::Value &After);
+
+} // namespace wdm::obs
+
+#endif // WDM_OBS_TELEMETRY_H

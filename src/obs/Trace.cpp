@@ -1,0 +1,204 @@
+//===--- Trace.cpp - RAII phase spans + Chrome trace-event output ----------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+using namespace wdm;
+using namespace wdm::obs;
+using wdm::json::Value;
+
+std::atomic<bool> wdm::obs::detail::TracingFlag{false};
+
+namespace {
+
+struct TraceEvent {
+  std::string Name;
+  char Ph = 'X';   ///< 'X' complete, 'i' instant, 'M' metadata.
+  uint64_t Ts = 0; ///< Microseconds since trace start.
+  uint64_t Dur = 0;
+  uint32_t Tid = 0;
+  Value Args; ///< Null when absent.
+};
+
+struct ThreadBuffer;
+
+/// The process-wide collector: live thread buffers, folded events of
+/// exited threads, and the trace epoch.
+struct Collector {
+  std::mutex Mu;
+  std::vector<ThreadBuffer *> Live;
+  std::vector<TraceEvent> Retired;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  uint32_t NextTid = 0;
+
+  static Collector &get() {
+    // Leaked for the same shutdown-order reason as the metric registry.
+    static Collector *C = new Collector;
+    return *C;
+  }
+};
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> Events;
+  uint32_t Tid;
+
+  ThreadBuffer() {
+    Collector &C = Collector::get();
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    Tid = C.NextTid++;
+    C.Live.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    Collector &C = Collector::get();
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    C.Retired.insert(C.Retired.end(),
+                     std::make_move_iterator(Events.begin()),
+                     std::make_move_iterator(Events.end()));
+    C.Live.erase(std::find(C.Live.begin(), C.Live.end(), this));
+  }
+
+  void push(TraceEvent E) {
+    E.Tid = Tid;
+    // Buffer-append under the collector mutex only when a merge could
+    // be concurrently reading; appends are thread-local, but writeTrace
+    // walks live buffers, so guard the (rare, per-span) push.
+    Collector &C = Collector::get();
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    Events.push_back(std::move(E));
+  }
+};
+
+ThreadBuffer &localBuffer() {
+  thread_local ThreadBuffer B;
+  return B;
+}
+
+} // namespace
+
+void wdm::obs::startTrace() {
+  Collector &C = Collector::get();
+  {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    C.Retired.clear();
+    for (ThreadBuffer *B : C.Live)
+      B->Events.clear();
+    C.Epoch = std::chrono::steady_clock::now();
+  }
+  detail::TracingFlag.store(true, std::memory_order_relaxed);
+}
+
+void wdm::obs::stopTrace() {
+  detail::TracingFlag.store(false, std::memory_order_relaxed);
+}
+
+void wdm::obs::clearTrace() {
+  Collector &C = Collector::get();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Retired.clear();
+  for (ThreadBuffer *B : C.Live)
+    B->Events.clear();
+}
+
+uint64_t ScopedSpan::nowUs() {
+  Collector &C = Collector::get();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - C.Epoch)
+          .count());
+}
+
+void ScopedSpan::setArgs(json::Value A) {
+  if (!Name)
+    return;
+  Args = std::move(A);
+  HaveArgs = true;
+}
+
+void ScopedSpan::finish() {
+  TraceEvent E;
+  E.Name = Name;
+  E.Ph = 'X';
+  E.Ts = T0;
+  uint64_t T1 = nowUs();
+  E.Dur = T1 > T0 ? T1 - T0 : 0;
+  if (HaveArgs)
+    E.Args = std::move(Args);
+  localBuffer().push(std::move(E));
+}
+
+void wdm::obs::setThreadTrackName(const std::string &Name) {
+  if (!tracing())
+    return;
+  TraceEvent E;
+  E.Name = "thread_name";
+  E.Ph = 'M';
+  E.Args = Value::object().set("name", Value::string(Name));
+  localBuffer().push(std::move(E));
+}
+
+void wdm::obs::instant(const char *Name) { instant(Name, Value()); }
+
+void wdm::obs::instant(const char *Name, json::Value Args) {
+  if (!tracing())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Ph = 'i';
+  E.Ts = ScopedSpan::nowUs();
+  E.Args = std::move(Args);
+  localBuffer().push(std::move(E));
+}
+
+json::Value wdm::obs::traceJson() {
+  Collector &C = Collector::get();
+  std::vector<const TraceEvent *> All;
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  for (const TraceEvent &E : C.Retired)
+    All.push_back(&E);
+  for (const ThreadBuffer *B : C.Live)
+    for (const TraceEvent &E : B->Events)
+      All.push_back(&E);
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent *A, const TraceEvent *B) {
+                     return A->Ts < B->Ts;
+                   });
+
+  Value Events = Value::array();
+  for (const TraceEvent *E : All) {
+    Value Row = Value::object();
+    Row.set("name", Value::string(E->Name));
+    Row.set("ph", Value::string(std::string(1, E->Ph)));
+    Row.set("pid", Value::number(1));
+    Row.set("tid", Value::number(E->Tid));
+    if (E->Ph != 'M') {
+      Row.set("ts", Value::number(E->Ts));
+      if (E->Ph == 'X')
+        Row.set("dur", Value::number(E->Dur));
+      else
+        Row.set("s", Value::string("t")); // Instant scope: thread.
+    }
+    if (!E->Args.isNull())
+      Row.set("args", E->Args);
+    Events.push(std::move(Row));
+  }
+  return Value::object().set("traceEvents", std::move(Events));
+}
+
+bool wdm::obs::writeTrace(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << traceJson().dump() << "\n";
+  return static_cast<bool>(Out);
+}

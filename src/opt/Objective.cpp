@@ -6,6 +6,8 @@
 
 #include "opt/Objective.h"
 
+#include "obs/Telemetry.h"
+
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -45,6 +47,12 @@ std::size_t Objective::evalBatch(const double *Xs, std::size_t K,
   const uint64_t Left = MaxEvals - Evals;
   if (K > Left)
     K = static_cast<std::size_t>(Left);
+
+  if (wdm::obs::enabled()) {
+    static wdm::obs::Histogram BatchHist =
+        wdm::obs::histogram("opt.batch_size");
+    BatchHist.observe(static_cast<double>(K));
+  }
 
   if (BatchCallable) {
     // Compute the whole (clipped) block in one shot, then consume the

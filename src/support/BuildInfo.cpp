@@ -1,0 +1,41 @@
+//===--- BuildInfo.cpp - Build provenance stamping --------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+using namespace wdm;
+using namespace wdm::support;
+using wdm::json::Value;
+
+// Injected per-TU by CMake (set_source_files_properties on this file);
+// a non-CMake compile still links with honest placeholders.
+#ifndef WDM_GIT_DESCRIBE
+#define WDM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef WDM_COMPILER
+#define WDM_COMPILER "unknown"
+#endif
+#ifndef WDM_CXX_FLAGS
+#define WDM_CXX_FLAGS ""
+#endif
+#ifndef WDM_BUILD_TYPE
+#define WDM_BUILD_TYPE "unknown"
+#endif
+
+const BuildInfo &wdm::support::buildInfo() {
+  static const BuildInfo Info{WDM_GIT_DESCRIBE, WDM_COMPILER,
+                              WDM_CXX_FLAGS, WDM_BUILD_TYPE};
+  return Info;
+}
+
+json::Value wdm::support::buildInfoJson() {
+  const BuildInfo &I = buildInfo();
+  return Value::object()
+      .set("git", Value::string(I.GitDescribe))
+      .set("compiler", Value::string(I.Compiler))
+      .set("flags", Value::string(I.Flags))
+      .set("build_type", Value::string(I.BuildType));
+}

@@ -1,0 +1,43 @@
+//===--- BuildInfo.h - Build provenance stamping ---------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Who built this binary, from what: git describe, compiler id/version,
+/// the configured flags, and the CMake build type — injected by the
+/// build system as compile definitions on BuildInfo.cpp (so only one TU
+/// rebuilds when the commit changes). Stamped into `wdm --version`,
+/// `suite_started` NDJSON events, BENCH_*.json roots, and the Report's
+/// telemetry "metrics" section, so perf numbers and logs stay
+/// attributable to a build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_BUILDINFO_H
+#define WDM_SUPPORT_BUILDINFO_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace wdm::support {
+
+struct BuildInfo {
+  std::string GitDescribe; ///< `git describe --always --dirty --tags`.
+  std::string Compiler;    ///< e.g. "GNU 13.2.0".
+  std::string Flags;       ///< CMAKE_CXX_FLAGS + build-type flags.
+  std::string BuildType;   ///< e.g. "Release"; "unknown" outside CMake.
+};
+
+/// The stamped build info ("unknown" fields when the build system did
+/// not inject them).
+const BuildInfo &buildInfo();
+
+/// {"git": ..., "compiler": ..., "flags": ..., "build_type": ...}.
+json::Value buildInfoJson();
+
+} // namespace wdm::support
+
+#endif // WDM_SUPPORT_BUILDINFO_H

@@ -6,6 +6,7 @@
 
 #include "support/Json.h"
 
+#include "support/BuildInfo.h"
 #include "support/StringUtils.h"
 
 #include <cctype>
@@ -597,6 +598,9 @@ BenchJson &BenchJson::timing(double WallSeconds, uint64_t Evals) {
 std::string BenchJson::json() const {
   Value Doc = Value::object();
   Doc.set("bench", Value::string(BenchName));
+  // Every BENCH_*.json names the build it measured, so perf history
+  // stays attributable after the fact.
+  Doc.set("build", support::buildInfoJson());
   for (const auto &[Key, V] : Root.members())
     Doc.set(Key, V);
   Doc.set("entries", Entries);

@@ -7,10 +7,12 @@
 #include "support/StringUtils.h"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 using namespace wdm;
 
@@ -91,6 +93,19 @@ std::string_view wdm::trim(std::string_view Text) {
 
 bool wdm::startsWith(std::string_view Text, std::string_view Prefix) {
   return Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string wdm::isoUtcNow() {
+  using namespace std::chrono;
+  auto Now = system_clock::now();
+  time_t Secs = system_clock::to_time_t(Now);
+  auto Millis =
+      duration_cast<milliseconds>(Now.time_since_epoch()).count() % 1000;
+  std::tm Tm{};
+  gmtime_r(&Secs, &Tm);
+  return formatf("%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", Tm.tm_year + 1900,
+                 Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour, Tm.tm_min,
+                 Tm.tm_sec, static_cast<int>(Millis));
 }
 
 unsigned wdm::envUnsigned(const char *Name, unsigned Default) {

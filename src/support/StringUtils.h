@@ -41,6 +41,10 @@ std::string_view trim(std::string_view Text);
 /// True if \p Text begins with \p Prefix.
 bool startsWith(std::string_view Text, std::string_view Prefix);
 
+/// Current wall-clock time as ISO-8601 UTC with millisecond precision,
+/// e.g. "2026-08-07T12:34:56.789Z". Used to stamp suite NDJSON events.
+std::string isoUtcNow();
+
 /// Parses environment variable \p Name as an unsigned integer; returns
 /// \p Default when unset, malformed, negative, or implausibly large
 /// (> 1'000'000). The WDM_THREADS / WDM_STARTS knobs of the benches and

@@ -6,6 +6,8 @@
 
 #include "vm/Lowering.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "support/Casting.h"
 #include "support/FPUtils.h"
 #include "vm/Verify.h"
@@ -494,6 +496,8 @@ void fuseCmpBranches(CompiledFunction &CF) {
 } // namespace
 
 CompiledModule wdm::vm::compile(const Module &M, const Limits &L) {
+  obs::ScopedSpan Span("lowering");
+  obs::count("vm.module_lowerings");
   CompiledModule CM;
   CM.M = &M;
 

@@ -1,0 +1,352 @@
+//===--- ObsTests.cpp - src/obs/ telemetry layer tests --------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+// The observability bar: thread-sharded metrics merge exactly, the
+// "metrics" section round-trips through Report JSON but never reaches
+// the deterministic view, Chrome traces are valid trace-event JSON, the
+// search progress stream ticks, and — the invariant everything else
+// leans on — a run with telemetry off produces byte-identical
+// deterministic reports to a run with everything on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+#include "api/Report.h"
+#include "obs/Progress.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+#include "support/BuildInfo.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace wdm;
+using wdm::json::Value;
+
+namespace {
+
+/// Every test leaves the process-wide obs state exactly as it found it
+/// (off, empty): the rest of the test binary depends on that.
+struct ObsQuiesce {
+  ObsQuiesce() { reset(); }
+  ~ObsQuiesce() { reset(); }
+  static void reset() {
+    obs::setEnabled(false);
+    obs::resetMetrics();
+    obs::stopTrace();
+    obs::clearTrace();
+    obs::clearSearchListener();
+    obs::setJobTag("");
+  }
+};
+
+api::AnalysisSpec fig2BoundarySpec() {
+  api::AnalysisSpec Spec;
+  Spec.Task = api::TaskKind::Boundary;
+  Spec.Module = api::ModuleSource::builtin("fig2");
+  Spec.Search.Seed = 2019;
+  Spec.Search.MaxEvals = 20000;
+  Spec.Search.Threads = 1;
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// Counters / gauges / histograms: sharding and merging
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, CountersMergeAcrossThreads) {
+  ObsQuiesce Q;
+  obs::setEnabled(true);
+  obs::Counter C = obs::counter("t.cross_thread");
+
+  constexpr unsigned Threads = 4, PerThread = 1000;
+  std::vector<std::thread> Pool;
+  for (unsigned I = 0; I < Threads; ++I)
+    Pool.emplace_back([&] {
+      for (unsigned K = 0; K < PerThread; ++K)
+        C.add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join(); // Exited threads fold into the retired totals...
+  C.add(5);   // ...and merge with the live shard of this thread.
+
+  Value Snap = obs::snapshotJson();
+  const Value *N = Snap.find("counters")->find("t.cross_thread");
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->asUint(), Threads * PerThread + 5);
+}
+
+TEST(TelemetryTest, HistogramBucketsAndMerge) {
+  ObsQuiesce Q;
+  obs::setEnabled(true);
+  obs::Histogram H = obs::histogram("t.hist");
+  // Two observations in (1,2] (log2 upper bound 1), one <= 1.
+  std::thread([&] { H.observe(2.0); }).join();
+  H.observe(1.5);
+  H.observe(0.5);
+
+  Value Snap = obs::snapshotJson();
+  const Value *HV = Snap.find("histograms")->find("t.hist");
+  ASSERT_NE(HV, nullptr);
+  EXPECT_EQ(HV->find("count")->asUint(), 3u);
+  EXPECT_DOUBLE_EQ(HV->find("sum")->asDouble(), 4.0);
+  const Value *Buckets = HV->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  uint64_t InOne = 0, InTwo = 0;
+  for (size_t I = 0; I < Buckets->size(); ++I) {
+    const Value &Pair = Buckets->at(I);
+    if (Pair.at(0).asInt() == 0)
+      InOne = Pair.at(1).asUint();
+    if (Pair.at(0).asInt() == 1)
+      InTwo = Pair.at(1).asUint();
+  }
+  EXPECT_EQ(InOne, 1u);
+  EXPECT_EQ(InTwo, 2u);
+}
+
+TEST(TelemetryTest, DisabledHooksRecordNothing) {
+  ObsQuiesce Q;
+  ASSERT_FALSE(obs::enabled());
+  obs::count("t.should_not_exist", 7);
+  obs::counter("t.handle_off").add(3);
+  obs::histogram("t.hist_off").observe(1.0);
+  obs::setEnabled(true); // snapshot with collection on, nothing recorded
+  Value Snap = obs::snapshotJson();
+  EXPECT_EQ(Snap.find("counters")->find("t.should_not_exist"), nullptr);
+  EXPECT_EQ(Snap.find("counters")->find("t.handle_off"), nullptr);
+  EXPECT_EQ(Snap.find("histograms")->find("t.hist_off"), nullptr);
+}
+
+TEST(TelemetryTest, DeltaSubtractsSnapshots) {
+  ObsQuiesce Q;
+  obs::setEnabled(true);
+  obs::count("t.delta", 10);
+  obs::histogram("t.dhist").observe(3.0);
+  Value Before = obs::snapshotJson();
+  obs::count("t.delta", 4);
+  obs::count("t.fresh", 2); // missing in Before: passes through
+  obs::histogram("t.dhist").observe(5.0);
+  Value After = obs::snapshotJson();
+
+  Value Delta = obs::deltaJson(Before, After);
+  EXPECT_EQ(Delta.find("counters")->find("t.delta")->asUint(), 4u);
+  EXPECT_EQ(Delta.find("counters")->find("t.fresh")->asUint(), 2u);
+  const Value *DH = Delta.find("histograms")->find("t.dhist");
+  ASSERT_NE(DH, nullptr);
+  EXPECT_EQ(DH->find("count")->asUint(), 1u);
+  EXPECT_DOUBLE_EQ(DH->find("sum")->asDouble(), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Report metrics: round trip + deterministic stripping
+//===----------------------------------------------------------------------===//
+
+TEST(ObsReportTest, MetricsRoundTripAndDeterministicStrip) {
+  ObsQuiesce Q;
+  obs::setEnabled(true);
+  Expected<api::Report> R = api::Analyzer::analyze(fig2BoundarySpec());
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  ASSERT_FALSE(R->Metrics.isNull());
+  const Value *Counters = R->Metrics.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  // The instrumented pipeline leaves its fingerprints.
+  EXPECT_NE(Counters->find("analyzer.module_resolutions"), nullptr);
+  EXPECT_NE(Counters->find("search.starts"), nullptr);
+  EXPECT_NE(Counters->find("search.evals"), nullptr);
+  // Build provenance rides the metrics section.
+  ASSERT_NE(R->Metrics.find("build"), nullptr);
+  EXPECT_NE(R->Metrics.find("build")->find("git"), nullptr);
+
+  // Round trip: metrics survive toJson/parse exactly.
+  Expected<api::Report> Back = api::Report::parse(R->toJsonText());
+  ASSERT_TRUE(Back.hasValue()) << Back.error();
+  EXPECT_EQ(Back->Metrics.dump(), R->Metrics.dump());
+  EXPECT_EQ(Back->toJsonText(), R->toJsonText());
+
+  // The deterministic view strips metrics alongside the wall clock.
+  Value Det = api::deterministicReportJson(R->toJson());
+  EXPECT_EQ(Det.find("metrics"), nullptr);
+  EXPECT_EQ(Det.find("seconds"), nullptr);
+  EXPECT_NE(Det.find("task"), nullptr);
+}
+
+TEST(ObsReportTest, TelemetryOnOffBitIdentity) {
+  // The invariant the whole layer is built around: flipping every obs
+  // feature on changes nothing in the deterministic report.
+  ObsQuiesce Q;
+  Expected<api::Report> Off = api::Analyzer::analyze(fig2BoundarySpec());
+  ASSERT_TRUE(Off.hasValue()) << Off.error();
+  EXPECT_TRUE(Off->Metrics.isNull());
+
+  obs::setEnabled(true);
+  obs::startTrace();
+  std::atomic<unsigned> Ticks{0};
+  obs::setSearchListener([&](const obs::SearchTick &) { ++Ticks; });
+  Expected<api::Report> On = api::Analyzer::analyze(fig2BoundarySpec());
+  obs::clearSearchListener();
+  obs::stopTrace();
+  ASSERT_TRUE(On.hasValue()) << On.error();
+  EXPECT_FALSE(On->Metrics.isNull());
+  EXPECT_GT(Ticks.load(), 0u);
+
+  EXPECT_EQ(api::deterministicReportJson(Off->toJson()).dump(),
+            api::deterministicReportJson(On->toJson()).dump());
+  // With telemetry off the full JSON has no metrics member at all —
+  // byte-identity of the non-deterministic view too.
+  EXPECT_EQ(Off->toJsonText().find("\"metrics\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace output
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, SpansBecomeValidTraceEventJson) {
+  ObsQuiesce Q;
+  obs::startTrace();
+  obs::setThreadTrackName("test track");
+  {
+    obs::ScopedSpan Outer("outer");
+    Outer.setArgs(Value::object().set("k", Value::string("v")));
+    obs::ScopedSpan Inner("inner");
+    obs::instant("mark");
+  }
+  std::thread([] {
+    obs::ScopedSpan T("worker_span");
+    (void)T;
+  }).join();
+  obs::stopTrace();
+
+  Value Doc = obs::traceJson();
+  const Value *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool SawOuter = false, SawInstant = false, SawName = false;
+  bool SawWorker = false;
+  uint64_t MainTid = 0, WorkerTid = 0;
+  for (size_t I = 0; I < Events->size(); ++I) {
+    const Value &E = Events->at(I);
+    std::string Name = E.find("name")->asString();
+    std::string Ph = E.find("ph")->asString();
+    EXPECT_EQ(E.find("pid")->asUint(), 1u);
+    if (Name == "outer" && Ph == "X") {
+      SawOuter = true;
+      MainTid = E.find("tid")->asUint();
+      EXPECT_NE(E.find("dur"), nullptr);
+      EXPECT_EQ(E.find("args")->find("k")->asString(), "v");
+    }
+    SawInstant |= Name == "mark" && Ph == "i";
+    SawName |= Name == "thread_name" && Ph == "M";
+    if (Name == "worker_span") {
+      SawWorker = true;
+      WorkerTid = E.find("tid")->asUint();
+    }
+  }
+  EXPECT_TRUE(SawOuter);
+  EXPECT_TRUE(SawInstant);
+  EXPECT_TRUE(SawName);
+  EXPECT_TRUE(SawWorker);
+  EXPECT_NE(MainTid, WorkerTid); // one track per thread
+
+  // writeTrace emits a parseable file with the same events.
+  std::string Path = ::testing::TempDir() + "wdm_obs_trace.json";
+  ASSERT_TRUE(obs::writeTrace(Path));
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Expected<Value> Reparsed = Value::parse(Buf.str());
+  ASSERT_TRUE(Reparsed.hasValue()) << Reparsed.error();
+  EXPECT_EQ(Reparsed->find("traceEvents")->size(), Events->size());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceTest, SpansAreInertWhileTracingOff) {
+  ObsQuiesce Q;
+  {
+    obs::ScopedSpan S("off_span");
+    obs::instant("off_instant");
+  }
+  obs::startTrace();
+  obs::stopTrace();
+  EXPECT_EQ(obs::traceJson().find("traceEvents")->size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Search convergence stream
+//===----------------------------------------------------------------------===//
+
+TEST(ProgressTest, SearchEmitsTicksWithJobTag) {
+  ObsQuiesce Q;
+  struct Tick {
+    std::string Job;
+    uint64_t Evals;
+    bool Final;
+  };
+  std::vector<Tick> Ticks;
+  obs::setSearchListener([&](const obs::SearchTick &T) {
+    Ticks.push_back({T.Job, T.Evals, T.Final});
+    EXPECT_LE(T.StartsDone, T.Starts);
+  });
+  obs::setJobTag("job-abc");
+  Expected<api::Report> R = api::Analyzer::analyze(fig2BoundarySpec());
+  obs::setJobTag("");
+  obs::clearSearchListener();
+  ASSERT_TRUE(R.hasValue()) << R.error();
+
+  ASSERT_FALSE(Ticks.empty());
+  EXPECT_TRUE(Ticks.back().Final);
+  EXPECT_EQ(Ticks.back().Evals, R->Evals);
+  for (const Tick &T : Ticks)
+    EXPECT_EQ(T.Job, "job-abc");
+}
+
+TEST(ProgressTest, NoListenerMeansNoGate) {
+  ObsQuiesce Q;
+  EXPECT_FALSE(obs::hasSearchListener());
+  obs::setSearchListener([](const obs::SearchTick &) {});
+  EXPECT_TRUE(obs::hasSearchListener());
+  obs::clearSearchListener();
+  EXPECT_FALSE(obs::hasSearchListener());
+  // Emitting without a listener is a harmless no-op.
+  obs::emitSearchTick({});
+}
+
+//===----------------------------------------------------------------------===//
+// Build info + timestamps (satellites)
+//===----------------------------------------------------------------------===//
+
+TEST(BuildInfoTest, PopulatedAndSerialized) {
+  const support::BuildInfo &BI = support::buildInfo();
+  EXPECT_FALSE(BI.GitDescribe.empty());
+  EXPECT_FALSE(BI.Compiler.empty());
+  EXPECT_FALSE(BI.BuildType.empty());
+  Value Doc = support::buildInfoJson();
+  EXPECT_EQ(Doc.find("git")->asString(), BI.GitDescribe);
+  EXPECT_EQ(Doc.find("compiler")->asString(), BI.Compiler);
+  EXPECT_EQ(Doc.find("build_type")->asString(), BI.BuildType);
+  EXPECT_NE(Doc.find("flags"), nullptr);
+}
+
+TEST(BuildInfoTest, IsoUtcNowShape) {
+  std::string Ts = isoUtcNow();
+  // 2026-08-07T10:22:33.123Z — fixed width, fixed punctuation.
+  ASSERT_EQ(Ts.size(), 24u) << Ts;
+  EXPECT_EQ(Ts[4], '-');
+  EXPECT_EQ(Ts[7], '-');
+  EXPECT_EQ(Ts[10], 'T');
+  EXPECT_EQ(Ts[13], ':');
+  EXPECT_EQ(Ts[16], ':');
+  EXPECT_EQ(Ts[19], '.');
+  EXPECT_EQ(Ts.back(), 'Z');
+  for (size_t I : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u,
+                   17u, 18u, 20u, 21u, 22u})
+    EXPECT_TRUE(isdigit(static_cast<unsigned char>(Ts[I]))) << Ts;
+}
+
+} // namespace

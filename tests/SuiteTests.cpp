@@ -538,6 +538,17 @@ TEST(SchedulerTest, EventLogSchemaAndResume) {
   ASSERT_TRUE(Events.hasValue()) << Events.error();
   ASSERT_EQ(Events->size(), 10u);
   EXPECT_EQ(Events->front().find("event")->asString(), "suite_started");
+  // Every event is timestamped, and suite_started carries build info.
+  for (const Value &Ev : *Events) {
+    const Value *Ts = Ev.find("ts");
+    ASSERT_NE(Ts, nullptr);
+    EXPECT_EQ(Ts->asString().size(), 24u); // ISO-8601 UTC, fixed width
+    EXPECT_EQ(Ts->asString().back(), 'Z');
+  }
+  const Value *Build = Events->front().find("build");
+  ASSERT_NE(Build, nullptr);
+  EXPECT_NE(Build->find("git"), nullptr);
+  EXPECT_NE(Build->find("compiler"), nullptr);
   EXPECT_EQ(Events->back().find("event")->asString(), "suite_done");
   EXPECT_EQ(Events->back().find("executed")->asUint(), 4u);
   unsigned Started = 0, Finished = 0;
@@ -616,6 +627,74 @@ TEST(SchedulerTest, EventLogSchemaAndResume) {
 }
 
 //===----------------------------------------------------------------------===//
+// job_progress heartbeats (LiveProgress)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerTest, LiveProgressStreamsJobHeartbeats) {
+  std::string LogPath = tempPath("progress.ndjson");
+  SuiteRunOptions Opts;
+  Opts.Shards = 2;
+  Opts.EventLog = LogPath;
+  Opts.LiveProgress = true;
+  Opts.ProgressPeriodSec = 0; // every search tick
+  Expected<SuiteReport> R =
+      JobScheduler::execute(smallMatrixSuite(), Opts);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  ASSERT_EQ(R->Executed, 4u);
+
+  auto Events = json::readNdjsonFile(LogPath);
+  ASSERT_TRUE(Events.hasValue()) << Events.error();
+  std::set<std::string> JobsWithTicks;
+  unsigned Heartbeats = 0;
+  for (const Value &Ev : *Events) {
+    if (Ev.find("event")->asString() != "job_progress")
+      continue;
+    ++Heartbeats;
+    ASSERT_NE(Ev.find("job"), nullptr);
+    JobsWithTicks.insert(Ev.find("job")->asString());
+    EXPECT_NE(Ev.find("evals"), nullptr);
+    EXPECT_NE(Ev.find("best_w"), nullptr);
+    EXPECT_NE(Ev.find("evals_per_sec"), nullptr);
+    EXPECT_NE(Ev.find("ts"), nullptr);
+  }
+  EXPECT_GE(Heartbeats, 4u);            // at least the final tick per job
+  EXPECT_EQ(JobsWithTicks.size(), 4u);  // attributed to every job
+
+  // The heartbeat stream does not perturb the checkpoint protocol: the
+  // same log still resumes to zero executed jobs.
+  SuiteRunOptions Resume = Opts;
+  Resume.Resume = true;
+  Resume.LiveProgress = false;
+  Expected<SuiteReport> Again =
+      JobScheduler::execute(smallMatrixSuite(), Resume);
+  ASSERT_TRUE(Again.hasValue()) << Again.error();
+  EXPECT_EQ(Again->Executed, 0u);
+  EXPECT_EQ(Again->Skipped, 4u);
+  std::remove(LogPath.c_str());
+}
+
+TEST(SchedulerTest, NoHeartbeatsWithoutLiveProgress) {
+  // Off by default: the event log holds exactly the historical kinds.
+  std::string LogPath = tempPath("no_progress.ndjson");
+  SuiteRunOptions Opts;
+  Opts.Shards = 1;
+  Opts.EventLog = LogPath;
+  Expected<SuiteReport> R =
+      JobScheduler::execute(smallMatrixSuite(), Opts);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  auto Events = json::readNdjsonFile(LogPath);
+  ASSERT_TRUE(Events.hasValue()) << Events.error();
+  for (const Value &Ev : *Events) {
+    std::string Kind = Ev.find("event")->asString();
+    EXPECT_TRUE(Kind == "suite_started" || Kind == "job_started" ||
+                Kind == "job_finished" || Kind == "job_failed" ||
+                Kind == "job_skipped" || Kind == "suite_done")
+        << Kind;
+  }
+  std::remove(LogPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
 // Subprocess mode + the CLI exit-code contract (drives the wdm binary)
 //===----------------------------------------------------------------------===//
 
@@ -637,6 +716,43 @@ TEST(SubprocessTest, MatchesInProcessBitForBit) {
 
   EXPECT_EQ(deterministicHashes(*A), deterministicHashes(*B));
   EXPECT_EQ(aggregateKey(*A), aggregateKey(*B));
+}
+
+TEST(SubprocessTest, LiveProgressForwardsChildHeartbeats) {
+  // Subprocess heartbeats ride the existing stdout protocol: the child
+  // prints job_progress event lines, the driver peels and re-tags them,
+  // and the final report line still parses bit-for-bit.
+  std::string LogPath = tempPath("sub_progress.ndjson");
+  SuiteRunOptions Sub;
+  Sub.Mode = SuiteMode::Subprocess;
+  Sub.Shards = 2;
+  Sub.WorkerExe = WDM_CLI_EXE;
+  Sub.EventLog = LogPath;
+  Sub.LiveProgress = true;
+  Sub.ProgressPeriodSec = 0;
+  Expected<SuiteReport> R =
+      JobScheduler::execute(smallMatrixSuite(), Sub);
+  ASSERT_TRUE(R.hasValue()) << R.error();
+  ASSERT_EQ(R->Executed, 4u) << R->Results[0].Error;
+
+  auto Events = json::readNdjsonFile(LogPath);
+  ASSERT_TRUE(Events.hasValue()) << Events.error();
+  std::set<std::string> JobsWithTicks;
+  for (const Value &Ev : *Events)
+    if (Ev.find("event")->asString() == "job_progress") {
+      ASSERT_NE(Ev.find("job"), nullptr); // driver re-tags child ticks
+      JobsWithTicks.insert(Ev.find("job")->asString());
+      EXPECT_NE(Ev.find("evals"), nullptr);
+    }
+  EXPECT_EQ(JobsWithTicks.size(), 4u);
+
+  // Identical deterministic reports to a quiet inprocess run.
+  SuiteRunOptions InP;
+  InP.Shards = 1;
+  Expected<SuiteReport> A = JobScheduler::execute(smallMatrixSuite(), InP);
+  ASSERT_TRUE(A.hasValue()) << A.error();
+  EXPECT_EQ(deterministicHashes(*A), deterministicHashes(*R));
+  std::remove(LogPath.c_str());
 }
 
 TEST(SubprocessTest, CrashIsolationAndInlineIr) {

@@ -30,9 +30,14 @@
 #include "api/JobScheduler.h"
 #include "api/Subjects.h"
 #include "jit/JITWeakDistance.h"
+#include "obs/Progress.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+#include "support/BuildInfo.h"
 #include "support/StringUtils.h"
 #include "vm/VMWeakDistance.h"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -59,7 +64,9 @@ int usage() {
          "  suite expand <suite.json>  print the expanded job list as "
          "NDJSON\n"
          "  run-job <spec.json | ->    internal suite worker: spec in, "
-         "report JSON on stdout\n\n"
+         "report JSON on stdout\n"
+         "  version [--json]           build provenance (git describe, "
+         "compiler, flags)\n\n"
          "analyze subject (one of):\n"
          "  <file.wir>                 positional or --module=<file>: "
          "textual IR file\n"
@@ -93,7 +100,15 @@ int usage() {
          "the --ndjson log\n"
          "  --json <out.json>          write the aggregate SuiteReport\n"
          "  --worker <exe>             subprocess worker binary "
-         "(default: this wdm)\n\n"
+         "(default: this wdm)\n"
+         "  --progress                 stream job_progress heartbeats + "
+         "live status line\n"
+         "  --progress-every=<sec>     heartbeat period (default 2)\n\n"
+         "observability (run, analyze, run-job, suite run):\n"
+         "  --trace=<out.json>         write Chrome trace-event JSON "
+         "(phase spans; open in Perfetto)\n"
+         "  --metrics                  collect telemetry counters; the "
+         "report gains a \"metrics\" section\n\n"
          "exit codes (run, run-job, suite run):\n"
          "  0 = ran clean, no findings   1 = findings produced\n"
          "  2 = usage/spec error         3 = internal/worker error\n";
@@ -103,6 +118,74 @@ int usage() {
 int fail(const std::string &Msg) {
   std::cerr << "wdm: " << Msg << "\n";
   return 2;
+}
+
+/// The observability flags every executing command shares: --metrics
+/// flips the telemetry registry on (the Report gains its "metrics"
+/// section), --trace=<out.json> collects phase spans and writes Chrome
+/// trace-event JSON (load in Perfetto / chrome://tracing). Both are off
+/// by default; without them nothing observable changes.
+struct ObsCli {
+  std::string TracePath;
+  bool Metrics = false;
+  /// run-job sets this: its stdout is the machine seam, so the human
+  /// "trace written" note must not land there.
+  bool Quiet = false;
+
+  /// Consumes --trace=<path> / --metrics; false when \p A is not ours.
+  bool consume(const std::string &Key, const std::string &Val,
+               const std::string &A) {
+    if (Key == "--trace" && !Val.empty()) {
+      TracePath = Val;
+      return true;
+    }
+    if (A == "--metrics") {
+      Metrics = true;
+      return true;
+    }
+    return false;
+  }
+
+  void begin() {
+    if (Metrics)
+      obs::setEnabled(true);
+    if (!TracePath.empty())
+      obs::startTrace();
+  }
+
+  /// Finalizes collection; returns \p Rc, or 3 when the trace file
+  /// cannot be written.
+  int end(int Rc) {
+    if (TracePath.empty())
+      return Rc;
+    obs::stopTrace();
+    if (!obs::writeTrace(TracePath)) {
+      std::cerr << "wdm: cannot write trace '" << TracePath << "'\n";
+      return 3;
+    }
+    if (!Quiet)
+      std::cout << "trace:     " << TracePath << "\n";
+    return Rc;
+  }
+};
+
+int cmdVersion(int Argc, char **Argv) {
+  bool Json = false;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else
+      return fail(std::string("unexpected argument '") + Argv[I] + "'");
+  }
+  const support::BuildInfo &B = support::buildInfo();
+  if (Json) {
+    std::cout << support::buildInfoJson().dump() << "\n";
+    return 0;
+  }
+  std::cout << "wdm " << B.GitDescribe << " (" << B.BuildType << ")\n"
+            << "compiler:  " << B.Compiler << "\n"
+            << "flags:     " << (B.Flags.empty() ? "-" : B.Flags) << "\n";
+  return 0;
 }
 
 /// The shared exit-code contract: findings drive the code, like a
@@ -257,14 +340,22 @@ int cmdTasks(int Argc, char **Argv) {
 
 int cmdRun(int Argc, char **Argv) {
   std::string SpecPath, JsonOut;
+  ObsCli Obs;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
     if (A == "--json") {
       if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
         return fail("--json needs an output path");
       JsonOut = Argv[++I];
     } else if (startsWith(A, "--json=")) {
       JsonOut = A.substr(7);
+    } else if (Obs.consume(Key, Val, A)) {
     } else if (!startsWith(A, "--") && SpecPath.empty()) {
       SpecPath = A;
     } else {
@@ -281,7 +372,8 @@ int cmdRun(int Argc, char **Argv) {
   if (!Spec)
     return fail(SpecPath + ": " + Spec.error());
   Spec->Search.applyEnv();
-  return finish(*Spec, JsonOut);
+  Obs.begin();
+  return Obs.end(finish(*Spec, JsonOut));
 }
 
 /// The suite worker: spec text in (file or stdin), report JSON out.
@@ -289,14 +381,29 @@ int cmdRun(int Argc, char **Argv) {
 /// human-readable report: stdout is the machine seam.
 int cmdRunJob(int Argc, char **Argv) {
   std::string SpecPath, JsonOut;
+  ObsCli Obs;
+  Obs.Quiet = true;
+  double ProgressEvery = -1;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
     if (A == "--json") {
       if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
         return fail("--json needs an output path");
       JsonOut = Argv[++I];
     } else if (startsWith(A, "--json=")) {
       JsonOut = A.substr(7);
+    } else if (Key == "--progress-every") {
+      char *End = nullptr;
+      ProgressEvery = std::strtod(Val.c_str(), &End);
+      if (Val.empty() || !End || *End || ProgressEvery < 0)
+        return fail("bad --progress-every (seconds)");
+    } else if (Obs.consume(Key, Val, A)) {
     } else if (SpecPath.empty() && (A == "-" || !startsWith(A, "--"))) {
       SpecPath = A;
     } else {
@@ -312,19 +419,53 @@ int cmdRunJob(int Argc, char **Argv) {
   Expected<AnalysisSpec> Spec = AnalysisSpec::parse(*Text);
   if (!Spec)
     return fail(SpecPath + ": " + Spec.error());
+
+  // Heartbeats for the suite driver: one job_progress NDJSON line per
+  // period on stdout. The driver's poll loop peels event lines off the
+  // stream; the report line below stays the protocol's payload.
+  if (ProgressEvery >= 0)
+    obs::setSearchListener(
+        [ProgressEvery,
+         Last = std::chrono::steady_clock::time_point()](
+            const obs::SearchTick &T) mutable {
+          auto Now = std::chrono::steady_clock::now();
+          if (!T.Final &&
+              Last != std::chrono::steady_clock::time_point() &&
+              std::chrono::duration<double>(Now - Last).count() <
+                  ProgressEvery)
+            return;
+          Last = Now;
+          double Rate = T.Seconds > 0 ? T.Evals / T.Seconds : 0;
+          std::cout << json::Value::object()
+                           .set("event",
+                                json::Value::string("job_progress"))
+                           .set("evals", json::Value::number(T.Evals))
+                           .set("best_w", json::Value::number(T.BestW))
+                           .set("evals_per_sec",
+                                json::Value::number(Rate))
+                           .set("starts_done",
+                                json::Value::number(T.StartsDone))
+                           .set("starts", json::Value::number(T.Starts))
+                           .dump()
+                    << "\n"
+                    << std::flush;
+        });
+
+  Obs.begin();
   Expected<Report> R = Analyzer::analyze(*Spec);
+  obs::clearSearchListener();
   if (!R)
-    return fail(R.error());
+    return Obs.end(fail(R.error()));
   std::cout << R->toJsonText() << std::flush;
   if (!JsonOut.empty()) {
     std::ofstream Out(JsonOut);
     if (!Out) {
       std::cerr << "wdm: cannot write '" << JsonOut << "'\n";
-      return 3;
+      return Obs.end(3);
     }
     Out << R->toJsonText();
   }
-  return exitCodeFor(*R);
+  return Obs.end(exitCodeFor(*R));
 }
 
 void printSuiteReport(const SuiteReport &R) {
@@ -361,6 +502,7 @@ int cmdSuite(int Argc, char **Argv) {
   Opts.ApplyEnvOverrides = true;
   Opts.Progress = &std::cout;
   std::string JsonOut;
+  ObsCli Obs;
 
   auto Uint = [](const std::string &V, uint64_t &Out) {
     char *End = nullptr;
@@ -405,6 +547,15 @@ int cmdSuite(int Argc, char **Argv) {
       JsonOut = Argv[++I];
     } else if (Key == "--json") {
       JsonOut = Val;
+    } else if (A == "--progress") {
+      Opts.LiveProgress = true;
+    } else if (Key == "--progress-every") {
+      char *End = nullptr;
+      double Sec = std::strtod(Val.c_str(), &End);
+      if (Val.empty() || !End || *End || Sec < 0)
+        return fail("bad --progress-every (seconds)");
+      Opts.ProgressPeriodSec = Sec;
+    } else if (Obs.consume(Key, Val, A)) {
     } else if (!startsWith(A, "--") && SuitePath.empty()) {
       SuitePath = A;
     } else {
@@ -445,10 +596,11 @@ int cmdSuite(int Argc, char **Argv) {
   if (Opts.Resume && Opts.EventLog.empty())
     return fail("--resume needs --ndjson <log> (the checkpoint)");
 
+  Obs.begin();
   Expected<SuiteReport> R =
       JobScheduler::execute(std::move(*Suite), std::move(Opts));
   if (!R)
-    return fail(R.error());
+    return Obs.end(fail(R.error()));
 
   bool Dry = R->Mode == suiteModeName(SuiteMode::Dry);
   if (Dry) {
@@ -467,12 +619,12 @@ int cmdSuite(int Argc, char **Argv) {
     std::ofstream Out(JsonOut);
     if (!Out) {
       std::cerr << "wdm: cannot write '" << JsonOut << "'\n";
-      return 3;
+      return Obs.end(3);
     }
     Out << R->toJsonText();
     std::cout << "report:    " << JsonOut << "\n";
   }
-  return Dry ? 0 : R->exitCode();
+  return Obs.end(Dry ? 0 : R->exitCode());
 }
 
 bool parsePathLegs(const std::string &Text,
@@ -504,6 +656,7 @@ int cmdAnalyze(int Argc, char **Argv) {
   Spec.Search.applyEnv(); // Flags below override the env knobs.
   std::string JsonOut;
   bool HaveTask = false;
+  ObsCli Obs;
 
   auto Uint = [](const std::string &V, uint64_t &Out) {
     char *End = nullptr;
@@ -583,6 +736,7 @@ int cmdAnalyze(int Argc, char **Argv) {
       JsonOut = Argv[++I];
     } else if (Key == "--json") {
       JsonOut = Val;
+    } else if (Obs.consume(Key, Val, A)) {
     } else if (!startsWith(A, "--") &&
                Spec.Module.K == ModuleSource::Kind::None) {
       Spec.Module = ModuleSource::file(A);
@@ -598,7 +752,8 @@ int cmdAnalyze(int Argc, char **Argv) {
   Expected<AnalysisSpec> Checked = AnalysisSpec::parse(Spec.toJsonText());
   if (!Checked)
     return fail(Checked.error());
-  return finish(*Checked, JsonOut);
+  Obs.begin();
+  return Obs.end(finish(*Checked, JsonOut));
 }
 
 } // namespace
@@ -617,10 +772,12 @@ int main(int Argc, char **Argv) {
     return cmdSuite(Argc - 2, Argv + 2);
   if (Cmd == "analyze")
     return cmdAnalyze(Argc - 2, Argv + 2);
+  if (Cmd == "version" || Cmd == "--version" || Cmd == "-V")
+    return cmdVersion(Argc - 2, Argv + 2);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
     usage();
     return 0;
   }
   return fail("unknown command '" + Cmd +
-              "' (try: tasks, run, analyze, suite, run-job)");
+              "' (try: tasks, run, analyze, suite, run-job, version)");
 }
