@@ -85,6 +85,16 @@ int main() {
       std::cerr << "suite_shard: run failed at shards=" << Shards << "\n";
       return 2;
     }
+    // The supervision layer must be pure overhead-free policy on the
+    // healthy path: a fault-free study reports zero retries/timeouts/
+    // stalls, or the scheduler is killing good workers.
+    if (R->Retries || R->Timeouts || R->Stalls || R->Quarantined) {
+      std::cerr << "suite_shard: fault-free run reported retries="
+                << R->Retries << " timeouts=" << R->Timeouts
+                << " stalls=" << R->Stalls << " quarantined="
+                << R->Quarantined << " at shards=" << Shards << "\n";
+      return 1;
+    }
 
     std::map<std::string, std::string> Hashes = reportHashes(*R);
     if (Shards == 1) {
@@ -123,6 +133,9 @@ int main() {
         .field("shards", static_cast<uint64_t>(ShardCounts[I]))
         .field("jobs", static_cast<uint64_t>(R.Jobs))
         .field("findings", R.Findings)
+        .field("retries", R.Retries)
+        .field("timeouts", R.Timeouts)
+        .field("stalls", R.Stalls)
         .field("speedup_vs_sequential",
                R.Seconds > 0 ? BaseSeconds / R.Seconds : 0.0);
   }

@@ -8,15 +8,19 @@
 
 #include "api/Analyzer.h"
 #include "obs/Progress.h"
+#include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/BuildInfo.h"
+#include "support/FaultInject.h"
 #include "support/Hash.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -28,6 +32,7 @@
 #include <cerrno>
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -64,6 +69,25 @@ namespace {
 // Subprocess worker plumbing
 //===----------------------------------------------------------------------===//
 
+/// Supervision policy for one `wdm run-job` child: deadlines, resource
+/// limits, the SIGTERM→grace→SIGKILL escalation, and cooperative
+/// cancellation. All-defaults = the historical unsupervised behavior.
+struct SpawnPolicy {
+  double TimeoutSec = 0; ///< Wall-clock deadline; 0 = none.
+  /// No stdout/stderr bytes (heartbeats included) for N sec = stalled.
+  double StallSec = 0;
+  double GraceSec = 2.0;    ///< SIGTERM → SIGKILL escalation window.
+  unsigned MemLimitMb = 0;  ///< Child RLIMIT_AS, MiB.
+  unsigned CpuLimitSec = 0; ///< Child RLIMIT_CPU soft limit, sec.
+  /// Polled cooperative cancellation (graceful suite shutdown). The
+  /// child is escalated-killed when this turns true.
+  std::function<bool()> Canceled;
+
+  bool supervised() const {
+    return TimeoutSec > 0 || StallSec > 0 || static_cast<bool>(Canceled);
+  }
+};
+
 /// Outcome of one `wdm run-job -` child.
 struct WorkerRun {
   bool SpawnOk = false;
@@ -71,9 +95,75 @@ struct WorkerRun {
   bool Signaled = false;
   int Signal = 0;
   int ExitCode = 0;
+  bool TimedOut = false;   ///< Killed at the wall-clock deadline.
+  bool Stalled = false;    ///< Killed by the stall detector.
+  bool Canceled = false;   ///< Killed by cooperative cancellation.
+  double Seconds = 0;      ///< Attempt wall clock (spawn to reap).
   std::string Out; ///< Child stdout (the report JSON line).
-  std::string Err; ///< Child stderr (diagnostics).
+  std::string Err; ///< Child stderr (diagnostics; bounded tail).
 };
+
+/// Child stderr is kept as a bounded tail: a crash-looping worker can
+/// write arbitrarily much, and only the last few KiB ever reach a
+/// diagnostic. Trimmed in hysteresis steps so appends stay amortized.
+constexpr size_t StderrTailBytes = 4096;
+constexpr size_t StderrTrimAt = 2 * StderrTailBytes;
+
+void boundStderrTail(std::string &Err) {
+  if (Err.size() > StderrTrimAt)
+    Err.erase(0, Err.size() - StderrTailBytes);
+}
+
+const char *signalName(int Sig) {
+  switch (Sig) {
+  case SIGHUP:
+    return "SIGHUP";
+  case SIGINT:
+    return "SIGINT";
+  case SIGQUIT:
+    return "SIGQUIT";
+  case SIGILL:
+    return "SIGILL";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGKILL:
+    return "SIGKILL";
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGPIPE:
+    return "SIGPIPE";
+  case SIGALRM:
+    return "SIGALRM";
+  case SIGTERM:
+    return "SIGTERM";
+  case SIGXCPU:
+    return "SIGXCPU";
+  case SIGXFSZ:
+    return "SIGXFSZ";
+  default:
+    return nullptr;
+  }
+}
+
+std::string signalNameOr(int Sig) {
+  if (const char *N = signalName(Sig))
+    return N;
+  return "signal " + std::to_string(Sig);
+}
+
+/// A short EINTR-tolerant nap; an early signal wakeup just makes the
+/// caller's loop re-check its condition sooner, which is the point of
+/// installing handlers without SA_RESTART.
+void napMs(long Ms) {
+  timespec Req;
+  Req.tv_sec = Ms / 1000;
+  Req.tv_nsec = (Ms % 1000) * 1000000L;
+  nanosleep(&Req, nullptr);
+}
 
 /// Forks/execs `Exe run-job - [ExtraArgs...]`, feeds \p SpecText on
 /// stdin, and drains stdout/stderr through a poll loop (no deadlock
@@ -86,9 +176,17 @@ struct WorkerRun {
 /// to \p OnEvent (when set) instead of accumulating — this is how a
 /// `--progress-every` child's job_progress heartbeats reach the driver
 /// live. Everything else (the final report line) lands in R.Out.
+///
+/// \p Policy adds supervision: RLIMIT_AS/RLIMIT_CPU applied between
+/// fork and exec, a wall-clock deadline, a stall detector (any child
+/// output counts as liveness, so heartbeats double as the signal), and
+/// cooperative cancellation — all killing via SIGTERM, a grace period,
+/// then SIGKILL. SIGKILL cannot be ignored, so even a worker that traps
+/// SIGTERM and sleeps is reclaimed.
 WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
                       const std::vector<std::string> &ExtraArgs = {},
-                      const std::function<void(Value)> &OnEvent = nullptr) {
+                      const std::function<void(Value)> &OnEvent = nullptr,
+                      const SpawnPolicy &Policy = {}) {
   WorkerRun R;
   int In[2], Out[2], Err[2];
   // O_CLOEXEC is load-bearing: shard threads fork concurrently, and a
@@ -130,15 +228,94 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
   }
   if (Pid == 0) {
     // Child: wire the pipes onto stdio and become the worker. The
-    // originals are O_CLOEXEC, so exec drops them by itself.
+    // originals are O_CLOEXEC, so exec drops them by itself. Resource
+    // limits land here, between fork and exec, so they bind the worker
+    // and everything it execs but never the driver; setrlimit is
+    // async-signal-safe, the only kind of call allowed in this window.
     dup2(In[0], 0);
     dup2(Out[1], 1);
     dup2(Err[1], 2);
+    if (Policy.MemLimitMb) {
+      struct rlimit RL;
+      RL.rlim_cur = RL.rlim_max =
+          static_cast<rlim_t>(Policy.MemLimitMb) << 20;
+      setrlimit(RLIMIT_AS, &RL);
+    }
+    if (Policy.CpuLimitSec) {
+      // Soft limit delivers SIGXCPU (attributable); the hard limit two
+      // seconds later is the SIGKILL backstop for a worker that traps
+      // SIGXCPU and keeps burning.
+      struct rlimit RL;
+      RL.rlim_cur = Policy.CpuLimitSec;
+      RL.rlim_max = static_cast<rlim_t>(Policy.CpuLimitSec) + 2;
+      setrlimit(RLIMIT_CPU, &RL);
+    }
     execv(Exe.c_str(), const_cast<char *const *>(Argv.data()));
     _exit(127); // exec failed; 127 is the shell convention.
   }
 
   close(In[0]), close(Out[1]), close(Err[1]);
+
+  using Clock = std::chrono::steady_clock;
+  const auto Start = Clock::now();
+  auto LastActivity = Start;
+  auto secondsFrom = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  };
+  // Escalating kill: once any deadline fires (or cancellation arrives)
+  // the child gets SIGTERM, GraceSec to flush and exit, then SIGKILL.
+  enum class Kill : uint8_t { None, Termed, Killed };
+  Kill Stage = Kill::None;
+  Clock::time_point GraceAt{};
+
+  // Runs every supervision check, escalates the kill when due, and
+  // returns the poll timeout in ms until the next interesting instant
+  // (-1 = block forever, the unsupervised fast path).
+  auto supervise = [&]() -> int {
+    if (!Policy.supervised() && Stage == Kill::None)
+      return -1;
+    auto Now = Clock::now();
+    if (Policy.Canceled && Policy.Canceled())
+      R.Canceled = true;
+    if (Stage == Kill::None) {
+      bool Die = R.Canceled;
+      if (Policy.TimeoutSec > 0 &&
+          secondsFrom(Start, Now) >= Policy.TimeoutSec) {
+        R.TimedOut = true;
+        Die = true;
+      } else if (Policy.StallSec > 0 &&
+                 secondsFrom(LastActivity, Now) >= Policy.StallSec) {
+        R.Stalled = true;
+        Die = true;
+      }
+      if (Die) {
+        kill(Pid, SIGTERM);
+        Stage = Kill::Termed;
+        GraceAt = Now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                std::max(0.05, Policy.GraceSec)));
+      }
+    } else if (Stage == Kill::Termed && Now >= GraceAt) {
+      kill(Pid, SIGKILL);
+      Stage = Kill::Killed;
+    }
+    // Wake at the nearest pending deadline, capped at a 250ms tick so
+    // cooperative cancellation is noticed promptly even when no
+    // deadline is near.
+    double NextSec = 0.25;
+    auto Consider = [&](double RemainSec) {
+      NextSec = std::min(NextSec, std::max(RemainSec, 0.01));
+    };
+    if (Stage == Kill::None) {
+      if (Policy.TimeoutSec > 0)
+        Consider(Policy.TimeoutSec - secondsFrom(Start, Now));
+      if (Policy.StallSec > 0)
+        Consider(Policy.StallSec - secondsFrom(LastActivity, Now));
+    } else if (Stage == Kill::Termed) {
+      Consider(secondsFrom(Now, GraceAt));
+    }
+    return static_cast<int>(NextSec * 1000);
+  };
 
   size_t Written = 0;
   bool WriteDone = false, OutDone = false, ErrDone = false;
@@ -159,11 +336,17 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
       ErrIdx = N;
       Fds[N++] = {Err[0], POLLIN, 0};
     }
-    if (poll(Fds, static_cast<nfds_t>(N), -1) < 0) {
+    int PollRc = poll(Fds, static_cast<nfds_t>(N), supervise());
+    if (PollRc < 0) {
+      // EINTR is routine here: shutdown handlers install without
+      // SA_RESTART precisely so a pending SIGINT/SIGTERM wakes this
+      // poll immediately instead of waiting out the timeout.
       if (errno == EINTR)
         continue;
       break;
     }
+    if (PollRc == 0)
+      continue; // Deadline tick: loop to re-run supervision.
     if (WriteIdx >= 0 && (Fds[WriteIdx].revents & (POLLOUT | POLLERR))) {
       ssize_t W = write(In[1], SpecText.data() + Written,
                         SpecText.size() - Written);
@@ -176,21 +359,29 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
         WriteDone = true;
       }
     }
-    auto Drain = [&](int Idx, int Fd, std::string &Sink, bool &Done) {
+    auto Drain = [&](int Idx, int Fd, std::string &Sink, bool &Done,
+                     bool BoundedTail) {
       if (Idx < 0 || !(Fds[Idx].revents & (POLLIN | POLLHUP | POLLERR)))
         return false;
       ssize_t Got = read(Fd, Buf, sizeof(Buf));
       if (Got > 0) {
+        // Any child output — report bytes, heartbeat lines, stderr
+        // chatter — is proof of life for the stall detector.
+        LastActivity = Clock::now();
         Sink.append(Buf, static_cast<size_t>(Got));
+        if (BoundedTail)
+          boundStderrTail(Sink);
         return true;
       }
+      // EINTR on read is a retry (same rationale as the write path);
+      // everything else, including EOF, ends this stream.
       if (!(Got < 0 && errno == EINTR)) {
         close(Fd);
         Done = true;
       }
       return false;
     };
-    if (Drain(OutIdx, Out[0], R.Out, OutDone) && OnEvent) {
+    if (Drain(OutIdx, Out[0], R.Out, OutDone, false) && OnEvent) {
       // Peel complete event lines off as they arrive so heartbeats are
       // live; whatever does not parse as an event (the report) stays.
       size_t Nl;
@@ -206,7 +397,7 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
         }
       }
     }
-    Drain(ErrIdx, Err[0], R.Err, ErrDone);
+    Drain(ErrIdx, Err[0], R.Err, ErrDone, true);
   }
   if (!WriteDone)
     close(In[1]);
@@ -216,8 +407,27 @@ WorkerRun spawnRunJob(const std::string &Exe, const std::string &SpecText,
     close(Err[0]);
 
   int Status = 0;
-  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
-    ;
+  if (!Policy.supervised() && Stage == Kill::None) {
+    // Unsupervised: pipes are closed, so the child is exiting; a
+    // blocking wait is safe. EINTR retries (routine under shutdown
+    // handlers installed without SA_RESTART).
+    while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+      ;
+  } else {
+    // Supervised: a child can close its pipes yet linger (or trap
+    // SIGTERM), so reap non-blockingly and keep the deadline/escalation
+    // machinery running until it is truly gone — SIGKILL bounds this.
+    for (;;) {
+      pid_t W = waitpid(Pid, &Status, WNOHANG);
+      if (W < 0 && errno == EINTR)
+        continue;
+      if (W != 0)
+        break; // Reaped — or unexpectedly gone (ECHILD); either ends it.
+      supervise();
+      napMs(10);
+    }
+  }
+  R.Seconds = secondsFrom(Start, Clock::now());
   R.SpawnOk = true;
   if (WIFSIGNALED(Status)) {
     R.Signaled = true;
@@ -258,6 +468,84 @@ std::string firstLine(const std::string &Text) {
   size_t End = Text.find('\n');
   return std::string(
       trim(End == std::string::npos ? Text : Text.substr(0, End)));
+}
+
+/// Allocation-failure markers in child stderr — the evidence that a
+/// signal death under RLIMIT_AS was the memory limit, not a plain bug.
+bool looksOutOfMemory(const std::string &Err) {
+  return Err.find("bad_alloc") != std::string::npos ||
+         Err.find("out of memory") != std::string::npos ||
+         Err.find("Out of memory") != std::string::npos ||
+         Err.find("Cannot allocate") != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful shutdown
+//===----------------------------------------------------------------------===//
+
+/// The one async-signal-safe shutdown flag. Set by the SIGINT/SIGTERM
+/// handler; polled by dispatch loops and child supervision. Only ever
+/// raised while a ScopedSignalGuard is installed (its constructor
+/// resets it), so one interrupted run cannot poison the next.
+std::atomic<bool> GShutdown{false};
+
+void onShutdownSignal(int /*Sig*/) {
+  // A relaxed store is the entire handler — anything more is not
+  // async-signal-safe. The suite loop does the actual shutdown.
+  GShutdown.store(true, std::memory_order_relaxed);
+}
+
+/// Installs SIGINT/SIGTERM handlers for the duration of a suite run and
+/// restores the previous dispositions on exit. Deliberately without
+/// SA_RESTART: the poll/sleep loops treat EINTR as "re-check the
+/// shutdown flag now", which is what makes Ctrl-C feel immediate.
+class ScopedSignalGuard {
+public:
+  ScopedSignalGuard() {
+    GShutdown.store(false, std::memory_order_relaxed);
+    struct sigaction SA = {};
+    SA.sa_handler = onShutdownSignal;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0;
+    sigaction(SIGINT, &SA, &OldInt);
+    sigaction(SIGTERM, &SA, &OldTerm);
+  }
+  ~ScopedSignalGuard() {
+    sigaction(SIGINT, &OldInt, nullptr);
+    sigaction(SIGTERM, &OldTerm, nullptr);
+  }
+  ScopedSignalGuard(const ScopedSignalGuard &) = delete;
+  ScopedSignalGuard &operator=(const ScopedSignalGuard &) = delete;
+
+private:
+  struct sigaction OldInt = {}, OldTerm = {};
+};
+
+/// Sleeps up to \p Sec, polling \p Stop every ~20ms; returns false when
+/// cut short by a stop request. Used for retry backoff and injected
+/// driver delays — both must yield instantly to shutdown.
+bool interruptibleSleep(double Sec, const std::function<bool()> &Stop) {
+  auto End = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(Sec));
+  while (std::chrono::steady_clock::now() < End) {
+    if (Stop && Stop())
+      return false;
+    napMs(20);
+  }
+  return true;
+}
+
+/// Exponential backoff with deterministic jitter: Base·2^(attempt−1),
+/// capped at 30s, plus up to 25% jitter hashed from (job id, attempt) —
+/// retry storms decorrelate across jobs, yet a given suite replays the
+/// exact same schedule (no wall-clock or RNG in the policy).
+double backoffDelay(double BaseSec, unsigned FailedAttempt,
+                    const std::string &JobId) {
+  double D = BaseSec * std::pow(2.0, static_cast<double>(FailedAttempt - 1));
+  D = std::min(D, 30.0);
+  uint64_t H = fnv1a64(JobId + "#" + std::to_string(FailedAttempt));
+  return D + static_cast<double>(H % 1000) / 1000.0 * D * 0.25;
 }
 
 //===----------------------------------------------------------------------===//
@@ -511,10 +799,51 @@ Expected<SuiteReport> JobScheduler::run() {
               .set("starts", Value::number(T.Starts)));
     });
 
-  std::vector<std::string> WorkerArgs;
-  if (Opts.LiveProgress && Opts.Mode == SuiteMode::Subprocess)
-    WorkerArgs.push_back(
-        formatf("--progress-every=%g", Opts.ProgressPeriodSec));
+  // -- Fault-tolerance policy --------------------------------------------
+  // Per-job effective limits: suite/job "limits" (merged at expand) with
+  // CLI/API overrides on top.
+  auto effectiveLimits = [&](const SuiteJob &Job) {
+    JobLimits L = Job.Limits;
+    if (Opts.TimeoutSec)
+      L.TimeoutSec = *Opts.TimeoutSec;
+    if (Opts.StallTimeoutSec)
+      L.StallTimeoutSec = *Opts.StallTimeoutSec;
+    if (Opts.Retries)
+      L.Retries = *Opts.Retries;
+    if (Opts.BackoffSec)
+      L.BackoffSec = *Opts.BackoffSec;
+    if (Opts.MemLimitMb)
+      L.MemLimitMb = *Opts.MemLimitMb;
+    if (Opts.CpuLimitSec)
+      L.CpuLimitSec = *Opts.CpuLimitSec;
+    return L;
+  };
+  const unsigned MaxFailures =
+      Opts.MaxFailures ? *Opts.MaxFailures : Suite.baseLimits().MaxFailures;
+
+  // Deterministic fault plan (WDM_FAULT) — tests and CI only. A typo'd
+  // plan is a driver error, not a silently fault-free run.
+  std::vector<fault::Clause> FaultPlan;
+  if (fault::enabled()) {
+    Expected<std::vector<fault::Clause>> Plan =
+        fault::parse(fault::envSpec());
+    if (!Plan)
+      return E::error("suite: " + Plan.error());
+    FaultPlan = Plan.take();
+  }
+
+  // Graceful shutdown: handlers live exactly as long as the run.
+  std::optional<ScopedSignalGuard> SigGuard;
+  if (Opts.HandleSignals)
+    SigGuard.emplace();
+  std::atomic<bool> Abort{false}; // --max-failures fail-fast.
+  auto stopRequested = [&] {
+    return Abort.load(std::memory_order_relaxed) ||
+           (SigGuard.has_value() &&
+            GShutdown.load(std::memory_order_relaxed));
+  };
+  std::atomic<unsigned> TerminalFailures{0};
+  std::atomic<uint64_t> NRetries{0}, NTimeouts{0}, NStalls{0};
 
   // -- Execute -----------------------------------------------------------
   std::atomic<size_t> Next{0};
@@ -526,6 +855,9 @@ Expected<SuiteReport> JobScheduler::run() {
       JobResult &JR = Rep.Results[I];
       if (JR.S == JobResult::State::Skipped)
         continue;
+      if (stopRequested())
+        break; // Undispatched jobs stay Listed; marked after the join.
+      const JobLimits L = effectiveLimits(Job);
       Sink.event(jobEvent("job_started", Job));
       Sink.progress("[" + Job.Id + "] " + Job.subject() + ": started");
 
@@ -538,62 +870,205 @@ Expected<SuiteReport> JobScheduler::run() {
                      Value::string(taskKindName(Job.Spec.Task)))
                 .set("subject", Value::string(Job.subject())));
 
-      if (Opts.Mode == SuiteMode::InProcess) {
-        // Run from the canonical text, exactly like a subprocess shard
-        // — mode identity holds by construction.
-        obs::setJobTag(Job.Id);
-        Expected<AnalysisSpec> Spec =
-            AnalysisSpec::parse(Job.CanonicalSpec);
-        Expected<Report> R =
-            Spec ? Analyzer::analyze(*Spec)
-                 : Expected<Report>::error(Spec.error());
-        obs::setJobTag("");
-        if (R) {
-          JR.S = JobResult::State::Executed;
-          JR.R = R.take();
-        } else {
-          JR.S = JobResult::State::Failed;
-          JR.Error = R.error();
+      const unsigned MaxAttempts = 1 + L.Retries;
+      for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+        // Driver-side injected delay ("sleep" fault) — a deterministic
+        // window for shutdown tests in both scheduler modes.
+        if (!FaultPlan.empty())
+          if (std::optional<fault::Clause> C =
+                  fault::actionFor(FaultPlan, Job.Index, Attempt);
+              C && C->Action == "sleep")
+            interruptibleSleep(C->Param > 0 ? C->Param : 3,
+                               stopRequested);
+        if (stopRequested()) {
+          JR.S = JobResult::State::Interrupted;
+          break;
         }
-      } else {
-        // A --progress-every child streams job_progress lines on
-        // stdout; re-tag them with the job id (the child does not know
-        // it) and publish. The child rate-limits, so no Gate here.
-        std::function<void(Value)> OnEvent;
-        if (Opts.LiveProgress)
-          OnEvent = [&, JobId = Job.Id](Value Ev) {
-            const Value *Kind = Ev.find("event");
-            if (!Kind || Kind->asString() != "job_progress")
-              return;
-            Ev.set("job", Value::string(JobId));
-            publishProgress(Ev);
-          };
-        WorkerRun W = spawnRunJob(WorkerExe, Job.CanonicalSpec + "\n",
-                                  WorkerArgs, OnEvent);
-        if (!W.SpawnOk) {
-          JR.S = JobResult::State::Failed;
-          JR.Error = "worker spawn: " + W.SpawnError;
-        } else if (W.Signaled) {
-          JR.S = JobResult::State::Failed;
-          JR.Error =
-              "worker killed by signal " + std::to_string(W.Signal);
-        } else if (W.ExitCode > 1) {
-          JR.S = JobResult::State::Failed;
-          std::string Diag = firstLine(W.Err);
-          JR.Error = "worker exit " + std::to_string(W.ExitCode) +
-                     (Diag.empty() ? "" : ": " + Diag);
-        } else {
-          Expected<Report> R = Report::parse(W.Out);
+
+        JobAttempt A;
+        A.Number = Attempt;
+        if (Opts.Mode == SuiteMode::InProcess) {
+          // Run from the canonical text, exactly like a subprocess
+          // shard — mode identity holds by construction. Deadlines and
+          // rlimits cannot act here (a thread cannot be killed safely);
+          // retries and fail-fast still do.
+          auto T0 = std::chrono::steady_clock::now();
+          obs::setJobTag(Job.Id);
+          Expected<AnalysisSpec> Spec =
+              AnalysisSpec::parse(Job.CanonicalSpec);
+          Expected<Report> R =
+              Spec ? Analyzer::analyze(*Spec)
+                   : Expected<Report>::error(Spec.error());
+          obs::setJobTag("");
+          A.Seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count();
           if (R) {
+            A.Outcome = "ok";
             JR.S = JobResult::State::Executed;
             JR.R = R.take();
           } else {
-            JR.S = JobResult::State::Failed;
-            JR.Error = "worker report: " + R.error();
+            A.Outcome = "failed";
+            A.Error = R.error();
+          }
+        } else {
+          // A --progress-every child streams job_progress lines on
+          // stdout; re-tag them with the job id (the child does not
+          // know it) and publish. The child rate-limits, so no Gate
+          // here. With stall detection but no live progress, the lines
+          // are swallowed — the log keeps its historical vocabulary
+          // and the raw bytes already served as the liveness signal.
+          std::function<void(Value)> OnEvent;
+          if (Opts.LiveProgress)
+            OnEvent = [&, JobId = Job.Id](Value Ev) {
+              const Value *Kind = Ev.find("event");
+              if (!Kind || Kind->asString() != "job_progress")
+                return;
+              Ev.set("job", Value::string(JobId));
+              publishProgress(Ev);
+            };
+          else if (L.StallTimeoutSec > 0)
+            OnEvent = [](Value) {};
+
+          std::vector<std::string> Args;
+          // --progress-every=0 means every tick, so track "wanted" apart
+          // from the period value.
+          bool WantHeartbeat = Opts.LiveProgress || L.StallTimeoutSec > 0;
+          double HeartbeatSec =
+              Opts.LiveProgress ? Opts.ProgressPeriodSec : 0;
+          if (L.StallTimeoutSec > 0 &&
+              (!Opts.LiveProgress || HeartbeatSec > 0)) {
+            // Heartbeats must land comfortably inside the stall window
+            // or healthy jobs get killed. Note the engine ticks once
+            // per completed start: size stall timeouts above the
+            // longest expected single start.
+            double StallBeat = std::max(0.2, L.StallTimeoutSec / 3);
+            HeartbeatSec = Opts.LiveProgress
+                               ? std::min(HeartbeatSec, StallBeat)
+                               : StallBeat;
+          }
+          if (WantHeartbeat)
+            Args.push_back(formatf("--progress-every=%g", HeartbeatSec));
+          if (!FaultPlan.empty())
+            Args.push_back(
+                formatf("--fault-tag=%zu.%u", Job.Index, Attempt));
+
+          SpawnPolicy P;
+          P.TimeoutSec = L.TimeoutSec;
+          P.StallSec = L.StallTimeoutSec;
+          P.GraceSec = Opts.GraceSec;
+          P.MemLimitMb = L.MemLimitMb;
+          P.CpuLimitSec = L.CpuLimitSec;
+          P.Canceled = stopRequested;
+          WorkerRun W = spawnRunJob(WorkerExe, Job.CanonicalSpec + "\n",
+                                    Args, OnEvent, P);
+          A.Seconds = W.Seconds;
+          A.StderrTail = std::string(trim(W.Err));
+          if (W.Signaled) {
+            A.Signal = W.Signal;
+            A.SignalName = signalNameOr(W.Signal);
+          }
+          if (!W.SpawnOk) {
+            A.Outcome = "failed";
+            A.Error = "worker spawn: " + W.SpawnError;
+          } else if (W.TimedOut) {
+            A.Outcome = "timeout";
+            A.Error =
+                formatf("killed at %gs wall-clock deadline", L.TimeoutSec);
+          } else if (W.Stalled) {
+            A.Outcome = "stalled";
+            A.Error = formatf("no output or heartbeat for %gs",
+                              L.StallTimeoutSec);
+          } else if (W.Canceled ||
+                     (W.Signaled && stopRequested() &&
+                      (W.Signal == SIGTERM || W.Signal == SIGINT ||
+                       W.Signal == SIGKILL))) {
+            // Children share the terminal's process group: a Ctrl-C
+            // can reach the child before the driver's cancel tick
+            // does. Either way this death is shutdown, not a failure.
+            A.Outcome = "interrupted";
+            A.Error = "suite shutdown";
+          } else if (W.Signaled) {
+            A.Outcome = "failed";
+            A.Error = "worker killed by " + A.SignalName;
+            // Resource-limit attribution: RLIMIT_CPU delivers SIGXCPU
+            // (or its SIGKILL hard backstop); RLIMIT_AS shows up as an
+            // allocation-failure abort.
+            if (W.Signal == SIGXCPU ||
+                (L.CpuLimitSec && W.Signal == SIGKILL))
+              A.LimitHit = "cpu";
+            else if (L.MemLimitMb &&
+                     (W.Signal == SIGABRT || looksOutOfMemory(W.Err)))
+              A.LimitHit = "mem";
+            if (!A.LimitHit.empty())
+              A.Error += " (" + A.LimitHit + " limit)";
+          } else if (W.ExitCode > 1) {
+            A.Outcome = "failed";
+            A.ExitCode = W.ExitCode;
+            std::string Diag = firstLine(W.Err);
+            A.Error = "worker exit " + std::to_string(W.ExitCode) +
+                      (Diag.empty() ? "" : ": " + Diag);
+          } else {
+            A.ExitCode = W.ExitCode;
+            Expected<Report> R = Report::parse(W.Out);
+            if (R) {
+              A.Outcome = "ok";
+              JR.S = JobResult::State::Executed;
+              JR.R = R.take();
+            } else {
+              A.Outcome = "failed";
+              A.Error = "worker report: " + R.error();
+            }
           }
         }
+
+        if (A.Outcome == "timeout") {
+          NTimeouts.fetch_add(1, std::memory_order_relaxed);
+          obs::count("suite.timeouts");
+        } else if (A.Outcome == "stalled") {
+          NStalls.fetch_add(1, std::memory_order_relaxed);
+          obs::count("suite.stalled");
+        }
+
+        if (A.Outcome == "ok") {
+          JR.Attempts.push_back(std::move(A));
+          break;
+        }
+        if (A.Outcome == "interrupted") {
+          JR.S = JobResult::State::Interrupted;
+          JR.Attempts.push_back(std::move(A));
+          break;
+        }
+        if (Attempt < MaxAttempts && !stopRequested()) {
+          double Delay = backoffDelay(L.BackoffSec, Attempt, Job.Id);
+          A.RetryDelaySec = Delay;
+          Sink.event(jobEvent("job_retrying", Job)
+                         .set("spec_hash", Value::string(Job.Id))
+                         .set("attempt", Value::number(Attempt))
+                         .set("reason", Value::string(A.Outcome))
+                         .set("error", Value::string(A.Error))
+                         .set("delay_sec", Value::number(Delay)));
+          Sink.progress(
+              "[" + Job.Id + "] " + Job.subject() +
+              formatf(": attempt %u %s — retrying in %.2fs (%s)",
+                      Attempt, A.Outcome.c_str(), Delay,
+                      A.Error.c_str()));
+          NRetries.fetch_add(1, std::memory_order_relaxed);
+          obs::count("suite.retries");
+          JR.Attempts.push_back(std::move(A));
+          interruptibleSleep(Delay, stopRequested);
+          continue;
+        }
+        // Terminal failure: out of attempts (quarantine when a retry
+        // budget existed) or a shutdown cut the retry loop short.
+        JR.Error = A.Error;
+        JR.Attempts.push_back(std::move(A));
+        JR.S = L.Retries > 0 ? JobResult::State::Quarantined
+                             : JobResult::State::Failed;
+        break;
       }
 
+      // -- Publish the job's terminal event ----------------------------
       if (JR.S == JobResult::State::Executed) {
         Value ReportJson = JR.R.toJson();
         std::string ReportHash =
@@ -601,18 +1076,64 @@ Expected<SuiteReport> JobScheduler::run() {
         Sink.event(jobEvent("job_finished", Job)
                        .set("spec_hash", Value::string(Job.Id))
                        .set("report_hash", Value::string(ReportHash))
+                       .set("attempt",
+                            Value::number(static_cast<uint64_t>(
+                                JR.Attempts.size())))
                        .set("report", std::move(ReportJson)));
         Sink.progress(
             "[" + Job.Id + "] " + Job.subject() + ": done — " +
             std::to_string(JR.R.Findings.size()) + " finding(s), " +
             std::to_string(JR.R.Evals) + " evals, " +
             formatf("%.2fs", JR.R.Seconds));
-      } else {
-        Sink.event(jobEvent("job_failed", Job)
+      } else if (JR.S == JobResult::State::Quarantined) {
+        obs::count("suite.quarantined");
+        Value As = Value::array();
+        for (const JobAttempt &QA : JR.Attempts)
+          As.push(QA.toJson());
+        Sink.event(jobEvent("job_quarantined", Job)
                        .set("spec_hash", Value::string(Job.Id))
-                       .set("error", Value::string(JR.Error)));
+                       .set("error", Value::string(JR.Error))
+                       .set("attempts", std::move(As)));
+        Sink.progress("[" + Job.Id + "] " + Job.subject() +
+                      ": QUARANTINED after " +
+                      std::to_string(JR.Attempts.size()) +
+                      " attempt(s) — " + JR.Error);
+      } else if (JR.S == JobResult::State::Failed) {
+        Value Ev = jobEvent("job_failed", Job)
+                       .set("spec_hash", Value::string(Job.Id))
+                       .set("error", Value::string(JR.Error));
+        if (!JR.Attempts.empty()) {
+          // Debuggable from the log alone: how the worker died and
+          // what it said last.
+          const JobAttempt &FA = JR.Attempts.back();
+          Ev.set("attempt", Value::number(FA.Number));
+          if (FA.ExitCode >= 0)
+            Ev.set("exit_code",
+                   Value::number(static_cast<int64_t>(FA.ExitCode)));
+          if (FA.Signal) {
+            Ev.set("signal",
+                   Value::number(static_cast<int64_t>(FA.Signal)));
+            Ev.set("signal_name", Value::string(FA.SignalName));
+          }
+          if (!FA.LimitHit.empty())
+            Ev.set("limit", Value::string(FA.LimitHit));
+          if (!FA.StderrTail.empty())
+            Ev.set("stderr_tail", Value::string(FA.StderrTail));
+        }
+        Sink.event(std::move(Ev));
         Sink.progress("[" + Job.Id + "] " + Job.subject() +
                       ": FAILED — " + JR.Error);
+      } else if (JR.S == JobResult::State::Interrupted) {
+        Sink.progress("[" + Job.Id + "] " + Job.subject() +
+                      ": interrupted");
+      }
+
+      if (JR.S == JobResult::State::Failed ||
+          JR.S == JobResult::State::Quarantined) {
+        unsigned Total =
+            TerminalFailures.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (MaxFailures && Total >= MaxFailures)
+          Abort.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -630,6 +1151,23 @@ Expected<SuiteReport> JobScheduler::run() {
     obs::clearSearchListener();
   Sink.closeLive();
 
+  // Resolve why (whether) the run stopped early. Signal wins over
+  // fail-fast: exit code 4 tells the caller the log is a resume
+  // checkpoint, which is true either way, but the cause matters.
+  if (SigGuard.has_value() && GShutdown.load(std::memory_order_relaxed))
+    Rep.Stopped = "signal";
+  else if (Abort.load(std::memory_order_relaxed))
+    Rep.Stopped = "max-failures";
+  // Undispatched jobs of a stopped run are exactly the unfinished set a
+  // --resume re-executes.
+  if (!Rep.Stopped.empty())
+    for (JobResult &JR : Rep.Results)
+      if (JR.S == JobResult::State::Listed)
+        JR.S = JobResult::State::Interrupted;
+  Rep.Retries = NRetries.load(std::memory_order_relaxed);
+  Rep.Timeouts = NTimeouts.load(std::memory_order_relaxed);
+  Rep.Stalls = NStalls.load(std::memory_order_relaxed);
+
   // -- Aggregate in expansion order --------------------------------------
   for (const JobResult &JR : Rep.Results) {
     switch (JR.S) {
@@ -643,6 +1181,12 @@ Expected<SuiteReport> JobScheduler::run() {
       break;
     case JobResult::State::Failed:
       ++Rep.Failed;
+      break;
+    case JobResult::State::Quarantined:
+      ++Rep.Quarantined;
+      break;
+    case JobResult::State::Interrupted:
+      ++Rep.Interrupted;
       break;
     }
     if (!JR.hasReport())
@@ -683,9 +1227,17 @@ Expected<SuiteReport> JobScheduler::run() {
                     .count();
 
   Value DoneEv = Rep.toJson();
-  // The per-job summaries are already in the per-job events; keep
-  // suite_done to the aggregates.
-  Value Trimmed = Value::object().set("event", Value::string("suite_done"));
+  // The per-job summaries are already in the per-job events; keep the
+  // closing event to the aggregates. A stopped run closes with
+  // suite_interrupted instead of suite_done — same payload plus the
+  // reason — so the log both explains itself and stays a valid resume
+  // checkpoint (the reader keys on job_finished records only).
+  const bool WasStopped = !Rep.Stopped.empty();
+  Value Trimmed = Value::object().set(
+      "event",
+      Value::string(WasStopped ? "suite_interrupted" : "suite_done"));
+  if (WasStopped)
+    Trimmed.set("reason", Value::string(Rep.Stopped));
   for (const auto &[Key, V] : DoneEv.members())
     if (Key != "results")
       Trimmed.set(Key, V);

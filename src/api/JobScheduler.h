@@ -18,8 +18,12 @@
 /// Results stream as they finish into an NDJSON event log
 /// (`suite_started` / `job_started` / `job_finished` with the full
 /// Report / `job_failed` / `job_skipped` / `suite_done`), flushed per
-/// event. The same log is the checkpoint: a rerun with Resume skips
-/// every job whose `job_finished` record carries the job's
+/// event. Under a retry/fault policy the vocabulary extends with
+/// `job_retrying` (attempt, reason, backoff delay), `job_quarantined`
+/// (full attempt history), and `suite_interrupted` (graceful shutdown —
+/// emitted in place of `suite_done` so the log stays a valid resume
+/// checkpoint). The same log is the checkpoint: a rerun with Resume
+/// skips every job whose `job_finished` record carries the job's
 /// content-addressed spec hash, and folds the stored report into the
 /// final SuiteReport exactly as if the job had just run.
 ///
@@ -38,6 +42,7 @@
 #include "api/SuiteSpec.h"
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 namespace wdm::api {
@@ -81,6 +86,27 @@ struct SuiteRunOptions {
   /// Minimum seconds between two job_progress events of one job
   /// (rate-limits the heartbeat; 0 = every search tick).
   double ProgressPeriodSec = 2.0;
+
+  // -- Fault tolerance ---------------------------------------------------
+  // Unset optionals defer to the suite/job `"limits"` policy; a set
+  // value overrides it for every job (the CLI flag semantics). Deadlines,
+  // stall detection, and resource limits act in subprocess mode (threads
+  // cannot be killed safely); retries and fail-fast act in both modes.
+  std::optional<double> TimeoutSec;      ///< --timeout=
+  std::optional<double> StallTimeoutSec; ///< --stall-timeout=
+  std::optional<unsigned> Retries;       ///< --retries=
+  std::optional<double> BackoffSec;      ///< --backoff=
+  std::optional<unsigned> MemLimitMb;    ///< --mem-limit=
+  std::optional<unsigned> CpuLimitSec;   ///< --cpu-limit=
+  std::optional<unsigned> MaxFailures;   ///< --max-failures=
+  /// Seconds between SIGTERM and the SIGKILL escalation when a child is
+  /// killed (deadline, stall, or shutdown).
+  double GraceSec = 2.0;
+  /// Install SIGINT/SIGTERM handlers for the duration of the run:
+  /// graceful shutdown (stop dispatching, terminate children, flush
+  /// `suite_interrupted`, exit code 4). The CLI turns this on; embedded
+  /// callers keep their own signal policy by default.
+  bool HandleSignals = false;
 };
 
 class JobScheduler {

@@ -10,6 +10,28 @@ using namespace wdm;
 using namespace wdm::api;
 using wdm::json::Value;
 
+json::Value JobAttempt::toJson() const {
+  Value A = Value::object();
+  A.set("attempt", Value::number(Number));
+  A.set("outcome", Value::string(Outcome));
+  if (!Error.empty())
+    A.set("error", Value::string(Error));
+  if (ExitCode >= 0)
+    A.set("exit_code", Value::number(static_cast<int64_t>(ExitCode)));
+  if (Signal) {
+    A.set("signal", Value::number(static_cast<int64_t>(Signal)));
+    A.set("signal_name", Value::string(SignalName));
+  }
+  if (!LimitHit.empty())
+    A.set("limit", Value::string(LimitHit));
+  if (!StderrTail.empty())
+    A.set("stderr_tail", Value::string(StderrTail));
+  A.set("seconds", Value::number(Seconds));
+  if (RetryDelaySec > 0)
+    A.set("retry_delay_sec", Value::number(RetryDelaySec));
+  return A;
+}
+
 const char *JobResult::stateName() const {
   switch (S) {
   case State::Listed:
@@ -20,12 +42,18 @@ const char *JobResult::stateName() const {
     return "skipped";
   case State::Failed:
     return "failed";
+  case State::Quarantined:
+    return "quarantined";
+  case State::Interrupted:
+    return "interrupted";
   }
   return "?";
 }
 
 int SuiteReport::exitCode() const {
-  if (Failed)
+  if (Stopped == "signal")
+    return 4;
+  if (Failed || Quarantined)
     return 3;
   return Findings ? 1 : 0;
 }
@@ -40,11 +68,18 @@ json::Value SuiteReport::toJson() const {
   Doc.set("executed", Value::number(Executed));
   Doc.set("skipped", Value::number(Skipped));
   Doc.set("failed", Value::number(Failed));
+  Doc.set("quarantined", Value::number(Quarantined));
+  Doc.set("interrupted", Value::number(Interrupted));
   Doc.set("succeeded", Value::number(Succeeded));
   Doc.set("findings", Value::number(Findings));
   Doc.set("evals", Value::number(Evals));
+  Doc.set("retries", Value::number(Retries));
+  Doc.set("timeouts", Value::number(Timeouts));
+  Doc.set("stalls", Value::number(Stalls));
   Doc.set("seconds", Value::number(Seconds));
   Doc.set("job_seconds", Value::number(JobSeconds));
+  if (!Stopped.empty())
+    Doc.set("stopped", Value::string(Stopped));
 
   Value Tasks = Value::array();
   for (const TaskStats &T : PerTask)
@@ -74,6 +109,17 @@ json::Value SuiteReport::toJson() const {
     }
     if (!J.Error.empty())
       Item.set("error", Value::string(J.Error));
+    // Attempt histories only when supervision had something to say —
+    // the common all-ok single-attempt case stays compact.
+    bool Interesting = J.Attempts.size() > 1;
+    for (const JobAttempt &A : J.Attempts)
+      Interesting = Interesting || A.Outcome != "ok";
+    if (Interesting) {
+      Value As = Value::array();
+      for (const JobAttempt &A : J.Attempts)
+        As.push(A.toJson());
+      Item.set("attempts", std::move(As));
+    }
     Rs.push(std::move(Item));
   }
   Doc.set("results", std::move(Rs));

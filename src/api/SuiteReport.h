@@ -26,13 +26,35 @@
 
 namespace wdm::api {
 
+/// One execution attempt of a suite job. Attempt histories make a
+/// quarantined job debuggable from the report/log alone: what each
+/// attempt died of, how it was killed, and what the child said last.
+struct JobAttempt {
+  unsigned Number = 1;
+  /// "ok" | "failed" | "timeout" | "stalled" | "interrupted".
+  std::string Outcome;
+  std::string Error;      ///< Diagnostic for non-ok attempts.
+  int ExitCode = -1;      ///< Child exit code (when it exited).
+  int Signal = 0;         ///< Terminating signal (when signaled).
+  std::string SignalName; ///< Decoded ("SIGKILL", ...); empty if none.
+  /// Which resource limit likely killed the child: "" | "cpu" | "mem".
+  std::string LimitHit;
+  std::string StderrTail; ///< Last ≤4 KiB of child stderr (bounded).
+  double Seconds = 0;     ///< Attempt wall clock.
+  double RetryDelaySec = 0; ///< Backoff slept before the *next* attempt.
+
+  json::Value toJson() const;
+};
+
 /// One job's outcome within a suite run.
 struct JobResult {
   enum class State : uint8_t {
-    Listed,   ///< Dry run: expanded but not executed.
-    Executed, ///< Ran in this invocation.
-    Skipped,  ///< Satisfied from the checkpoint log (--resume).
-    Failed,   ///< Worker error (crashed shard, invalid module, ...).
+    Listed,      ///< Dry run: expanded but not executed.
+    Executed,    ///< Ran in this invocation.
+    Skipped,     ///< Satisfied from the checkpoint log (--resume).
+    Failed,      ///< Worker error (crashed shard, invalid module, ...).
+    Quarantined, ///< Failed every attempt of a retry budget.
+    Interrupted, ///< Suite shut down before/while this job ran.
   };
 
   std::string Id; ///< Content-addressed SuiteJob id (= spec hash).
@@ -40,8 +62,11 @@ struct JobResult {
   AnalysisSpec Spec;
   std::string CanonicalSpec;
   State S = State::Listed;
-  std::string Error; ///< Failure diagnostic (Failed only).
+  std::string Error; ///< Failure diagnostic (Failed/Quarantined).
   Report R;          ///< Valid for Executed and Skipped.
+  /// Attempt history; recorded whenever supervision did something
+  /// interesting (any non-ok attempt or more than one attempt).
+  std::vector<JobAttempt> Attempts;
 
   bool hasReport() const {
     return S == State::Executed || S == State::Skipped;
@@ -58,11 +83,19 @@ struct SuiteReport {
   unsigned Executed = 0;
   unsigned Skipped = 0;
   unsigned Failed = 0;
+  unsigned Quarantined = 0;  ///< Jobs that exhausted their retry budget.
+  unsigned Interrupted = 0;  ///< Jobs cut short by suite shutdown.
   unsigned Succeeded = 0; ///< Jobs whose Report.Success is true.
   uint64_t Findings = 0;
   uint64_t Evals = 0;
+  uint64_t Retries = 0;  ///< Retry attempts dispatched across all jobs.
+  uint64_t Timeouts = 0; ///< Attempts killed at their wall deadline.
+  uint64_t Stalls = 0;   ///< Attempts killed by the stall detector.
   double Seconds = 0;    ///< Driver wall clock for this invocation.
   double JobSeconds = 0; ///< Sum of per-job report seconds.
+  /// Why the run stopped early: "" (it didn't) | "signal" (SIGINT/
+  /// SIGTERM graceful shutdown) | "max-failures" (fail-fast threshold).
+  std::string Stopped;
 
   /// Per-task aggregates, in canonical TaskKind order, present tasks
   /// only.
@@ -79,8 +112,10 @@ struct SuiteReport {
   /// Per-job outcomes in expansion order.
   std::vector<JobResult> Results;
 
-  /// The shared wdm exit-code contract: 3 when any job failed, else 1
-  /// when any findings were produced, else 0.
+  /// The shared wdm exit-code contract: 4 when the run was stopped by a
+  /// signal (the log is a valid resume checkpoint), else 3 when any job
+  /// failed or was quarantined, else 1 when any findings were produced,
+  /// else 0.
   int exitCode() const;
 
   /// Aggregates + per-task stats + per-job summaries (not the full

@@ -26,15 +26,69 @@ std::string SuiteJob::subject() const {
 }
 
 //===----------------------------------------------------------------------===//
+// JobLimits
+//===----------------------------------------------------------------------===//
+
+Expected<JobLimits> JobLimits::fromJson(const json::Value &V) {
+  using E = Expected<JobLimits>;
+  JobLimits L;
+  if (V.isNull())
+    return L;
+  if (!V.isObject())
+    return E::error("limits: expected a JSON object");
+  for (const auto &[Key, Val] : V.members()) {
+    if (!Val.isNumber())
+      return E::error("limits: '" + Key + "' must be a number");
+    double D = Val.asDouble();
+    if (D < 0)
+      return E::error("limits: '" + Key + "' must be non-negative");
+    if (Key == "timeout_sec")
+      L.TimeoutSec = D;
+    else if (Key == "stall_timeout_sec")
+      L.StallTimeoutSec = D;
+    else if (Key == "retries")
+      L.Retries = static_cast<unsigned>(Val.asUint());
+    else if (Key == "backoff_sec")
+      L.BackoffSec = D;
+    else if (Key == "mem_limit_mb")
+      L.MemLimitMb = static_cast<unsigned>(Val.asUint());
+    else if (Key == "cpu_limit_sec")
+      L.CpuLimitSec = static_cast<unsigned>(Val.asUint());
+    else if (Key == "max_failures")
+      L.MaxFailures = static_cast<unsigned>(Val.asUint());
+    else
+      return E::error("limits: unknown key '" + Key + "'");
+  }
+  return L;
+}
+
+JobLimits SuiteSpec::baseLimits() const {
+  Expected<JobLimits> L = JobLimits::fromJson(LimitsJson);
+  return L ? *L : JobLimits{};
+}
+
+//===----------------------------------------------------------------------===//
 // Expansion
 //===----------------------------------------------------------------------===//
 
 namespace {
 
 /// Validates one merged job document and canonicalizes it. \p Where
-/// names the job's provenance for diagnostics.
-std::string finishJob(const Value &Merged, const std::string &Where,
-                      bool ApplyEnv, std::vector<SuiteJob> &Out) {
+/// names the job's provenance for diagnostics. \p SuiteLimits is the
+/// suite-wide raw `"limits"` object; a job-level `"limits"` overlay is
+/// stripped from the document (supervision policy must not shift the
+/// content-addressed ID) and deep-merged over it.
+std::string finishJob(Value Merged, const Value &SuiteLimits,
+                      const std::string &Where, bool ApplyEnv,
+                      std::vector<SuiteJob> &Out) {
+  Value EffLimits = SuiteLimits;
+  if (const Value *L = Merged.find("limits")) {
+    EffLimits = json::deepMerge(SuiteLimits, *L);
+    Merged.remove("limits");
+  }
+  Expected<JobLimits> Limits = JobLimits::fromJson(EffLimits);
+  if (!Limits)
+    return "suite " + Where + ": " + Limits.error();
   Expected<AnalysisSpec> Spec = AnalysisSpec::fromJson(Merged);
   if (!Spec)
     return "suite " + Where + ": " + Spec.error();
@@ -45,6 +99,7 @@ std::string finishJob(const Value &Merged, const std::string &Where,
   Job.Id = fnv1a64Hex(Job.CanonicalSpec);
   Job.Spec = Spec.take();
   Job.Index = Out.size();
+  Job.Limits = Limits.take();
   Out.push_back(std::move(Job));
   return "";
 }
@@ -58,7 +113,8 @@ SuiteSpec::expand(bool ApplyEnvOverrides) const {
 
   for (size_t I = 0; I < Jobs.size(); ++I) {
     Value Merged = json::deepMerge(Defaults, Jobs[I]);
-    if (std::string Err = finishJob(Merged, "job #" + std::to_string(I),
+    if (std::string Err = finishJob(std::move(Merged), LimitsJson,
+                                    "job #" + std::to_string(I),
                                     ApplyEnvOverrides, Out);
         !Err.empty())
       return E::error(Err);
@@ -80,8 +136,8 @@ SuiteSpec::expand(bool ApplyEnvOverrides) const {
                               taskKindName(Task) + "/config #" +
                               std::to_string(CI);
           if (Seeds.empty()) {
-            if (std::string Err =
-                    finishJob(Cell, Where, ApplyEnvOverrides, Out);
+            if (std::string Err = finishJob(Cell, LimitsJson, Where,
+                                            ApplyEnvOverrides, Out);
                 !Err.empty())
               return E::error(Err);
             continue;
@@ -94,8 +150,8 @@ SuiteSpec::expand(bool ApplyEnvOverrides) const {
             Value WithSeed = Cell;
             WithSeed.set("search", std::move(Search));
             if (std::string Err =
-                    finishJob(WithSeed, Where + "/seed " +
-                                            std::to_string(Seed),
+                    finishJob(std::move(WithSeed), LimitsJson,
+                              Where + "/seed " + std::to_string(Seed),
                               ApplyEnvOverrides, Out);
                 !Err.empty())
               return E::error(Err);
@@ -130,6 +186,8 @@ json::Value SuiteSpec::toJson() const {
     Doc.set("suite", Value::string(Name));
   if (Defaults.isObject() && !Defaults.members().empty())
     Doc.set("defaults", Defaults);
+  if (LimitsJson.isObject() && !LimitsJson.members().empty())
+    Doc.set("limits", LimitsJson);
   if (!Jobs.empty()) {
     Value Js = Value::array();
     for (const Value &J : Jobs)
@@ -184,6 +242,13 @@ Expected<SuiteSpec> SuiteSpec::fromJson(const json::Value &V) {
     if (!D->isObject())
       return E::error("suite: 'defaults' must be an object");
     Suite.Defaults = *D;
+  }
+  if (const Value *L = V.find("limits")) {
+    if (!L->isObject())
+      return E::error("suite: 'limits' must be an object");
+    if (Expected<JobLimits> Parsed = JobLimits::fromJson(*L); !Parsed)
+      return E::error("suite: " + Parsed.error());
+    Suite.LimitsJson = *L;
   }
   if (const Value *Js = V.find("jobs")) {
     if (!Js->isArray())

@@ -68,6 +68,36 @@ struct SuiteMatrix {
   std::vector<uint64_t> seedList() const;
 };
 
+/// Fault-tolerance policy for suite jobs: deadlines, stall detection,
+/// retry budget, and child resource limits. Declared suite-wide under
+/// the top-level `"limits"` member and overridable per job (a job
+/// fragment's own `"limits"` member deep-merges over the suite's); CLI
+/// flags override both. Zero means "unset / no limit" throughout.
+///
+/// Limits are *policy*, not *work*: the `"limits"` member is stripped
+/// from every merged job document before AnalysisSpec validation, so a
+/// job's content-addressed ID — and therefore the resume checkpoint —
+/// is independent of how the job is supervised.
+struct JobLimits {
+  double TimeoutSec = 0;      ///< Wall-clock deadline per attempt.
+  double StallTimeoutSec = 0; ///< No output/heartbeat for N sec = stalled.
+  unsigned Retries = 0;       ///< Extra attempts after the first.
+  double BackoffSec = 0.5;    ///< Base retry delay (exponential + jitter).
+  unsigned MemLimitMb = 0;    ///< Child RLIMIT_AS, MiB (subprocess mode).
+  unsigned CpuLimitSec = 0;   ///< Child RLIMIT_CPU, sec (subprocess mode).
+  unsigned MaxFailures = 0;   ///< Suite-wide fail-fast threshold.
+
+  /// True when any supervision beyond plain execution is requested.
+  bool any() const {
+    return TimeoutSec > 0 || StallTimeoutSec > 0 || Retries > 0 ||
+           MemLimitMb > 0 || CpuLimitSec > 0 || MaxFailures > 0;
+  }
+
+  /// Strict parse of a `"limits"` object (null = all defaults). Unknown
+  /// keys and negative values are errors.
+  static Expected<JobLimits> fromJson(const json::Value &V);
+};
+
 /// One expanded, validated unit of suite work.
 struct SuiteJob {
   /// Content-addressed ID: fnv1a64Hex(CanonicalSpec). Doubles as the
@@ -78,6 +108,9 @@ struct SuiteJob {
   /// subprocess workers receive and what Id hashes.
   std::string CanonicalSpec;
   size_t Index = 0; ///< Position in deterministic expansion order.
+  /// Effective supervision policy: suite `"limits"` deep-merged with the
+  /// job fragment's own `"limits"` overlay. Not part of Id/CanonicalSpec.
+  JobLimits Limits;
 
   /// Short human label: "task subject" ("task constraint" for fpsat).
   std::string subject() const;
@@ -88,12 +121,19 @@ struct SuiteSpec {
   std::string Name;
   /// Partial AnalysisSpec merged under every job (explicit and matrix).
   json::Value Defaults;
+  /// Raw suite-wide `"limits"` object (validated at parse; round-trips
+  /// byte-wise). Per-job `"limits"` overlays merge over this at expand.
+  json::Value LimitsJson;
   /// Explicit job fragments, expanded before the matrix.
   std::vector<json::Value> Jobs;
   SuiteMatrix Matrix;
 
   /// Appends \p Spec as an explicit job fragment.
   void addJob(const AnalysisSpec &Spec) { Jobs.push_back(Spec.toJson()); }
+
+  /// The suite-wide limits (LimitsJson parsed; defaults when absent).
+  /// Always succeeds after fromJson validated the document.
+  JobLimits baseLimits() const;
 
   /// Deterministic expansion into validated jobs with stable IDs.
   /// \p ApplyEnvOverrides overlays $WDM_STARTS/$WDM_THREADS/$WDM_SEED

@@ -1,0 +1,185 @@
+//===--- FaultInject.cpp - Deterministic fault-injection harness ---------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cerrno>
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <new>
+#include <string_view>
+
+namespace wdm::fault {
+
+std::string envSpec() {
+  const char *E = std::getenv("WDM_FAULT");
+  return E ? std::string(E) : std::string();
+}
+
+namespace {
+
+/// Sleeps \p Sec wall-clock seconds, resuming across EINTR so an
+/// injected delay is exact even when signals land (the suite layer
+/// installs handlers without SA_RESTART).
+void sleepFully(double Sec) {
+  if (Sec <= 0)
+    return;
+  timespec Req;
+  Req.tv_sec = static_cast<time_t>(Sec);
+  Req.tv_nsec = static_cast<long>((Sec - static_cast<double>(Req.tv_sec)) * 1e9);
+  timespec Rem;
+  while (nanosleep(&Req, &Rem) == -1 && errno == EINTR)
+    Req = Rem;
+}
+
+bool parseClause(std::string_view Text, Clause &Out, std::string &Err) {
+  // action[:param]@job:<index>[#<attempt|*>]
+  size_t At = Text.find('@');
+  if (At == std::string_view::npos) {
+    Err = "missing '@job:' selector";
+    return false;
+  }
+  std::string_view Head = Text.substr(0, At);
+  std::string_view Tail = Text.substr(At + 1);
+
+  size_t Colon = Head.find(':');
+  Out.Action = std::string(Head.substr(0, Colon));
+  Out.Param = 0;
+  if (Colon != std::string_view::npos) {
+    std::string P(Head.substr(Colon + 1));
+    char *End = nullptr;
+    Out.Param = std::strtod(P.c_str(), &End);
+    if (P.empty() || End == P.c_str() || *End != '\0') {
+      Err = "bad parameter '" + P + "'";
+      return false;
+    }
+  }
+  if (Out.Action != "crash" && Out.Action != "hang" && Out.Action != "oom" &&
+      Out.Action != "slow-heartbeat" && Out.Action != "exit" &&
+      Out.Action != "sleep") {
+    Err = "unknown action '" + Out.Action + "'";
+    return false;
+  }
+
+  if (Tail.rfind("job:", 0) != 0) {
+    Err = "selector must be 'job:<index>'";
+    return false;
+  }
+  Tail.remove_prefix(4);
+
+  Out.Attempt = 1;
+  size_t Hash = Tail.find('#');
+  if (Hash != std::string_view::npos) {
+    std::string_view A = Tail.substr(Hash + 1);
+    if (A == "*") {
+      Out.Attempt = 0;
+    } else {
+      char *End = nullptr;
+      std::string AS(A);
+      unsigned long V = std::strtoul(AS.c_str(), &End, 10);
+      if (AS.empty() || *End != '\0' || V == 0) {
+        Err = "bad attempt selector '" + AS + "'";
+        return false;
+      }
+      Out.Attempt = static_cast<unsigned>(V);
+    }
+    Tail = Tail.substr(0, Hash);
+  }
+
+  std::string Idx(Tail);
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Idx.c_str(), &End, 10);
+  if (Idx.empty() || *End != '\0') {
+    Err = "bad job index '" + Idx + "'";
+    return false;
+  }
+  Out.JobIndex = static_cast<size_t>(V);
+  return true;
+}
+
+} // namespace
+
+Expected<std::vector<Clause>> parse(const std::string &Text) {
+  std::vector<Clause> Plan;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    // Trim surrounding whitespace from the clause.
+    size_t B = Pos, E = End;
+    while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
+      ++B;
+    while (E > B && std::isspace(static_cast<unsigned char>(Text[E - 1])))
+      --E;
+    if (B < E) {
+      Clause C;
+      std::string Err;
+      std::string_view Part(Text.data() + B, E - B);
+      if (!parseClause(Part, C, Err))
+        return Status::error("WDM_FAULT: clause '" + std::string(Part) +
+                             "': " + Err);
+      Plan.push_back(std::move(C));
+    }
+    if (End == Text.size())
+      break;
+    Pos = End + 1;
+  }
+  if (Plan.empty())
+    return Status::error("WDM_FAULT: empty fault spec");
+  return Plan;
+}
+
+std::optional<Clause> actionFor(const std::vector<Clause> &Plan,
+                                size_t JobIndex, unsigned Attempt) {
+  for (const Clause &C : Plan)
+    if (C.matches(JobIndex, Attempt))
+      return C;
+  return std::nullopt;
+}
+
+void injectChild(const Clause &C) {
+  if (C.Action == "crash") {
+    std::abort();
+  } else if (C.Action == "exit") {
+    _Exit(C.Param > 0 ? static_cast<int>(C.Param) : 9);
+  } else if (C.Action == "hang") {
+    // A worst-case hang: deaf to SIGTERM, so only the driver's SIGKILL
+    // escalation can reclaim the slot.
+    std::signal(SIGTERM, SIG_IGN);
+    std::signal(SIGINT, SIG_IGN);
+    for (;;)
+      sleepFully(3600);
+  } else if (C.Action == "oom") {
+    // Allocate and touch until the allocator gives up. Under RLIMIT_AS
+    // this is a genuine resource-limit death; the bad_alloc text on
+    // stderr is what the driver's limit attribution looks for.
+    size_t StepMb = C.Param > 0 ? static_cast<size_t>(C.Param) : 64;
+    std::vector<char *> Held;
+    try {
+      for (;;) {
+        char *P = new char[StepMb << 20];
+        for (size_t I = 0; I < (StepMb << 20); I += 4096)
+          P[I] = 1;
+        Held.push_back(P);
+      }
+    } catch (const std::bad_alloc &) {
+      std::fputs("wdm fault: std::bad_alloc (injected oom)\n", stderr);
+      std::fflush(stderr);
+      std::abort();
+    }
+  } else if (C.Action == "slow-heartbeat") {
+    // Total silence — no output, no heartbeat — then proceed normally.
+    sleepFully(C.Param > 0 ? C.Param : 5);
+  }
+  // "sleep" is a driver-side action: a no-op in the child.
+}
+
+} // namespace wdm::fault

@@ -1,0 +1,101 @@
+//===--- FaultInject.h - Deterministic fault-injection harness -*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The suite layer's fault-tolerance contract (deadlines, stall
+/// detection, retries, quarantine, resource limits, graceful shutdown)
+/// is only trustworthy if every path is exercised by *real* dying,
+/// hanging, and thrashing worker processes — not mocks. This module is
+/// that harness: a `WDM_FAULT` environment spec names deterministic
+/// faults to inject into specific suite jobs (by expansion index) on
+/// specific attempts, and `wdm run-job` children plus the JobScheduler
+/// dispatch loop honor it.
+///
+/// Grammar (comma- or semicolon-separated clauses):
+///
+///   WDM_FAULT = clause [',' clause]...
+///   clause    = action [':' param] '@job:' index ['#' (attempt | '*')]
+///
+/// The attempt selector defaults to 1 (first attempt only — so a
+/// retried job recovers, exercising the retry-then-success path);
+/// `#*` injects on every attempt (the crash-loop / quarantine path).
+///
+/// Child-side actions (performed by `wdm run-job` after spec parse,
+/// identified via the internal `--fault-tag=<index>.<attempt>` flag the
+/// scheduler appends whenever WDM_FAULT is set):
+///
+///   crash              abort() — die by SIGABRT like a real crash
+///   hang               ignore SIGTERM and sleep forever (forces the
+///                      driver's full SIGTERM→grace→SIGKILL escalation)
+///   oom[:mb_step]      allocate+touch memory until the allocator fails
+///                      (under RLIMIT_AS: a real resource-limit kill)
+///   slow-heartbeat[:s] stay silent (no output, no heartbeat) for s
+///                      seconds (default 5) before running normally —
+///                      trips a stall deadline shorter than s
+///   exit[:code]        _exit(code) (default 9) without a report
+///
+/// Driver-side action (performed by the JobScheduler worker loop right
+/// before dispatching the job; interruptible by shutdown):
+///
+///   sleep[:s]          sleep s seconds (default 3) before dispatch —
+///                      opens a deterministic window for signal-driven
+///                      shutdown tests in *both* scheduler modes
+///
+/// Everything here is inert unless WDM_FAULT is set; production runs
+/// never pay for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SUPPORT_FAULTINJECT_H
+#define WDM_SUPPORT_FAULTINJECT_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wdm::fault {
+
+/// One parsed WDM_FAULT clause.
+struct Clause {
+  std::string Action; ///< "crash", "hang", "oom", ...
+  double Param = 0;   ///< The optional ':' parameter (0 = unset).
+  size_t JobIndex = 0;
+  unsigned Attempt = 1; ///< 0 = every attempt ('#*').
+
+  /// True when this clause fires for (JobIndex, Attempt).
+  bool matches(size_t Job, unsigned AttemptNo) const {
+    return JobIndex == Job && (Attempt == 0 || Attempt == AttemptNo);
+  }
+};
+
+/// The raw WDM_FAULT text; empty when unset. Reads the environment on
+/// every call (cheap, and tests flip it between runs).
+std::string envSpec();
+
+/// True when WDM_FAULT is set and non-empty.
+inline bool enabled() { return !envSpec().empty(); }
+
+/// Parses a WDM_FAULT spec. Unknown actions and malformed clauses are
+/// errors — a typo'd fault plan must fail loudly, not silently inject
+/// nothing.
+Expected<std::vector<Clause>> parse(const std::string &Text);
+
+/// First clause of \p Plan matching (JobIndex, Attempt), if any.
+std::optional<Clause> actionFor(const std::vector<Clause> &Plan,
+                                size_t JobIndex, unsigned Attempt);
+
+/// Performs a child-side action in this process (crash/hang/oom/
+/// slow-heartbeat/exit). Returns normally only for actions that let the
+/// job proceed (slow-heartbeat) or driver-side actions (sleep), which
+/// are no-ops here.
+void injectChild(const Clause &C);
+
+} // namespace wdm::fault
+
+#endif // WDM_SUPPORT_FAULTINJECT_H

@@ -201,6 +201,16 @@ Value &Value::set(std::string Key, Value V) {
   return *this;
 }
 
+bool Value::remove(const std::string &Key) {
+  for (auto It = Members.begin(); It != Members.end(); ++It) {
+    if (It->first == Key) {
+      Members.erase(It);
+      return true;
+    }
+  }
+  return false;
+}
+
 const Value *Value::find(const std::string &Key) const {
   for (const auto &[K2, V2] : Members)
     if (K2 == Key)

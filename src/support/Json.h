@@ -83,6 +83,9 @@ public:
 
   // Object interface.
   Value &set(std::string Key, Value V); ///< Returns *this (chainable).
+  /// Removes member \p Key when present; returns true when removed.
+  /// Later members keep their insertion order.
+  bool remove(const std::string &Key);
   /// Member lookup; nullptr when missing or not an object.
   const Value *find(const std::string &Key) const;
   /// Object members in insertion order (empty for non-objects).

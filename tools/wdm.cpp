@@ -22,6 +22,8 @@
 //   1  findings were produced (witnesses, overflows, tests, models, ...)
 //   2  usage, spec, or subject-resolution error
 //   3  internal/execution error (crashed or failing suite worker, I/O)
+//   4  interrupted (suite run only: SIGINT/SIGTERM stopped the suite
+//      gracefully; the --ndjson log is a valid --resume checkpoint)
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +36,7 @@
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/BuildInfo.h"
+#include "support/FaultInject.h"
 #include "support/StringUtils.h"
 #include "vm/VMWeakDistance.h"
 
@@ -41,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace wdm;
@@ -104,6 +108,24 @@ int usage() {
          "  --progress                 stream job_progress heartbeats + "
          "live status line\n"
          "  --progress-every=<sec>     heartbeat period (default 2)\n\n"
+         "suite fault tolerance (CLI flags override the suite's "
+         "\"limits\" section):\n"
+         "  --timeout=<sec>            per-job wall-clock deadline "
+         "(subprocess mode)\n"
+         "  --stall-timeout=<sec>      kill a worker with no "
+         "output/heartbeat for N sec\n"
+         "  --retries=<n>              extra attempts for "
+         "failed/timed-out/stalled jobs\n"
+         "  --backoff=<sec>            base retry delay; exponential "
+         "with jitter (default 0.5)\n"
+         "  --mem-limit=<mb>           child RLIMIT_AS (subprocess "
+         "mode)\n"
+         "  --cpu-limit=<sec>          child RLIMIT_CPU (subprocess "
+         "mode)\n"
+         "  --max-failures=<n>         abort the suite after N "
+         "failed/quarantined jobs\n"
+         "  --grace=<sec>              SIGTERM-to-SIGKILL escalation "
+         "window (default 2)\n\n"
          "observability (run, analyze, run-job, suite run):\n"
          "  --trace=<out.json>         write Chrome trace-event JSON "
          "(phase spans; open in Perfetto)\n"
@@ -111,7 +133,9 @@ int usage() {
          "report gains a \"metrics\" section\n\n"
          "exit codes (run, run-job, suite run):\n"
          "  0 = ran clean, no findings   1 = findings produced\n"
-         "  2 = usage/spec error         3 = internal/worker error\n";
+         "  2 = usage/spec error         3 = internal/worker error\n"
+         "  4 = interrupted (suite run: stopped by SIGINT/SIGTERM; "
+         "--ndjson log resumes)\n";
   return 2;
 }
 
@@ -384,6 +408,8 @@ int cmdRunJob(int Argc, char **Argv) {
   ObsCli Obs;
   Obs.Quiet = true;
   double ProgressEvery = -1;
+  size_t FaultJob = 0;
+  unsigned FaultAttempt = 0; ///< 0 = no --fault-tag.
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
     std::string Key = A, Val;
@@ -403,6 +429,20 @@ int cmdRunJob(int Argc, char **Argv) {
       ProgressEvery = std::strtod(Val.c_str(), &End);
       if (Val.empty() || !End || *End || ProgressEvery < 0)
         return fail("bad --progress-every (seconds)");
+    } else if (Key == "--fault-tag") {
+      // Internal: "<job-index>.<attempt>", appended by the suite driver
+      // whenever WDM_FAULT is set, so the child can look itself up in
+      // the fault plan.
+      size_t Dot = Val.find('.');
+      char *E1 = nullptr, *E2 = nullptr;
+      std::string JS = Val.substr(0, Dot);
+      std::string AS = Dot == std::string::npos ? "" : Val.substr(Dot + 1);
+      unsigned long long J = std::strtoull(JS.c_str(), &E1, 10);
+      unsigned long AT = std::strtoul(AS.c_str(), &E2, 10);
+      if (JS.empty() || AS.empty() || *E1 || *E2 || AT == 0)
+        return fail("bad --fault-tag (expected <job>.<attempt>)");
+      FaultJob = static_cast<size_t>(J);
+      FaultAttempt = static_cast<unsigned>(AT);
     } else if (Obs.consume(Key, Val, A)) {
     } else if (SpecPath.empty() && (A == "-" || !startsWith(A, "--"))) {
       SpecPath = A;
@@ -419,6 +459,19 @@ int cmdRunJob(int Argc, char **Argv) {
   Expected<AnalysisSpec> Spec = AnalysisSpec::parse(*Text);
   if (!Spec)
     return fail(SpecPath + ": " + Spec.error());
+
+  // Deterministic fault injection (tests/CI): when the driver tagged us
+  // and WDM_FAULT names a fault for this (job, attempt), become that
+  // fault — crash, hang, OOM, or a silent delay — as a real process.
+  if (FaultAttempt && fault::enabled()) {
+    Expected<std::vector<fault::Clause>> Plan =
+        fault::parse(fault::envSpec());
+    if (!Plan)
+      return fail(Plan.error());
+    if (std::optional<fault::Clause> C =
+            fault::actionFor(*Plan, FaultJob, FaultAttempt))
+      fault::injectChild(*C);
+  }
 
   // Heartbeats for the suite driver: one job_progress NDJSON line per
   // period on stdout. The driver's poll loop peels event lines off the
@@ -476,21 +529,37 @@ void printSuiteReport(const SuiteReport &R) {
             << "jobs:      " << R.Jobs << "\n"
             << "executed:  " << R.Executed << "\n"
             << "skipped:   " << R.Skipped << "\n"
-            << "failed:    " << R.Failed << "\n"
-            << "findings:  " << R.Findings << "\n"
-            << "evals:     " << R.Evals << "\n"
-            << "seconds:   " << formatf("%.3f", R.Seconds)
+            << "failed:    " << R.Failed << "\n";
+  if (R.Quarantined)
+    std::cout << "quarantined: " << R.Quarantined << "\n";
+  if (R.Interrupted)
+    std::cout << "interrupted: " << R.Interrupted << "\n";
+  std::cout << "findings:  " << R.Findings << "\n"
+            << "evals:     " << R.Evals << "\n";
+  if (R.Retries || R.Timeouts || R.Stalls)
+    std::cout << "retries:   " << R.Retries << " (timeouts " << R.Timeouts
+              << ", stalls " << R.Stalls << ")\n";
+  std::cout << "seconds:   " << formatf("%.3f", R.Seconds)
             << " (job time " << formatf("%.3f", R.JobSeconds) << ")\n";
+  if (!R.Stopped.empty())
+    std::cout << "stopped:   " << R.Stopped
+              << " (resume with --resume --ndjson <log>)\n";
   for (const SuiteReport::TaskStats &T : R.PerTask)
     std::cout << "  " << formatf("%-14s", T.Task.c_str()) << T.Jobs
               << " job(s), " << T.Succeeded << " succeeded, "
               << T.Findings << " finding(s), " << T.Evals << " evals, "
               << formatf("%.3fs", T.Seconds) << "\n";
-  for (const JobResult &J : R.Results)
+  for (const JobResult &J : R.Results) {
     if (J.S == JobResult::State::Failed)
       std::cout << "  FAILED " << J.Id << " ("
                 << taskKindName(J.Spec.Task) << " " << subjectText(J.Spec)
                 << "): " << J.Error << "\n";
+    else if (J.S == JobResult::State::Quarantined)
+      std::cout << "  QUARANTINED " << J.Id << " ("
+                << taskKindName(J.Spec.Task) << " " << subjectText(J.Spec)
+                << ", " << J.Attempts.size() << " attempts): " << J.Error
+                << "\n";
+  }
 }
 
 int cmdSuite(int Argc, char **Argv) {
@@ -555,6 +624,36 @@ int cmdSuite(int Argc, char **Argv) {
       if (Val.empty() || !End || *End || Sec < 0)
         return fail("bad --progress-every (seconds)");
       Opts.ProgressPeriodSec = Sec;
+    } else if (Key == "--timeout" || Key == "--stall-timeout" ||
+               Key == "--backoff" || Key == "--grace") {
+      char *End = nullptr;
+      double Sec = std::strtod(Val.c_str(), &End);
+      if (Val.empty() || !End || *End || Sec < 0)
+        return fail("bad " + Key + " (seconds)");
+      if (Key == "--timeout")
+        Opts.TimeoutSec = Sec;
+      else if (Key == "--stall-timeout")
+        Opts.StallTimeoutSec = Sec;
+      else if (Key == "--backoff")
+        Opts.BackoffSec = Sec;
+      else
+        Opts.GraceSec = Sec;
+    } else if (Key == "--retries") {
+      if (!Uint(Val, N))
+        return fail("bad --retries");
+      Opts.Retries = static_cast<unsigned>(N);
+    } else if (Key == "--mem-limit") {
+      if (!Uint(Val, N))
+        return fail("bad --mem-limit (MiB)");
+      Opts.MemLimitMb = static_cast<unsigned>(N);
+    } else if (Key == "--cpu-limit") {
+      if (!Uint(Val, N))
+        return fail("bad --cpu-limit (seconds)");
+      Opts.CpuLimitSec = static_cast<unsigned>(N);
+    } else if (Key == "--max-failures") {
+      if (!Uint(Val, N))
+        return fail("bad --max-failures");
+      Opts.MaxFailures = static_cast<unsigned>(N);
     } else if (Obs.consume(Key, Val, A)) {
     } else if (!startsWith(A, "--") && SuitePath.empty()) {
       SuitePath = A;
@@ -596,6 +695,9 @@ int cmdSuite(int Argc, char **Argv) {
   if (Opts.Resume && Opts.EventLog.empty())
     return fail("--resume needs --ndjson <log> (the checkpoint)");
 
+  // Ctrl-C / SIGTERM on the CLI driver = graceful shutdown: stop
+  // dispatching, reap children, flush suite_interrupted, exit 4.
+  Opts.HandleSignals = true;
   Obs.begin();
   Expected<SuiteReport> R =
       JobScheduler::execute(std::move(*Suite), std::move(Opts));
