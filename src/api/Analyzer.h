@@ -34,11 +34,26 @@
 
 namespace wdm::api {
 
+class WarmCache;
+struct WarmEntry;
+
 class Analyzer {
 public:
   explicit Analyzer(AnalysisSpec Spec) : Spec(std::move(Spec)) {}
 
   const AnalysisSpec &spec() const { return Spec; }
+
+  /// Attaches a warm-state cache (service mode): when the spec is
+  /// warmable, run() reuses the cached resolved module and analysis
+  /// state instead of resolving/instrumenting/lowering from scratch.
+  /// The cache must outlive the Analyzer. Null detaches.
+  Analyzer &setWarmCache(WarmCache *WC) {
+    Warm = WC;
+    return *this;
+  }
+
+  /// True when the last run() reused a ready warm entry.
+  bool lastRunWarm() const { return WasWarm; }
 
   /// Resolves the module and function, constructs the backends, and
   /// dispatches to the task adapter. Wall-clock Seconds covers the whole
@@ -51,12 +66,19 @@ public:
   }
 
   /// The module the last run() resolved (parsed, read, or built);
-  /// null before run() and for module-free tasks. Owned by the Analyzer.
-  ir::Module *module() const { return OwnedModule.get(); }
+  /// null before run() and for module-free tasks. Owned by the Analyzer
+  /// (or, on a warm run, by the retained warm entry).
+  ir::Module *module() const {
+    return OwnedModule ? OwnedModule.get() : ResolvedModule;
+  }
 
 private:
   AnalysisSpec Spec;
   std::unique_ptr<ir::Module> OwnedModule;
+  WarmCache *Warm = nullptr;
+  std::shared_ptr<WarmEntry> Entry; ///< Keeps a warm module alive.
+  ir::Module *ResolvedModule = nullptr;
+  bool WasWarm = false;
 };
 
 } // namespace wdm::api

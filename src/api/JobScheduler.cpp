@@ -21,6 +21,7 @@
 #include <cmath>
 #include <csignal>
 #include <ctime>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -57,6 +58,28 @@ bool wdm::api::suiteModeByName(const std::string &Name, SuiteMode &Out) {
        {SuiteMode::InProcess, SuiteMode::Subprocess, SuiteMode::Dry}) {
     if (Name == suiteModeName(M)) {
       Out = M;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char *wdm::api::suiteDispatchName(SuiteDispatch D) {
+  switch (D) {
+  case SuiteDispatch::WorkStealing:
+    return "steal";
+  case SuiteDispatch::RoundRobin:
+    return "roundrobin";
+  }
+  return "?";
+}
+
+bool wdm::api::suiteDispatchByName(const std::string &Name,
+                                   SuiteDispatch &Out) {
+  for (SuiteDispatch D :
+       {SuiteDispatch::WorkStealing, SuiteDispatch::RoundRobin}) {
+    if (Name == suiteDispatchName(D)) {
+      Out = D;
       return true;
     }
   }
@@ -840,23 +863,26 @@ Expected<SuiteReport> JobScheduler::run() {
   auto stopRequested = [&] {
     return Abort.load(std::memory_order_relaxed) ||
            (SigGuard.has_value() &&
-            GShutdown.load(std::memory_order_relaxed));
+            GShutdown.load(std::memory_order_relaxed)) ||
+           (Opts.StopFlag &&
+            Opts.StopFlag->load(std::memory_order_relaxed));
   };
   std::atomic<unsigned> TerminalFailures{0};
   std::atomic<uint64_t> NRetries{0}, NTimeouts{0}, NStalls{0};
 
   // -- Execute -----------------------------------------------------------
-  std::atomic<size_t> Next{0};
-  auto Worker = [&](unsigned Shard) {
-    obs::setThreadTrackName(formatf("shard %u", Shard));
-    for (size_t I = Next.fetch_add(1); I < Jobs.size();
-         I = Next.fetch_add(1)) {
+  // RunJob is the whole per-job lifecycle (attempts, retries, terminal
+  // event); the dispatch policies below only decide which shard calls
+  // it for which index. Returns false when the shard should stop
+  // dispatching (shutdown/fail-fast).
+  auto RunJob = [&](size_t I) -> bool {
+    {
       const SuiteJob &Job = Jobs[I];
       JobResult &JR = Rep.Results[I];
       if (JR.S == JobResult::State::Skipped)
-        continue;
+        return true;
       if (stopRequested())
-        break; // Undispatched jobs stay Listed; marked after the join.
+        return false; // Undispatched jobs stay Listed; marked after join.
       const JobLimits L = effectiveLimits(Job);
       Sink.event(jobEvent("job_started", Job));
       Sink.progress("[" + Job.Id + "] " + Job.subject() + ": started");
@@ -1136,6 +1162,61 @@ Expected<SuiteReport> JobScheduler::run() {
           Abort.store(true, std::memory_order_relaxed);
       }
     }
+    return true;
+  };
+
+  // -- Dispatch ----------------------------------------------------------
+  // WorkStealing (default): pending jobs are dealt round-robin into
+  // per-shard deques; a shard pops its own front and, when dry, steals
+  // from the back of the nearest non-empty victim. RoundRobin keeps the
+  // legacy shared-counter pop as the bit-identity baseline (per-job
+  // Reports are identical either way; only shard assignment moves).
+  const bool Stealing = Opts.Dispatch == SuiteDispatch::WorkStealing;
+  std::atomic<size_t> Next{0};
+  std::vector<std::deque<size_t>> Deques(Stealing ? Shards : 0);
+  std::vector<std::mutex> DeqMu(Stealing ? Shards : 0);
+  if (Stealing) {
+    size_t Deal = 0;
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      if (Rep.Results[I].S == JobResult::State::Listed)
+        Deques[Deal++ % Shards].push_back(I);
+  }
+  auto Worker = [&](unsigned Shard) {
+    obs::setThreadTrackName(formatf("shard %u", Shard));
+    if (!Stealing) {
+      for (size_t I = Next.fetch_add(1); I < Jobs.size();
+           I = Next.fetch_add(1))
+        if (!RunJob(I))
+          break;
+      return;
+    }
+    while (true) {
+      size_t I = 0;
+      bool Got = false;
+      {
+        std::lock_guard<std::mutex> Lock(DeqMu[Shard]);
+        if (!Deques[Shard].empty()) {
+          I = Deques[Shard].front();
+          Deques[Shard].pop_front();
+          Got = true;
+        }
+      }
+      // Steal scan: deterministic per-shard victim order (next shard
+      // first), back of the victim's deque — the jobs its owner would
+      // reach last.
+      for (unsigned K = 1; K < Shards && !Got; ++K) {
+        unsigned V = (Shard + K) % Shards;
+        std::lock_guard<std::mutex> Lock(DeqMu[V]);
+        if (!Deques[V].empty()) {
+          I = Deques[V].back();
+          Deques[V].pop_back();
+          Got = true;
+          obs::count("suite.steals");
+        }
+      }
+      if (!Got || !RunJob(I))
+        break;
+    }
   };
 
   if (Shards == 1) {
@@ -1156,6 +1237,8 @@ Expected<SuiteReport> JobScheduler::run() {
   // checkpoint, which is true either way, but the cause matters.
   if (SigGuard.has_value() && GShutdown.load(std::memory_order_relaxed))
     Rep.Stopped = "signal";
+  else if (Opts.StopFlag && Opts.StopFlag->load(std::memory_order_relaxed))
+    Rep.Stopped = "stopped";
   else if (Abort.load(std::memory_order_relaxed))
     Rep.Stopped = "max-failures";
   // Undispatched jobs of a stopped run are exactly the unfinished set a

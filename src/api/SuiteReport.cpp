@@ -51,7 +51,10 @@ const char *JobResult::stateName() const {
 }
 
 int SuiteReport::exitCode() const {
-  if (Stopped == "signal")
+  // "signal" (CLI SIGINT/SIGTERM) and "stopped" (an embedded driver's
+  // StopFlag, e.g. the serve daemon draining) are both graceful
+  // interruptions; "max-failures" stays in the failure class below.
+  if (Stopped == "signal" || Stopped == "stopped")
     return 4;
   if (Failed || Quarantined)
     return 3;

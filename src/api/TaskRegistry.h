@@ -27,6 +27,8 @@
 
 namespace wdm::api {
 
+struct WarmEntry;
+
 /// Everything an adapter needs, resolved by the Analyzer: the parsed or
 /// built module, the subject function, any GSL result slots, and the
 /// constructed backend portfolio.
@@ -36,6 +38,10 @@ struct TaskContext {
   ir::Function *F = nullptr;     ///< Resolved subject; null for fpsat.
   gsl::SfResultSlots Slots;      ///< val/err globals when resolvable.
   std::vector<std::unique_ptr<opt::Optimizer>> Backends; ///< >= 1 entry.
+  /// Non-null when a WarmCache holds this run's entry (locked for the
+  /// duration of the task). Opt-in adapters park/reuse their analysis
+  /// object through it; everyone else can ignore it.
+  WarmEntry *Warm = nullptr;
 
   explicit TaskContext(const AnalysisSpec &Spec) : Spec(Spec) {}
 

@@ -1,0 +1,108 @@
+//===--- Warm.h - Warm execution state across runs -------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident-state half of service mode: a WarmCache keeps resolved
+/// and verified modules — together with their instrumented clones,
+/// lowered bytecode, JIT code, and static pre-pass results, all bundled
+/// inside the per-task analysis object — alive across Analyzer runs, so
+/// a warm request skips resolve -> verify -> instrument -> lower ->
+/// compile entirely and goes straight to the search.
+///
+/// Keys are content-addressed like everything else in the repo: the
+/// canonical spec text with the *volatile* search knobs stripped (seed,
+/// starts, max_evals, start box, wild-start probability, threads,
+/// batch) — two requests that differ only in where/how long to search
+/// share one warm entry, while anything construction-relevant (task,
+/// module, function, task parameters, engine tier, prune mode,
+/// backends) keys a distinct one. File-sourced modules additionally key
+/// on the file *content* hash, so editing the file on disk naturally
+/// misses the stale entry.
+///
+/// Only tasks whose analysis objects are re-runnable opt in (Boundary,
+/// Path: `findOne` mints fresh thread-local evaluators per run and
+/// mutates nothing persistent). The stateful detectors (coverage,
+/// overflow, inconsistency) bypass the cache — re-instrumenting a
+/// cached module would stack duplicate `__*` clones.
+///
+/// Entries serialize concurrent same-key runs behind a per-entry mutex
+/// (searches on *different* specs still run in parallel); the cache is
+/// LRU-bounded, and an evicted entry stays alive until its in-flight
+/// holder drops it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_API_WARM_H
+#define WDM_API_WARM_H
+
+#include "gsl/GslCommon.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace wdm::api {
+
+struct AnalysisSpec;
+
+/// One warm slot: the resolved module plus whatever task-specific state
+/// the adapter parked (an analysis object owning instrumentation,
+/// bytecode, JIT code, and the pre-pass plan). The holder locks Mu for
+/// the whole task run.
+struct WarmEntry {
+  std::mutex Mu;
+  bool Ready = false; ///< Module resolved and verified.
+  std::unique_ptr<ir::Module> M;
+  ir::Function *F = nullptr;
+  gsl::SfResultSlots Slots;
+  /// Task-specific warm state (set by the adapter on first run; cast
+  /// back by the same adapter — the warm key pins the task kind).
+  std::shared_ptr<void> State;
+  uint64_t Runs = 0; ///< Completed task runs through this entry.
+};
+
+/// LRU-bounded map of warm entries. Thread-safe.
+class WarmCache {
+public:
+  explicit WarmCache(size_t Capacity = 64) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// The warm key for \p Spec, or "" when the spec is not warmable
+  /// (module-free task, a task kind that does not opt in, or an
+  /// unreadable module file).
+  static std::string keyFor(const AnalysisSpec &Spec);
+
+  /// The entry for \p Key, minting (and LRU-evicting) as needed. The
+  /// caller locks Entry->Mu before touching any other member.
+  std::shared_ptr<WarmEntry> acquire(const std::string &Key);
+
+  size_t size() const;
+
+  struct Stats {
+    uint64_t Hits = 0;   ///< acquire() of an existing entry.
+    uint64_t Misses = 0; ///< Entries minted.
+    uint64_t Evictions = 0;
+  };
+  Stats stats() const;
+
+private:
+  size_t Capacity;
+  mutable std::mutex Mu;
+  // Most recent at front.
+  std::list<std::pair<std::string, std::shared_ptr<WarmEntry>>> Lru;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, std::shared_ptr<WarmEntry>>>::iterator>
+      Index;
+  Stats St;
+};
+
+} // namespace wdm::api
+
+#endif // WDM_API_WARM_H

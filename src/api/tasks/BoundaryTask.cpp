@@ -6,6 +6,7 @@
 
 #include "analyses/BoundaryAnalysis.h"
 #include "api/TaskRegistry.h"
+#include "api/Warm.h"
 #include "api/tasks/Common.h"
 #include "api/tasks/Prune.h"
 
@@ -15,6 +16,15 @@ using wdm::json::Value;
 
 namespace {
 
+/// What a warm entry parks between runs: the instrumented analysis
+/// (clones, bytecode, JIT code) and the pre-pass plan it was built
+/// against. findOne is re-runnable — each run mints fresh thread-local
+/// evaluators — so reuse changes nothing but the setup cost.
+struct WarmBoundary {
+  tasks::PrunePlan Plan;
+  std::unique_ptr<analyses::BoundaryAnalysis> BVA;
+};
+
 Expected<Report> runBoundary(TaskContext &Ctx) {
   instr::BoundaryForm Form = instr::BoundaryForm::Product;
   if (Ctx.Spec.BoundaryForm == "min")
@@ -22,10 +32,27 @@ Expected<Report> runBoundary(TaskContext &Ctx) {
   else if (Ctx.Spec.BoundaryForm == "minulp")
     Form = instr::BoundaryForm::MinUlp;
 
-  tasks::PrunePlan Plan = tasks::planPrune(Ctx);
-  analyses::BoundaryAnalysis BVA(*Ctx.M, *Ctx.F, Form, Ctx.engineKind(),
-                                 tasks::skipPredicate(Plan));
-  tasks::classifySites(Plan, BVA.sites());
+  std::shared_ptr<WarmBoundary> W;
+  if (Ctx.Warm && Ctx.Warm->State) {
+    W = std::static_pointer_cast<WarmBoundary>(Ctx.Warm->State);
+    // Seconds and the per-run box shrink restart; the classification
+    // itself is already computed.
+    W->Plan.Clock0 = std::chrono::steady_clock::now();
+    W->Plan.Seconds = 0;
+    W->Plan.BoxShrunk = false;
+    W->Plan.BoxLo = W->Plan.BoxHi = 0;
+  } else {
+    W = std::make_shared<WarmBoundary>();
+    W->Plan = tasks::planPrune(Ctx);
+    W->BVA = std::make_unique<analyses::BoundaryAnalysis>(
+        *Ctx.M, *Ctx.F, Form, Ctx.engineKind(), tasks::skipPredicate(W->Plan));
+    tasks::classifySites(W->Plan, W->BVA->sites());
+    if (Ctx.Warm)
+      Ctx.Warm->State = W;
+  }
+  tasks::PrunePlan &Plan = W->Plan;
+  analyses::BoundaryAnalysis &BVA = *W->BVA;
+
   core::SearchOptions Opts = Ctx.searchOptions({});
   tasks::shrinkBox(Plan, *Ctx.F, Opts, BVA.sites());
   core::SearchResult R = BVA.findOne(Ctx.primaryBackend(), Opts);

@@ -6,6 +6,7 @@
 
 #include "analyses/PathReachability.h"
 #include "api/TaskRegistry.h"
+#include "api/Warm.h"
 #include "api/tasks/Common.h"
 #include "api/tasks/Prune.h"
 #include "ir/Instruction.h"
@@ -16,8 +17,70 @@ using wdm::json::Value;
 
 namespace {
 
+/// Warm-entry state: the instrumented reachability analysis (which owns
+/// lowered bytecode/JIT code), the resolved path spec (instruction
+/// pointers into the cached module), and the pre-pass plan.
+struct WarmPath {
+  tasks::PrunePlan Plan;
+  instr::PathSpec PS;
+  std::unique_ptr<analyses::PathReachability> PR;
+};
+
 Expected<Report> runPath(TaskContext &Ctx) {
   using E = Expected<Report>;
+
+  // Warm rerun: the legs were validated, the pre-pass ran, and the
+  // statically-infeasible early-out did not fire on the first run (a
+  // dead path parks no state) — jump straight to the search.
+  if (Ctx.Warm && Ctx.Warm->State) {
+    std::shared_ptr<WarmPath> W =
+        std::static_pointer_cast<WarmPath>(Ctx.Warm->State);
+    W->Plan.Clock0 = std::chrono::steady_clock::now();
+    W->Plan.Seconds = 0;
+    W->Plan.BoxShrunk = false;
+    W->Plan.BoxLo = W->Plan.BoxHi = 0;
+
+    core::SearchOptions Opts = Ctx.searchOptions({});
+    if (W->Plan.Mode == PruneMode::SitesBox && W->Plan.ran()) {
+      absint::BoxShrinkResult B = absint::shrinkStartBox(
+          *Ctx.F, Opts.StartLo, Opts.StartHi, {},
+          [&](const absint::FunctionAnalysis &FA) {
+            if (!FA.complete())
+              return true;
+            for (const instr::PathLeg &Leg : W->PS.Legs)
+              if (!FA.edgeFeasible(Leg.Branch, Leg.DesiredTaken))
+                return false;
+            return true;
+          });
+      if (B.Changed) {
+        Opts.StartLo = B.Lo;
+        Opts.StartHi = B.Hi;
+        W->Plan.BoxShrunk = true;
+        W->Plan.BoxLo = B.Lo;
+        W->Plan.BoxHi = B.Hi;
+      }
+    }
+    core::SearchResult R = W->PR->findOne(Ctx.primaryBackend(), Opts);
+
+    Report Rep;
+    Rep.Success = R.Found;
+    tasks::fillStatic(Rep, W->Plan);
+    tasks::fillAggregates(Rep, R);
+    tasks::fillEngine(Rep, W->PR->executionTier());
+    if (R.Found) {
+      Finding F;
+      F.Kind = "path";
+      F.Input = R.Witness;
+      Value Legs = Value::array();
+      for (const PathLegSpec &Leg : Ctx.Spec.Path)
+        Legs.push(Value::object()
+                      .set("branch", Value::number(Leg.Branch))
+                      .set("taken", Value::boolean(Leg.Taken)));
+      F.Details = Value::object().set("legs", Legs);
+      Rep.Findings.push_back(std::move(F));
+    }
+    return Rep;
+  }
 
   // Spec legs name branches by condbr index in layout order.
   std::vector<const ir::Instruction *> Branches;
@@ -66,7 +129,11 @@ Expected<Report> runPath(TaskContext &Ctx) {
     return Rep;
   }
 
-  analyses::PathReachability PR(*Ctx.M, *Ctx.F, PS, Ctx.engineKind());
+  auto W = std::make_shared<WarmPath>();
+  W->PS = PS;
+  W->PR = std::make_unique<analyses::PathReachability>(*Ctx.M, *Ctx.F, PS,
+                                                       Ctx.engineKind());
+  analyses::PathReachability &PR = *W->PR;
   core::SearchOptions Opts = Ctx.searchOptions({});
   if (Plan.Mode == PruneMode::SitesBox && Plan.ran()) {
     absint::BoxShrinkResult B = absint::shrinkStartBox(
@@ -105,6 +172,10 @@ Expected<Report> runPath(TaskContext &Ctx) {
                     .set("taken", Value::boolean(Leg.Taken)));
     F.Details = Value::object().set("legs", Legs);
     Rep.Findings.push_back(std::move(F));
+  }
+  if (Ctx.Warm) {
+    W->Plan = std::move(Plan);
+    Ctx.Warm->State = std::move(W);
   }
   return Rep;
 }

@@ -1,0 +1,173 @@
+//===--- Client.cpp - Minimal blocking HTTP client ------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace wdm;
+using namespace wdm::serve;
+
+namespace {
+
+std::string toLower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return (char)std::tolower(C); });
+  return S;
+}
+
+} // namespace
+
+const std::string &HttpResponse::header(const std::string &Name) const {
+  static const std::string Empty;
+  std::string Want = toLower(Name);
+  for (const auto &[K, V] : Headers)
+    if (K == Want)
+      return V;
+  return Empty;
+}
+
+bool wdm::serve::parseHostPort(const std::string &Spec, std::string &Host,
+                               uint16_t &Port) {
+  std::string PortText;
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos) {
+    Host = "127.0.0.1";
+    PortText = Spec;
+  } else {
+    Host = Spec.substr(0, Colon);
+    PortText = Spec.substr(Colon + 1);
+    if (Host.empty())
+      Host = "127.0.0.1";
+  }
+  if (PortText.empty() ||
+      PortText.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  long P = std::strtol(PortText.c_str(), nullptr, 10);
+  if (P <= 0 || P > 65535)
+    return false;
+  Port = (uint16_t)P;
+  return true;
+}
+
+Expected<HttpResponse>
+wdm::serve::httpRequest(const std::string &Host, uint16_t Port,
+                        const std::string &Method, const std::string &Target,
+                        const std::string &Body,
+                        const std::string &ContentType, double TimeoutSec) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Expected<HttpResponse>::error("socket: " +
+                                         std::string(std::strerror(errno)));
+
+  struct timeval Tv;
+  Tv.tv_sec = (time_t)TimeoutSec;
+  Tv.tv_usec = (suseconds_t)((TimeoutSec - (double)Tv.tv_sec) * 1e6);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    return Expected<HttpResponse>::error("invalid host '" + Host +
+                                         "' (IPv4 literal required)");
+  }
+  if (::connect(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
+    std::string Err = "connect " + Host + ":" + std::to_string(Port) + ": " +
+                      std::strerror(errno);
+    ::close(Fd);
+    return Expected<HttpResponse>::error(Err);
+  }
+
+  std::string Req = Method + " " + Target + " HTTP/1.1\r\n";
+  Req += "Host: " + Host + ":" + std::to_string(Port) + "\r\n";
+  Req += "Connection: close\r\n";
+  if (!Body.empty()) {
+    Req += "Content-Type: " + ContentType + "\r\n";
+    Req += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  }
+  Req += "\r\n";
+  Req += Body;
+
+  size_t Off = 0;
+  while (Off < Req.size()) {
+    ssize_t N = ::write(Fd, Req.data() + Off, Req.size() - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      std::string Err = "write: " + std::string(std::strerror(errno));
+      ::close(Fd);
+      return Expected<HttpResponse>::error(Err);
+    }
+    Off += (size_t)N;
+  }
+  ::shutdown(Fd, SHUT_WR);
+
+  std::string Raw;
+  char Buf[64 * 1024];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Raw.append(Buf, (size_t)N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0) {
+      std::string Err = "read: " + std::string(std::strerror(errno));
+      ::close(Fd);
+      return Expected<HttpResponse>::error(Err);
+    }
+    break; // EOF: the server is one-shot.
+  }
+  ::close(Fd);
+
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  if (HeadEnd == std::string::npos)
+    return Expected<HttpResponse>::error("short response (no header block)");
+
+  HttpResponse Resp;
+  size_t LineEnd = Raw.find("\r\n");
+  std::string StatusLine = Raw.substr(0, LineEnd);
+  // "HTTP/1.1 200 OK"
+  size_t Sp1 = StatusLine.find(' ');
+  if (Sp1 == std::string::npos)
+    return Expected<HttpResponse>::error("malformed status line: " +
+                                         StatusLine);
+  Resp.Status = std::atoi(StatusLine.c_str() + Sp1 + 1);
+  if (Resp.Status < 100 || Resp.Status > 599)
+    return Expected<HttpResponse>::error("malformed status line: " +
+                                         StatusLine);
+
+  size_t Pos = LineEnd + 2;
+  while (Pos < HeadEnd) {
+    size_t End = Raw.find("\r\n", Pos);
+    std::string Line = Raw.substr(Pos, End - Pos);
+    Pos = End + 2;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Name = toLower(Line.substr(0, Colon));
+    std::string Val = Line.substr(Colon + 1);
+    while (!Val.empty() && (Val.front() == ' ' || Val.front() == '\t'))
+      Val.erase(Val.begin());
+    Resp.Headers.emplace_back(std::move(Name), std::move(Val));
+  }
+  Resp.Body = Raw.substr(HeadEnd + 4);
+  return Resp;
+}

@@ -1,0 +1,56 @@
+//===--- Client.h - Minimal blocking HTTP client ---------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of src/serve/: one blocking request/response exchange
+/// against the one-shot daemon (connect, write, read to EOF, parse).
+/// Used by `wdm submit`, the serve tests, and bench/serve_latency — all
+/// of which want a dependency-free way to talk to a local server, not a
+/// general HTTP stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SERVE_CLIENT_H
+#define WDM_SERVE_CLIENT_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wdm::serve {
+
+struct HttpResponse {
+  int Status = 0;
+  std::vector<std::pair<std::string, std::string>> Headers; ///< Names lowered.
+  std::string Body;
+
+  /// First header named \p Name (case-insensitive), or "" if absent.
+  const std::string &header(const std::string &Name) const;
+};
+
+/// One blocking HTTP/1.1 exchange with \p Host:\p Port. \p Body is sent
+/// with \p ContentType when non-empty. The server closes after one
+/// response, so the client reads to EOF. Errors (connect/timeout/short
+/// response) come back as the Expected's message.
+Expected<HttpResponse> httpRequest(const std::string &Host, uint16_t Port,
+                                   const std::string &Method,
+                                   const std::string &Target,
+                                   const std::string &Body = "",
+                                   const std::string &ContentType =
+                                       "application/json",
+                                   double TimeoutSec = 60.0);
+
+/// Splits "host:port" (host defaults to 127.0.0.1 when \p Spec is just
+/// a port). False on malformed input.
+bool parseHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port);
+
+} // namespace wdm::serve
+
+#endif // WDM_SERVE_CLIENT_H

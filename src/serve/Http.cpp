@@ -1,0 +1,167 @@
+//===--- Http.cpp - Minimal HTTP/1.1 wire format --------------------------===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace wdm;
+using namespace wdm::serve;
+
+namespace {
+
+std::string lower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return (char)std::tolower(C); });
+  return S;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+} // namespace
+
+std::string HttpRequest::path() const {
+  size_t Q = Target.find('?');
+  return Q == std::string::npos ? Target : Target.substr(0, Q);
+}
+
+std::string HttpRequest::query() const {
+  size_t Q = Target.find('?');
+  return Q == std::string::npos ? "" : Target.substr(Q + 1);
+}
+
+const std::string &HttpRequest::header(const std::string &Name) const {
+  static const std::string Empty;
+  std::string Key = lower(Name);
+  for (const auto &[N, V] : Headers)
+    if (N == Key)
+      return V;
+  return Empty;
+}
+
+HttpParser::State HttpParser::finishHeaders() {
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t EOL = Buf.find("\r\n");
+  std::string Line = Buf.substr(0, EOL);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Line.rfind(' ');
+  if (Sp1 == std::string::npos || Sp2 == Sp1)
+    return fail(400);
+  Req.Method = Line.substr(0, Sp1);
+  Req.Target = trim(Line.substr(Sp1 + 1, Sp2 - Sp1 - 1));
+  Req.Version = Line.substr(Sp2 + 1);
+  if (Req.Method.empty() || Req.Target.empty() || Req.Target[0] != '/')
+    return fail(400);
+  if (Req.Version != "HTTP/1.1" && Req.Version != "HTTP/1.0")
+    return fail(400);
+
+  size_t Pos = EOL + 2;
+  while (true) {
+    size_t Next = Buf.find("\r\n", Pos);
+    std::string H = Buf.substr(Pos, Next - Pos);
+    Pos = Next + 2;
+    if (H.empty())
+      break;
+    size_t Colon = H.find(':');
+    if (Colon == std::string::npos || Colon == 0)
+      return fail(400);
+    Req.Headers.emplace_back(lower(trim(H.substr(0, Colon))),
+                             trim(H.substr(Colon + 1)));
+  }
+
+  if (!Req.header("transfer-encoding").empty())
+    return fail(501); // Chunked framing is deliberately unsupported.
+
+  const std::string &CL = Req.header("content-length");
+  if (!CL.empty()) {
+    char *End = nullptr;
+    unsigned long long N = std::strtoull(CL.c_str(), &End, 10);
+    if (!End || *End != '\0' || CL.find_first_not_of("0123456789") !=
+        std::string::npos)
+      return fail(400);
+    if (N > Lim.MaxBodyBytes)
+      return fail(413);
+    BodyWanted = (size_t)N;
+  }
+
+  // Whatever followed the blank line is body bytes.
+  Req.Body = Buf.substr(Pos);
+  Buf.clear();
+  if (Req.Body.size() > BodyWanted)
+    Req.Body.resize(BodyWanted); // One request per connection: drop extra.
+  St = Req.Body.size() == BodyWanted ? State::Done : State::Body;
+  return St;
+}
+
+HttpParser::State HttpParser::feed(const char *Data, size_t N) {
+  if (St == State::Done || St == State::Error)
+    return St;
+
+  if (St == State::Headers) {
+    Buf.append(Data, N);
+    size_t End = Buf.find("\r\n\r\n");
+    if (End == std::string::npos) {
+      if (Buf.size() > Lim.MaxHeaderBytes)
+        return fail(431);
+      return St;
+    }
+    if (End + 4 > Lim.MaxHeaderBytes)
+      return fail(431);
+    return finishHeaders();
+  }
+
+  // State::Body.
+  size_t Want = BodyWanted - Req.Body.size();
+  Req.Body.append(Data, std::min(N, Want));
+  if (Req.Body.size() == BodyWanted)
+    St = State::Done;
+  return St;
+}
+
+const char *serve::statusReason(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 202: return "Accepted";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 408: return "Request Timeout";
+  case 409: return "Conflict";
+  case 413: return "Payload Too Large";
+  case 429: return "Too Many Requests";
+  case 431: return "Request Header Fields Too Large";
+  case 500: return "Internal Server Error";
+  case 501: return "Not Implemented";
+  case 503: return "Service Unavailable";
+  default:  return "Unknown";
+  }
+}
+
+std::string serve::serializeResponse(
+    int Status, const std::string &ContentType, const std::string &Body,
+    const std::vector<std::pair<std::string, std::string>> &ExtraHeaders) {
+  char Line[64];
+  std::snprintf(Line, sizeof(Line), "HTTP/1.1 %d %s\r\n", Status,
+                statusReason(Status));
+  std::string Out = Line;
+  Out += "Content-Type: " + ContentType + "\r\n";
+  Out += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Out += "Connection: close\r\n";
+  for (const auto &[N, V] : ExtraHeaders)
+    Out += N + ": " + V + "\r\n";
+  Out += "\r\n";
+  Out += Body;
+  return Out;
+}

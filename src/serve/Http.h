@@ -1,0 +1,111 @@
+//===--- Http.h - Minimal HTTP/1.1 wire format -----------------*- C++ -*-===//
+//
+// Part of the wdm project (PLDI 2019 weak-distance minimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire half of src/serve/: a dependency-free, incremental HTTP/1.1
+/// request parser and response serializer — just enough protocol for a
+/// JSON-RPC-over-POST analysis service (curl, `wdm submit`, a
+/// Prometheus scraper), and not a line more:
+///
+///  - requests: method + target + headers + fixed Content-Length body
+///    (no chunked uploads, no multipart, no continuations), parsed
+///    incrementally so a poll-loop can feed whatever bytes arrived;
+///  - hard limits on header-block and body size, reported as the
+///    distinct 431/413 status codes so clients can tell "too chatty"
+///    from "too big";
+///  - responses: status line + caller headers + Content-Length +
+///    `Connection: close` (the server is deliberately one-shot per
+///    connection — no keep-alive state machine to get wrong).
+///
+/// Everything is plain string/struct manipulation with no sockets, so
+/// the parser is unit-testable byte-by-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WDM_SERVE_HTTP_H
+#define WDM_SERVE_HTTP_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wdm::serve {
+
+/// A fully parsed request: method/target plus lower-cased header names.
+struct HttpRequest {
+  std::string Method;  ///< "GET", "POST", ... (verbatim).
+  std::string Target;  ///< Origin-form target, e.g. "/v1/run?x=1".
+  std::string Version; ///< "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> Headers; ///< Names lowered.
+  std::string Body;
+
+  /// Path and query split out of Target ("?": first occurrence).
+  std::string path() const;
+  std::string query() const;
+
+  /// First header named \p Name (case-insensitive), or "" if absent.
+  const std::string &header(const std::string &Name) const;
+};
+
+/// Incremental request parser. Feed bytes as they arrive; the parser
+/// stops in Done (request complete; trailing bytes are ignored — the
+/// server closes after one exchange) or Error (ErrorStatus says which
+/// 4xx to answer with).
+class HttpParser {
+public:
+  enum class State { Headers, Body, Done, Error };
+
+  struct Limits {
+    size_t MaxHeaderBytes = 64 * 1024;      ///< Request line + headers.
+    size_t MaxBodyBytes = 8 * 1024 * 1024;  ///< Content-Length cap.
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits L) : Lim(L) {}
+
+  /// Consumes \p N bytes. Returns the resulting state.
+  State feed(const char *Data, size_t N);
+
+  State state() const { return St; }
+  bool done() const { return St == State::Done; }
+  bool failed() const { return St == State::Error; }
+
+  /// Valid once done(); the parsed request.
+  const HttpRequest &request() const { return Req; }
+
+  /// Valid once failed(): the status code to answer with (400 malformed,
+  /// 413 body too large, 431 headers too large, 501 unsupported
+  /// framing).
+  int errorStatus() const { return ErrStatus; }
+
+private:
+  State fail(int Status) {
+    ErrStatus = Status;
+    return St = State::Error;
+  }
+  State finishHeaders();
+
+  Limits Lim{};
+  State St = State::Headers;
+  int ErrStatus = 400;
+  std::string Buf;         ///< Unparsed header bytes.
+  size_t BodyWanted = 0;   ///< Content-Length once headers are in.
+  HttpRequest Req;
+};
+
+/// Serializes a response with Content-Length and Connection: close.
+/// \p ExtraHeaders ride between the standard ones and the blank line.
+std::string serializeResponse(
+    int Status, const std::string &ContentType, const std::string &Body,
+    const std::vector<std::pair<std::string, std::string>> &ExtraHeaders = {});
+
+/// The canonical reason phrase for \p Status ("OK", "Not Found", ...).
+const char *statusReason(int Status);
+
+} // namespace wdm::serve
+
+#endif // WDM_SERVE_HTTP_H

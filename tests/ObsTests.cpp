@@ -14,6 +14,7 @@
 #include "api/Analyzer.h"
 #include "api/Report.h"
 #include "obs/Progress.h"
+#include "obs/Prometheus.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/BuildInfo.h"
@@ -143,6 +144,92 @@ TEST(TelemetryTest, DeltaSubtractsSnapshots) {
   ASSERT_NE(DH, nullptr);
   EXPECT_EQ(DH->find("count")->asUint(), 1u);
   EXPECT_DOUBLE_EQ(DH->find("sum")->asDouble(), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition: the second serializer over the same snapshot
+//===----------------------------------------------------------------------===//
+
+TEST(PrometheusTest, CountersGaugesAndNamesMapFromSnapshot) {
+  // Serialize a hand-built snapshot so the mapping is pinned
+  // independently of the live registry.
+  Value Snap = Value::object()
+                   .set("counters", Value::object()
+                                        .set("serve.cache_hits",
+                                             Value::number(uint64_t(3)))
+                                        .set("9odd-name!x",
+                                             Value::number(uint64_t(1))))
+                   .set("gauges", Value::object().set(
+                                      "search.batch", Value::number(32.0)))
+                   .set("histograms", Value::object());
+  std::string Text = obs::toPrometheus(Snap);
+
+  EXPECT_NE(Text.find("# HELP serve_cache_hits_total wdm metric "
+                      "serve.cache_hits\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE serve_cache_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("serve_cache_hits_total 3\n"), std::string::npos);
+  // Invalid chars sanitize to '_'; a leading digit gains one too.
+  EXPECT_NE(Text.find("_9odd_name_x_total 1\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE search_batch gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("search_batch 32\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, Log2HistogramBecomesCumulativeBuckets) {
+  // Sparse per-bucket counts: bucket 1 (1 < v <= 2) holds 2 obs, bucket
+  // 3 (4 < v <= 8) holds 1. Cumulative le-series must accumulate.
+  auto Pair = [](uint64_t K, uint64_t N) {
+    Value P = Value::array();
+    P.push(Value::number(K));
+    P.push(Value::number(N));
+    return P;
+  };
+  Value Buckets = Value::array();
+  Buckets.push(Pair(1, 2));
+  Buckets.push(Pair(3, 1));
+  Value H = Value::object()
+                .set("count", Value::number(uint64_t(3)))
+                .set("sum", Value::number(10.0))
+                .set("buckets", std::move(Buckets));
+  Value Snap = Value::object()
+                   .set("counters", Value::object())
+                   .set("gauges", Value::object())
+                   .set("histograms",
+                        Value::object().set("eval.w", std::move(H)));
+  std::string Text = obs::toPrometheus(Snap);
+
+  EXPECT_NE(Text.find("# TYPE eval_w histogram\n"), std::string::npos);
+  EXPECT_NE(Text.find("eval_w_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(Text.find("eval_w_bucket{le=\"8\"} 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("eval_w_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("eval_w_sum 10\n"), std::string::npos);
+  EXPECT_NE(Text.find("eval_w_count 3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, LiveSnapshotMatchesJsonSnapshot) {
+  ObsQuiesce Q;
+  obs::setEnabled(true);
+  obs::count("prom.live_counter", 5);
+  obs::histogram("prom.live_hist").observe(3.0);
+  obs::histogram("prom.live_hist").observe(100.0);
+
+  // The two serializers must agree: snapshotPrometheus() is exactly
+  // toPrometheus(snapshotJson()) over one consistent snapshot.
+  Value Snap = obs::snapshotJson();
+  EXPECT_EQ(obs::snapshotPrometheus(), obs::toPrometheus(Snap));
+
+  std::string Text = obs::toPrometheus(Snap);
+  EXPECT_NE(Text.find("prom_live_counter_total 5\n"), std::string::npos);
+  EXPECT_NE(Text.find("prom_live_hist_count 2\n"), std::string::npos);
+  // 3.0 lands in the (2,4] bucket, 100.0 in (64,128].
+  EXPECT_NE(Text.find("prom_live_hist_bucket{le=\"4\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("prom_live_hist_bucket{le=\"128\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("prom_live_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -35,6 +35,9 @@
 #include "obs/Progress.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
+#include "serve/Client.h"
+#include "serve/ResultCache.h"
+#include "serve/Server.h"
 #include "support/BuildInfo.h"
 #include "support/FaultInject.h"
 #include "support/StringUtils.h"
@@ -69,6 +72,14 @@ int usage() {
          "NDJSON\n"
          "  run-job <spec.json | ->    internal suite worker: spec in, "
          "report JSON on stdout\n"
+         "  serve [serve options]      run the analysis daemon (HTTP, "
+         "result cache, warm state)\n"
+         "  submit <spec.json | -> --server=<host:port>\n"
+         "                             run one spec on a daemon (same "
+         "exit codes as run)\n"
+         "  cache stats|clear --cache-dir=<dir>\n"
+         "                             inspect / empty a daemon's "
+         "on-disk result cache\n"
          "  version [--json]           build provenance (git describe, "
          "compiler, flags)\n\n"
          "analyze subject (one of):\n"
@@ -93,11 +104,29 @@ int usage() {
          "  --overflow-metric=<m>      ulpgap|absgap\n"
          "  --nfp=<n>                  overflow: max Algorithm 3 rounds\n"
          "  --json <out.json>          also write the report as JSON\n\n"
+         "serve options:\n"
+         "  --host=<ip> --port=<n>     bind address (default 127.0.0.1, "
+         "port 0 = ephemeral)\n"
+         "  --threads=<n>              request workers (0 = min(4, hw "
+         "threads))\n"
+         "  --cache-dir=<dir>          persistent result cache (default: "
+         "memory only)\n"
+         "  --cache-capacity=<n>       in-memory result entries (default "
+         "256)\n"
+         "  --warm-capacity=<n>        warm module entries (default 64)\n"
+         "  --no-warm                  disable the warm execution cache\n"
+         "  --state-dir=<dir>          suite job event logs (default: "
+         "cache dir)\n"
+         "  --shards=<n>               shards for POSTed suites (0 = "
+         "hardware)\n"
+         "  --max-body=<bytes>         request body cap (default 8 MiB)\n\n"
          "suite options:\n"
          "  --shards=<n>               concurrent jobs (0 = one per "
          "hardware thread)\n"
          "  --mode=<m>                 inprocess (default) | subprocess "
          "| dry\n"
+         "  --dispatch=<d>             steal (default: work-stealing "
+         "deques) | roundrobin\n"
          "  --ndjson <log.ndjson>      stream events (doubles as the "
          "checkpoint)\n"
          "  --resume                   skip jobs already finished in "
@@ -596,6 +625,10 @@ int cmdSuite(int Argc, char **Argv) {
       if (!suiteModeByName(Val, Opts.Mode))
         return fail("unknown mode '" + Val +
                     "' (expected inprocess|subprocess|dry)");
+    } else if (Key == "--dispatch") {
+      if (!suiteDispatchByName(Val, Opts.Dispatch))
+        return fail("unknown dispatch '" + Val +
+                    "' (expected steal|roundrobin)");
     } else if (A == "--resume") {
       Opts.Resume = true;
     } else if (A == "--ndjson") {
@@ -727,6 +760,211 @@ int cmdSuite(int Argc, char **Argv) {
     std::cout << "report:    " << JsonOut << "\n";
   }
   return Obs.end(Dry ? 0 : R->exitCode());
+}
+
+int cmdServe(int Argc, char **Argv) {
+  serve::ServerOptions SO;
+
+  auto Uint = [](const std::string &V, uint64_t &Out) {
+    char *End = nullptr;
+    Out = std::strtoull(V.c_str(), &End, 0);
+    return End && !*End && !V.empty();
+  };
+
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
+    uint64_t N = 0;
+    if (Key == "--host") {
+      SO.Host = Val;
+    } else if (Key == "--port") {
+      if (!Uint(Val, N) || N > 65535)
+        return fail("bad --port");
+      SO.Port = static_cast<uint16_t>(N);
+    } else if (Key == "--threads") {
+      if (!Uint(Val, N))
+        return fail("bad --threads");
+      SO.Threads = static_cast<unsigned>(N);
+    } else if (Key == "--max-connections") {
+      if (!Uint(Val, N) || N == 0)
+        return fail("bad --max-connections");
+      SO.MaxConnections = static_cast<unsigned>(N);
+    } else if (Key == "--cache-dir") {
+      SO.CacheDir = Val;
+    } else if (Key == "--cache-capacity") {
+      if (!Uint(Val, N))
+        return fail("bad --cache-capacity");
+      SO.CacheCapacity = static_cast<size_t>(N);
+    } else if (Key == "--warm-capacity") {
+      if (!Uint(Val, N))
+        return fail("bad --warm-capacity");
+      SO.WarmCapacity = static_cast<size_t>(N);
+    } else if (A == "--no-warm") {
+      SO.Warm = false;
+    } else if (Key == "--state-dir") {
+      SO.StateDir = Val;
+    } else if (Key == "--shards") {
+      if (!Uint(Val, N))
+        return fail("bad --shards");
+      SO.SuiteShards = static_cast<unsigned>(N);
+    } else if (Key == "--max-body") {
+      if (!Uint(Val, N) || N == 0)
+        return fail("bad --max-body (bytes)");
+      SO.Limits.MaxBodyBytes = static_cast<size_t>(N);
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+
+  serve::Server S(SO);
+  Status St = S.serveForever([&](uint16_t Port) {
+    // Parsed by scripts (tests, CI smoke) to discover an ephemeral port;
+    // keep the format stable.
+    std::cout << "listening on " << SO.Host << ":" << Port << "\n"
+              << std::flush;
+  });
+  if (!St.ok())
+    return fail(St.message());
+  std::cout << "drained\n";
+  return 0;
+}
+
+int cmdSubmit(int Argc, char **Argv) {
+  std::string SpecPath, ServerSpec, JsonOut;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
+    if (Key == "--server") {
+      ServerSpec = Val;
+    } else if (A == "--json") {
+      if (I + 1 >= Argc || startsWith(Argv[I + 1], "--"))
+        return fail("--json needs an output path");
+      JsonOut = Argv[++I];
+    } else if (Key == "--json") {
+      JsonOut = Val;
+    } else if (SpecPath.empty() && (A == "-" || !startsWith(A, "--"))) {
+      SpecPath = A;
+    } else {
+      return fail("unexpected argument '" + A + "'");
+    }
+  }
+  if (SpecPath.empty() || ServerSpec.empty())
+    return usage();
+
+  std::string Host;
+  uint16_t Port = 0;
+  if (!serve::parseHostPort(ServerSpec, Host, Port))
+    return fail("bad --server '" + ServerSpec + "' (expected host:port)");
+
+  Expected<std::string> Text = readInput(SpecPath);
+  if (!Text)
+    return fail(Text.error());
+
+  Expected<serve::HttpResponse> Resp =
+      serve::httpRequest(Host, Port, "POST", "/v1/run", *Text);
+  if (!Resp) {
+    std::cerr << "wdm: " << Resp.error() << "\n";
+    return 3; // Could not reach / talk to the daemon: internal error.
+  }
+  Expected<json::Value> Doc = json::Value::parse(Resp->Body);
+  if (Resp->Status != 200) {
+    std::string Msg = "server answered " + std::to_string(Resp->Status);
+    if (Doc && Doc->isObject())
+      if (const json::Value *E = Doc->find("error"))
+        Msg += ": " + E->asString();
+    std::cerr << "wdm: " << Msg << "\n";
+    return Resp->Status == 400 ? 2 : 3; // Spec errors keep the contract.
+  }
+  if (!Doc || !Doc->isObject())
+    return fail("unparseable server response");
+  const json::Value *Rep = Doc->find("report");
+  if (!Rep)
+    return fail("server response has no report");
+  Expected<Report> R = Report::fromJson(*Rep);
+  if (!R)
+    return fail("bad report from server: " + R.error());
+
+  const json::Value *Cached = Doc->find("cached");
+  const json::Value *SpecHash = Doc->find("spec_hash");
+  const json::Value *RepHash = Doc->find("report_hash");
+  std::cout << "server:    " << Host << ":" << Port
+            << (Cached && Cached->asBool() ? "  (cached)" : "") << "\n";
+  if (SpecHash && RepHash)
+    std::cout << "spec:      " << SpecHash->asString() << "\n"
+              << "hash:      " << RepHash->asString() << "\n";
+  printReport(*R);
+  if (!JsonOut.empty()) {
+    std::ofstream Out(JsonOut);
+    if (!Out)
+      return fail("cannot write '" + JsonOut + "'");
+    Out << Rep->dump();
+    std::cout << "report:    " << JsonOut << "\n";
+  }
+  return exitCodeFor(*R);
+}
+
+int cmdCache(int Argc, char **Argv) {
+  if (Argc < 1)
+    return usage();
+  std::string Sub = Argv[0];
+  std::string Dir;
+  bool Json = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string Key = A, Val;
+    if (size_t Eq = A.find('=');
+        startsWith(A, "--") && Eq != std::string::npos) {
+      Key = A.substr(0, Eq);
+      Val = A.substr(Eq + 1);
+    }
+    if (Key == "--cache-dir")
+      Dir = Val;
+    else if (A == "--json")
+      Json = true;
+    else
+      return fail("unexpected argument '" + A + "'");
+  }
+  if (Dir.empty())
+    return fail("cache " + Sub + " needs --cache-dir=<dir>");
+
+  if (Sub == "stats") {
+    uint64_t Entries = 0, Bytes = 0;
+    Status St = serve::ResultCache::diskStats(Dir, Entries, Bytes);
+    if (!St.ok())
+      return fail(St.message());
+    if (Json) {
+      std::cout << json::Value::object()
+                       .set("dir", json::Value::string(Dir))
+                       .set("entries", json::Value::number(Entries))
+                       .set("bytes", json::Value::number(Bytes))
+                       .dump()
+                << "\n";
+    } else {
+      std::cout << "cache:     " << Dir << "\n"
+                << "entries:   " << Entries << "\n"
+                << "bytes:     " << Bytes << "\n";
+    }
+    return 0;
+  }
+  if (Sub == "clear") {
+    uint64_t Removed = 0;
+    Status St = serve::ResultCache::diskClear(Dir, Removed);
+    if (!St.ok())
+      return fail(St.message());
+    std::cout << "removed:   " << Removed << "\n";
+    return 0;
+  }
+  return fail("unknown cache subcommand '" + Sub + "' (try: stats, clear)");
 }
 
 bool parsePathLegs(const std::string &Text,
@@ -874,6 +1112,12 @@ int main(int Argc, char **Argv) {
     return cmdSuite(Argc - 2, Argv + 2);
   if (Cmd == "analyze")
     return cmdAnalyze(Argc - 2, Argv + 2);
+  if (Cmd == "serve")
+    return cmdServe(Argc - 2, Argv + 2);
+  if (Cmd == "submit")
+    return cmdSubmit(Argc - 2, Argv + 2);
+  if (Cmd == "cache")
+    return cmdCache(Argc - 2, Argv + 2);
   if (Cmd == "version" || Cmd == "--version" || Cmd == "-V")
     return cmdVersion(Argc - 2, Argv + 2);
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
@@ -881,5 +1125,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   return fail("unknown command '" + Cmd +
-              "' (try: tasks, run, analyze, suite, run-job, version)");
+              "' (try: tasks, run, analyze, suite, serve, submit, cache, "
+              "run-job, version)");
 }
